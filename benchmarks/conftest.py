@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, prints a
+paper-vs-measured comparison, and writes the same text to
+``results/<name>.txt`` so EXPERIMENTS.md stays auditable.  The
+pytest-benchmark fixture times one representative simulation per experiment
+(rounds=1 — these are seconds-long deterministic runs, not microbenchmarks).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Print a report and persist it under results/<name>.txt."""
+
+    def _emit(name: str, lines):
+        text = "\n".join(lines)
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once through pytest-benchmark (deterministic,
+    seconds-long simulations)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

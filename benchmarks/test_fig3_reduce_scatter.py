@@ -1,0 +1,83 @@
+"""Figure 3 — time cost of the grads-reduce-scatter operation across NIC
+environments for parameter groups 1-4 (4 nodes).
+
+The figure's claims: reduce-scatter is fastest on InfiniBand, slowest on
+Ethernet, and the Hybrid environment lands between RoCE and Ethernet bounds
+because Holmes keeps each stage's reduce-scatter on that stage's RDMA NIC.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.paramgroups import PARAM_GROUPS
+from repro.bench.runner import run_holmes_case
+from repro.bench.scenarios import ethernet_env, homogeneous_env, hybrid2_env
+from repro.bench.tables import ascii_bars, format_table
+from repro.hardware.nic import NICType
+
+GROUPS = (1, 2, 3, 4)
+ENVIRONMENTS = ("InfiniBand", "RoCE", "Ethernet", "Hybrid")
+
+
+def make_env(name):
+    if name == "InfiniBand":
+        return homogeneous_env(4, NICType.INFINIBAND)
+    if name == "RoCE":
+        return homogeneous_env(4, NICType.ROCE)
+    if name == "Ethernet":
+        return ethernet_env(4)
+    return hybrid2_env(4)
+
+
+def build_fig3():
+    series = {}
+    for gid in GROUPS:
+        group = PARAM_GROUPS[gid]
+        for env in ENVIRONMENTS:
+            result = run_holmes_case(
+                make_env(env), group, scenario=env, trace_enabled=True
+            )
+            series[(gid, env)] = result.reduce_scatter_time
+    return series
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_reduce_scatter(benchmark, emit):
+    series = run_once(benchmark, build_fig3)
+
+    rows = [
+        [gid] + [round(series[(gid, env)], 3) for env in ENVIRONMENTS]
+        for gid in GROUPS
+    ]
+    emit(
+        "fig3_reduce_scatter",
+        [
+            "grads-reduce-scatter time (seconds), 4 nodes",
+            format_table(["Group"] + list(ENVIRONMENTS), rows),
+            "",
+            "Parameter group 3:",
+            ascii_bars(
+                list(ENVIRONMENTS),
+                [series[(3, env)] for env in ENVIRONMENTS],
+                unit="s",
+            ),
+        ],
+    )
+
+    for gid in GROUPS:
+        ib = series[(gid, "InfiniBand")]
+        roce = series[(gid, "RoCE")]
+        eth = series[(gid, "Ethernet")]
+        hybrid = series[(gid, "Hybrid")]
+        # Orderings from the figure.
+        assert ib < roce < eth, (gid, ib, roce, eth)
+        # Hybrid averages IB and RoCE stages: between the two, far from
+        # Ethernet.
+        assert ib <= hybrid <= roce * 1.05, (gid, hybrid)
+        assert hybrid < 0.6 * eth, (gid, hybrid, eth)
+
+    # Larger models reduce-scatter more bytes: PG3 (7.5B) > PG1 (3.6B).
+    for env in ENVIRONMENTS:
+        assert series[(3, env)] > series[(1, env)]

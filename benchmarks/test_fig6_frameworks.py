@@ -1,0 +1,69 @@
+"""Figure 6 — Holmes vs Megatron-LM / Megatron-DeepSpeed / Megatron-LLaMA.
+
+Parameter group 3 on 8 nodes (4 RoCE + 4 IB, no inter-cluster interconnect).
+Expected ordering: Holmes first; Megatron-LLaMA ahead of Megatron-LM and
+Megatron-DeepSpeed thanks to its Overlapped Distributed Optimizer; the
+NIC-oblivious baselines cluster near the pure-Ethernet performance level.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.paramgroups import PARAM_GROUPS
+from repro.bench.runner import run_framework_case, run_holmes_case
+from repro.bench.scenarios import ethernet_env, hybrid2_env
+from repro.bench.tables import ascii_bars, format_table
+from repro.frameworks import FRAMEWORKS
+
+
+def build_fig6():
+    topo = hybrid2_env(8)
+    group = PARAM_GROUPS[3]
+    results = {
+        name: run_framework_case(spec, topo, group, scenario="hybrid8")
+        for name, spec in FRAMEWORKS.items()
+    }
+    results["_pure_ethernet_reference"] = run_holmes_case(
+        ethernet_env(8), group, scenario="ethernet"
+    )
+    return results
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_frameworks(benchmark, emit):
+    results = run_once(benchmark, build_fig6)
+
+    rows = [
+        [name, round(r.tflops), round(r.throughput, 2)]
+        for name, r in sorted(
+            results.items(), key=lambda kv: -kv[1].tflops
+        )
+    ]
+    ordered = [r for r in rows if not r[0].startswith("_")]
+    emit(
+        "fig6_frameworks",
+        [
+            "Framework comparison, PG3, 8 nodes (4 RoCE + 4 IB)",
+            format_table(["Framework", "TFLOPS", "Throughput"], rows),
+            "",
+            ascii_bars(
+                [r[0] for r in ordered], [r[1] for r in ordered],
+                unit=" TFLOPS",
+            ),
+        ],
+    )
+
+    tflops = {name: r.tflops for name, r in results.items()}
+    # The paper's ordering.
+    assert tflops["holmes"] > tflops["megatron-llama"]
+    assert tflops["megatron-llama"] > tflops["megatron-lm"]
+    assert tflops["megatron-lm"] > tflops["megatron-deepspeed"]
+    # Holmes is the only NIC-aware framework: a decisive margin.
+    assert tflops["holmes"] > 1.25 * tflops["megatron-lm"]
+    # The NIC-oblivious baselines perform like pure-Ethernet training
+    # (Table 5's Megatron-LM row equals Table 3's Ethernet row).
+    assert tflops["megatron-lm"] == pytest.approx(
+        tflops["_pure_ethernet_reference"], rel=0.10
+    )

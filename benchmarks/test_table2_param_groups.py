@@ -1,0 +1,70 @@
+"""Table 2 — the eight parameter groups.
+
+A configuration table rather than a measurement: the bench validates that
+our transcription reproduces the paper's parameter counts through Eq. 5 and
+that every group is runnable on its evaluation scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.paramgroups import PARAM_GROUPS
+from repro.bench.tables import format_table
+from repro.model.params import parameter_count
+
+#: The paper's published "Number of Parameters (billion)" column, with the
+#: two typographical outliers normalised (see paramgroups module docs).
+EXPECTED_BILLIONS = {1: 3.6, 2: 3.6, 3: 7.5, 4: 7.5, 5: 7.5, 6: 7.5,
+                     7: 39.1, 8: 39.1}
+
+#: GPU counts each group is evaluated on in the paper.
+EVALUATION_SCALES = {
+    1: [32, 48, 64], 2: [32, 48, 64], 3: [32, 48, 64], 4: [32, 48, 64],
+    5: [48, 96], 6: [48, 96], 7: [32, 64], 8: [48, 96],
+}
+
+
+def build_table2():
+    rows = []
+    for gid, group in sorted(PARAM_GROUPS.items()):
+        rows.append(
+            [
+                gid,
+                round(parameter_count(group.model) / 1e9, 1),
+                group.model.num_attention_heads,
+                group.model.hidden_size,
+                group.model.num_layers,
+                group.tensor_parallel,
+                group.pipeline_parallel,
+                group.micro_batch_size,
+                group.global_batch_size,
+            ]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_param_groups(benchmark, emit):
+    rows = run_once(benchmark, build_table2)
+    emit(
+        "table2_param_groups",
+        [
+            format_table(
+                ["Group", "Params(B)", "Heads", "Hidden", "Layers",
+                 "TP", "PP", "Micro", "Batch"],
+                rows,
+            )
+        ],
+    )
+    for row in rows:
+        gid, billions = row[0], row[1]
+        assert billions == pytest.approx(EXPECTED_BILLIONS[gid], abs=0.1)
+
+    # Every group must be schedulable at its paper evaluation scales.
+    for gid, scales in EVALUATION_SCALES.items():
+        for n in scales:
+            parallel = PARAM_GROUPS[gid].parallel_for(n)
+            assert parallel.world_size == n
+            assert parallel.num_microbatches >= 1

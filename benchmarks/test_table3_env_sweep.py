@@ -1,0 +1,92 @@
+"""Table 3 — parameter groups 1-4 x four NIC environments x 4/6/8 nodes.
+
+The paper's main result table (48 cells).  The bench regenerates every cell,
+prints paper-vs-measured, asserts the qualitative shapes hold per row block,
+and pins the aggregate residual.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.paper_data import TABLE3, shapes_hold
+from repro.bench.paramgroups import PARAM_GROUPS
+from repro.bench.runner import run_holmes_case
+from repro.bench.scenarios import ethernet_env, homogeneous_env, hybrid2_env
+from repro.bench.tables import format_table
+from repro.hardware.nic import NICType
+
+GROUPS = (1, 2, 3, 4)
+NODE_COUNTS = (4, 6, 8)
+ENVIRONMENTS = ("InfiniBand", "RoCE", "Ethernet", "Hybrid")
+
+
+def make_env(name, nodes):
+    if name == "InfiniBand":
+        return homogeneous_env(nodes, NICType.INFINIBAND)
+    if name == "RoCE":
+        return homogeneous_env(nodes, NICType.ROCE)
+    if name == "Ethernet":
+        return ethernet_env(nodes)
+    return hybrid2_env(nodes)
+
+
+def build_table3():
+    cells = {}
+    for gid in GROUPS:
+        group = PARAM_GROUPS[gid]
+        for nodes in NODE_COUNTS:
+            for env in ENVIRONMENTS:
+                cells[(gid, nodes, env)] = run_holmes_case(
+                    make_env(env, nodes), group, scenario=env
+                )
+    return cells
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_env_sweep(benchmark, emit):
+    cells = run_once(benchmark, build_table3)
+
+    rows = []
+    errors = []
+    for (gid, nodes, env), result in sorted(
+        cells.items(), key=lambda kv: (kv[0][0], kv[0][1], ENVIRONMENTS.index(kv[0][2]))
+    ):
+        paper_tflops, paper_thr = TABLE3[(gid, nodes, env)]
+        errors.append(abs(result.tflops - paper_tflops) / paper_tflops)
+        rows.append(
+            [gid, nodes, env, round(result.tflops), paper_tflops,
+             round(result.throughput, 2), paper_thr]
+        )
+    mean_err = sum(errors) / len(errors)
+    emit(
+        "table3_env_sweep",
+        [
+            format_table(
+                ["Group", "Nodes", "Env", "TFLOPS", "paper", "Thr", "paper"],
+                rows,
+            ),
+            f"mean |relative TFLOPS error| over 48 cells: {mean_err * 100:.1f}%",
+        ],
+    )
+
+    # Qualitative shapes per (group, nodes) block.
+    for gid in GROUPS:
+        for nodes in NODE_COUNTS:
+            measured = {
+                env: cells[(gid, nodes, env)].tflops for env in ENVIRONMENTS
+            }
+            claims = shapes_hold(measured)
+            assert claims["ib_fastest"], (gid, nodes, measured)
+            assert claims["rdma_beats_ethernet"], (gid, nodes, measured)
+            assert claims["hybrid_between"], (gid, nodes, measured)
+            assert claims["hybrid_close_to_rdma"], (gid, nodes, measured)
+
+    # Aggregate residual: the calibration quality bar.
+    assert mean_err < 0.08
+
+    # Hybrid DP always rides RDMA under Holmes.
+    for gid in GROUPS:
+        for nodes in NODE_COUNTS:
+            assert cells[(gid, nodes, "Hybrid")].dp_rdma_fraction == 1.0

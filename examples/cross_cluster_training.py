@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Cross-cluster training study (the paper's Case 2, Figure 4).
+
+You have two GPU clusters in different buildings — both with fast RDMA
+inside, but only ordinary Ethernet between them.  Can you train one model
+across both without rebuilding the network?  This example sweeps the
+paper's scenarios and shows Holmes's answer: put *pipeline* parallelism on
+the slow inter-cluster link (it moves megabytes of activations) and keep
+*data* parallelism on the fast intra-cluster RDMA (it moves gigabytes of
+gradients).
+
+Run:  python examples/cross_cluster_training.py
+"""
+
+from repro.bench.paramgroups import PARAM_GROUPS
+from repro.bench.runner import run_holmes_case
+from repro.bench.scenarios import (
+    ethernet_env,
+    homogeneous_env,
+    hybrid2_env,
+    split_env,
+)
+from repro.bench.tables import format_table
+from repro.hardware.nic import NICType
+
+
+def main() -> None:
+    group = PARAM_GROUPS[3]  # 7.5B GPT
+    nodes = 4
+
+    scenarios = {
+        "InfiniBand (one cluster, upper bound)": homogeneous_env(
+            nodes, NICType.INFINIBAND
+        ),
+        "RoCE (one cluster)": homogeneous_env(nodes, NICType.ROCE),
+        "IB + IB across Ethernet": split_env(nodes, NICType.INFINIBAND),
+        "RoCE + RoCE across Ethernet": split_env(nodes, NICType.ROCE),
+        "RoCE + IB across Ethernet (hybrid)": hybrid2_env(nodes),
+        "Ethernet only (lower bound)": ethernet_env(nodes),
+    }
+
+    rows = []
+    for label, topology in scenarios.items():
+        result = run_holmes_case(topology, group, scenario=label)
+        rows.append(
+            [
+                label,
+                round(result.tflops),
+                round(result.throughput, 2),
+                f"{result.dp_rdma_fraction * 100:.0f}%",
+                f"{result.reduce_scatter_time * 1000:.0f}ms",
+            ]
+        )
+
+    print(f"Cross-cluster training, {group.model.describe()}, "
+          f"{nodes} nodes x 8 A100s\n")
+    print(
+        format_table(
+            ["Scenario", "TFLOPS", "samples/s", "DP on RDMA", "reduce-scatter"],
+            rows,
+        )
+    )
+    print(
+        "\nReading the table: the split scenarios (two clusters joined only"
+        "\nby Ethernet) land within a few percent of their single-cluster"
+        "\nupper bounds, far above Ethernet-only — because Holmes keeps every"
+        "\ngradient reduce-scatter on RDMA and sends only activations across"
+        "\nthe slow link."
+    )
+
+
+if __name__ == "__main__":
+    main()

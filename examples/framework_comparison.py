@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Framework shoot-out in a heterogeneous NIC environment (paper Figure 6).
+
+Runs Holmes against Megatron-LM, Megatron-DeepSpeed, and Megatron-LLaMA on
+the same machine — 8 nodes, half RoCE, half InfiniBand, Ethernet between the
+clusters — plus the Table 5 ablation that attributes Holmes's win to its
+components.
+
+Run:  python examples/framework_comparison.py
+"""
+
+from repro.bench.paramgroups import PARAM_GROUPS
+from repro.bench.runner import run_framework_case
+from repro.bench.scenarios import hybrid2_env
+from repro.bench.tables import format_table
+from repro.frameworks import FRAMEWORKS
+from repro.frameworks.holmes import holmes_ablation
+
+
+def main() -> None:
+    group = PARAM_GROUPS[3]  # 7.5B GPT
+    topology = hybrid2_env(8)
+
+    print(f"{group.model.describe()} on 8 nodes (4 RoCE + 4 IB)\n")
+
+    rows = []
+    for name, spec in FRAMEWORKS.items():
+        result = run_framework_case(spec, topology, group, scenario="hybrid")
+        rows.append(
+            [name, round(result.tflops), round(result.throughput, 2),
+             f"{result.dp_rdma_fraction * 100:.0f}%"]
+        )
+    rows.sort(key=lambda r: -r[1])
+    print("Framework comparison:")
+    print(format_table(["Framework", "TFLOPS", "samples/s", "DP on RDMA"], rows))
+    print(
+        "\nHolmes is the only NIC-aware framework: the baselines cannot"
+        "\nnegotiate mixed RDMA and fall back to TCP over Ethernet for all"
+        "\ninter-node traffic.  Megatron-LLaMA recovers part of the loss by"
+        "\noverlapping gradient communication with backward compute."
+    )
+
+    # Table 5's ablation: which Holmes component buys what.
+    variants = {
+        "full Holmes": holmes_ablation(),
+        "w/o Self-Adapting Partition": holmes_ablation(
+            self_adapting_partition=False
+        ),
+        "w/o Overlapped Optimizer": holmes_ablation(overlapped_optimizer=False),
+        "w/o both": holmes_ablation(False, False),
+    }
+    rows = []
+    for label, spec in variants.items():
+        result = run_framework_case(spec, topology, group, scenario="hybrid")
+        rows.append([label, round(result.tflops), round(result.throughput, 2)])
+    print("\nComponent ablation (all variants keep Cross-Cluster Pipeline")
+    print("Parallelism and Automatic NIC Selection):")
+    print(format_table(["Variant", "TFLOPS", "samples/s"], rows))
+
+
+if __name__ == "__main__":
+    main()

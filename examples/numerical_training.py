@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""End-to-end *numerical* parallel training — no timing simulation here,
+real numbers: the paper's "partial training to validate our approach".
+
+Pipeline: synthetic corpus → trainable BPE tokenizer → token dataset with
+Megatron-style data-parallel sharding → a NumPy GPT trained by the
+data-parallel trainer, whose gradient synchronisation runs through this
+library's actual ring all-reduce.  A pipeline-split run of the same model
+verifies stage-wise execution gives identical losses.
+
+Run:  python examples/numerical_training.py
+"""
+
+import numpy as np
+
+from repro.data.corpus import SyntheticCorpus
+from repro.data.dataset import DataParallelSampler, TokenDataset
+from repro.data.tokenizer import BPETokenizer
+from repro.nn.model import TinyGPTConfig
+from repro.nn.parallel_train import (
+    DataParallelTrainer,
+    PipelineParallelTrainer,
+    SingleTrainer,
+)
+
+
+def main() -> None:
+    # 1. Data: generate a corpus and learn a BPE vocabulary on it.
+    corpus = SyntheticCorpus(vocab_words=30, seed=3)
+    text = corpus.generate(6000)
+    tokenizer = BPETokenizer().train(text, vocab_size=96)
+    tokens = tokenizer.encode(text)
+    print(f"corpus: {len(text.split())} words -> {len(tokens)} BPE tokens "
+          f"(vocab {tokenizer.vocab_size})")
+
+    # 2. Dataset with data-parallel sharding (2 replicas x 4 samples).
+    config = TinyGPTConfig(vocab_size=tokenizer.vocab_size, seq_length=16,
+                           hidden_size=16, num_heads=4, num_blocks=2)
+    dataset = TokenDataset(tokens, seq_length=config.seq_length)
+    world = 2
+    sampler = DataParallelSampler(dataset, data_parallel=world,
+                                  batch_per_replica=4, seed=0)
+    print(f"dataset: {len(dataset)} samples, "
+          f"{sampler.batches_per_epoch} steps/epoch/replica pair")
+
+    # 3. Data-parallel training over the library's ring all-reduce.
+    trainer = DataParallelTrainer(config, world=world, seed=0, lr=3e-3)
+    uniform = float(np.log(config.vocab_size))
+    print(f"\nuniform baseline loss: {uniform:.3f}")
+    step = 0
+    for epoch in range(3):
+        for batch_step in range(sampler.batches_per_epoch):
+            shards = [
+                sampler.replica_batch(r, epoch, batch_step)
+                for r in range(world)
+            ]
+            tokens_in = np.concatenate([s[0] for s in shards])
+            targets = np.concatenate([s[1] for s in shards])
+            loss = trainer.step(tokens_in, targets)
+            if step % 20 == 0:
+                print(f"  epoch {epoch} step {step:3d}  loss {loss:.3f}")
+            step += 1
+    print(f"final loss: {loss:.3f}  "
+          f"({loss / uniform * 100:.0f}% of uniform — the model learned "
+          f"the corpus's Markov structure)")
+    assert trainer.replicas_in_sync()
+
+    # 4. Pipeline-split execution of the same model: identical numerics.
+    single = SingleTrainer(config, seed=42, lr=3e-3)
+    pipeline = PipelineParallelTrainer(config, [1, 1], seed=42, lr=3e-3)
+    inputs, targets = sampler.replica_batch(0, epoch=0, step=0)
+    loss_single = single.step(inputs, targets)
+    loss_pipe = pipeline.step(inputs, targets)
+    print(f"\npipeline-vs-single loss on one step: "
+          f"{loss_pipe:.10f} vs {loss_single:.10f} "
+          f"(diff {abs(loss_pipe - loss_single):.2e})")
+    act = pipeline.last_boundary_traffic[0]
+    print(f"activation crossing the stage boundary: shape {act.shape}, "
+          f"{act.nbytes} bytes — the payload the timing simulator prices.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one Holmes training iteration in 30 lines.
+
+Builds the paper's headline scenario — a 3.6B-parameter GPT trained across
+two GPU clusters (one RoCE, one InfiniBand) joined only by Ethernet — and
+prints the metrics the paper reports (TFLOPS per GPU, samples/second),
+plus where every byte of communication went.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import quick_simulate
+from repro.bench.paramgroups import PARAM_GROUPS
+from repro.bench.scenarios import hybrid2_env
+
+
+def main() -> None:
+    # 4 nodes x 8 A100s: two 2-node clusters (RoCE + InfiniBand),
+    # no high-speed interconnect between them (the paper's Case 2).
+    topology = hybrid2_env(num_nodes=4)
+    print(topology.describe())
+
+    # Parameter group 1 from the paper's Table 2: 3.6B GPT,
+    # tensor parallel 1, pipeline parallel 2, global batch 768.
+    group = PARAM_GROUPS[1]
+    print(f"\nModel: {group.model.describe()}")
+
+    result = quick_simulate(topology, group, full=True)
+
+    print(f"\n{result.metrics}")
+    print(f"\nPipeline stages got layers: {list(result.plan.stage_layers)}")
+    print(f"Stage sync NICs: {[n.value for n in result.plan.stage_nics]}")
+    print(
+        f"Data-parallel groups on RDMA: "
+        f"{result.audit.dp_rdma_fraction * 100:.0f}%"
+    )
+    for stage, times in enumerate(result.sync_times):
+        parts = ", ".join(f"{k}={v * 1000:.0f}ms" for k, v in times.items())
+        print(f"  stage {stage} gradient sync: {parts}")
+
+
+if __name__ == "__main__":
+    main()

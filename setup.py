@@ -1,0 +1,6 @@
+"""Setuptools shim so ``pip install -e .`` works without the ``wheel``
+package (offline environments fall back to the legacy editable install)."""
+
+from setuptools import setup
+
+setup()

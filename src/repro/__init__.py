@@ -1,0 +1,61 @@
+"""Holmes: distributed LLM training across clusters with heterogeneous NICs.
+
+A simulation-based reproduction of *Holmes: Towards Distributed Training
+Across Clusters with Heterogeneous NIC Environment* (ICPP 2024).  The
+package models the full stack — hardware topology, network transports,
+NCCL-style collectives, Megatron-style parallelism, pipeline schedules —
+and implements the paper's contributions on top:
+
+- Cross-Cluster Pipeline Parallelism (:mod:`repro.core.scheduler`)
+- Automatic NIC Selection (:mod:`repro.core.nic_selection`)
+- Self-Adapting Pipeline Partition (:mod:`repro.core.partition`)
+- Overlapped Distributed Optimizer (:mod:`repro.core.optimizer`)
+
+Quickstart::
+
+    from repro import quick_simulate
+    from repro.bench.paramgroups import PARAM_GROUPS
+    from repro.bench.scenarios import hybrid2_env
+
+    result = quick_simulate(hybrid2_env(4), PARAM_GROUPS[1])
+    print(result.metrics)
+"""
+
+from repro.core.engine import IterationResult, TrainingSimulation
+from repro.core.scheduler import HolmesScheduler, TrainingPlan
+from repro.frameworks import FRAMEWORKS, HOLMES, simulate_framework
+from repro.hardware.nic import NICType
+from repro.model.config import GPTConfig
+from repro.parallel.degrees import ParallelConfig
+
+__version__ = "1.0.0"
+
+
+def quick_simulate(topology, group, full: bool = False) -> IterationResult:
+    """Simulate one Holmes training iteration of a parameter group.
+
+    ``group`` is a :class:`~repro.bench.paramgroups.ParameterGroup`;
+    ``full=True`` enables the Eq. 2 partition and overlapped optimizer.
+    """
+    from repro.bench.runner import HOLMES_BASE, HOLMES_FULL
+    from repro.frameworks.base import simulate_framework as _sim
+
+    spec = HOLMES_FULL if full else HOLMES_BASE
+    parallel = group.parallel_for(topology.world_size)
+    return _sim(spec, topology, parallel, group.model)
+
+
+__all__ = [
+    "__version__",
+    "GPTConfig",
+    "ParallelConfig",
+    "NICType",
+    "HolmesScheduler",
+    "TrainingPlan",
+    "TrainingSimulation",
+    "IterationResult",
+    "FRAMEWORKS",
+    "HOLMES",
+    "simulate_framework",
+    "quick_simulate",
+]

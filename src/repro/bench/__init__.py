@@ -1,0 +1,31 @@
+"""Benchmark support: parameter groups, NIC scenarios, runners, calibration.
+
+Everything the ``benchmarks/`` tree uses to regenerate the paper's tables
+and figures lives here, so the benchmark files themselves stay declarative.
+"""
+
+from repro.bench.paramgroups import PARAM_GROUPS, ParameterGroup
+from repro.bench.scenarios import (
+    ethernet_env,
+    homogeneous_env,
+    hybrid2_env,
+    hybrid3_env,
+    split_env,
+)
+from repro.bench.runner import run_framework_case, run_holmes_case, CaseResult
+from repro.bench.tables import format_table, format_row
+
+__all__ = [
+    "PARAM_GROUPS",
+    "ParameterGroup",
+    "ethernet_env",
+    "homogeneous_env",
+    "hybrid2_env",
+    "hybrid3_env",
+    "split_env",
+    "run_framework_case",
+    "run_holmes_case",
+    "CaseResult",
+    "format_table",
+    "format_row",
+]

@@ -1,0 +1,124 @@
+"""The paper's published numbers, transcribed for paper-vs-measured reports.
+
+Every benchmark prints its regenerated rows next to these values, and
+EXPERIMENTS.md is generated from the same source so the comparison is
+consistent everywhere.
+
+Notes on transcription:
+
+- Table 3 / Table 4 cells are (TFLOPS, throughput-samples/s).
+- Table 4's published rows label the models "3" and "6"; the text states
+  pipeline degree 3 is used, which matches parameter groups 5/6's
+  architecture (PG5 is PG3's model at p=3).  We reproduce with the p=3
+  variants and keep the paper's row labels.
+- Two Table 4 cells are garbled in the published text ("160 / 59" spans two
+  columns; the Ethernet row for 12 nodes reads "95 / 70.11" on the 3-cluster
+  6-node layout); where a cell is ambiguous it is recorded as ``None`` and
+  the bench prints "n/a (unreadable in paper)".
+- Figure values (3-7) are read off the plots and therefore approximate; they
+  are recorded to the nearest plausible value and marked as estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+Cell = Tuple[Optional[float], Optional[float]]  # (TFLOPS, throughput)
+
+#: Table 1 — 3.6B GPT on 4 nodes (8 A100s each): the calibration anchors.
+TABLE1: Dict[str, Cell] = {
+    "InfiniBand": (197.0, 99.23),
+    "RoCE": (160.0, 80.54),
+    "Ethernet": (122.0, 61.32),
+}
+
+#: Table 1's bandwidth column (Gb/s).
+TABLE1_BANDWIDTH_GBPS = {"InfiniBand": 200, "RoCE": 200, "Ethernet": 25}
+
+#: Table 3 — parameter groups 1-4 x environments x node counts.
+#: Key: (group, nodes, environment) -> (TFLOPS, throughput).
+TABLE3: Dict[Tuple[int, int, str], Cell] = {
+    (1, 4, "InfiniBand"): (197, 99.23), (1, 4, "RoCE"): (160, 80.54),
+    (1, 4, "Ethernet"): (122, 61.32), (1, 4, "Hybrid"): (149, 74.91),
+    (1, 6, "InfiniBand"): (188, 142.09), (1, 6, "RoCE"): (151, 114.15),
+    (1, 6, "Ethernet"): (99, 74.98), (1, 6, "Hybrid"): (129, 97.84),
+    (1, 8, "InfiniBand"): (148, 148.88), (1, 8, "RoCE"): (145, 145.64),
+    (1, 8, "Ethernet"): (83, 83.38), (1, 8, "Hybrid"): (112, 112.46),
+    (2, 4, "InfiniBand"): (206, 103.66), (2, 4, "RoCE"): (168, 84.78),
+    (2, 4, "Ethernet"): (145, 72.95), (2, 4, "Hybrid"): (162, 81.38),
+    (2, 6, "InfiniBand"): (200, 151.25), (2, 6, "RoCE"): (162, 122.53),
+    (2, 6, "Ethernet"): (128, 96.75), (2, 6, "Hybrid"): (152, 114.63),
+    (2, 8, "InfiniBand"): (156, 156.66), (2, 8, "RoCE"): (159, 160.47),
+    (2, 8, "Ethernet"): (114, 114.52), (2, 8, "Hybrid"): (132, 132.73),
+    (3, 4, "InfiniBand"): (229, 55.95), (3, 4, "RoCE"): (196, 48.04),
+    (3, 4, "Ethernet"): (168, 41.04), (3, 4, "Hybrid"): (191, 46.66),
+    (3, 6, "InfiniBand"): (220, 80.64), (3, 6, "RoCE"): (185, 67.84),
+    (3, 6, "Ethernet"): (143, 52.91), (3, 6, "Hybrid"): (170, 62.43),
+    (3, 8, "InfiniBand"): (189, 92.35), (3, 8, "RoCE"): (185, 90.40),
+    (3, 8, "Ethernet"): (132, 64.85), (3, 8, "Hybrid"): (168, 82.02),
+    (4, 4, "InfiniBand"): (233, 57.03), (4, 4, "RoCE"): (201, 49.10),
+    (4, 4, "Ethernet"): (180, 44.10), (4, 4, "Hybrid"): (200, 48.89),
+    (4, 6, "InfiniBand"): (228, 83.61), (4, 6, "RoCE"): (193, 70.88),
+    (4, 6, "Ethernet"): (168, 61.59), (4, 6, "Hybrid"): (187, 68.52),
+    (4, 8, "InfiniBand"): (196, 95.79), (4, 8, "RoCE"): (194, 94.85),
+    (4, 8, "Ethernet"): (158, 77.31), (4, 8, "Hybrid"): (177, 86.58),
+}
+
+#: Table 4 — three clusters, p=3.  Key: (group_label, layout, environment).
+#: Layouts: "2R2R2IB" / "2R2IB2IB" (6 nodes), "4R4IB4IB" (12 nodes).
+TABLE4: Dict[Tuple[int, str, str], Cell] = {
+    (3, "2R2R2IB", "Ethernet"): (143, 52.51),
+    (3, "2R2R2IB", "Hybrid"): (163, 59.75),
+    (3, "2R2IB2IB", "Ethernet"): (None, None),  # cell garbled in the paper
+    (3, "2R2IB2IB", "Hybrid"): (161, 59.19),
+    (3, "4R4IB4IB", "Ethernet"): (95, 70.11),
+    (3, "4R4IB4IB", "Hybrid"): (138, 101.24),
+    (6, "2R2R2IB", "Ethernet"): (160, 59.0),  # "160 / 59" in the paper
+    (6, "2R2R2IB", "Hybrid"): (174, 63.96),
+    (6, "2R2IB2IB", "Ethernet"): (None, None),  # cell garbled in the paper
+    (6, "2R2IB2IB", "Hybrid"): (169, 61.87),
+    (6, "4R4IB4IB", "Ethernet"): (122, 89.65),
+    (6, "4R4IB4IB", "Hybrid"): (146, 107.21),
+}
+
+#: Table 5 — ablation on PG3, 8 nodes (4 RoCE + 4 IB).
+TABLE5: Dict[str, Cell] = {
+    "megatron-lm": (132, 64.86),
+    "holmes": (183, 89.48),
+    "holmes-no-sap": (179, 87.55),
+    "holmes-no-overlap": (170, 83.15),
+    "holmes-no-sap-no-overlap": (168, 82.02),
+}
+
+#: Figure 3 (estimated from the plot) — grads-reduce-scatter time in
+#: seconds by (group, environment) on 4 nodes.  The figure's point is the
+#: ordering IB < RoCE < Hybrid < Ethernet and the rough magnitudes.
+FIGURE3_ESTIMATE: Dict[Tuple[int, str], float] = {
+    (1, "InfiniBand"): 0.4, (1, "RoCE"): 0.9, (1, "Hybrid"): 0.8, (1, "Ethernet"): 2.9,
+    (3, "InfiniBand"): 0.8, (3, "RoCE"): 1.8, (3, "Hybrid"): 1.5, (3, "Ethernet"): 6.0,
+}
+
+#: Figure 7 (estimated) — speedup of Holmes over the named framework,
+#: parameter groups 7/8 at growing scale.  Paper shows Holmes fastest with
+#: speedups that grow with node count — small at compute-bound scales
+#: (large per-replica batch), large once communication dominates.
+FIGURE7_SPEEDUP_BAND = (1.0, 2.5)
+
+
+def shapes_hold(measured: Dict[str, float]) -> Dict[str, bool]:
+    """Evaluate the paper's qualitative claims on a measured environment
+    sweep (a dict with keys InfiniBand / RoCE / Ethernet / Hybrid mapping to
+    TFLOPS).  Returns which claims hold."""
+    return {
+        "ib_fastest": measured["InfiniBand"] >= measured["RoCE"],
+        "rdma_beats_ethernet": min(measured["InfiniBand"], measured["RoCE"])
+        > measured["Ethernet"],
+        "hybrid_between": measured["Ethernet"]
+        < measured["Hybrid"]
+        <= measured["InfiniBand"],
+        "hybrid_close_to_rdma": measured["Hybrid"]
+        >= 0.80 * min(measured["InfiniBand"], measured["RoCE"]),
+        # The paper's own weakest margin is ~1.12x (PG2, 4 nodes: 162 vs 145).
+        "hybrid_beats_ethernet_clearly": measured["Hybrid"]
+        >= 1.10 * measured["Ethernet"],
+    }

@@ -1,0 +1,84 @@
+"""The paper's Table 2 parameter groups, verbatim.
+
+Eight configurations of GPT models from 3.6B to 39.1B parameters.  All use
+vocabulary 51,200, sequence length 2048, micro batch size 4.  Groups 1-6
+set tensor parallel size 1 (the paper's optimisations target data and
+pipeline parallelism); groups 7-8 need tensor parallel size 8 for memory.
+
+Two entries in the published table are internally inconsistent and are
+normalised here (documented in EXPERIMENTS.md):
+
+- Group 2's "3.0B" parameter figure: the architecture columns are blank
+  (inherit group 1: l=30, h=3072), for which Eq. 5 gives 3.6B.
+- Group 5's "1.5B": inherits group 3/4's architecture (l=36, h=4096),
+  Eq. 5 gives 7.5B.
+- Group 8's batch "1550": normalised to 1536 (the column's value in every
+  comparable row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ParallelismError
+from repro.model.config import GPTConfig
+from repro.parallel.degrees import ParallelConfig
+
+
+@dataclass(frozen=True)
+class ParameterGroup:
+    """One row of the paper's Table 2."""
+
+    group_id: int
+    model: GPTConfig
+    tensor_parallel: int
+    pipeline_parallel: int
+    micro_batch_size: int
+    global_batch_size: int
+
+    def parallel_for(self, num_gpus: int) -> ParallelConfig:
+        """The (t, p, d) setting when run on ``num_gpus`` devices."""
+        tp = self.tensor_parallel * self.pipeline_parallel
+        if num_gpus % tp != 0:
+            raise ParallelismError(
+                f"group {self.group_id}: {num_gpus} GPUs not divisible by "
+                f"t*p = {tp}"
+            )
+        return ParallelConfig(
+            tensor=self.tensor_parallel,
+            pipeline=self.pipeline_parallel,
+            data=num_gpus // tp,
+            micro_batch_size=self.micro_batch_size,
+            global_batch_size=self.global_batch_size,
+        )
+
+    def with_pipeline(self, pipeline: int) -> "ParameterGroup":
+        """A copy with a different pipeline degree (Table 4 uses p=3)."""
+        from dataclasses import replace
+
+        return replace(self, pipeline_parallel=pipeline)
+
+
+_GPT_3_6B = GPTConfig(num_layers=30, hidden_size=3072, num_attention_heads=32)
+_GPT_7_5B = GPTConfig(num_layers=36, hidden_size=4096, num_attention_heads=32)
+_GPT_39B = GPTConfig(num_layers=48, hidden_size=8192, num_attention_heads=64)
+
+PARAM_GROUPS: Dict[int, ParameterGroup] = {
+    1: ParameterGroup(1, _GPT_3_6B, tensor_parallel=1, pipeline_parallel=2,
+                      micro_batch_size=4, global_batch_size=768),
+    2: ParameterGroup(2, _GPT_3_6B, tensor_parallel=1, pipeline_parallel=2,
+                      micro_batch_size=4, global_batch_size=1536),
+    3: ParameterGroup(3, _GPT_7_5B, tensor_parallel=1, pipeline_parallel=2,
+                      micro_batch_size=4, global_batch_size=1536),
+    4: ParameterGroup(4, _GPT_7_5B, tensor_parallel=1, pipeline_parallel=2,
+                      micro_batch_size=4, global_batch_size=2688),
+    5: ParameterGroup(5, _GPT_7_5B, tensor_parallel=1, pipeline_parallel=3,
+                      micro_batch_size=4, global_batch_size=1536),
+    6: ParameterGroup(6, _GPT_7_5B, tensor_parallel=1, pipeline_parallel=3,
+                      micro_batch_size=4, global_batch_size=2688),
+    7: ParameterGroup(7, _GPT_39B, tensor_parallel=8, pipeline_parallel=2,
+                      micro_batch_size=4, global_batch_size=1536),
+    8: ParameterGroup(8, _GPT_39B, tensor_parallel=8, pipeline_parallel=3,
+                      micro_batch_size=4, global_batch_size=1536),
+}

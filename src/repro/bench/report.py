@@ -1,0 +1,89 @@
+"""Aggregate the benchmark harness's outputs into one Markdown report.
+
+After ``python -m repro reproduce`` (or ``pytest benchmarks/
+--benchmark-only``) has populated ``results/``, calling
+:func:`write_report` stitches every experiment's paper-vs-measured text
+into ``results/REPORT.md`` with a table of contents — the machine-written
+companion to the hand-written EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+#: Preferred ordering and human titles for known experiment files.
+SECTIONS = [
+    ("table1_nic_comparison", "Table 1 — NIC environment anchors"),
+    ("table2_param_groups", "Table 2 — parameter groups"),
+    ("table3_env_sweep", "Table 3 — main environment sweep"),
+    ("table4_three_clusters", "Table 4 — three clusters (p=3)"),
+    ("table5_ablation", "Table 5 — component ablation"),
+    ("fig3_reduce_scatter", "Figure 3 — grads-reduce-scatter time"),
+    ("fig4_cross_cluster", "Figure 4 — cross-cluster throughput"),
+    ("fig5_partition", "Figure 5 — partition strategies"),
+    ("fig5_partition_control", "Figure 5 — homogeneous control"),
+    ("fig6_frameworks", "Figure 6 — framework comparison"),
+    ("fig7_speedup", "Figure 7 — speedup vs scale"),
+    ("ablation_blocking_p2p", "Ablation — blocking p2p"),
+    ("ablation_uplink", "Ablation — inter-cluster uplink"),
+    ("ablation_alpha", "Ablation — Eq. 2 alpha"),
+    ("ablation_schedules", "Ablation — pipeline schedules"),
+    ("ablation_hierarchical", "Ablation — hierarchical all-reduce"),
+    ("ablation_stragglers", "Ablation — straggler amplification"),
+]
+
+
+def collect_results(results_dir: str) -> Dict[str, str]:
+    """Read every ``*.txt`` under the results directory."""
+    root = pathlib.Path(results_dir)
+    if not root.is_dir():
+        raise ConfigurationError(
+            f"results directory {results_dir!r} does not exist; run "
+            "`python -m repro reproduce` first"
+        )
+    return {
+        path.stem: path.read_text().rstrip()
+        for path in sorted(root.glob("*.txt"))
+    }
+
+
+def render_report(results: Dict[str, str]) -> str:
+    """Assemble the Markdown document from collected results."""
+    if not results:
+        raise ConfigurationError("no result files to report")
+    known = [name for name, _ in SECTIONS if name in results]
+    extras = sorted(set(results) - {n for n, _ in SECTIONS})
+    titles = dict(SECTIONS)
+
+    lines: List[str] = [
+        "# Regenerated evaluation report",
+        "",
+        "Machine-written from `results/*.txt`; see EXPERIMENTS.md for the",
+        "curated paper-vs-measured discussion.",
+        "",
+        "## Contents",
+        "",
+    ]
+    for name in known + extras:
+        title = titles.get(name, name)
+        anchor = title.lower().replace(" ", "-").replace("—", "").replace(
+            "(", "").replace(")", "").replace(".", "").replace("--", "-")
+        lines.append(f"- [{title}](#{anchor.strip('-')})")
+    for name in known + extras:
+        title = titles.get(name, name)
+        lines.extend(["", f"## {title}", "", "```", results[name], "```"])
+    return "\n".join(lines) + "\n"
+
+
+def write_report(
+    results_dir: str = "results", output: Optional[str] = None
+) -> str:
+    """Collect, render, and write the report; returns the output path."""
+    results = collect_results(results_dir)
+    text = render_report(results)
+    path = output or str(pathlib.Path(results_dir) / "REPORT.md")
+    pathlib.Path(path).write_text(text)
+    return path

@@ -1,0 +1,102 @@
+"""Experiment runner: one call per (scenario, parameter group, framework).
+
+Holmes's Table 1/3/4 and Figure 3/4 rows run the *base* Holmes
+configuration — Cross-Cluster Pipeline Parallelism and Automatic NIC
+Selection with uniform partition and the plain distributed optimizer —
+because the paper's own numbers tie out that way (Table 5's "w/o Above Two"
+row equals Table 3's Hybrid entry).  Figures 5-7 and Table 5 use the full
+configuration with the Eq. 2 partition (alpha = 1.05) and the overlapped
+optimizer, as stated in §4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.engine import IterationResult
+from repro.frameworks.base import FrameworkSpec, simulate_framework
+from repro.frameworks.holmes import HOLMES, holmes_ablation
+from repro.bench.paramgroups import ParameterGroup
+from repro.hardware.topology import ClusterTopology
+from repro.network.costmodel import CostModelConfig
+
+#: Base Holmes (Tables 1/3/4, Figures 3/4): NIC selection + cross-cluster
+#: pipeline only.
+HOLMES_BASE = holmes_ablation(self_adapting_partition=False, overlapped_optimizer=False)
+#: Full Holmes (Figures 5-7, Table 5).
+HOLMES_FULL = HOLMES
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """One experiment cell: metrics plus provenance."""
+
+    scenario: str
+    framework: str
+    group_id: int
+    num_gpus: int
+    tflops: float
+    throughput: float
+    iteration_time: float
+    reduce_scatter_time: float
+    dp_rdma_fraction: float
+
+    def row(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "framework": self.framework,
+            "group": self.group_id,
+            "gpus": self.num_gpus,
+            "TFLOPS": round(self.tflops),
+            "throughput": round(self.throughput, 2),
+        }
+
+
+def run_framework_case(
+    spec: FrameworkSpec,
+    topology: ClusterTopology,
+    group: ParameterGroup,
+    scenario: str = "",
+    cost_config: Optional[CostModelConfig] = None,
+    trace_enabled: bool = False,
+) -> CaseResult:
+    """Simulate one cell and summarise it."""
+    parallel = group.parallel_for(topology.world_size)
+    result = simulate_framework(
+        spec, topology, parallel, group.model,
+        cost_config=cost_config, trace_enabled=trace_enabled,
+    )
+    return summarize(result, scenario, spec.name, group.group_id)
+
+
+def run_holmes_case(
+    topology: ClusterTopology,
+    group: ParameterGroup,
+    scenario: str = "",
+    full: bool = False,
+    cost_config: Optional[CostModelConfig] = None,
+    trace_enabled: bool = False,
+) -> CaseResult:
+    """Simulate Holmes (base or full configuration) on one cell."""
+    spec = HOLMES_FULL if full else HOLMES_BASE
+    return run_framework_case(
+        spec, topology, group, scenario=scenario,
+        cost_config=cost_config, trace_enabled=trace_enabled,
+    )
+
+
+def summarize(
+    result: IterationResult, scenario: str, framework: str, group_id: int
+) -> CaseResult:
+    return CaseResult(
+        scenario=scenario,
+        framework=framework,
+        group_id=group_id,
+        num_gpus=result.plan.topology.world_size,
+        tflops=result.tflops,
+        throughput=result.throughput,
+        iteration_time=result.iteration_time,
+        reduce_scatter_time=result.reduce_scatter_time(),
+        dp_rdma_fraction=result.audit.dp_rdma_fraction,
+    )

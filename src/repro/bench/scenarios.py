@@ -1,0 +1,90 @@
+"""NIC environment builders for every scenario in the paper's evaluation.
+
+- *InfiniBand* / *RoCE* / *Ethernet*: one cluster, homogeneous NICs,
+  high-speed interconnect throughout (paper Case 1).
+- *Hybrid*: two clusters with equal node counts, one InfiniBand and one
+  RoCE, **no** high-speed interconnect between them (paper Case 2 — the
+  environment of Table 3's Hybrid rows, Figures 3-7, Table 5).
+- *Hybrid-3*: three clusters of equal node counts with per-cluster NIC
+  families (Table 4).
+- *Split*: two same-family clusters without interconnect — Figure 4's
+  "InfiniBand & Ethernet" and "RoCE & Ethernet" scenarios (RDMA inside each
+  cluster, Ethernet between them).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.hardware.nic import NICType
+from repro.hardware.presets import GPUS_PER_NODE, homogeneous_topology, make_topology
+from repro.hardware.topology import ClusterTopology
+
+
+def homogeneous_env(
+    num_nodes: int, family: NICType, gpus_per_node: int = GPUS_PER_NODE
+) -> ClusterTopology:
+    """Case 1: one cluster with ``family`` NICs everywhere."""
+    return homogeneous_topology(num_nodes, family, gpus_per_node=gpus_per_node)
+
+
+def ethernet_env(num_nodes: int, gpus_per_node: int = GPUS_PER_NODE) -> ClusterTopology:
+    """One cluster of Ethernet-only nodes (no RDMA anywhere)."""
+    return homogeneous_topology(num_nodes, NICType.ETHERNET, gpus_per_node=gpus_per_node)
+
+
+def hybrid2_env(num_nodes: int, gpus_per_node: int = GPUS_PER_NODE) -> ClusterTopology:
+    """Case 2 Hybrid: half the nodes RoCE, half InfiniBand, two clusters
+    joined only by Ethernet.
+
+    The RoCE cluster comes first, matching the paper's own orderings
+    (Figure 6: "4 nodes equipped with RoCE NICs and 4 nodes equipped with
+    IB NICs"; Table 4: "2RoCE & 2RoCE & 2IB") — so pipeline stage 0 lands
+    on the RoCE cluster, whose slower gradient sync sits on the iteration's
+    critical path.
+    """
+    if num_nodes % 2 != 0:
+        raise ConfigurationError(
+            f"hybrid environment needs an even node count, got {num_nodes}"
+        )
+    half = num_nodes // 2
+    return make_topology(
+        [(half, NICType.ROCE), (half, NICType.INFINIBAND)],
+        inter_cluster_rdma=False,
+        gpus_per_node=gpus_per_node,
+    )
+
+
+def hybrid3_env(
+    families: Sequence[NICType], nodes_per_cluster: int,
+    gpus_per_node: int = GPUS_PER_NODE,
+) -> ClusterTopology:
+    """Table 4: three clusters of equal size with given NIC families,
+    e.g. ``[ROCE, ROCE, INFINIBAND]`` for the "2RoCE & 2RoCE & 2IB" column."""
+    if len(families) < 2:
+        raise ConfigurationError("hybrid3 needs at least two clusters")
+    return make_topology(
+        [(nodes_per_cluster, f) for f in families],
+        inter_cluster_rdma=False,
+        gpus_per_node=gpus_per_node,
+    )
+
+
+def split_env(
+    num_nodes: int, family: NICType, gpus_per_node: int = GPUS_PER_NODE
+) -> ClusterTopology:
+    """Figure 4's "<family> & Ethernet": two clusters of the *same* RDMA
+    family with only Ethernet between them."""
+    if num_nodes % 2 != 0:
+        raise ConfigurationError(
+            f"split environment needs an even node count, got {num_nodes}"
+        )
+    if not family.is_rdma:
+        raise ConfigurationError("split environment needs an RDMA family")
+    half = num_nodes // 2
+    return make_topology(
+        [(half, family), (half, family)],
+        inter_cluster_rdma=False,
+        gpus_per_node=gpus_per_node,
+    )

@@ -1,0 +1,75 @@
+"""Generic sweep utility: run one configuration across an axis of machines
+or models and collect comparable rows.
+
+Backs the scaling-study example and gives downstream users a one-call way
+to produce Table-3-style grids for their own models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench.runner import CaseResult, run_framework_case
+from repro.errors import ConfigurationError
+from repro.frameworks.base import FrameworkSpec
+from repro.bench.paramgroups import ParameterGroup
+from repro.hardware.topology import ClusterTopology
+from repro.network.costmodel import CostModelConfig
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep coordinate: a label and the machine it denotes."""
+
+    label: str
+    topology: ClusterTopology
+
+
+def sweep_machines(
+    spec: FrameworkSpec,
+    points: Sequence[SweepPoint],
+    group: ParameterGroup,
+    cost_config: Optional[CostModelConfig] = None,
+) -> List[CaseResult]:
+    """Run one framework + parameter group across machines."""
+    if not points:
+        raise ConfigurationError("sweep needs at least one point")
+    return [
+        run_framework_case(
+            spec, point.topology, group, scenario=point.label,
+            cost_config=cost_config,
+        )
+        for point in points
+    ]
+
+
+def node_scaling_points(
+    make_env: Callable[[int], ClusterTopology], node_counts: Sequence[int]
+) -> List[SweepPoint]:
+    """Sweep points over node counts for one environment builder."""
+    if not node_counts:
+        raise ConfigurationError("need at least one node count")
+    return [
+        SweepPoint(label=f"{n} nodes", topology=make_env(n))
+        for n in node_counts
+    ]
+
+
+def scaling_efficiency(results: Sequence[CaseResult]) -> List[float]:
+    """Throughput scaling efficiency relative to the first point.
+
+    efficiency[i] = (throughput_i / throughput_0) / (gpus_i / gpus_0);
+    1.0 is perfect linear scaling.
+    """
+    if not results:
+        raise ConfigurationError("no results to analyse")
+    base = results[0]
+    if base.throughput <= 0 or base.num_gpus <= 0:
+        raise ConfigurationError("degenerate base point")
+    out = []
+    for r in results:
+        speedup = r.throughput / base.throughput
+        scale = r.num_gpus / base.num_gpus
+        out.append(speedup / scale)
+    return out

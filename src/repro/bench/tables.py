@@ -1,0 +1,76 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmark harness prints paper-style rows so a human can diff the
+regenerated tables against the published ones at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_row(values: Sequence[object], widths: Sequence[int]) -> str:
+    """One row with right-padded columns."""
+    cells = []
+    for value, width in zip(values, widths):
+        text = f"{value:.2f}" if isinstance(value, float) else str(value)
+        cells.append(text.ljust(width))
+    return "| " + " | ".join(cells) + " |"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A fixed-width table with a header rule."""
+    rendered_rows = [
+        [f"{v:.2f}" if isinstance(v, float) else str(v) for v in row] for row in rows
+    ]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered_rows)) if rendered_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [format_row(headers, widths)]
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    for row in rendered_rows:
+        lines.append(format_row(row, widths))
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str], values: Sequence[float], width: int = 48,
+    unit: str = "",
+) -> str:
+    """A horizontal bar chart in plain text, for figure-style outputs.
+
+    Bars scale to the maximum value; each row shows label, bar, value.
+    """
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels for {len(values)} values"
+        )
+    if not labels:
+        return "(no data)"
+    peak = max(values)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "█" * max(1, round(value / peak * width)) if value > 0 else ""
+        lines.append(
+            f"{str(label):<{label_width}} |{bar:<{width}}| "
+            f"{value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def paper_vs_measured(
+    label: str, paper: float, measured: float, unit: str = ""
+) -> str:
+    """One comparison line: paper value, measured value, relative delta."""
+    if paper == 0:
+        delta = float("inf")
+    else:
+        delta = (measured - paper) / paper * 100.0
+    return (
+        f"{label:<40} paper={paper:>8.2f}{unit}  "
+        f"measured={measured:>8.2f}{unit}  delta={delta:+6.1f}%"
+    )

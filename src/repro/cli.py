@@ -1,0 +1,270 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``  one training iteration of a Table 2 parameter group
+``compare``   Holmes vs the Megatron baselines on one machine
+``plan``      auto-parallelism search for a custom model
+``topology``  describe a machine
+``trace``     export a simulated iteration as Chrome trace JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.paramgroups import PARAM_GROUPS
+from repro.bench.runner import run_framework_case, run_holmes_case
+from repro.bench.scenarios import (
+    ethernet_env,
+    homogeneous_env,
+    hybrid2_env,
+    split_env,
+)
+from repro.bench.tables import format_table
+from repro.hardware.nic import NICType
+
+ENV_CHOICES = ("ib", "roce", "ethernet", "hybrid", "split-ib", "split-roce")
+
+
+def build_environment(name: str, nodes: int):
+    """Materialise a named NIC environment."""
+    if name == "ib":
+        return homogeneous_env(nodes, NICType.INFINIBAND)
+    if name == "roce":
+        return homogeneous_env(nodes, NICType.ROCE)
+    if name == "ethernet":
+        return ethernet_env(nodes)
+    if name == "hybrid":
+        return hybrid2_env(nodes)
+    if name == "split-ib":
+        return split_env(nodes, NICType.INFINIBAND)
+    if name == "split-roce":
+        return split_env(nodes, NICType.ROCE)
+    raise SystemExit(f"unknown environment {name!r}")
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=4,
+                        help="total node count (default 4)")
+    parser.add_argument("--env", choices=ENV_CHOICES, default="hybrid",
+                        help="NIC environment (default hybrid)")
+    parser.add_argument("--machine", metavar="FILE", default=None,
+                        help="JSON machine file (overrides --nodes/--env)")
+
+
+def resolve_machine(args: argparse.Namespace):
+    """Machine from ``--machine FILE`` if given, else the named scenario."""
+    if getattr(args, "machine", None):
+        from repro.hardware.config_io import load_topology
+
+        return load_topology(args.machine)
+    return build_environment(args.env, args.nodes)
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    topology = resolve_machine(args)
+    group = PARAM_GROUPS[args.group]
+    result = run_holmes_case(
+        topology, group, scenario=args.env, full=not args.base
+    )
+    print(topology.describe())
+    print(f"model: {group.model.describe()}")
+    print(f"TFLOPS/GPU:  {result.tflops:.1f}")
+    print(f"throughput:  {result.throughput:.2f} samples/s")
+    print(f"iteration:   {result.iteration_time:.3f} s")
+    print(f"DP on RDMA:  {result.dp_rdma_fraction * 100:.0f}%")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.frameworks import FRAMEWORKS
+
+    topology = resolve_machine(args)
+    group = PARAM_GROUPS[args.group]
+    rows = []
+    for name, spec in FRAMEWORKS.items():
+        result = run_framework_case(spec, topology, group, scenario=args.env)
+        rows.append([name, round(result.tflops), round(result.throughput, 2)])
+    rows.sort(key=lambda r: -r[1])
+    print(format_table(["Framework", "TFLOPS", "samples/s"], rows))
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.planner import plan_best
+    from repro.model.config import GPTConfig
+
+    topology = resolve_machine(args)
+    model = GPTConfig(
+        num_layers=args.layers,
+        hidden_size=args.hidden,
+        num_attention_heads=args.heads,
+    )
+    print(f"planning {model.describe()} on:\n{topology.describe()}\n")
+    candidates = plan_best(
+        topology, model, args.batch, micro_batch_size=args.micro_batch,
+        top_k=args.top,
+    )
+    for rank, candidate in enumerate(candidates, 1):
+        print(f"{rank}. {candidate.describe()}")
+    return 0
+
+
+def cmd_topology(args: argparse.Namespace) -> int:
+    topology = resolve_machine(args)
+    print(topology.describe())
+    if args.save:
+        from repro.hardware.config_io import dump_topology
+
+        dump_topology(topology, args.save)
+        print(f"wrote machine file to {args.save}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.bench.runner import HOLMES_FULL
+    from repro.frameworks.base import simulate_framework
+    from repro.simcore.chrome_trace import default_rank_names, export_chrome_trace
+
+    topology = resolve_machine(args)
+    group = PARAM_GROUPS[args.group]
+    parallel = group.parallel_for(topology.world_size)
+    result = simulate_framework(
+        HOLMES_FULL, topology, parallel, group.model, trace_enabled=True
+    )
+    with open(args.output, "w") as fh:
+        export_chrome_trace(
+            result.trace, fh, rank_names=default_rank_names(result.plan)
+        )
+    print(f"wrote {len(result.trace.spans)} spans to {args.output}")
+    print("open chrome://tracing or https://ui.perfetto.dev to view")
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """Regenerate the paper's tables and figures (wraps the pytest
+    benchmark harness; reports land in results/)."""
+    import pytest as _pytest
+
+    targets = ["benchmarks", "--benchmark-only", "-q"]
+    if args.only:
+        name = args.only
+        if not name.endswith(".py"):
+            name += ".py"
+        if not name.startswith("test_"):
+            name = "test_" + name
+        targets[0] = f"benchmarks/{name}"
+    code = _pytest.main(targets)
+    if code == 0 and not args.only:
+        from repro.bench.report import write_report
+
+        print(f"aggregated report: {write_report('results')}")
+    return code
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Preflight a configuration: memory fit, NIC audit, partition."""
+    from repro.core.memory_model import estimate_memory
+    from repro.core.nic_selection import audit_parallel_groups
+    from repro.core.scheduler import HolmesScheduler
+    from repro.network.fabric import Fabric
+    from repro.units import GB
+
+    topology = resolve_machine(args)
+    group = PARAM_GROUPS[args.group]
+    parallel = group.parallel_for(topology.world_size)
+    plan = HolmesScheduler().plan(topology, parallel, group.model)
+    print(plan.describe())
+
+    gpu = topology.node_of(0).gpu
+    estimate = estimate_memory(group.model, parallel, list(plan.stage_layers))
+    verdict = "OK" if estimate.fits(gpu) else "WILL NOT FIT"
+    print(
+        f"\nmemory (most loaded rank): {estimate.total / GB:.1f} GB of "
+        f"{gpu.memory_bytes / GB:.0f} GB ({estimate.utilization(gpu) * 100:.0f}%) "
+        f"-> {verdict}"
+    )
+    print(f"  weights+grads: {estimate.weights_and_grads / GB:6.1f} GB")
+    print(f"  optimizer:     {estimate.optimizer_state / GB:6.1f} GB")
+    print(f"  activations:   {estimate.activations / GB:6.1f} GB")
+
+    audit = audit_parallel_groups(Fabric(topology), plan.physical_groups)
+    print(
+        f"\nNIC audit: {audit.dp_groups_rdma}/{audit.dp_groups_total} "
+        f"data-parallel groups on RDMA-or-better, "
+        f"{audit.dp_groups_degraded} degraded by heterogeneity"
+    )
+    # Pipeline groups crossing clusters over Ethernet are Holmes's design,
+    # not a pathology; only flag *data* groups that lost RDMA.
+    for report in audit.degraded():
+        if report.name.startswith("data["):
+            print(f"  DEGRADED {report.name}: families {report.nic_families}")
+    ok = estimate.fits(gpu) and audit.fully_selected
+    print(f"\npreflight: {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Holmes: heterogeneous-NIC distributed training simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="simulate one training iteration")
+    _add_machine_args(p)
+    p.add_argument("--group", type=int, choices=sorted(PARAM_GROUPS), default=1,
+                   help="Table 2 parameter group (default 1)")
+    p.add_argument("--base", action="store_true",
+                   help="disable Eq. 2 partition and overlapped optimizer")
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("compare", help="compare frameworks on one machine")
+    _add_machine_args(p)
+    p.add_argument("--group", type=int, choices=sorted(PARAM_GROUPS), default=3)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("plan", help="auto-parallelism search")
+    _add_machine_args(p)
+    p.add_argument("--layers", type=int, default=36)
+    p.add_argument("--hidden", type=int, default=4096)
+    p.add_argument("--heads", type=int, default=32)
+    p.add_argument("--batch", type=int, default=1536)
+    p.add_argument("--micro-batch", type=int, default=4)
+    p.add_argument("--top", type=int, default=5)
+    p.set_defaults(fn=cmd_plan)
+
+    p = sub.add_parser("topology", help="describe a machine")
+    _add_machine_args(p)
+    p.add_argument("--save", metavar="FILE", default=None,
+                   help="also write the machine as a JSON file")
+    p.set_defaults(fn=cmd_topology)
+
+    p = sub.add_parser("reproduce", help="regenerate paper tables/figures")
+    p.add_argument("--only", default=None, metavar="NAME",
+                   help="one experiment, e.g. table3_env_sweep or fig6_frameworks")
+    p.set_defaults(fn=cmd_reproduce)
+
+    p = sub.add_parser("check", help="preflight a configuration")
+    _add_machine_args(p)
+    p.add_argument("--group", type=int, choices=sorted(PARAM_GROUPS), default=1)
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("trace", help="export a Chrome trace")
+    _add_machine_args(p)
+    p.add_argument("--group", type=int, choices=sorted(PARAM_GROUPS), default=1)
+    p.add_argument("-o", "--output", default="holmes_trace.json")
+    p.set_defaults(fn=cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

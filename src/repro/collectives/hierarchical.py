@@ -1,0 +1,136 @@
+"""Hierarchical (two-level) all-reduce and all-to-all.
+
+NCCL's flat ring treats every edge equally; on multi-node machines a
+two-level scheme can do better when intra-node links are much faster:
+
+1. intra-node reduce-scatter over NVLink (each local rank ends with a
+   1/G node-partial shard),
+2. inter-node all-reduce of each shard across nodes (G concurrent rings,
+   one per shard slot, sharing the node NIC),
+3. intra-node all-gather over NVLink.
+
+The functional forms operate on real NumPy buffers (tested against
+oracles); :func:`hierarchical_allreduce_time` prices the schedule so the
+design-choice bench can compare it with the flat ring the paper's stack
+uses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.collectives.ring import (
+    ring_allgather,
+    ring_allreduce,
+    ring_reduce_scatter,
+)
+from repro.errors import CommunicatorError
+from repro.network.fabric import Fabric
+
+
+def hierarchical_allreduce(
+    buffers: Sequence[np.ndarray], ranks_per_node: int
+) -> List[np.ndarray]:
+    """Two-level all-reduce over ``len(buffers)`` ranks grouped into nodes.
+
+    Buffer ``i`` belongs to local rank ``i % ranks_per_node`` of node
+    ``i // ranks_per_node``.  Every rank receives the full reduction,
+    exactly as a flat all-reduce would produce.
+    """
+    total = len(buffers)
+    if total == 0:
+        raise CommunicatorError("hierarchical all-reduce over an empty group")
+    if ranks_per_node < 1 or total % ranks_per_node != 0:
+        raise CommunicatorError(
+            f"{total} ranks do not divide into nodes of {ranks_per_node}"
+        )
+    num_nodes = total // ranks_per_node
+    arrays = [np.asarray(b) for b in buffers]
+    shape = arrays[0].shape
+    if any(a.shape != shape for a in arrays):
+        raise CommunicatorError("mismatched buffer shapes")
+    flat = [a.ravel() for a in arrays]
+
+    # Phase 1: intra-node reduce-scatter.  Local rank r of a node ends with
+    # the node-partial chunk (r+1) % G (ring-native placement).
+    node_shards: List[List[np.ndarray]] = []
+    for node in range(num_nodes):
+        local = flat[node * ranks_per_node : (node + 1) * ranks_per_node]
+        node_shards.append(ring_reduce_scatter(local))
+
+    # Phase 2: inter-node all-reduce per shard slot.
+    for slot in range(ranks_per_node):
+        slot_buffers = [node_shards[node][slot] for node in range(num_nodes)]
+        reduced = ring_allreduce(slot_buffers)
+        for node in range(num_nodes):
+            node_shards[node][slot] = reduced[node]
+
+    # Phase 3: intra-node all-gather.  Slot r holds chunk (r+1) % G, so
+    # gather in chunk order.
+    results: List[np.ndarray] = []
+    for node in range(num_nodes):
+        G = ranks_per_node
+        ordered = [node_shards[node][(j - 1) % G] for j in range(G)]
+        gathered = ring_allgather(ordered)
+        results.extend(g.reshape(shape) for g in gathered)
+    return results
+
+
+def hierarchical_allreduce_time(
+    fabric: Fabric, ranks: Sequence[int], nbytes: int
+) -> float:
+    """Duration of the two-level schedule over physical ranks.
+
+    Phase 2 runs ``G`` rings concurrently through each node's NIC (fair
+    sharing), each moving ``nbytes / G``.
+    """
+    ranks = list(ranks)
+    if len(ranks) < 2 or nbytes <= 0:
+        return 0.0
+    topo = fabric.topology
+    by_node: dict = {}
+    for r in ranks:
+        by_node.setdefault(topo.device(r).node_global, []).append(r)
+    nodes = list(by_node.values())
+    G = len(nodes[0])
+    if any(len(n) != G for n in nodes):
+        raise CommunicatorError(
+            "hierarchical schedule needs equal ranks per node"
+        )
+    if len(nodes) == 1:
+        return fabric.collective_time("allreduce", ranks, nbytes)
+
+    intra_rs = fabric.collective_time("reduce_scatter", nodes[0], nbytes)
+    intra_ag = fabric.collective_time("allgather", nodes[0], nbytes)
+    inter_group = [node_ranks[0] for node_ranks in nodes]
+    inter = fabric.collective_time(
+        "allreduce", inter_group, max(1, nbytes // G), concurrent=G
+    )
+    return intra_rs + inter + intra_ag
+
+
+def alltoall(buffers: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """All-to-all personalized exchange.
+
+    ``buffers[i]`` is rank i's send buffer, split into ``d`` equal chunks;
+    chunk ``j`` goes to rank ``j``.  Rank ``j`` receives the concatenation
+    of chunk ``j`` from every rank (expert-parallel dispatch pattern).
+    """
+    d = len(buffers)
+    if d == 0:
+        raise CommunicatorError("all-to-all over an empty group")
+    arrays = [np.asarray(b).ravel() for b in buffers]
+    length = arrays[0].size
+    if any(a.size != length for a in arrays):
+        raise CommunicatorError("mismatched buffer sizes")
+    if length % d != 0:
+        raise CommunicatorError(
+            f"buffer of {length} elements not divisible into {d} chunks"
+        )
+    chunks = [np.split(a, d) for a in arrays]
+    return [
+        np.concatenate([chunks[src][dst] for src in range(d)])
+        for dst in range(d)
+    ]

@@ -1,0 +1,108 @@
+"""The "modified NCCL": communicator pool with transport negotiation reports.
+
+The paper's Automatic NIC Selection works by *modifying NCCL and Megatron-LM*
+so communicator construction is aware of each node's NIC type (§3.2).  This
+module is the simulated counterpart: :class:`CommunicatorPool` builds
+communicators for parallel groups and reports, per group, which transport
+was negotiated — including the tell-tale failure mode the paper fixes, where
+a mixed IB/RoCE group silently degrades to TCP over Ethernet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.collectives.communicator import Communicator
+from repro.errors import CommunicatorError
+from repro.hardware.nic import NICType
+from repro.network.fabric import Fabric
+from repro.network.transport import Transport, TransportKind
+
+
+@dataclass(frozen=True)
+class GroupTransportReport:
+    """What a communicator group negotiated, and why."""
+
+    name: str
+    ranks: tuple
+    transport_kind: TransportKind
+    bandwidth: float
+    #: NIC families present among the group's nodes.
+    nic_families: tuple
+    #: True when the group *could* have used RDMA had it been NIC-homogeneous
+    #: but was forced to TCP by mixed IB/RoCE membership — the exact
+    #: pathology Automatic NIC Selection eliminates.
+    degraded_by_heterogeneity: bool
+
+    @property
+    def is_rdma(self) -> bool:
+        return self.transport_kind.is_rdma
+
+
+class CommunicatorPool:
+    """Creates and caches communicators; audits their transports."""
+
+    def __init__(self, fabric: Fabric) -> None:
+        self.fabric = fabric
+        self._comms: Dict[Tuple[str, tuple], Communicator] = {}
+
+    def get(self, ranks: Sequence[int], name: str = "comm") -> Communicator:
+        """Communicator over ``ranks`` (cached by name + rank tuple)."""
+        key = (name, tuple(ranks))
+        comm = self._comms.get(key)
+        if comm is None:
+            comm = Communicator(self.fabric, ranks, name=name)
+            self._comms[key] = comm
+        return comm
+
+    def report(self, ranks: Sequence[int], name: str = "comm") -> GroupTransportReport:
+        """Audit one group's negotiated transport."""
+        ranks = list(ranks)
+        if len(ranks) < 2:
+            # Trivial group: no traffic, report intra-node NVLink-equivalent.
+            return GroupTransportReport(
+                name=name,
+                ranks=tuple(ranks),
+                transport_kind=TransportKind.NVLINK,
+                bandwidth=float("inf"),
+                nic_families=tuple(
+                    sorted({self.fabric.topology.nic_type_of(r).value for r in ranks})
+                ),
+                degraded_by_heterogeneity=False,
+            )
+        transport = self.fabric.group_transport(ranks)
+        families = sorted({self.fabric.topology.nic_type_of(r) for r in ranks},
+                          key=lambda f: f.value)
+        rdma_families = [f for f in families if f.is_rdma]
+        degraded = (
+            transport.kind == TransportKind.TCP
+            and len(set(rdma_families)) > 1  # mixes IB and RoCE
+        )
+        return GroupTransportReport(
+            name=name,
+            ranks=tuple(ranks),
+            transport_kind=transport.kind,
+            bandwidth=transport.bandwidth,
+            nic_families=tuple(f.value for f in families),
+            degraded_by_heterogeneity=degraded,
+        )
+
+    def audit(
+        self, groups: Dict[str, Sequence[Sequence[int]]]
+    ) -> List[GroupTransportReport]:
+        """Audit a mapping of group-kind name -> list of rank groups.
+
+        Returns one report per group, named ``"<kind>[<index>]"``.
+        """
+        reports: List[GroupTransportReport] = []
+        for kind, group_list in groups.items():
+            for idx, ranks in enumerate(group_list):
+                reports.append(self.report(ranks, name=f"{kind}[{idx}]"))
+        return reports
+
+    def degraded_groups(
+        self, groups: Dict[str, Sequence[Sequence[int]]]
+    ) -> List[GroupTransportReport]:
+        """The subset of groups that lost RDMA to NIC heterogeneity."""
+        return [r for r in self.audit(groups) if r.degraded_by_heterogeneity]

@@ -1,0 +1,148 @@
+"""Point-to-point transfers as discrete-event processes.
+
+Pipeline parallelism exchanges activations (forward) and activation
+gradients (backward) between adjacent stages.  Unlike collectives — which we
+price analytically and execute as barriers — p2p transfers are simulated
+through per-node NIC transmit resources so concurrent sends from the many
+pipeline groups sharing a node's NIC queue up realistically.
+
+The generator returned by :func:`send` is meant to be spawned as (or yielded
+from) a :class:`~repro.simcore.process.Process`; the matching receiver calls
+:func:`recv` on the same :class:`Channel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional, Tuple
+
+from repro.errors import TransportError
+from repro.network.fabric import Fabric
+from repro.simcore.engine import SimEngine
+from repro.simcore.process import Timeout, Wait
+from repro.simcore.resource import Store
+from repro.simcore.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class Message:
+    """Payload descriptor delivered through a channel (no real data; the
+    training simulation only needs sizes and tags)."""
+
+    src: int
+    dst: int
+    tag: str
+    nbytes: int
+    payload: Any = None
+
+
+class Channel:
+    """A directed (src, dst, tag) mailbox built on a simcore Store."""
+
+    def __init__(self, engine: SimEngine, src: int, dst: int, tag: str) -> None:
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.store = Store(engine, name=f"chan[{src}->{dst}:{tag}]")
+
+
+class ChannelRegistry:
+    """Lazily creates channels keyed by (src, dst, tag)."""
+
+    def __init__(self, engine: SimEngine) -> None:
+        self.engine = engine
+        self._channels: Dict[Tuple[int, int, str], Channel] = {}
+
+    def channel(self, src: int, dst: int, tag: str) -> Channel:
+        key = (src, dst, tag)
+        chan = self._channels.get(key)
+        if chan is None:
+            chan = Channel(self.engine, src, dst, tag)
+            self._channels[key] = chan
+        return chan
+
+
+def _deliver(
+    fabric: Fabric,
+    channels: ChannelRegistry,
+    src: int,
+    dst: int,
+    tag: str,
+    nbytes: int,
+    latency: float,
+    payload: Any = None,
+) -> Generator:
+    """Network-side continuation of a send: store-and-forward through the
+    inter-cluster uplink (if any), then the propagation latency, then
+    delivery into the destination channel.  Runs asynchronously — the
+    *sender* only blocks until bytes leave its NIC."""
+    uplink = fabric.uplink_resource(src, dst)
+    if uplink is not None:
+        yield Wait(uplink.acquire())
+        yield Timeout(fabric.uplink_occupancy(nbytes))
+        uplink.release()
+    yield Timeout(latency)
+    channels.channel(src, dst, tag).store.put(
+        Message(src=src, dst=dst, tag=tag, nbytes=nbytes, payload=payload)
+    )
+
+
+def send(
+    fabric: Fabric,
+    channels: ChannelRegistry,
+    src: int,
+    dst: int,
+    tag: str,
+    nbytes: int,
+    trace: Optional[TraceRecorder] = None,
+    payload: Any = None,
+) -> Generator:
+    """Process body: transmit ``nbytes`` from ``src`` to ``dst``.
+
+    Occupies the sender's NIC transmit resource for the serialization time
+    (FIFO with other sends through the same NIC).  The generator returns
+    once bytes have left the sender's NIC — Megatron's synchronous-send
+    semantics; switch forwarding, uplink sharing, and propagation continue
+    asynchronously via :func:`_deliver`.  Intra-node transfers skip the NIC
+    entirely.
+    """
+    engine = fabric.engine
+    if engine is None:
+        raise TransportError("fabric has no simulation engine attached")
+    transport = fabric.transport(src, dst)
+    start = engine.now
+    if transport.kind.is_intra_node:
+        yield Timeout(fabric.p2p_time(src, dst, nbytes))
+        channels.channel(src, dst, tag).store.put(
+            Message(src=src, dst=dst, tag=tag, nbytes=nbytes, payload=payload)
+        )
+    else:
+        from repro.network.transport import nic_family_for
+
+        family = nic_family_for(transport.kind)
+        nic = fabric.nic_tx_resource(src, family)
+        yield Wait(nic.acquire())
+        yield Timeout(fabric.p2p_occupancy(src, dst, nbytes))
+        nic.release()
+        engine.process(
+            _deliver(
+                fabric, channels, src, dst, tag, nbytes,
+                transport.latency, payload,
+            ),
+            name=f"deliver[{src}->{dst}:{tag}]",
+        )
+    if trace is not None:
+        trace.record(src, "p2p", f"send:{tag}", start, engine.now, nbytes, dst=dst)
+
+
+def recv(
+    channels: ChannelRegistry, src: int, dst: int, tag: str
+) -> Generator:
+    """Process body: block until a message arrives on (src, dst, tag).
+
+    Returns the :class:`Message` as the generator's value, so callers can
+    ``msg = yield from recv(...)`` inside their own process bodies.
+    """
+    chan = channels.channel(src, dst, tag)
+    msg = yield Wait(chan.store.get())
+    return msg

@@ -1,0 +1,128 @@
+"""Ring collective algorithms, executed step by step on NumPy buffers.
+
+These functions move real data exactly the way the ring algorithms do —
+``d-1`` reduce-scatter steps followed by ``d-1`` all-gather steps around a
+logical ring — so tests can assert bit-level agreement with NumPy oracles
+and count the steps/volumes the cost model assumes.
+
+Inputs are *lists indexed by ring position* (one buffer per participating
+rank); outputs follow the same convention.  The functions never mutate
+their inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.errors import CommunicatorError
+
+ReduceOp = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+_REDUCE_OPS = {
+    "sum": np.add,
+    "max": np.maximum,
+    "min": np.minimum,
+    "prod": np.multiply,
+}
+
+
+def _resolve_op(op: str) -> ReduceOp:
+    try:
+        return _REDUCE_OPS[op]
+    except KeyError:
+        raise CommunicatorError(
+            f"unknown reduce op {op!r}; choose from {sorted(_REDUCE_OPS)}"
+        ) from None
+
+
+def _split_chunks(buffer: np.ndarray, parts: int) -> List[np.ndarray]:
+    """Split a flat buffer into ``parts`` nearly equal contiguous chunks."""
+    return np.array_split(buffer, parts)
+
+
+def ring_reduce_scatter(
+    buffers: Sequence[np.ndarray], op: str = "sum"
+) -> List[np.ndarray]:
+    """Ring reduce-scatter: rank ``i`` ends with the fully reduced chunk ``i``.
+
+    Each of the ``d-1`` steps sends one chunk to the next ring neighbour and
+    reduces the chunk received from the previous neighbour.
+    """
+    reduce_fn = _resolve_op(op)
+    d = len(buffers)
+    if d == 0:
+        raise CommunicatorError("reduce-scatter over an empty group")
+    shapes = {b.shape for b in buffers}
+    if len(shapes) != 1:
+        raise CommunicatorError(f"mismatched buffer shapes: {sorted(map(str, shapes))}")
+    if d == 1:
+        return [buffers[0].copy()]
+
+    # chunks[rank][chunk_index]
+    chunks = [[c.copy() for c in _split_chunks(np.asarray(b).ravel(), d)] for b in buffers]
+    # Step s: rank r sends chunk (r - s) mod d to rank (r + 1) mod d,
+    # which reduces it into its own copy of that chunk.
+    for step in range(d - 1):
+        outgoing = [chunks[r][(r - step) % d] for r in range(d)]
+        for r in range(d):
+            sender = (r - 1) % d
+            idx = (sender - step) % d
+            chunks[r][idx] = reduce_fn(chunks[r][idx], outgoing[sender])
+    # After d-1 steps, rank r holds the fully reduced chunk (r + 1) mod d.
+    return [chunks[r][(r + 1) % d] for r in range(d)]
+
+
+def ring_allgather(shards: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Ring all-gather: every rank ends with the concatenation of all shards.
+
+    Shard ``i`` is the contribution of ring position ``i``; the result on
+    every rank is ``concatenate(shards[0], ..., shards[d-1])``.
+    """
+    d = len(shards)
+    if d == 0:
+        raise CommunicatorError("all-gather over an empty group")
+    if d == 1:
+        return [shards[0].copy()]
+
+    # known[rank][i] is rank's copy of shard i (None until received).
+    known: List[List[np.ndarray]] = [
+        [shards[i].copy() if i == r else None for i in range(d)]  # type: ignore[misc]
+        for r in range(d)
+    ]
+    # Step s: rank r forwards shard (r - s) mod d to rank (r + 1) mod d.
+    for step in range(d - 1):
+        outgoing = [(r, (r - step) % d) for r in range(d)]
+        for sender, idx in outgoing:
+            receiver = (sender + 1) % d
+            if known[sender][idx] is None:
+                raise CommunicatorError(
+                    f"all-gather step {step}: rank {sender} missing shard {idx}"
+                )
+            known[receiver][idx] = known[sender][idx].copy()
+    results = []
+    for r in range(d):
+        missing = [i for i in range(d) if known[r][i] is None]
+        if missing:
+            raise CommunicatorError(f"rank {r} never received shards {missing}")
+        results.append(np.concatenate([known[r][i] for i in range(d)]))
+    return results
+
+
+def ring_allreduce(buffers: Sequence[np.ndarray], op: str = "sum") -> List[np.ndarray]:
+    """Ring all-reduce = reduce-scatter followed by all-gather.
+
+    Every rank ends with the elementwise reduction of all inputs, reshaped
+    to the original buffer shape.
+    """
+    d = len(buffers)
+    if d == 0:
+        raise CommunicatorError("all-reduce over an empty group")
+    shape = np.asarray(buffers[0]).shape
+    shards = ring_reduce_scatter(buffers, op=op)
+    # Rank r ends reduce-scatter holding chunk (r+1) mod d; reorder so the
+    # gather concatenates chunk 0..d-1 in buffer order.
+    ordered = [shards[(i - 1) % d] for i in range(d)]
+    gathered = ring_allgather(ordered)
+    return [g.reshape(shape) for g in gathered]

@@ -1,0 +1,87 @@
+"""Cost-based collective algorithm selection.
+
+NCCL chooses among algorithms (ring, tree, ...) per message size and
+topology; this module does the same for the simulated fabric: given a
+group and payload, price every applicable schedule and return the cheapest.
+
+Algorithms considered for all-reduce:
+
+- ``flat-ring`` — the default node-contiguous ring (what the paper's stack
+  uses and what the engine prices by default);
+- ``hierarchical`` — intra-node reduce-scatter / inter-node all-reduce /
+  intra-node all-gather (wins for large messages on multi-GPU nodes);
+- ``tree`` — latency-optimal broadcast-reduce pair (wins for tiny
+  messages at large group sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.collectives.hierarchical import hierarchical_allreduce_time
+from repro.errors import CommunicatorError
+from repro.network.fabric import Fabric
+
+
+@dataclass(frozen=True)
+class AlgorithmChoice:
+    """The winner and the full price list."""
+
+    algorithm: str
+    duration: float
+    costs: Dict[str, float]
+
+    def speedup_over(self, algorithm: str) -> float:
+        """How much faster the winner is than a named alternative."""
+        if algorithm not in self.costs:
+            raise CommunicatorError(f"unknown algorithm {algorithm!r}")
+        if self.duration == 0:
+            return 1.0
+        return self.costs[algorithm] / self.duration
+
+
+def _tree_allreduce_time(fabric: Fabric, ranks: Sequence[int], nbytes: int) -> float:
+    """Reduce-to-root + broadcast via binomial trees."""
+    # Tree reduce mirrors tree broadcast in volume and depth.
+    return 2.0 * fabric.collective_time("broadcast", ranks, nbytes)
+
+
+def _ranks_per_node_uniform(fabric: Fabric, ranks: Sequence[int]) -> bool:
+    by_node: Dict[int, int] = {}
+    for r in ranks:
+        node = fabric.topology.device(r).node_global
+        by_node[node] = by_node.get(node, 0) + 1
+    counts = set(by_node.values())
+    return len(counts) == 1
+
+
+def select_allreduce(
+    fabric: Fabric, ranks: Sequence[int], nbytes: int, concurrent: int = 1
+) -> AlgorithmChoice:
+    """Price every applicable all-reduce schedule; return the cheapest."""
+    ranks = list(ranks)
+    if len(ranks) < 2 or nbytes <= 0:
+        return AlgorithmChoice("flat-ring", 0.0, {"flat-ring": 0.0})
+
+    costs: Dict[str, float] = {
+        "flat-ring": fabric.collective_time(
+            "allreduce", ranks, nbytes, concurrent=concurrent
+        ),
+        "tree": _tree_allreduce_time(fabric, ranks, nbytes),
+    }
+    if _ranks_per_node_uniform(fabric, ranks):
+        costs["hierarchical"] = hierarchical_allreduce_time(fabric, ranks, nbytes)
+
+    winner = min(costs, key=lambda k: costs[k])
+    return AlgorithmChoice(
+        algorithm=winner, duration=costs[winner], costs=dict(costs)
+    )
+
+
+def selection_table(
+    fabric: Fabric, ranks: Sequence[int],
+    sizes: Sequence[int] = (1 << 10, 1 << 16, 1 << 22, 1 << 28, 1 << 32),
+) -> List[AlgorithmChoice]:
+    """The crossover table NCCL tuning files encode: winner per size."""
+    return [select_allreduce(fabric, ranks, size) for size in sizes]

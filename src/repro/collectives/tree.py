@@ -1,0 +1,76 @@
+"""Tree collective algorithms (broadcast / reduce) on NumPy buffers.
+
+Binary-tree broadcast is what NCCL uses for one-to-all weight
+initialisation; tree reduce is its mirror.  As with the ring module, these
+move real data so tests can verify them against oracles, while timing comes
+from the cost model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.collectives.ring import _resolve_op
+from repro.errors import CommunicatorError
+
+
+def tree_broadcast(buffer: np.ndarray, group_size: int, root: int = 0) -> List[np.ndarray]:
+    """Broadcast ``buffer`` from ring position ``root`` to all positions.
+
+    Simulates the binomial-tree dissemination: at round k, every holder
+    forwards to the peer ``2**k`` positions away (relative to the root).
+    Returns the list of per-position buffers (copies).
+    """
+    if group_size < 1:
+        raise CommunicatorError(f"broadcast needs >= 1 rank, got {group_size}")
+    if not 0 <= root < group_size:
+        raise CommunicatorError(f"root {root} out of range [0, {group_size})")
+    data: List[Optional[np.ndarray]] = [None] * group_size
+    data[root] = np.asarray(buffer).copy()
+    distance = 1
+    while distance < group_size:
+        for pos in range(group_size):
+            rel = (pos - root) % group_size
+            if data[pos] is not None and rel < distance:
+                target_rel = rel + distance
+                if target_rel < group_size:
+                    target = (root + target_rel) % group_size
+                    data[target] = data[pos].copy()
+        distance *= 2
+    holes = [i for i, d in enumerate(data) if d is None]
+    if holes:
+        raise CommunicatorError(f"broadcast left positions {holes} empty")
+    return [d for d in data if d is not None]
+
+
+def tree_reduce(
+    buffers: Sequence[np.ndarray], root: int = 0, op: str = "sum"
+) -> np.ndarray:
+    """Binomial-tree reduce to ``root``; returns the reduced buffer.
+
+    At round k, positions whose relative index has bit k set send their
+    partial to the peer ``2**k`` below, which folds it in.
+    """
+    reduce_fn = _resolve_op(op)
+    d = len(buffers)
+    if d == 0:
+        raise CommunicatorError("reduce over an empty group")
+    if not 0 <= root < d:
+        raise CommunicatorError(f"root {root} out of range [0, {d})")
+    partial: List[Optional[np.ndarray]] = [np.asarray(b).copy() for b in buffers]
+    distance = 1
+    while distance < d:
+        for rel in range(d):
+            if rel % (2 * distance) == distance:
+                src = (root + rel) % d
+                dst = (root + rel - distance) % d
+                if partial[src] is None or partial[dst] is None:
+                    raise CommunicatorError("reduce schedule touched a drained slot")
+                partial[dst] = reduce_fn(partial[dst], partial[src])
+                partial[src] = None
+        distance *= 2
+    result = partial[root]
+    assert result is not None
+    return result

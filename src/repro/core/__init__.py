@@ -1,0 +1,55 @@
+"""Holmes core: the paper's primary contribution.
+
+- :mod:`repro.core.scheduler` — NIC-aware placement (Cross-Cluster Pipeline
+  Parallelism): pipeline groups span clusters over Ethernet so data-parallel
+  groups stay inside homogeneous-RDMA clusters.
+- :mod:`repro.core.nic_selection` — Automatic NIC Selection: per-group
+  transport audits and the homogeneity guarantee for DP groups.
+- :mod:`repro.core.partition` — Self-Adapting Pipeline Partition (Eq. 2).
+- :mod:`repro.core.optimizer` — gradient synchronisation strategies,
+  including the Overlapped Distributed Optimizer.
+- :mod:`repro.core.engine` — the discrete-event training-step simulator.
+- :mod:`repro.core.metrics` — TFLOPS / throughput exactly as the paper
+  reports them.
+"""
+
+from repro.core.partition import (
+    uniform_partition,
+    self_adapting_partition,
+    stage_speed_from_nic,
+)
+from repro.core.nic_selection import NICSelectionAudit, audit_parallel_groups
+from repro.core.optimizer import OptimizerStrategy, STRATEGIES
+from repro.core.scheduler import HolmesScheduler, TrainingPlan
+from repro.core.engine import TrainingSimulation, IterationResult
+from repro.core.metrics import IterationMetrics, compute_metrics
+from repro.core.memory_model import MemoryEstimate, estimate_memory, fits_in_memory
+from repro.core.planner import PlanCandidate, plan_best
+from repro.core.faults import CheckpointPolicy, replan_after_failure, surviving_topology
+from repro.core.analysis import IterationAnalysis, analyze
+
+__all__ = [
+    "MemoryEstimate",
+    "estimate_memory",
+    "fits_in_memory",
+    "PlanCandidate",
+    "plan_best",
+    "CheckpointPolicy",
+    "replan_after_failure",
+    "surviving_topology",
+    "IterationAnalysis",
+    "analyze",
+    "uniform_partition",
+    "self_adapting_partition",
+    "stage_speed_from_nic",
+    "NICSelectionAudit",
+    "audit_parallel_groups",
+    "OptimizerStrategy",
+    "STRATEGIES",
+    "HolmesScheduler",
+    "TrainingPlan",
+    "TrainingSimulation",
+    "IterationResult",
+    "IterationMetrics",
+    "compute_metrics",
+]

@@ -1,0 +1,127 @@
+"""Post-run analysis of simulated iterations.
+
+Turns an :class:`~repro.core.engine.IterationResult`'s trace into the
+quantities papers talk about: per-rank utilization, pipeline bubble
+fraction, communication exposure, and a stage-by-stage time breakdown.
+Used by the reporting example and tested against analytic expectations
+(e.g. the 1F1B bubble ``(p-1)/m`` on balanced homogeneous pipelines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.engine import IterationResult
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RankBreakdown:
+    """Where one rank's iteration time went (seconds)."""
+
+    rank: int
+    stage: int
+    compute: float
+    p2p: float
+    collective: float
+    idle: float
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.p2p + self.collective + self.idle
+
+    @property
+    def utilization(self) -> float:
+        """Compute fraction of the iteration (the MFU-style number)."""
+        return self.compute / self.total if self.total > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class IterationAnalysis:
+    """Aggregated view over all ranks."""
+
+    iteration_time: float
+    ranks: tuple  # RankBreakdown per rank
+
+    @property
+    def mean_utilization(self) -> float:
+        return sum(r.utilization for r in self.ranks) / len(self.ranks)
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Mean idle fraction across ranks — the realised pipeline bubble
+        plus any communication stalls."""
+        return sum(r.idle / r.total for r in self.ranks if r.total > 0) / len(
+            self.ranks
+        )
+
+    @property
+    def comm_exposure(self) -> float:
+        """Mean fraction of the iteration spent in exposed communication
+        (p2p waits + collective barriers)."""
+        return sum(
+            (r.p2p + r.collective) / r.total for r in self.ranks if r.total > 0
+        ) / len(self.ranks)
+
+    def stage_summary(self) -> Dict[int, Dict[str, float]]:
+        """Mean per-category seconds by pipeline stage."""
+        stages: Dict[int, List[RankBreakdown]] = {}
+        for r in self.ranks:
+            stages.setdefault(r.stage, []).append(r)
+        out: Dict[int, Dict[str, float]] = {}
+        for stage, members in sorted(stages.items()):
+            n = len(members)
+            out[stage] = {
+                "compute": sum(m.compute for m in members) / n,
+                "p2p": sum(m.p2p for m in members) / n,
+                "collective": sum(m.collective for m in members) / n,
+                "idle": sum(m.idle for m in members) / n,
+                "utilization": sum(m.utilization for m in members) / n,
+            }
+        return out
+
+
+def analyze(result: IterationResult) -> IterationAnalysis:
+    """Build the analysis from a traced iteration.
+
+    Requires the run to have been executed with ``trace_enabled=True``;
+    idle time is inferred as the gap between the iteration span and each
+    rank's recorded busy time.
+    """
+    if not result.trace.spans:
+        raise ConfigurationError(
+            "no trace spans: run the simulation with trace_enabled=True"
+        )
+    horizon = result.iteration_time
+    plan = result.plan
+    breakdowns: List[RankBreakdown] = []
+    per_rank: Dict[int, Dict[str, float]] = {}
+    for span in result.trace.spans:
+        if span.rank < 0:
+            continue  # synthetic summary spans
+        acc = per_rank.setdefault(
+            span.rank, {"compute": 0.0, "p2p": 0.0, "collective": 0.0}
+        )
+        if span.kind in acc:
+            acc[span.kind] += span.duration
+    for phys in range(plan.topology.world_size):
+        acc = per_rank.get(
+            phys, {"compute": 0.0, "p2p": 0.0, "collective": 0.0}
+        )
+        busy = acc["compute"] + acc["p2p"] + acc["collective"]
+        idle = max(0.0, horizon - busy)
+        logical = plan.placement.logical(phys)
+        breakdowns.append(
+            RankBreakdown(
+                rank=phys,
+                stage=plan.layout.stage_of(logical),
+                compute=acc["compute"],
+                p2p=acc["p2p"],
+                collective=acc["collective"],
+                idle=idle,
+            )
+        )
+    return IterationAnalysis(
+        iteration_time=horizon, ranks=tuple(breakdowns)
+    )

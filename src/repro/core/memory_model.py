@@ -1,0 +1,154 @@
+"""GPU memory feasibility model.
+
+The paper's parameter groups encode memory constraints implicitly (PG7/8
+"due to the large parameter size of the model, we set the tensor parallel
+size to 8").  This module makes the constraint explicit so the
+auto-parallelism planner can reject configurations that would OOM, using
+Megatron's mixed-precision accounting:
+
+- **static**: fp16 weights (2 B/param) + fp32 gradient buffer (4 B/param)
+  + Adam state (12 B/param, divided by the DP degree under the distributed
+  optimizer) over the rank's model slice;
+- **activations**: under 1F1B, stage ``s`` holds up to
+  ``min(p - s, m)`` microbatches of activations simultaneously; per layer
+  and microbatch a transformer stores ``~34 * s * h * b / t`` bytes with
+  selective recomputation (Korthikanti et al.'s accounting, the Megatron
+  default the paper inherits);
+- a fixed framework/workspace reserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.hardware.gpu import GPUSpec
+from repro.model.config import GPTConfig
+from repro.model.params import embedding_params, transformer_layer_params
+from repro.parallel.degrees import ParallelConfig
+from repro.units import GB
+
+#: Bytes per parameter of fp16 weights and fp32 main gradients.
+WEIGHT_BYTES = 2
+GRAD_BYTES = 4
+#: Combined, for callers that do not shard them (ZeRO stage <= 1).
+WEIGHT_AND_GRAD_BYTES = WEIGHT_BYTES + GRAD_BYTES
+#: Bytes per parameter of Adam state (m, v, fp32 master weights).
+ADAM_BYTES = 12
+#: Activation bytes per layer per token per hidden unit with selective
+#: recomputation (attention scores recomputed, the rest stored).
+ACTIVATION_BYTES_FACTOR = 34
+#: CUDA context, NCCL buffers, fragmentation reserve.
+FRAMEWORK_RESERVE = 4 * GB
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    """Peak memory of the most loaded rank, by component (bytes)."""
+
+    weights_and_grads: int
+    optimizer_state: int
+    activations: int
+    reserve: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.weights_and_grads
+            + self.optimizer_state
+            + self.activations
+            + self.reserve
+        )
+
+    def fits(self, gpu: GPUSpec) -> bool:
+        return self.total <= gpu.memory_bytes
+
+    def utilization(self, gpu: GPUSpec) -> float:
+        return self.total / gpu.memory_bytes
+
+
+def stage_parameter_count(
+    model: GPTConfig, stage_layers: List[int], stage: int
+) -> int:
+    """Parameters held by one pipeline stage (before TP division).
+
+    The embedding joins stage 0; the logit head is weight-tied.
+    """
+    if not 0 <= stage < len(stage_layers):
+        raise ConfigurationError(f"stage {stage} out of range")
+    params = stage_layers[stage] * transformer_layer_params(model)
+    if stage == 0:
+        params += embedding_params(model)
+    return params
+
+
+def estimate_memory(
+    model: GPTConfig,
+    parallel: ParallelConfig,
+    stage_layers: List[int],
+    distributed_optimizer: bool = True,
+    zero_stage: Optional[int] = None,
+) -> MemoryEstimate:
+    """Peak memory of the most loaded rank under 1F1B.
+
+    ``distributed_optimizer=True`` shards Adam state over the DP group
+    (ZeRO-1 / Megatron ``--use-distributed-optimizer``, which Holmes uses).
+    ``zero_stage`` overrides it explicitly: 0 (nothing sharded), 1
+    (optimizer state), 2 (+ gradients), 3 (+ fp16 weights).
+    """
+    if zero_stage is None:
+        zero_stage = 1 if distributed_optimizer else 0
+    if not 0 <= zero_stage <= 3:
+        raise ConfigurationError(f"zero_stage must be 0..3: {zero_stage}")
+    if len(stage_layers) != parallel.pipeline:
+        raise ConfigurationError(
+            f"{len(stage_layers)} stage layer counts for pipeline degree "
+            f"{parallel.pipeline}"
+        )
+    t = parallel.tensor
+    m = parallel.num_microbatches
+    b = parallel.micro_batch_size
+    s, h = model.seq_length, model.hidden_size
+
+    worst = None
+    for stage in range(parallel.pipeline):
+        params = stage_parameter_count(model, stage_layers, stage) // t
+        d = parallel.data
+        weight_bytes = params * WEIGHT_BYTES
+        grad_bytes = params * GRAD_BYTES
+        adam = params * ADAM_BYTES
+        if zero_stage >= 1:
+            adam //= d
+        if zero_stage >= 2:
+            grad_bytes //= d
+        if zero_stage >= 3:
+            weight_bytes //= d
+        weights = weight_bytes + grad_bytes
+        # 1F1B in-flight microbatches at this stage.
+        in_flight = min(parallel.pipeline - stage, m)
+        per_layer = ACTIVATION_BYTES_FACTOR * s * h * b // t
+        activations = in_flight * stage_layers[stage] * per_layer
+        estimate = MemoryEstimate(
+            weights_and_grads=weights,
+            optimizer_state=adam,
+            activations=activations,
+            reserve=FRAMEWORK_RESERVE,
+        )
+        if worst is None or estimate.total > worst.total:
+            worst = estimate
+    assert worst is not None
+    return worst
+
+
+def fits_in_memory(
+    model: GPTConfig,
+    parallel: ParallelConfig,
+    stage_layers: List[int],
+    gpu: GPUSpec,
+    distributed_optimizer: bool = True,
+) -> bool:
+    """Whether the most loaded rank fits in ``gpu`` memory."""
+    return estimate_memory(
+        model, parallel, stage_layers, distributed_optimizer
+    ).fits(gpu)

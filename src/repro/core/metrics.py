@@ -1,0 +1,53 @@
+"""Training metrics, computed exactly as the paper reports them (§2.3, §4.1).
+
+- **TFLOPS**: achieved teraFLOP/s per GPU — Eq. 6 FLOPs divided by
+  iteration wall time and GPU count.
+- **Throughput**: samples processed per second — global batch divided by
+  iteration wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.config import GPTConfig
+from repro.model.flops import (
+    achieved_tflops_per_gpu,
+    flops_per_iteration,
+    throughput_samples_per_second,
+)
+
+
+@dataclass(frozen=True)
+class IterationMetrics:
+    """The paper's two headline metrics plus raw inputs."""
+
+    iteration_time: float  # seconds
+    num_gpus: int
+    global_batch_size: int
+    total_flops: float
+    tflops_per_gpu: float
+    throughput: float  # samples / second
+
+    def __str__(self) -> str:
+        return (
+            f"iter={self.iteration_time:.3f}s  "
+            f"TFLOPS={self.tflops_per_gpu:.0f}  "
+            f"throughput={self.throughput:.2f} samples/s"
+        )
+
+
+def compute_metrics(
+    model: GPTConfig, global_batch_size: int, iteration_time: float, num_gpus: int
+) -> IterationMetrics:
+    """Assemble :class:`IterationMetrics` from a simulated iteration."""
+    return IterationMetrics(
+        iteration_time=iteration_time,
+        num_gpus=num_gpus,
+        global_batch_size=global_batch_size,
+        total_flops=flops_per_iteration(model, global_batch_size),
+        tflops_per_gpu=achieved_tflops_per_gpu(
+            model, global_batch_size, iteration_time, num_gpus
+        ),
+        throughput=throughput_samples_per_second(global_batch_size, iteration_time),
+    )

@@ -1,0 +1,73 @@
+"""Automatic NIC Selection (paper §3.2).
+
+The failure mode this component eliminates: a data-parallel group whose
+members sit behind *different* RDMA families (some IB, some RoCE) can only
+communicate over Ethernet, and because gradient aggregation waits for every
+member, one slow group throttles the whole training step.
+
+Holmes guarantees — by placement — that every DP group's members share one
+NIC family, so each group rides the fastest transport its cluster offers.
+This module provides the audit machinery: given a placement's physical
+groups, report each group's negotiated transport, flag heterogeneity
+degradations, and summarise how much DP traffic runs over RDMA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.collectives.nccl import CommunicatorPool, GroupTransportReport
+from repro.network.fabric import Fabric
+
+
+@dataclass(frozen=True)
+class NICSelectionAudit:
+    """Summary of transport negotiation across all parallel groups."""
+
+    reports: tuple  # GroupTransportReport, all groups
+    dp_groups_total: int
+    dp_groups_rdma: int
+    dp_groups_degraded: int  # forced to TCP by mixed IB/RoCE membership
+
+    @property
+    def dp_rdma_fraction(self) -> float:
+        """Fraction of data-parallel groups running over RDMA."""
+        if self.dp_groups_total == 0:
+            return 1.0
+        return self.dp_groups_rdma / self.dp_groups_total
+
+    @property
+    def fully_selected(self) -> bool:
+        """True when no DP group was degraded by NIC heterogeneity — the
+        invariant Holmes's placement establishes."""
+        return self.dp_groups_degraded == 0
+
+    def degraded(self) -> List[GroupTransportReport]:
+        return [r for r in self.reports if r.degraded_by_heterogeneity]
+
+
+def audit_parallel_groups(
+    fabric: Fabric, physical_groups: Dict[str, Sequence[Sequence[int]]]
+) -> NICSelectionAudit:
+    """Audit every group family of a placement.
+
+    ``physical_groups`` maps family name (``tensor`` / ``pipeline`` /
+    ``data``) to lists of *physical* rank groups (already placed).
+    """
+    pool = CommunicatorPool(fabric)
+    reports = pool.audit(physical_groups)
+    dp_reports = [r for r in reports if r.name.startswith("data[")]
+    multi = [r for r in dp_reports if len(r.ranks) > 1]
+    # "RDMA" here means "RDMA or better": a DP group confined to one node
+    # rides NVLink, which is strictly faster than any NIC.
+    rdma = sum(
+        1 for r in multi if r.is_rdma or r.transport_kind.is_intra_node
+    )
+    degraded = sum(1 for r in multi if r.degraded_by_heterogeneity)
+    return NICSelectionAudit(
+        reports=tuple(reports),
+        dp_groups_total=len(multi),
+        dp_groups_rdma=rdma,
+        dp_groups_degraded=degraded,
+    )

@@ -1,0 +1,197 @@
+"""Gradient synchronisation strategies (data parallelism, §3.2).
+
+Each :class:`OptimizerStrategy` describes *what* a DP group communicates at
+the pipeline flush and *how much* of it hides under backward computation:
+
+- ``allreduce`` (Megatron-LM DDP): ring all-reduce of the fp32 gradient
+  buffer; nothing is sharded.
+- ``distributed`` (Megatron-LM ``--use-distributed-optimizer`` / ZeRO-1):
+  reduce-scatter the fp32 gradients (each rank keeps its 1/d shard, updates
+  its optimizer-state shard), then all-gather the updated fp16 parameters.
+  The reduce-scatter here is the ``grads-reduce-scatter`` operation the
+  paper's Figure 3 measures.
+- ``overlapped`` (Megatron-LLaMA's *OverlappedDistributedOptimizer*,
+  adopted by Holmes): same sharded pattern, but buckets are reduce-scattered
+  as the backward pass produces them, hiding part of the communication.
+  ``overlap_efficiency`` is the calibrated fraction of the reduce-scatter
+  that actually disappears behind compute (bounded by the backward window);
+  the parameter all-gather remains exposed at the step boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.model.memory import GRAD_BYTES_PER_PARAM, PARAM_BYTES_PER_PARAM
+
+
+@dataclass(frozen=True)
+class SyncOp:
+    """One collective the strategy issues at (or around) the flush.
+
+    ``repeat`` multiplies both volume and duration — ZeRO-3 all-gathers the
+    fp16 parameters twice per step (once for forward, once for backward).
+    """
+
+    op: str  # "allreduce" | "reduce_scatter" | "allgather"
+    bytes_per_param: int
+    overlappable: bool  # may hide under backward compute
+    repeat: int = 1
+
+
+@dataclass(frozen=True)
+class OptimizerStrategy:
+    """A named gradient-synchronisation policy."""
+
+    name: str
+    ops: Tuple[SyncOp, ...]
+    overlap_efficiency: float = 0.0  # fraction of overlappable comm hidden
+    #: extra per-iteration fixed cost (optimizer step arithmetic etc.)
+    step_overhead: float = 0.0
+    #: multiplier on overlap_efficiency when the group's transport is TCP:
+    #: TCP communication consumes host CPU and interferes with kernel
+    #: launches, so hiding it under compute is far less effective than
+    #: hiding RDMA traffic.
+    tcp_overlap_scale: float = 0.40
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.overlap_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"overlap_efficiency must be in [0,1]: {self.overlap_efficiency}"
+            )
+        if self.step_overhead < 0:
+            raise ConfigurationError(
+                f"step_overhead must be >= 0: {self.step_overhead}"
+            )
+        if not 0.0 <= self.tcp_overlap_scale <= 1.0:
+            raise ConfigurationError(
+                f"tcp_overlap_scale must be in [0,1]: {self.tcp_overlap_scale}"
+            )
+        names = [op.op for op in self.ops]
+        if len(names) != len(set(names)):
+            raise ConfigurationError(
+                f"duplicate collective names in strategy {self.name!r}: "
+                f"{names}; use SyncOp.repeat instead"
+            )
+        if any(op.repeat < 1 for op in self.ops):
+            raise ConfigurationError("SyncOp.repeat must be >= 1")
+
+    def sync_volume_bytes(self, shard_params: int) -> Dict[str, int]:
+        """Bytes each collective moves for a rank holding ``shard_params``
+        parameters (the model slice after tensor/pipeline partitioning).
+        Repeated ops contribute their full repeated volume."""
+        if shard_params < 0:
+            raise ConfigurationError(f"negative shard size: {shard_params}")
+        volumes: Dict[str, int] = {}
+        for op in self.ops:
+            volumes[op.op] = (
+                volumes.get(op.op, 0)
+                + shard_params * op.bytes_per_param * op.repeat
+            )
+        return volumes
+
+    def exposed_time(
+        self,
+        op_times: Dict[str, float],
+        backward_window: float,
+        over_tcp: bool = False,
+    ) -> float:
+        """Wall time the sync adds beyond the pipeline, given per-op
+        durations and the rank's backward compute window.
+
+        Overlappable ops hide ``overlap_efficiency`` of their duration
+        (scaled down by :attr:`tcp_overlap_scale` when the group runs over
+        TCP), but never more than the backward window provides.
+        """
+        if backward_window < 0:
+            raise ConfigurationError(f"negative backward window: {backward_window}")
+        efficiency = self.overlap_efficiency
+        if over_tcp:
+            efficiency *= self.tcp_overlap_scale
+        exposed = 0.0
+        hideable_budget = backward_window
+        for op in self.ops:
+            duration = op_times.get(op.op, 0.0)
+            if duration < 0:
+                raise ConfigurationError(f"negative op duration for {op.op}")
+            if op.overlappable and efficiency > 0:
+                hidden = min(duration * efficiency, hideable_budget)
+                hideable_budget -= hidden
+                exposed += duration - hidden
+            else:
+                exposed += duration
+        return exposed + self.step_overhead
+
+
+def _strategy_allreduce(overhead: float = 0.0) -> OptimizerStrategy:
+    return OptimizerStrategy(
+        name="allreduce",
+        ops=(SyncOp("allreduce", GRAD_BYTES_PER_PARAM, overlappable=False),),
+        step_overhead=overhead,
+    )
+
+
+def _strategy_distributed(overhead: float = 0.0) -> OptimizerStrategy:
+    return OptimizerStrategy(
+        name="distributed",
+        ops=(
+            SyncOp("reduce_scatter", GRAD_BYTES_PER_PARAM, overlappable=False),
+            SyncOp("allgather", PARAM_BYTES_PER_PARAM, overlappable=False),
+        ),
+        step_overhead=overhead,
+    )
+
+
+def _strategy_overlapped(
+    overlap_efficiency: float = 0.70, overhead: float = 0.0
+) -> OptimizerStrategy:
+    # Megatron-LLaMA's OverlappedDistributedOptimizer hides the bucketed
+    # reduce-scatter under the backward pass *and* the parameter all-gather
+    # under the next iteration's forward; the calibrated efficiency is the
+    # fraction of each that actually disappears (paper Table 5's overlap
+    # ablation: ~1.2 s per iteration on PG3 / 8 nodes).
+    return OptimizerStrategy(
+        name="overlapped",
+        ops=(
+            SyncOp("reduce_scatter", GRAD_BYTES_PER_PARAM, overlappable=True),
+            SyncOp("allgather", PARAM_BYTES_PER_PARAM, overlappable=True),
+        ),
+        overlap_efficiency=overlap_efficiency,
+        step_overhead=overhead,
+    )
+
+
+def _strategy_zero3(overhead: float = 0.0) -> OptimizerStrategy:
+    # ZeRO-3 / FSDP: parameters live sharded; the fp16 weights are
+    # all-gathered for the forward pass and again for the backward pass,
+    # and gradients reduce-scatter as usual.  Both sides overlap with
+    # compute in practice.
+    return OptimizerStrategy(
+        name="zero3",
+        ops=(
+            SyncOp("reduce_scatter", GRAD_BYTES_PER_PARAM, overlappable=True),
+            SyncOp("allgather", PARAM_BYTES_PER_PARAM, overlappable=True,
+                   repeat=2),
+        ),
+        overlap_efficiency=0.70,
+        step_overhead=overhead,
+    )
+
+
+#: The registry used by framework presets and benchmarks.  ``zero2`` shares
+#: the ``distributed`` communication pattern (its savings are memory-side:
+#: gradient sharding) and is provided as an alias for clarity.
+STRATEGIES: Dict[str, OptimizerStrategy] = {
+    "allreduce": _strategy_allreduce(),
+    "distributed": _strategy_distributed(),
+    "overlapped": _strategy_overlapped(),
+    "zero2": replace(_strategy_distributed(), name="zero2"),
+    "zero3": _strategy_zero3(),
+}
+
+
+def make_overlapped(overlap_efficiency: float) -> OptimizerStrategy:
+    """An overlapped strategy with a custom hiding fraction (calibration)."""
+    return _strategy_overlapped(overlap_efficiency=overlap_efficiency)

@@ -1,0 +1,149 @@
+"""Pipeline stage partitioning: uniform and Self-Adapting (paper Eq. 2).
+
+Uniform partition splits the transformer layers evenly — optimal when all
+stages compute at the same speed.  In heterogeneous NIC environments the
+*effective* speed of a stage depends on the NIC its devices synchronise
+gradients over (paper Table 1), so Holmes distributes layers proportionally
+to per-stage speed:
+
+    N_i = floor( alpha * S_i / sum_j S_j * N )
+
+with hyper-parameter ``alpha`` (1.05 in the paper's experiments) biasing
+extra layers toward faster stages, and remainders fixed up so the counts
+sum to N with every stage keeping at least one layer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import PartitionError
+from repro.hardware.nic import NICType
+
+#: Per-NIC computational speed proxies S(.) in TFLOPS, straight from the
+#: paper's Table 1 (3.6B GPT on 4 nodes): S(IB)=197, S(RoCE)=160,
+#: S(Ethernet)=122.  Eq. 2 only uses ratios, so the absolute scale is
+#: irrelevant.
+TABLE1_SPEED_PROXY: Dict[NICType, float] = {
+    NICType.INFINIBAND: 197.0,
+    NICType.ROCE: 160.0,
+    NICType.ETHERNET: 122.0,
+}
+
+
+def stage_speed_from_nic(nic_type: NICType) -> float:
+    """The Eq. 2 speed proxy S(nic) for a stage synchronising over ``nic_type``."""
+    return TABLE1_SPEED_PROXY[nic_type]
+
+
+#: Fraction of an iteration's compute that is backward work (fwd:bwd = 1:3
+#: with activation recomputation) — the portion a NIC's compute_drag slows.
+BACKWARD_COMPUTE_SHARE = 0.75
+
+
+def stage_speed_from_drag(compute_drag: float) -> float:
+    """Eq. 2 speed proxy derived from a NIC's measured compute interference.
+
+    The paper measures S(.) on its own testbed (Table 1); the faithful
+    equivalent here is the *simulated* testbed's per-microbatch speed, which
+    the NIC degrades by ``compute_drag`` on the backward share of the work:
+
+        S ∝ 1 / (fwd_share + bwd_share * (1 + drag))
+
+    Scaled so a drag-free stage scores 100.  Only ratios matter to Eq. 2.
+    """
+    if compute_drag < 0:
+        raise PartitionError(f"negative compute_drag: {compute_drag}")
+    denominator = (1.0 - BACKWARD_COMPUTE_SHARE) + BACKWARD_COMPUTE_SHARE * (
+        1.0 + compute_drag
+    )
+    return 100.0 / denominator
+
+
+def uniform_partition(num_layers: int, num_stages: int) -> List[int]:
+    """Megatron-style even split; earlier stages absorb the remainder."""
+    if num_stages < 1:
+        raise PartitionError(f"num_stages must be >= 1: {num_stages}")
+    if num_layers < num_stages:
+        raise PartitionError(
+            f"cannot give {num_stages} stages at least one of {num_layers} layers"
+        )
+    base, remainder = divmod(num_layers, num_stages)
+    return [base + (1 if s < remainder else 0) for s in range(num_stages)]
+
+
+def self_adapting_partition(
+    num_layers: int,
+    stage_speeds: Sequence[float],
+    alpha: float = 1.05,
+) -> List[int]:
+    """Self-Adapting Pipeline Partition (paper Eq. 2), generalised to p stages.
+
+    ``stage_speeds[s]`` is the speed proxy S(.) of stage ``s`` (e.g. from
+    :func:`stage_speed_from_nic`).  Layer counts start from the floored
+    alpha-weighted shares; the fix-up loop then removes surplus layers from
+    the *slowest* stages and grants deficits to the *fastest*, which
+    preserves Eq. 2's intent ("allocate a greater number of model layers to
+    the GPU device connected to the faster NIC").
+    """
+    speeds = [float(s) for s in stage_speeds]
+    num_stages = len(speeds)
+    if num_stages < 1:
+        raise PartitionError("stage_speeds must not be empty")
+    if any(s <= 0 for s in speeds):
+        raise PartitionError(f"stage speeds must be positive: {speeds}")
+    if alpha <= 0:
+        raise PartitionError(f"alpha must be positive: {alpha}")
+    if num_layers < num_stages:
+        raise PartitionError(
+            f"cannot give {num_stages} stages at least one of {num_layers} layers"
+        )
+
+    total_speed = sum(speeds)
+    counts = [
+        max(1, math.floor(alpha * s / total_speed * num_layers)) for s in speeds
+    ]
+
+    # Fix up so counts sum exactly to num_layers.  The alpha factor inflates
+    # every share, so remove surplus from the stage currently *most above*
+    # its ideal (un-inflated) share, and grant deficit to the stage most
+    # below it — this keeps the result as close to proportional as the
+    # integer constraint allows.
+    ideals = [s / total_speed * num_layers for s in speeds]
+    surplus = sum(counts) - num_layers
+    guard = 0
+    while surplus > 0:
+        candidates = [i for i in range(num_stages) if counts[i] > 1]
+        if not candidates:
+            raise PartitionError(
+                f"partition fix-up failed: counts={counts}, layers={num_layers}"
+            )
+        stage = max(candidates, key=lambda i: counts[i] - ideals[i])
+        counts[stage] -= 1
+        surplus -= 1
+        guard += 1
+        if guard > num_layers + num_stages:
+            raise PartitionError(  # pragma: no cover - defensive
+                f"partition fix-up did not converge: counts={counts}"
+            )
+    while surplus < 0:
+        stage = min(range(num_stages), key=lambda i: counts[i] - ideals[i])
+        counts[stage] += 1
+        surplus += 1
+
+    assert sum(counts) == num_layers
+    if any(c < 1 for c in counts):
+        raise PartitionError(f"partition left a stage empty: {counts}")
+    return counts
+
+
+def partition_boundaries(counts: Sequence[int]) -> List[int]:
+    """Cumulative layer offsets: boundaries[s] is the first transformer layer
+    index of stage s; a final entry holds the total."""
+    boundaries = [0]
+    for c in counts:
+        if c < 1:
+            raise PartitionError(f"stage with {c} layers in {list(counts)}")
+        boundaries.append(boundaries[-1] + c)
+    return boundaries

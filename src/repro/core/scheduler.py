@@ -1,0 +1,244 @@
+"""The Holmes scheduler: NIC-aware placement of parallel groups (§3).
+
+Megatron's group formulas are fixed over logical ranks; the scheduler's
+output is a :class:`~repro.parallel.mapping.Placement` — which physical GPU
+hosts each logical rank — plus a pipeline layer partition.  Holmes's policy
+(Cross-Cluster Pipeline Parallelism):
+
+1. Pipeline stages are contiguous logical-rank blocks; assign each stage's
+   block to physical nodes so that **no stage straddles clusters with
+   different NIC families**.  Pipeline traffic (cheap, point-to-point) then
+   crosses clusters over Ethernet, while every data-parallel group (costly,
+   collective) stays inside one homogeneous-RDMA cluster.
+2. Layer counts per stage come from the Self-Adapting Pipeline Partition
+   (Eq. 2) using each stage's NIC speed proxy, or from the uniform split.
+
+The same entry point also produces the *NIC-oblivious* plans used by the
+baseline frameworks (identity placement, uniform partition), so ablations
+differ only in declared policy.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.partition import (
+    self_adapting_partition,
+    stage_speed_from_drag,
+    stage_speed_from_nic,
+    uniform_partition,
+)
+from repro.errors import SchedulingError
+from repro.hardware.nic import NICType
+from repro.hardware.topology import ClusterTopology
+from repro.model.config import GPTConfig
+from repro.parallel.degrees import ParallelConfig
+from repro.parallel.groups import ParallelLayout
+from repro.parallel.mapping import Placement, identity_placement
+
+
+@dataclass(frozen=True)
+class TrainingPlan:
+    """Everything the training engine needs to execute one configuration."""
+
+    topology: ClusterTopology
+    parallel: ParallelConfig
+    layout: ParallelLayout
+    placement: Placement
+    #: transformer layers per pipeline stage (sums to the model's layers)
+    stage_layers: Tuple[int, ...]
+    #: the NIC family each stage's gradient sync rides (worst over the stage)
+    stage_nics: Tuple[NICType, ...]
+    #: number of stages whose ranks straddle differently-NIC'd clusters
+    straddling_stages: int
+    partition_strategy: str
+    placement_strategy: str
+
+    @property
+    def physical_groups(self) -> Dict[str, List[List[int]]]:
+        """Tensor/pipeline/data groups translated to physical ranks."""
+        return self.placement.map_all(self.layout.all_groups())
+
+    def describe(self) -> str:
+        lines = [
+            f"TrainingPlan({self.placement_strategy} placement, "
+            f"{self.partition_strategy} partition)",
+            f"  parallel: {self.parallel}",
+            f"  stage layers: {list(self.stage_layers)}",
+            f"  stage NICs: {[n.value for n in self.stage_nics]}",
+        ]
+        if self.straddling_stages:
+            lines.append(
+                f"  WARNING: {self.straddling_stages} stage(s) straddle "
+                "heterogeneous clusters (DP degraded to Ethernet)"
+            )
+        return "\n".join(lines)
+
+
+class HolmesScheduler:
+    """Builds :class:`TrainingPlan` objects for Holmes and the baselines."""
+
+    def __init__(self, alpha: float = 1.05) -> None:
+        """``alpha`` is the Eq. 2 hyper-parameter (1.05 in the paper)."""
+        self.alpha = alpha
+
+    # ------------------------------------------------------------------ #
+    # public entry points
+    # ------------------------------------------------------------------ #
+
+    def plan(
+        self,
+        topology: ClusterTopology,
+        parallel: ParallelConfig,
+        model: GPTConfig,
+        placement_strategy: str = "holmes",
+        partition_strategy: str = "self_adapting",
+    ) -> TrainingPlan:
+        """Produce a training plan.
+
+        ``placement_strategy``: ``"holmes"`` (cluster-aligned stages) or
+        ``"identity"`` (NIC-oblivious rank order, the Megatron default).
+        ``partition_strategy``: ``"self_adapting"`` (Eq. 2) or ``"uniform"``.
+        """
+        parallel.validate_against(topology.world_size, topology.gpus_per_node)
+        layout = ParallelLayout(parallel)
+
+        if placement_strategy == "holmes":
+            placement = self._holmes_placement(topology, parallel)
+        elif placement_strategy == "identity":
+            placement = identity_placement(topology.world_size)
+        else:
+            raise SchedulingError(
+                f"unknown placement strategy: {placement_strategy!r}"
+            )
+
+        stage_nics, straddling = self._stage_nics(topology, layout, placement)
+
+        if partition_strategy == "self_adapting":
+            # Eq. 2 speed proxies, measured on *this* testbed: each stage's
+            # effective speed is degraded by its sync NIC's compute drag
+            # (the simulated analogue of the paper reading S(.) off its own
+            # Table 1).
+            speeds = []
+            for stage, nic in enumerate(stage_nics):
+                phys0 = placement.physical(layout.stage_ranks(stage)[0])
+                node = topology.node_of(phys0)
+                drag = node.nic_for(nic).compute_drag if parallel.data > 1 else 0.0
+                speeds.append(stage_speed_from_drag(drag))
+            stage_layers = self_adapting_partition(
+                model.num_layers, speeds, alpha=self.alpha
+            )
+        elif partition_strategy == "uniform":
+            stage_layers = uniform_partition(model.num_layers, parallel.pipeline)
+        else:
+            raise SchedulingError(
+                f"unknown partition strategy: {partition_strategy!r}"
+            )
+
+        return TrainingPlan(
+            topology=topology,
+            parallel=parallel,
+            layout=layout,
+            placement=placement,
+            stage_layers=tuple(stage_layers),
+            stage_nics=tuple(stage_nics),
+            straddling_stages=straddling,
+            partition_strategy=partition_strategy,
+            placement_strategy=placement_strategy,
+        )
+
+    # ------------------------------------------------------------------ #
+    # placement
+    # ------------------------------------------------------------------ #
+
+    def _holmes_placement(
+        self, topology: ClusterTopology, parallel: ParallelConfig
+    ) -> Placement:
+        """Cluster-aligned stage placement.
+
+        Stage ``s`` owns logical ranks ``[s*t*d, (s+1)*t*d)``.  We choose an
+        ordering of the clusters and lay stages across their nodes in that
+        order; the ordering minimising the number of stages that straddle
+        differently-NIC'd clusters wins (ties broken toward the natural
+        cluster order).  For every configuration in the paper, stage sizes
+        divide cluster sizes exactly and straddling is zero.
+        """
+        td = parallel.tensor * parallel.data
+        G = topology.gpus_per_node
+        clusters = list(topology.clusters)
+
+        best_perm: Optional[Tuple[int, ...]] = None
+        best_cost: Optional[Tuple[int, int]] = None
+        for perm in itertools.permutations(range(len(clusters))):
+            cost = self._straddle_cost(topology, perm, td)
+            order_penalty = sum(
+                1 for got, want in zip(perm, range(len(perm))) if got != want
+            )
+            key = (cost, order_penalty)
+            if best_cost is None or key < best_cost:
+                best_cost = key
+                best_perm = perm
+        assert best_perm is not None
+
+        # Physical ranks in chosen cluster order, node by node.
+        phys_order: List[int] = []
+        for ci in best_perm:
+            phys_order.extend(topology.ranks_of_cluster(clusters[ci].cluster_id))
+        # Logical rank i lives on phys_order[i].
+        return Placement(phys_order, name=f"holmes{list(best_perm)}")
+
+    def _straddle_cost(
+        self, topology: ClusterTopology, perm: Sequence[int], stage_size: int
+    ) -> int:
+        """Number of stages whose rank block crosses a heterogeneous cluster
+        boundary for a given cluster ordering."""
+        clusters = list(topology.clusters)
+        # cluster family for each consecutive rank under this ordering
+        families: List[NICType] = []
+        for ci in perm:
+            cluster = clusters[ci]
+            families.extend([cluster.nic_type] * cluster.num_gpus)
+        total = len(families)
+        if total % stage_size != 0:
+            raise SchedulingError(
+                f"world size {total} not divisible by stage size {stage_size}"
+            )
+        straddling = 0
+        for start in range(0, total, stage_size):
+            block = families[start : start + stage_size]
+            if len(set(block)) > 1:
+                straddling += 1
+        return straddling
+
+    # ------------------------------------------------------------------ #
+    # stage NIC resolution
+    # ------------------------------------------------------------------ #
+
+    def _stage_nics(
+        self,
+        topology: ClusterTopology,
+        layout: ParallelLayout,
+        placement: Placement,
+    ) -> Tuple[List[NICType], int]:
+        """The NIC family each stage's DP traffic uses, and how many stages
+        are degraded by straddling heterogeneous clusters."""
+        p = layout.config.pipeline
+        stage_nics: List[NICType] = []
+        straddling = 0
+        priority = {NICType.ETHERNET: 0, NICType.ROCE: 1, NICType.INFINIBAND: 2}
+        for stage in range(p):
+            phys = [placement.physical(r) for r in layout.stage_ranks(stage)]
+            families = {topology.nic_type_of(r) for r in phys}
+            clusters = {topology.device(r).cluster_id for r in phys}
+            if len(families) > 1:
+                straddling += 1
+                stage_nics.append(NICType.ETHERNET)
+            elif len(clusters) > 1 and not topology.inter_cluster_rdma:
+                # Same family but split across unconnected clusters: DP
+                # between those clusters would ride Ethernet.
+                stage_nics.append(NICType.ETHERNET)
+            else:
+                stage_nics.append(min(families, key=lambda f: priority[f]))
+        return stage_nics, straddling

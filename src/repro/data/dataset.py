@@ -1,0 +1,120 @@
+"""LM datasets and the data-parallel sampler.
+
+:class:`TokenDataset` windows a token stream into fixed-length
+(input, target) pairs.  :class:`DataParallelSampler` reproduces Megatron's
+sharding semantics:
+
+- the sample order is a deterministic per-epoch shuffle (seed + epoch);
+- DP replica ``r`` of ``d`` draws the samples at positions
+  ``r, r + d, r + 2d, ...`` of the shuffled order, so replicas see
+  disjoint data and every sample is consumed exactly once per epoch;
+- ranks *within* a replica (TP/PP peers) ask with the same replica index
+  and therefore receive identical batches — the invariant that makes
+  tensor/pipeline parallelism correct.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class TokenDataset:
+    """Fixed-length LM samples over one token stream."""
+
+    def __init__(self, tokens: Sequence[int], seq_length: int) -> None:
+        self.tokens = np.asarray(tokens, dtype=np.int64)
+        if self.tokens.ndim != 1:
+            raise ConfigurationError("token stream must be one-dimensional")
+        if seq_length < 1:
+            raise ConfigurationError(f"seq_length must be >= 1: {seq_length}")
+        self.seq_length = seq_length
+        # Non-overlapping windows of seq_length+1 (input + shifted target).
+        self.num_samples = (len(self.tokens) - 1) // seq_length
+        if self.num_samples < 1:
+            raise ConfigurationError(
+                f"stream of {len(self.tokens)} tokens too short for "
+                f"sequence length {seq_length}"
+            )
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+    def sample(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(input, target) pair for one sample index."""
+        if not 0 <= index < self.num_samples:
+            raise ConfigurationError(
+                f"sample {index} out of range [0, {self.num_samples})"
+            )
+        start = index * self.seq_length
+        window = self.tokens[start : start + self.seq_length + 1]
+        return window[:-1].copy(), window[1:].copy()
+
+    def batch(self, indices: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        """Stacked (inputs, targets) for a list of sample indices."""
+        pairs = [self.sample(i) for i in indices]
+        return (
+            np.stack([p[0] for p in pairs]),
+            np.stack([p[1] for p in pairs]),
+        )
+
+
+class DataParallelSampler:
+    """Deterministic epoch-shuffled sharding across DP replicas."""
+
+    def __init__(self, dataset: TokenDataset, data_parallel: int,
+                 batch_per_replica: int, seed: int = 0) -> None:
+        if data_parallel < 1:
+            raise ConfigurationError(f"data_parallel must be >= 1")
+        if batch_per_replica < 1:
+            raise ConfigurationError("batch_per_replica must be >= 1")
+        if len(dataset) < data_parallel * batch_per_replica:
+            raise ConfigurationError(
+                f"dataset of {len(dataset)} samples cannot feed "
+                f"{data_parallel} replicas x {batch_per_replica} samples"
+            )
+        self.dataset = dataset
+        self.data_parallel = data_parallel
+        self.batch_per_replica = batch_per_replica
+        self.seed = seed
+
+    @property
+    def batches_per_epoch(self) -> int:
+        return len(self.dataset) // (self.data_parallel * self.batch_per_replica)
+
+    def _epoch_order(self, epoch: int) -> np.ndarray:
+        rng = np.random.default_rng((self.seed, epoch))
+        return rng.permutation(len(self.dataset))
+
+    def replica_indices(self, replica: int, epoch: int, step: int) -> List[int]:
+        """Sample indices for one replica's batch at (epoch, step)."""
+        if not 0 <= replica < self.data_parallel:
+            raise ConfigurationError(
+                f"replica {replica} out of range [0, {self.data_parallel})"
+            )
+        if not 0 <= step < self.batches_per_epoch:
+            raise ConfigurationError(
+                f"step {step} out of range [0, {self.batches_per_epoch})"
+            )
+        order = self._epoch_order(epoch)
+        d, b = self.data_parallel, self.batch_per_replica
+        base = step * d * b
+        # Replica r takes the r-th interleaved slice of this step's block.
+        block = order[base : base + d * b]
+        return [int(i) for i in block[replica::d]]
+
+    def replica_batch(self, replica: int, epoch: int, step: int):
+        """(inputs, targets) arrays for one replica's batch."""
+        return self.dataset.batch(self.replica_indices(replica, epoch, step))
+
+    def epoch_coverage(self, epoch: int) -> List[int]:
+        """All indices consumed in one epoch (testing aid: each exactly once
+        across replicas and steps)."""
+        out: List[int] = []
+        for step in range(self.batches_per_epoch):
+            for replica in range(self.data_parallel):
+                out.extend(self.replica_indices(replica, epoch, step))
+        return out

@@ -1,0 +1,140 @@
+"""Tokenizers: character-level and trainable byte-pair encoding.
+
+The BPE trainer follows the classic Sennrich et al. algorithm: start from
+characters, repeatedly merge the most frequent adjacent pair, record the
+merge table.  Encoding replays the merges in order; decoding concatenates
+token strings.  Round-trip fidelity is a tested invariant.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class CharTokenizer:
+    """Character-level tokenizer built from a sample text."""
+
+    def __init__(self, text: str) -> None:
+        if not text:
+            raise ConfigurationError("cannot build a vocabulary from empty text")
+        alphabet = sorted(set(text))
+        self._id_of: Dict[str, int] = {ch: i for i, ch in enumerate(alphabet)}
+        self._char_of: List[str] = alphabet
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self._char_of)
+
+    def encode(self, text: str) -> List[int]:
+        try:
+            return [self._id_of[ch] for ch in text]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"character {exc.args[0]!r} not in vocabulary"
+            ) from None
+
+    def decode(self, ids: Sequence[int]) -> str:
+        return "".join(self._char_of[i] for i in ids)
+
+
+class BPETokenizer:
+    """Trainable byte-pair-encoding tokenizer."""
+
+    END_OF_WORD = "▁"  # marks word boundaries (SentencePiece-style)
+
+    def __init__(self) -> None:
+        self._merges: List[Tuple[str, str]] = []
+        self._vocab: Dict[str, int] = {}
+        self._tokens: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+
+    def train(self, text: str, vocab_size: int) -> "BPETokenizer":
+        """Learn merges until the vocabulary reaches ``vocab_size`` (or no
+        pair repeats).  Returns self for chaining."""
+        if not text:
+            raise ConfigurationError("cannot train on empty text")
+        if vocab_size < 2:
+            raise ConfigurationError(f"vocab_size must be >= 2: {vocab_size}")
+
+        # Word frequency table; words are symbol tuples ending in the
+        # boundary marker.
+        word_freq: Counter = Counter()
+        for word in text.split():
+            word_freq[tuple(word) + (self.END_OF_WORD,)] += 1
+
+        symbols = {s for word in word_freq for s in word}
+        self._tokens = sorted(symbols)
+        self._merges = []
+        while len(self._tokens) < vocab_size:
+            pair_freq: Counter = Counter()
+            for word, freq in word_freq.items():
+                for a, b in zip(word, word[1:]):
+                    pair_freq[(a, b)] += freq
+            if not pair_freq:
+                break
+            (a, b), count = max(
+                pair_freq.items(), key=lambda kv: (kv[1], kv[0])
+            )
+            if count < 2:
+                break
+            merged = a + b
+            self._merges.append((a, b))
+            self._tokens.append(merged)
+            word_freq = Counter(
+                {self._apply_merge(word, a, b): f for word, f in word_freq.items()}
+            )
+        self._vocab = {tok: i for i, tok in enumerate(self._tokens)}
+        return self
+
+    @staticmethod
+    def _apply_merge(word: tuple, a: str, b: str) -> tuple:
+        out: List[str] = []
+        i = 0
+        while i < len(word):
+            if i + 1 < len(word) and word[i] == a and word[i + 1] == b:
+                out.append(a + b)
+                i += 2
+            else:
+                out.append(word[i])
+                i += 1
+        return tuple(out)
+
+    # ------------------------------------------------------------------ #
+    # encode / decode
+    # ------------------------------------------------------------------ #
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self._tokens)
+
+    def tokenize(self, text: str) -> List[str]:
+        """Text -> token strings (replays the learned merges in order)."""
+        if not self._tokens:
+            raise ConfigurationError("tokenizer is not trained")
+        pieces: List[str] = []
+        for word in text.split():
+            symbols = tuple(word) + (self.END_OF_WORD,)
+            for a, b in self._merges:
+                symbols = self._apply_merge(symbols, a, b)
+            pieces.extend(symbols)
+        return pieces
+
+    def encode(self, text: str) -> List[int]:
+        ids = []
+        for piece in self.tokenize(text):
+            if piece not in self._vocab:
+                raise ConfigurationError(
+                    f"piece {piece!r} outside the trained vocabulary"
+                )
+            ids.append(self._vocab[piece])
+        return ids
+
+    def decode(self, ids: Sequence[int]) -> str:
+        text = "".join(self._tokens[i] for i in ids)
+        return text.replace(self.END_OF_WORD, " ").strip()

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the Holmes reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while still
+being able to discriminate on the specific failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value or inconsistent combination was given."""
+
+
+class TopologyError(ConfigurationError):
+    """A hardware topology is malformed (rank numbering, node shapes, ...)."""
+
+
+class ParallelismError(ConfigurationError):
+    """Parallelism degrees are inconsistent with the device count."""
+
+
+class PartitionError(ConfigurationError):
+    """A pipeline layer partition is infeasible (e.g. a stage got 0 layers)."""
+
+
+class TransportError(ReproError):
+    """No usable transport exists between two endpoints."""
+
+
+class CommunicatorError(ReproError):
+    """A collective was invoked on an invalid communicator or rank set."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class SchedulingError(ReproError):
+    """The Holmes scheduler could not produce a valid placement."""
+
+
+class CalibrationError(ReproError):
+    """Calibration against paper anchors failed to converge."""

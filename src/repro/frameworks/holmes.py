@@ -1,0 +1,48 @@
+"""The Holmes framework preset and its ablation variants (Table 5)."""
+
+from __future__ import annotations
+
+from repro.core.optimizer import STRATEGIES
+from repro.frameworks.base import FrameworkSpec
+
+#: Full Holmes: NIC-aware placement, Eq. 2 partition (alpha=1.05), and the
+#: Overlapped Distributed Optimizer.
+HOLMES = FrameworkSpec(
+    name="holmes",
+    placement_strategy="holmes",
+    partition_strategy="self_adapting",
+    optimizer=STRATEGIES["overlapped"],
+    nic_aware=True,
+)
+
+
+def holmes_ablation(
+    self_adapting_partition: bool = True,
+    overlapped_optimizer: bool = True,
+) -> FrameworkSpec:
+    """Holmes with components removed, as in the paper's Table 5.
+
+    - ``w/o Self-Adapting-Partition``: uniform layer split, overlap kept.
+    - ``w/o Overlapped Optimizer``: Eq. 2 partition kept, plain distributed
+      optimizer.
+    - ``w/o Above Two``: only Cross-Cluster Pipeline Parallelism and
+      Automatic NIC Selection remain (this is also the configuration behind
+      Table 3's *Hybrid* rows).
+    """
+    suffixes = []
+    partition = "self_adapting"
+    optimizer = STRATEGIES["overlapped"]
+    if not self_adapting_partition:
+        partition = "uniform"
+        suffixes.append("no-sap")
+    if not overlapped_optimizer:
+        optimizer = STRATEGIES["distributed"]
+        suffixes.append("no-overlap")
+    name = "holmes" + ("-" + "-".join(suffixes) if suffixes else "")
+    return FrameworkSpec(
+        name=name,
+        placement_strategy="holmes",
+        partition_strategy=partition,
+        optimizer=optimizer,
+        nic_aware=True,
+    )

@@ -1,0 +1,31 @@
+"""Megatron-DeepSpeed baseline preset.
+
+ZeRO-style sharded optimizer (same reduce-scatter + all-gather pattern as
+Megatron's distributed optimizer) with a small additional per-step engine
+overhead, matching the paper's observation that Megatron-DeepSpeed trails
+Megatron-LM slightly in this setting (Figure 6).  NIC-oblivious, so it
+falls back to Ethernet in heterogeneous environments like the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.optimizer import STRATEGIES
+from repro.frameworks.base import FrameworkSpec
+
+#: DeepSpeed's engine adds measurable per-iteration launch/partitioning
+#: overhead on top of the sharded communication pattern.
+_ZERO_STEP_OVERHEAD = 0.15  # seconds per iteration
+
+MEGATRON_DEEPSPEED = FrameworkSpec(
+    name="megatron-deepspeed",
+    placement_strategy="identity",
+    partition_strategy="uniform",
+    optimizer=replace(
+        STRATEGIES["distributed"],
+        name="zero",
+        step_overhead=_ZERO_STEP_OVERHEAD,
+    ),
+    nic_aware=False,
+)

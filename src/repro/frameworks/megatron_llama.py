@@ -1,0 +1,20 @@
+"""Megatron-LLaMA baseline preset.
+
+Contributes the *OverlappedDistributedOptimizer* (which Holmes adopts,
+§3.2) but remains NIC-oblivious: in heterogeneous environments its traffic
+rides Ethernet, yet the overlap hides part of the gradient synchronisation,
+placing it between Megatron-LM and Holmes — the ordering of Figure 6.
+"""
+
+from __future__ import annotations
+
+from repro.core.optimizer import STRATEGIES
+from repro.frameworks.base import FrameworkSpec
+
+MEGATRON_LLAMA = FrameworkSpec(
+    name="megatron-llama",
+    placement_strategy="identity",
+    partition_strategy="uniform",
+    optimizer=STRATEGIES["overlapped"],
+    nic_aware=False,
+)

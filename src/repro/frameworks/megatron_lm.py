@@ -1,0 +1,21 @@
+"""Megatron-LM baseline preset.
+
+NIC-oblivious: rank-order (identity) placement, uniform pipeline partition,
+non-overlapped distributed optimizer.  In heterogeneous NIC environments it
+cannot negotiate mixed RDMA and all inter-node traffic drops to Ethernet,
+which is exactly the paper's observation (Table 5: Megatron-LM in the
+4RoCE+4IB environment matches the pure-Ethernet row of Table 3).
+"""
+
+from __future__ import annotations
+
+from repro.core.optimizer import STRATEGIES
+from repro.frameworks.base import FrameworkSpec
+
+MEGATRON_LM = FrameworkSpec(
+    name="megatron-lm",
+    placement_strategy="identity",
+    partition_strategy="uniform",
+    optimizer=STRATEGIES["distributed"],
+    nic_aware=False,
+)

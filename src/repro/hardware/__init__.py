@@ -1,0 +1,29 @@
+"""Hardware model: NICs, GPUs, intra-node links, nodes, clusters, topology.
+
+This subpackage is the simulated stand-in for the paper's physical testbed
+(NVIDIA A100 nodes with InfiniBand / RoCE / Ethernet NICs).  Everything the
+scheduler and network model need to know about the machine — rank numbering,
+NIC types per node, which pairs of ranks share a node or a cluster — lives in
+:class:`~repro.hardware.topology.ClusterTopology`.
+"""
+
+from repro.hardware.nic import NICType, NICSpec
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.link import LinkType, LinkSpec
+from repro.hardware.node import Node
+from repro.hardware.cluster import Cluster
+from repro.hardware.topology import ClusterTopology, DeviceInfo
+from repro.hardware import presets
+
+__all__ = [
+    "NICType",
+    "NICSpec",
+    "GPUSpec",
+    "LinkType",
+    "LinkSpec",
+    "Node",
+    "Cluster",
+    "ClusterTopology",
+    "DeviceInfo",
+    "presets",
+]

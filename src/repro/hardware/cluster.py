@@ -1,0 +1,69 @@
+"""A cluster: a set of nodes joined by one high-speed switch fabric.
+
+Per the paper's problem setup (§2.2):
+
+- *within* a cluster, nodes that carry RDMA NICs of the cluster's family can
+  communicate over RDMA through the cluster switch;
+- *between* clusters there is no high-speed interconnect — only Ethernet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.hardware.nic import NICType
+from repro.hardware.node import Node
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One GPU cluster with homogeneous NICs and an internal switch."""
+
+    cluster_id: int
+    nodes: tuple  # Tuple[Node, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise TopologyError(f"cluster {self.cluster_id} has no nodes")
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        families = {n.nic_type for n in self.nodes}
+        if len(families) != 1:
+            raise TopologyError(
+                f"cluster {self.cluster_id} mixes NIC families {sorted(f.value for f in families)}; "
+                "the paper's Case definitions keep each cluster homogeneous"
+            )
+        gpu_counts = {n.num_gpus for n in self.nodes}
+        if len(gpu_counts) != 1:
+            raise TopologyError(
+                f"cluster {self.cluster_id} mixes per-node GPU counts {sorted(gpu_counts)}"
+            )
+        if not self.name:
+            object.__setattr__(
+                self, "name", f"cluster{self.cluster_id}-{self.nic_type.value}"
+            )
+
+    @property
+    def nic_type(self) -> NICType:
+        """The NIC family shared by every node in this cluster."""
+        return self.nodes[0].nic_type
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def gpus_per_node(self) -> int:
+        return self.nodes[0].num_gpus
+
+    @property
+    def num_gpus(self) -> int:
+        return self.num_nodes * self.gpus_per_node
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.num_nodes} nodes x {self.gpus_per_node} GPUs, "
+            f"{self.nic_type.value}"
+        )

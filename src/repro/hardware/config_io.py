@@ -1,0 +1,174 @@
+"""JSON serialisation of machines, so topologies live in files.
+
+A machine file looks like::
+
+    {
+      "inter_cluster_rdma": false,
+      "gpus_per_node": 8,
+      "gpu": {"name": "A100-80GB", "peak_tflops": 312, "memory_gb": 80,
+              "mfu": 0.78},
+      "clusters": [
+        {"nodes": 2, "nic": "roce"},
+        {"nodes": 2, "nic": "infiniband"}
+      ],
+      "nics": {
+        "roce": {"gbps": 200, "latency_us": 6, "efficiency": 0.55,
+                 "compute_drag": 0.18}
+      }
+    }
+
+Unspecified NIC families and the GPU fall back to the calibrated presets,
+so a minimal file is just the cluster shapes.  Round-trip (dump → load)
+is a tested invariant.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, List, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import Cluster
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.nic import NICSpec, NICType
+from repro.hardware.node import Node
+from repro.hardware.presets import GPUS_PER_NODE, NVLINK, nic_preset
+from repro.hardware.topology import ClusterTopology
+from repro.units import GB, gbps, microseconds, teraflops
+
+_FAMILY_NAMES = {f.value: f for f in NICType}
+
+
+def _nic_from_dict(family: NICType, spec: Dict) -> NICSpec:
+    base = nic_preset(family)
+    return NICSpec(
+        nic_type=family,
+        bandwidth=gbps(spec["gbps"]) if "gbps" in spec else base.bandwidth,
+        latency=(
+            microseconds(spec["latency_us"])
+            if "latency_us" in spec
+            else base.latency
+        ),
+        efficiency=spec.get("efficiency", base.efficiency),
+        compute_drag=spec.get("compute_drag", base.compute_drag),
+        name=spec.get("name", base.name),
+    )
+
+
+def _gpu_from_dict(spec: Dict) -> GPUSpec:
+    return GPUSpec(
+        name=spec.get("name", "custom-gpu"),
+        peak_flops=teraflops(spec["peak_tflops"]),
+        memory_bytes=int(spec["memory_gb"] * GB),
+        base_mfu=spec.get("mfu", 0.78),
+    )
+
+
+def topology_from_dict(data: Dict) -> ClusterTopology:
+    """Build a :class:`ClusterTopology` from a parsed machine dict."""
+    if "clusters" not in data or not data["clusters"]:
+        raise ConfigurationError("machine file needs a non-empty 'clusters' list")
+    gpus_per_node = int(data.get("gpus_per_node", GPUS_PER_NODE))
+    gpu = _gpu_from_dict(data["gpu"]) if "gpu" in data else None
+
+    nic_overrides: Dict[NICType, NICSpec] = {}
+    for name, spec in data.get("nics", {}).items():
+        if name not in _FAMILY_NAMES:
+            raise ConfigurationError(
+                f"unknown NIC family {name!r}; choose from {sorted(_FAMILY_NAMES)}"
+            )
+        family = _FAMILY_NAMES[name]
+        nic_overrides[family] = _nic_from_dict(family, spec)
+
+    def nic_for(family: NICType) -> NICSpec:
+        return nic_overrides.get(family, nic_preset(family))
+
+    ethernet = nic_for(NICType.ETHERNET)
+    clusters: List[Cluster] = []
+    node_id = 0
+    for cluster_id, shape in enumerate(data["clusters"]):
+        family_name = shape.get("nic", "ethernet")
+        if family_name not in _FAMILY_NAMES:
+            raise ConfigurationError(f"unknown NIC family {family_name!r}")
+        family = _FAMILY_NAMES[family_name]
+        count = int(shape["nodes"])
+        if count < 1:
+            raise ConfigurationError(f"cluster {cluster_id} needs >= 1 node")
+        nodes = []
+        for _ in range(count):
+            nodes.append(
+                Node(
+                    node_id=node_id,
+                    gpu=gpu or _default_gpu(),
+                    num_gpus=gpus_per_node,
+                    ethernet_nic=ethernet,
+                    rdma_nic=nic_for(family) if family.is_rdma else None,
+                    intra_link=NVLINK,
+                )
+            )
+            node_id += 1
+        clusters.append(Cluster(cluster_id=cluster_id, nodes=tuple(nodes)))
+    return ClusterTopology(
+        clusters, inter_cluster_rdma=bool(data.get("inter_cluster_rdma", False))
+    )
+
+
+def _default_gpu() -> GPUSpec:
+    from repro.hardware.presets import A100
+
+    return A100
+
+
+def topology_to_dict(topology: ClusterTopology) -> Dict:
+    """Serialise a machine back into the file format (lossy only in that
+    per-family NIC specs are taken from each family's first occurrence)."""
+    nics: Dict[str, Dict] = {}
+    clusters = []
+    for cluster in topology.clusters:
+        node = cluster.nodes[0]
+        family = cluster.nic_type
+        clusters.append({"nodes": cluster.num_nodes, "nic": family.value})
+        for nic in filter(None, (node.rdma_nic, node.ethernet_nic)):
+            nics.setdefault(
+                nic.nic_type.value,
+                {
+                    "gbps": nic.bandwidth * 8 / 1e9,
+                    "latency_us": nic.latency * 1e6,
+                    "efficiency": nic.efficiency,
+                    "compute_drag": nic.compute_drag,
+                    "name": nic.name,
+                },
+            )
+    gpu = topology.node_of(0).gpu
+    return {
+        "inter_cluster_rdma": topology.inter_cluster_rdma,
+        "gpus_per_node": topology.gpus_per_node,
+        "gpu": {
+            "name": gpu.name,
+            "peak_tflops": gpu.peak_flops / 1e12,
+            "memory_gb": gpu.memory_bytes / GB,
+            "mfu": gpu.base_mfu,
+        },
+        "clusters": clusters,
+        "nics": nics,
+    }
+
+
+def load_topology(source: Union[str, IO[str]]) -> ClusterTopology:
+    """Load a machine from a JSON file path or file object."""
+    if isinstance(source, str):
+        with open(source) as fh:
+            data = json.load(fh)
+    else:
+        data = json.load(source)
+    return topology_from_dict(data)
+
+
+def dump_topology(topology: ClusterTopology, target: Union[str, IO[str]]) -> None:
+    """Write a machine to a JSON file path or file object."""
+    data = topology_to_dict(topology)
+    if isinstance(target, str):
+        with open(target, "w") as fh:
+            json.dump(data, fh, indent=2)
+    else:
+        json.dump(data, target, indent=2)

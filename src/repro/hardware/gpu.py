@@ -1,0 +1,47 @@
+"""GPU compute model.
+
+The paper's testbed uses NVIDIA A100-80GB GPUs with a 312 teraFLOP/s fp16
+peak.  Measured TFLOPS never reaches peak; the achievable fraction (model
+FLOPs utilisation, MFU) depends on kernel shapes.  We model a GPU by its peak
+rate and a base MFU calibrated so the *compute-bound* limit of the simulator
+matches the paper's best observed per-GPU TFLOPS (~233 in Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Immutable description of one GPU model."""
+
+    name: str
+    peak_flops: float  # FLOP/s at the training precision
+    memory_bytes: int
+    base_mfu: float = 0.8  # achieved fraction of peak for transformer GEMMs
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0:
+            raise ConfigurationError(f"peak_flops must be positive: {self.peak_flops}")
+        if self.memory_bytes <= 0:
+            raise ConfigurationError(f"memory must be positive: {self.memory_bytes}")
+        if not 0.0 < self.base_mfu <= 1.0:
+            raise ConfigurationError(f"base_mfu must be in (0, 1]: {self.base_mfu}")
+
+    @property
+    def effective_flops(self) -> float:
+        """Sustained FLOP/s for transformer training kernels."""
+        return self.peak_flops * self.base_mfu
+
+    def with_mfu(self, mfu: float) -> "GPUSpec":
+        """Return a copy with a different base MFU (used by calibration)."""
+        return replace(self, base_mfu=mfu)
+
+    def compute_time(self, flops: float) -> float:
+        """Wall time to execute ``flops`` floating-point operations."""
+        if flops < 0:
+            raise ConfigurationError(f"negative flops: {flops}")
+        return flops / self.effective_flops

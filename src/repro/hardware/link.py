@@ -1,0 +1,47 @@
+"""Intra-node interconnect model (NVLink / PCIe).
+
+Tensor parallelism communicates within a node over NVLink (paper §3.1.1,
+Figure 2 caption mentions PCI-E as the fallback).  These links are private to
+a GPU pair/clique and are never the cross-cluster bottleneck, but they do
+contribute to tensor-parallel allreduce time for the large parameter groups
+(PG7/PG8 use tensor parallel size 8).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class LinkType(enum.Enum):
+    """Intra-node and network link families."""
+
+    NVLINK = "nvlink"
+    PCIE = "pcie"
+    NETWORK = "network"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Bandwidth/latency of one link family."""
+
+    link_type: LinkType
+    bandwidth: float  # bytes/s
+    latency: float  # seconds
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError(f"link bandwidth must be positive: {self.bandwidth}")
+        if self.latency < 0:
+            raise ConfigurationError(f"link latency must be >= 0: {self.latency}")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Time for one isolated transfer of ``nbytes`` over this link."""
+        if nbytes < 0:
+            raise ConfigurationError(f"negative transfer size: {nbytes}")
+        return self.latency + nbytes / self.bandwidth

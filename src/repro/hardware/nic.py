@@ -1,0 +1,105 @@
+"""Network interface card model.
+
+The paper's central observation is that the *type* of NIC attached to a GPU's
+node determines achievable training throughput, and that InfiniBand and RoCE
+are mutually incompatible: a flow between an IB endpoint and a RoCE endpoint
+must fall back to plain Ethernet/TCP (paper §1, §2.1.2).
+
+:class:`NICSpec` captures the calibration-relevant characteristics:
+
+- ``bandwidth``: line rate in bytes/s (spec sheets quote Gb/s; use
+  :func:`repro.units.gbps`).
+- ``latency``: one-way small-message latency in seconds.
+- ``efficiency``: fraction of line rate achieved by large transfers during
+  real collective traffic.  This absorbs protocol overhead, congestion
+  control behaviour (notably RoCE's PFC/DCQCN pauses under incast, which the
+  paper's Table 1 shows costing RoCE ~19% TFLOPS versus IB at identical
+  200 Gb/s line rate), and NCCL proxy overheads.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+
+class NICType(enum.Enum):
+    """The three NIC families the paper evaluates."""
+
+    INFINIBAND = "infiniband"
+    ROCE = "roce"
+    ETHERNET = "ethernet"
+
+    @property
+    def is_rdma(self) -> bool:
+        """Whether this NIC family supports RDMA transports."""
+        return self in (NICType.INFINIBAND, NICType.ROCE)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class NICSpec:
+    """Immutable description of one NIC model."""
+
+    nic_type: NICType
+    bandwidth: float  # bytes/s line rate
+    latency: float  # seconds, one-way small message
+    efficiency: float = 1.0  # achieved fraction of line rate under load
+    #: Fractional slowdown of *backward* compute on GPUs whose data-parallel
+    #: traffic rides this NIC — continuous interference from in-flight
+    #: communication (RoCE's PFC/DCQCN pause storms under collective incast,
+    #: NCCL proxy CPU contention).  The paper's Table 3 shows the RoCE
+    #: deficit versus InfiniBand shrinking proportionally to per-GPU compute
+    #: as nodes grow, the signature of a compute-coupled penalty rather than
+    #: a fixed-volume synchronisation cost.
+    compute_drag: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError(f"NIC bandwidth must be positive: {self.bandwidth}")
+        if self.latency < 0:
+            raise ConfigurationError(f"NIC latency must be >= 0: {self.latency}")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ConfigurationError(
+                f"NIC efficiency must be in (0, 1]: {self.efficiency}"
+            )
+        if not 0.0 <= self.compute_drag < 1.0:
+            raise ConfigurationError(
+                f"NIC compute_drag must be in [0, 1): {self.compute_drag}"
+            )
+        if not self.name:
+            object.__setattr__(self, "name", f"{self.nic_type.value}")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Achieved bytes/s for large transfers: line rate x efficiency."""
+        return self.bandwidth * self.efficiency
+
+    def with_efficiency(self, efficiency: float) -> "NICSpec":
+        """Return a copy with a different efficiency (used by calibration)."""
+        return replace(self, efficiency=efficiency)
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Time for one isolated point-to-point transfer of ``nbytes``."""
+        if nbytes < 0:
+            raise ConfigurationError(f"negative transfer size: {nbytes}")
+        return self.latency + nbytes / self.effective_bandwidth
+
+    def __str__(self) -> str:
+        gbit = self.bandwidth * 8 / 1e9
+        return f"{self.name}({gbit:.0f}Gb/s,eff={self.efficiency:.2f})"
+
+
+def rdma_compatible(a: NICType, b: NICType) -> bool:
+    """Whether two endpoints can talk over an RDMA transport.
+
+    InfiniBand and RoCE are *inherently incompatible* (paper §1): RDMA is
+    only possible when both ends use the same RDMA family.  Ethernet never
+    offers RDMA in this model (the paper's "Ethernet" rows are TCP).
+    """
+    return a == b and a.is_rdma

@@ -1,0 +1,72 @@
+"""A compute node: G GPUs behind one set of NICs.
+
+Per the paper's testbed each node holds 8 NVIDIA A100 GPUs joined by NVLink
+and reaches the network through its node NICs.  A node always carries an
+Ethernet NIC (management / fallback network) and optionally one RDMA NIC
+(InfiniBand or RoCE).  All GPUs on a node share the node's NICs — this
+sharing is what makes per-NIC contention matter at scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.link import LinkSpec, LinkType
+from repro.hardware.nic import NICSpec, NICType
+
+
+@dataclass(frozen=True)
+class Node:
+    """One multi-GPU server.
+
+    ``rdma_nic`` is ``None`` for Ethernet-only nodes; ``ethernet_nic`` is
+    always present because every real cluster node has a TCP path (and it is
+    the only path between incompatible RDMA domains).
+    """
+
+    node_id: int
+    gpu: GPUSpec
+    num_gpus: int
+    ethernet_nic: NICSpec
+    rdma_nic: Optional[NICSpec] = None
+    intra_link: Optional[LinkSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ConfigurationError(f"node needs >= 1 GPU, got {self.num_gpus}")
+        if self.ethernet_nic.nic_type != NICType.ETHERNET:
+            raise ConfigurationError(
+                f"ethernet_nic must be an Ethernet NIC, got {self.ethernet_nic.nic_type}"
+            )
+        if self.rdma_nic is not None and not self.rdma_nic.nic_type.is_rdma:
+            raise ConfigurationError(
+                f"rdma_nic must be InfiniBand or RoCE, got {self.rdma_nic.nic_type}"
+            )
+
+    @property
+    def nic_type(self) -> NICType:
+        """The *preferred* NIC family of this node (RDMA if present)."""
+        return self.rdma_nic.nic_type if self.rdma_nic else NICType.ETHERNET
+
+    @property
+    def best_nic(self) -> NICSpec:
+        """The fastest NIC available on this node."""
+        return self.rdma_nic if self.rdma_nic else self.ethernet_nic
+
+    def nic_for(self, family: NICType) -> NICSpec:
+        """The node's NIC of the given family.
+
+        Raises :class:`ConfigurationError` if an RDMA family is requested
+        that this node does not carry.
+        """
+        if family == NICType.ETHERNET:
+            return self.ethernet_nic
+        if self.rdma_nic is not None and self.rdma_nic.nic_type == family:
+            return self.rdma_nic
+        raise ConfigurationError(
+            f"node {self.node_id} has no {family.value} NIC "
+            f"(carries {self.nic_type.value})"
+        )

@@ -1,0 +1,180 @@
+"""Presets mirroring the paper's testbed and convenience topology builders.
+
+The paper's machine environment (§4.1): nodes of 8 NVIDIA A100-80GB GPUs
+(312 teraFLOP/s fp16 peak) joined by NVLink; NIC environments of InfiniBand
+(200 Gb/s), RoCE (200 Gb/s), and Ethernet (25 Gb/s) — bandwidths from
+Table 1's third column.
+
+Efficiency / MFU defaults below are the output of
+:mod:`repro.bench.calibration` fitted against the Table 1 anchor row
+(IB 197 / RoCE 160 / Ethernet 122 TFLOPS for the 3.6B model on 4 nodes).
+Notably, RoCE's large-message efficiency is far below InfiniBand's despite
+the identical line rate — this is the paper's own observation ("Even if
+InfiniBand and RoCE NICs have the same bandwidth, the GPU device equipped
+with different types of NIC may exhibit significant variations in actual
+computational speed").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import Cluster
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.link import LinkSpec, LinkType
+from repro.hardware.nic import NICSpec, NICType
+from repro.hardware.node import Node
+from repro.hardware.topology import ClusterTopology
+from repro.units import GB, gBps, gbps, microseconds, teraflops
+
+#: NVIDIA A100-SXM 80GB at fp16/bf16 mixed precision.
+A100 = GPUSpec(
+    name="A100-80GB",
+    peak_flops=teraflops(312),
+    memory_bytes=80 * GB,
+    base_mfu=0.78,
+)
+
+#: 200 Gb/s HDR InfiniBand (calibrated efficiency).
+IB_200 = NICSpec(
+    nic_type=NICType.INFINIBAND,
+    bandwidth=gbps(200),
+    latency=microseconds(2.0),
+    efficiency=0.90,
+    name="IB-HDR200",
+)
+
+#: 200 Gb/s RoCEv2 (calibrated efficiency; PFC/DCQCN under collective incast
+#: makes RoCE's achieved goodput far lower than IB's at equal line rate).
+ROCE_200 = NICSpec(
+    nic_type=NICType.ROCE,
+    bandwidth=gbps(200),
+    latency=microseconds(6.0),
+    efficiency=0.55,
+    compute_drag=0.18,
+    name="RoCE-200",
+)
+
+#: 25 Gb/s datacenter Ethernet carrying TCP (the fallback path everywhere).
+ETH_25 = NICSpec(
+    nic_type=NICType.ETHERNET,
+    bandwidth=gbps(25),
+    latency=microseconds(30.0),
+    efficiency=0.72,
+    name="Eth-25",
+)
+
+#: NVLink3 clique bandwidth available to an intra-node ring collective.
+NVLINK = LinkSpec(link_type=LinkType.NVLINK, bandwidth=gBps(250), latency=microseconds(3.0))
+
+#: PCIe 4.0 x16 fallback for nodes without NVLink.
+PCIE = LinkSpec(link_type=LinkType.PCIE, bandwidth=gBps(25), latency=microseconds(5.0))
+
+#: GPUs per node throughout the paper's evaluation.
+GPUS_PER_NODE = 8
+
+_RDMA_PRESETS = {
+    NICType.INFINIBAND: IB_200,
+    NICType.ROCE: ROCE_200,
+}
+
+
+def nic_preset(family: NICType) -> NICSpec:
+    """The paper-testbed NIC spec for a family."""
+    if family == NICType.ETHERNET:
+        return ETH_25
+    return _RDMA_PRESETS[family]
+
+
+def make_node(
+    node_id: int,
+    nic_family: NICType,
+    gpus_per_node: int = GPUS_PER_NODE,
+    gpu: GPUSpec = A100,
+    ethernet: NICSpec = ETH_25,
+    intra_link: LinkSpec = NVLINK,
+) -> Node:
+    """Build one testbed node carrying the given NIC family.
+
+    ``nic_family=ETHERNET`` yields an Ethernet-only node (no RDMA NIC).
+    """
+    rdma: Optional[NICSpec] = None
+    if nic_family.is_rdma:
+        rdma = _RDMA_PRESETS[nic_family]
+    return Node(
+        node_id=node_id,
+        gpu=gpu,
+        num_gpus=gpus_per_node,
+        ethernet_nic=ethernet,
+        rdma_nic=rdma,
+        intra_link=intra_link,
+    )
+
+
+def make_cluster(
+    cluster_id: int,
+    num_nodes: int,
+    nic_family: NICType,
+    gpus_per_node: int = GPUS_PER_NODE,
+    gpu: GPUSpec = A100,
+    node_id_base: int = 0,
+) -> Cluster:
+    """Build a homogeneous cluster of ``num_nodes`` testbed nodes."""
+    if num_nodes < 1:
+        raise ConfigurationError(f"cluster needs >= 1 node, got {num_nodes}")
+    nodes = [
+        make_node(node_id_base + i, nic_family, gpus_per_node, gpu)
+        for i in range(num_nodes)
+    ]
+    return Cluster(cluster_id=cluster_id, nodes=tuple(nodes))
+
+
+ClusterShape = Tuple[int, NICType]
+
+
+def make_topology(
+    shapes: Sequence[ClusterShape],
+    inter_cluster_rdma: bool = False,
+    gpus_per_node: int = GPUS_PER_NODE,
+    gpu: GPUSpec = A100,
+) -> ClusterTopology:
+    """Build a multi-cluster topology from ``(num_nodes, nic_family)`` shapes.
+
+    Example — the paper's Figure 2 machine (2 clusters x 2 nodes, IB + RoCE,
+    no inter-cluster high-speed interconnect)::
+
+        topo = make_topology([(2, NICType.INFINIBAND), (2, NICType.ROCE)])
+    """
+    if not shapes:
+        raise ConfigurationError("make_topology needs at least one cluster shape")
+    clusters: List[Cluster] = []
+    node_base = 0
+    for cluster_id, (num_nodes, family) in enumerate(shapes):
+        clusters.append(
+            make_cluster(
+                cluster_id,
+                num_nodes,
+                family,
+                gpus_per_node=gpus_per_node,
+                gpu=gpu,
+                node_id_base=node_base,
+            )
+        )
+        node_base += num_nodes
+    return ClusterTopology(clusters, inter_cluster_rdma=inter_cluster_rdma)
+
+
+def homogeneous_topology(
+    num_nodes: int,
+    nic_family: NICType,
+    gpus_per_node: int = GPUS_PER_NODE,
+    gpu: GPUSpec = A100,
+) -> ClusterTopology:
+    """One cluster with high-speed interconnect throughout (paper Case 1)."""
+    return make_topology(
+        [(num_nodes, nic_family)],
+        inter_cluster_rdma=True,
+        gpus_per_node=gpus_per_node,
+        gpu=gpu,
+    )

@@ -1,0 +1,38 @@
+"""Transformer model specifications.
+
+No weights are ever materialised — the paper's metrics (TFLOPS, samples/s)
+depend only on *counts*: parameters (Eq. 5), floating-point operations
+(Eq. 6), and the byte sizes of activations, gradients, and optimizer state.
+This subpackage computes those counts exactly as the paper defines them.
+"""
+
+from repro.model.config import GPTConfig
+from repro.model.params import parameter_count, layer_parameter_counts
+from repro.model.flops import (
+    flops_per_iteration,
+    layer_flops_per_microbatch,
+    logit_flops_per_microbatch,
+)
+from repro.model.memory import (
+    activation_message_bytes,
+    gradient_bytes,
+    optimizer_state_bytes,
+    parameter_bytes,
+)
+from repro.model.layers import LayerKind, LayerSpec, build_layer_stack
+
+__all__ = [
+    "GPTConfig",
+    "parameter_count",
+    "layer_parameter_counts",
+    "flops_per_iteration",
+    "layer_flops_per_microbatch",
+    "logit_flops_per_microbatch",
+    "activation_message_bytes",
+    "gradient_bytes",
+    "optimizer_state_bytes",
+    "parameter_bytes",
+    "LayerKind",
+    "LayerSpec",
+    "build_layer_stack",
+]

@@ -1,0 +1,62 @@
+"""GPT model configuration.
+
+Matches the paper's experimental setup (§4.1): every model uses a vocabulary
+of 51,200 (a multiple of 1024) and sequence length 2048; hidden size, head
+count, and layer count vary per parameter group (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GPTConfig:
+    """Architecture hyper-parameters of one GPT model."""
+
+    num_layers: int
+    hidden_size: int
+    num_attention_heads: int
+    seq_length: int = 2048
+    vocab_size: int = 51200
+    #: bytes per element at training precision (fp16/bf16 mixed precision).
+    dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_layers < 1:
+            raise ConfigurationError(f"num_layers must be >= 1: {self.num_layers}")
+        if self.hidden_size < 1:
+            raise ConfigurationError(f"hidden_size must be >= 1: {self.hidden_size}")
+        if self.num_attention_heads < 1:
+            raise ConfigurationError(
+                f"num_attention_heads must be >= 1: {self.num_attention_heads}"
+            )
+        if self.hidden_size % self.num_attention_heads != 0:
+            raise ConfigurationError(
+                f"hidden_size {self.hidden_size} not divisible by "
+                f"num_attention_heads {self.num_attention_heads}"
+            )
+        if self.seq_length < 1:
+            raise ConfigurationError(f"seq_length must be >= 1: {self.seq_length}")
+        if self.vocab_size < 1:
+            raise ConfigurationError(f"vocab_size must be >= 1: {self.vocab_size}")
+        if self.dtype_bytes not in (2, 4):
+            raise ConfigurationError(
+                f"dtype_bytes must be 2 (fp16/bf16) or 4 (fp32): {self.dtype_bytes}"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_attention_heads
+
+    def describe(self) -> str:
+        from repro.model.params import parameter_count
+
+        billions = parameter_count(self) / 1e9
+        return (
+            f"GPT(l={self.num_layers}, h={self.hidden_size}, "
+            f"heads={self.num_attention_heads}, s={self.seq_length}, "
+            f"V={self.vocab_size}) ~ {billions:.1f}B params"
+        )

@@ -1,0 +1,101 @@
+"""FLOP counting — paper Equation 6.
+
+    F = 96 B s l h^2 (1 + s/(6h) + V/(16 l h))
+
+This is the Megatron-LM convention with activation recomputation: per
+transformer layer the forward pass costs ``24 B s h^2 (1 + s/(6h))``, the
+backward costs twice that, and recomputation repeats the forward — four
+forward-equivalents total, hence the 96 coefficient.  The logit layer adds
+``6 B s h V`` (the ``V/(16lh)`` term).
+
+TFLOPS reporting divides F by iteration wall time and GPU count, exactly as
+the paper's Experiment section does.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.model.config import GPTConfig
+
+#: Megatron-LM FLOP accounting weights, in forward-pass-equivalents:
+#: backward is 2x forward; activation recomputation re-runs the forward.
+FORWARD_UNITS = 1.0
+BACKWARD_UNITS = 2.0
+RECOMPUTE_UNITS = 1.0
+TOTAL_UNITS = FORWARD_UNITS + BACKWARD_UNITS + RECOMPUTE_UNITS  # = 4
+
+
+def flops_per_iteration(config: GPTConfig, batch_size: int) -> float:
+    """Total FLOPs of one training iteration, paper Eq. 6."""
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1: {batch_size}")
+    B, s = batch_size, config.seq_length
+    l, h, V = config.num_layers, config.hidden_size, config.vocab_size
+    return 96.0 * B * s * l * h * h * (1.0 + s / (6.0 * h) + V / (16.0 * l * h))
+
+
+def layer_forward_flops(config: GPTConfig, samples: int) -> float:
+    """Forward-pass FLOPs of one transformer layer on ``samples`` sequences:
+    ``24 B s h^2 (1 + s/(6h))``."""
+    if samples < 1:
+        raise ConfigurationError(f"samples must be >= 1: {samples}")
+    B, s, h = samples, config.seq_length, config.hidden_size
+    return 24.0 * B * s * h * h * (1.0 + s / (6.0 * h))
+
+
+def layer_flops_per_microbatch(
+    config: GPTConfig, microbatch: int, recompute_activations: bool = True
+) -> dict:
+    """Forward and backward FLOPs of one transformer layer per microbatch.
+
+    With ``recompute_activations`` (the Megatron default the paper's Eq. 6
+    assumes), backward repeats the forward: 3 forward-equivalents.  Without
+    it, backward is 2 forward-equivalents and activations stay resident
+    (see :mod:`repro.core.memory_model`).
+    """
+    fwd = layer_forward_flops(config, microbatch)
+    backward_units = BACKWARD_UNITS + (
+        RECOMPUTE_UNITS if recompute_activations else 0.0
+    )
+    return {
+        "forward": FORWARD_UNITS * fwd,
+        "backward": backward_units * fwd,
+    }
+
+
+def logit_flops_per_microbatch(config: GPTConfig, microbatch: int) -> dict:
+    """Forward/backward FLOPs of the output logit GEMM per microbatch.
+
+    Forward is ``2 B s h V``; backward is twice that (input and weight
+    gradients); no recomputation applies.  Total ``6 B s h V`` matches the
+    ``V/(16lh)`` term of Eq. 6.
+    """
+    if microbatch < 1:
+        raise ConfigurationError(f"microbatch must be >= 1: {microbatch}")
+    B, s = microbatch, config.seq_length
+    h, V = config.hidden_size, config.vocab_size
+    fwd = 2.0 * B * s * h * V
+    return {"forward": fwd, "backward": 2.0 * fwd}
+
+
+def achieved_tflops_per_gpu(
+    config: GPTConfig, batch_size: int, iteration_time: float, num_gpus: int
+) -> float:
+    """The paper's headline metric: teraFLOP/s per GPU.
+
+    ``F / (iteration_time * num_gpus) / 1e12`` with F from Eq. 6.
+    """
+    if iteration_time <= 0:
+        raise ConfigurationError(f"iteration_time must be positive: {iteration_time}")
+    if num_gpus < 1:
+        raise ConfigurationError(f"num_gpus must be >= 1: {num_gpus}")
+    return flops_per_iteration(config, batch_size) / (iteration_time * num_gpus) / 1e12
+
+
+def throughput_samples_per_second(batch_size: int, iteration_time: float) -> float:
+    """The paper's second metric: end-to-end samples processed per second."""
+    if iteration_time <= 0:
+        raise ConfigurationError(f"iteration_time must be positive: {iteration_time}")
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1: {batch_size}")
+    return batch_size / iteration_time

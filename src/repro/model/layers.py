@@ -1,0 +1,88 @@
+"""Layer-level model description used by the pipeline partitioner.
+
+The partitioner (uniform or self-adapting) works on an ordered stack of
+:class:`LayerSpec` entries.  Embedding and logit layers are pinned to the
+first and last pipeline stages respectively (Megatron semantics); only the
+transformer layers are redistributed by the Self-Adapting Pipeline
+Partition.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.model.config import GPTConfig
+from repro.model.flops import layer_flops_per_microbatch, logit_flops_per_microbatch
+from repro.model.params import embedding_params, transformer_layer_params
+
+
+class LayerKind(enum.Enum):
+    EMBEDDING = "embedding"
+    TRANSFORMER = "transformer"
+    LOGIT = "logit"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One layer of the model with its cost/size accounting."""
+
+    index: int
+    kind: LayerKind
+    params: int
+    forward_flops: float  # per microbatch
+    backward_flops: float  # per microbatch (incl. recomputation where applicable)
+
+
+def build_layer_stack(
+    config: GPTConfig, microbatch: int, recompute_activations: bool = True
+) -> List[LayerSpec]:
+    """The ordered layer stack: embedding, L transformer layers, logit head.
+
+    FLOPs are per-microbatch so the pipeline engine can schedule directly.
+    The embedding lookup itself is memory-bound and contributes negligible
+    FLOPs; the logit layer carries the ``6 B s h V`` GEMM cost.
+    """
+    if microbatch < 1:
+        raise ConfigurationError(f"microbatch must be >= 1: {microbatch}")
+    stack: List[LayerSpec] = []
+    stack.append(
+        LayerSpec(
+            index=0,
+            kind=LayerKind.EMBEDDING,
+            params=embedding_params(config),
+            forward_flops=0.0,
+            backward_flops=0.0,
+        )
+    )
+    per_layer = layer_flops_per_microbatch(
+        config, microbatch, recompute_activations
+    )
+    layer_params = transformer_layer_params(config)
+    for i in range(config.num_layers):
+        stack.append(
+            LayerSpec(
+                index=1 + i,
+                kind=LayerKind.TRANSFORMER,
+                params=layer_params,
+                forward_flops=per_layer["forward"],
+                backward_flops=per_layer["backward"],
+            )
+        )
+    logit = logit_flops_per_microbatch(config, microbatch)
+    # The logit GEMM reuses the (tied) embedding weights: no extra params.
+    stack.append(
+        LayerSpec(
+            index=1 + config.num_layers,
+            kind=LayerKind.LOGIT,
+            params=0,
+            forward_flops=logit["forward"],
+            backward_flops=logit["backward"],
+        )
+    )
+    return stack

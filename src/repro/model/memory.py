@@ -1,0 +1,74 @@
+"""Byte-size accounting for communication and memory footprints.
+
+Mixed-precision (Megatron-style) training keeps fp16/bf16 model weights and
+activations, accumulates gradients into fp32 buffers, and holds fp32 Adam
+state.  The communication volumes that matter to the paper:
+
+- **data parallelism** synchronises the fp32 gradient buffer of each rank's
+  model shard (all-reduce, or reduce-scatter + all-gather with the
+  distributed optimizer);
+- **pipeline parallelism** moves one microbatch of activations
+  ``b * s * h * dtype_bytes`` per stage boundary per direction, divided by
+  the tensor-parallel size when scatter/gather optimisation is enabled
+  (the paper enables it, §4.1);
+- **tensor parallelism** all-reduces activations twice per layer per
+  direction within the node.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.model.config import GPTConfig
+
+#: fp32 gradient accumulation buffer, bytes per parameter.
+GRAD_BYTES_PER_PARAM = 4
+#: fp16 parameter bytes per parameter (what all-gather redistributes).
+PARAM_BYTES_PER_PARAM = 2
+#: Adam exponential moving averages (m, v) in fp32 plus fp32 master weights.
+OPTIMIZER_BYTES_PER_PARAM = 12
+
+
+def gradient_bytes(num_params: int) -> int:
+    """Bytes of the fp32 gradient buffer covering ``num_params``."""
+    if num_params < 0:
+        raise ConfigurationError(f"negative parameter count: {num_params}")
+    return num_params * GRAD_BYTES_PER_PARAM
+
+
+def parameter_bytes(num_params: int) -> int:
+    """Bytes of the fp16 weights covering ``num_params``."""
+    if num_params < 0:
+        raise ConfigurationError(f"negative parameter count: {num_params}")
+    return num_params * PARAM_BYTES_PER_PARAM
+
+
+def optimizer_state_bytes(num_params: int) -> int:
+    """Bytes of fp32 Adam state (m, v, master weights)."""
+    if num_params < 0:
+        raise ConfigurationError(f"negative parameter count: {num_params}")
+    return num_params * OPTIMIZER_BYTES_PER_PARAM
+
+
+def activation_message_bytes(
+    config: GPTConfig, microbatch: int, tensor_parallel: int = 1,
+    scatter_gather: bool = True,
+) -> int:
+    """Bytes of one inter-stage pipeline transfer for one microbatch.
+
+    With the scatter/gather optimisation each tensor-parallel rank sends
+    only its 1/t slice of the activation tensor.
+    """
+    if microbatch < 1:
+        raise ConfigurationError(f"microbatch must be >= 1: {microbatch}")
+    if tensor_parallel < 1:
+        raise ConfigurationError(f"tensor_parallel must be >= 1: {tensor_parallel}")
+    full = microbatch * config.seq_length * config.hidden_size * config.dtype_bytes
+    return full // tensor_parallel if scatter_gather else full
+
+
+def tp_allreduce_bytes(config: GPTConfig, microbatch: int) -> int:
+    """Bytes of one tensor-parallel activation all-reduce (per layer, per
+    direction there are two: attention and MLP block outputs)."""
+    if microbatch < 1:
+        raise ConfigurationError(f"microbatch must be >= 1: {microbatch}")
+    return microbatch * config.seq_length * config.hidden_size * config.dtype_bytes

@@ -1,0 +1,45 @@
+"""Parameter counting — paper Equation 5.
+
+    P = 12 l h^2 (1 + 13/(12h) + (V + s)/(12 l h))
+      = 12 l h^2  +  13 l h  +  (V + s) h
+
+Decomposition per component (matching Megatron-LM's accounting):
+
+- each transformer layer: attention QKV+proj ``4h^2 + ...`` and MLP
+  ``8h^2 + ...`` sum to ``12h^2 + 13h`` including biases and layernorms;
+- token embedding ``V*h`` plus learned positional embedding ``s*h``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.model.config import GPTConfig
+
+
+def parameter_count(config: GPTConfig) -> int:
+    """Total parameters P per paper Eq. 5 (exact integer form)."""
+    l, h = config.num_layers, config.hidden_size
+    V, s = config.vocab_size, config.seq_length
+    return 12 * l * h * h + 13 * l * h + (V + s) * h
+
+
+def transformer_layer_params(config: GPTConfig) -> int:
+    """Parameters of a single transformer layer: ``12h^2 + 13h``."""
+    h = config.hidden_size
+    return 12 * h * h + 13 * h
+
+
+def embedding_params(config: GPTConfig) -> int:
+    """Token + positional embedding parameters: ``(V + s) h``."""
+    return (config.vocab_size + config.seq_length) * config.hidden_size
+
+
+def layer_parameter_counts(config: GPTConfig) -> Dict[str, int]:
+    """Per-component parameter counts (sums to :func:`parameter_count`)."""
+    return {
+        "embedding": embedding_params(config),
+        "transformer_layer": transformer_layer_params(config),
+        "num_transformer_layers": config.num_layers,
+        "total": parameter_count(config),
+    }

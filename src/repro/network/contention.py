@@ -1,0 +1,72 @@
+"""Contention accounting: how many flows share each node NIC.
+
+Two distinct sharing effects matter in the paper's workloads:
+
+1. **Within one ring collective** — NCCL builds node-contiguous rings, so no
+   matter how many group members live on a node, the group's ring crosses
+   that node's NIC exactly once per direction.  Members-per-node therefore
+   does *not* multiply NIC traffic for a single group.
+
+2. **Across concurrent collectives** — at the end of an iteration every data
+   parallel group synchronises gradients simultaneously.  When tensor
+   parallelism places members of ``t`` different DP groups on one node
+   (e.g. parameter groups 7/8 with t=8), all ``t`` rings cross that node's
+   NIC at once and fair-share its bandwidth.
+
+This module computes effect 2: for a set of groups assumed active
+concurrently, the worst-case number of inter-node rings sharing any NIC a
+given group touches.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Set
+
+from repro.hardware.topology import ClusterTopology
+
+
+def group_node_span(topology: ClusterTopology, ranks: Sequence[int]) -> int:
+    """Number of distinct nodes a rank group touches."""
+    return len({topology.device(r).node_global for r in ranks})
+
+
+def group_cluster_span(topology: ClusterTopology, ranks: Sequence[int]) -> int:
+    """Number of distinct clusters a rank group touches."""
+    return len({topology.device(r).cluster_id for r in ranks})
+
+
+def concurrent_groups_per_nic(
+    topology: ClusterTopology, groups: Sequence[Sequence[int]]
+) -> Dict[int, int]:
+    """For each group index, the max number of concurrently active inter-node
+    rings sharing any NIC the group uses.
+
+    A group confined to a single node uses no NIC and gets factor 1.
+    """
+    # Which multi-node groups touch each node?
+    node_ring_count: Dict[int, int] = defaultdict(int)
+    spans: List[Set[int]] = []
+    for ranks in groups:
+        nodes = {topology.device(r).node_global for r in ranks}
+        spans.append(nodes)
+        if len(nodes) > 1:
+            for node in nodes:
+                node_ring_count[node] += 1
+
+    factors: Dict[int, int] = {}
+    for idx, nodes in enumerate(spans):
+        if len(nodes) <= 1:
+            factors[idx] = 1
+        else:
+            factors[idx] = max(node_ring_count[node] for node in nodes)
+    return factors
+
+
+def uniform_concurrency(
+    topology: ClusterTopology, groups: Sequence[Sequence[int]]
+) -> int:
+    """The worst-case concurrency factor across all groups (a single scalar
+    usable when all groups share identical layout, as in Megatron grids)."""
+    factors = concurrent_groups_per_nic(topology, groups)
+    return max(factors.values()) if factors else 1

@@ -1,0 +1,188 @@
+"""The fabric: topology + cost model + (optionally) DES NIC resources.
+
+:class:`Fabric` is the single object the collective library and training
+engine consult for "how long does this communication take, and through what".
+It caches pairwise transport resolution, computes the slowest-edge transport
+of a rank group (which governs ring collectives), and — when attached to a
+:class:`~repro.simcore.engine.SimEngine` — hands out per-node NIC transmit
+resources so concurrent point-to-point transfers through one NIC serialize
+naturally in the discrete-event simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CommunicatorError, TransportError
+from repro.hardware.link import LinkType
+from repro.hardware.nic import NICType
+from repro.hardware.topology import ClusterTopology
+from repro.network.contention import group_node_span
+from repro.network.costmodel import CollectiveCostModel, CostModelConfig
+from repro.network.transport import Transport, TransportKind, resolve_transport
+from repro.simcore.engine import SimEngine
+from repro.simcore.resource import Resource
+
+
+class Fabric:
+    """Communication oracle over one cluster topology."""
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        config: Optional[CostModelConfig] = None,
+        engine: Optional[SimEngine] = None,
+        force_ethernet: bool = False,
+    ) -> None:
+        """``force_ethernet=True`` reproduces the behaviour of NIC-oblivious
+        frameworks in heterogeneous environments (paper §3.2): NCCL cannot
+        negotiate RDMA consistently, so *all* inter-node traffic rides TCP
+        over the Ethernet NICs."""
+        self.topology = topology
+        self.cost_model = CollectiveCostModel(config)
+        self.engine = engine
+        self.force_ethernet = force_ethernet
+        self._pair_cache: Dict[Tuple[int, int], Transport] = {}
+        self._group_cache: Dict[Tuple[int, ...], Transport] = {}
+        self._nic_tx: Dict[Tuple[int, NICType], Resource] = {}
+        self._uplinks: Dict[Tuple[int, int], Resource] = {}
+
+    # ------------------------------------------------------------------ #
+    # transport resolution
+    # ------------------------------------------------------------------ #
+
+    def transport(self, a: int, b: int) -> Transport:
+        """Resolved (cached) transport between two ranks."""
+        key = (a, b) if a < b else (b, a)
+        cached = self._pair_cache.get(key)
+        if cached is None:
+            cached = resolve_transport(self.topology, key[0], key[1])
+            if self.force_ethernet and not cached.kind.is_intra_node:
+                eth_a = self.topology.node_of(key[0]).ethernet_nic
+                eth_b = self.topology.node_of(key[1]).ethernet_nic
+                cached = Transport(
+                    kind=TransportKind.TCP,
+                    bandwidth=min(eth_a.effective_bandwidth, eth_b.effective_bandwidth),
+                    latency=max(eth_a.latency, eth_b.latency),
+                )
+            self._pair_cache[key] = cached
+        return cached
+
+    def group_transport(self, ranks: Sequence[int]) -> Transport:
+        """The slowest edge a node-contiguous ring over ``ranks`` must cross.
+
+        A ring visiting multiple nodes must include an inter-node edge
+        between every "adjacent" pair of node blocks; whatever the ring
+        order, if any two nodes in the group can only reach each other over
+        a slow transport, at least one ring edge uses it.  We therefore take
+        the minimum-bandwidth transport over all node pairs (conservative
+        and order-independent).  Single-node groups use the intra-node link.
+        """
+        ranks = tuple(sorted(set(ranks)))
+        if len(ranks) < 2:
+            raise CommunicatorError(f"group transport needs >= 2 ranks: {ranks}")
+        cached = self._group_cache.get(ranks)
+        if cached is not None:
+            return cached
+
+        # One representative rank per node.
+        reps: Dict[int, int] = {}
+        for r in ranks:
+            reps.setdefault(self.topology.device(r).node_global, r)
+        rep_ranks = list(reps.values())
+        if len(rep_ranks) == 1:
+            transport = self.transport(ranks[0], ranks[1])
+        else:
+            worst: Optional[Transport] = None
+            for i, a in enumerate(rep_ranks):
+                for b in rep_ranks[i + 1 :]:
+                    t = self.transport(a, b)
+                    if worst is None or t.bandwidth < worst.bandwidth:
+                        worst = t
+            assert worst is not None
+            transport = worst
+        self._group_cache[ranks] = transport
+        return transport
+
+    # ------------------------------------------------------------------ #
+    # analytic timing
+    # ------------------------------------------------------------------ #
+
+    def collective_time(
+        self, op: str, ranks: Sequence[int], nbytes: int, concurrent: int = 1
+    ) -> float:
+        """Duration of one collective over ``ranks`` moving ``nbytes``."""
+        ranks = list(ranks)
+        if len(ranks) <= 1 or nbytes == 0:
+            return 0.0
+        edge = self.group_transport(ranks)
+        span = group_node_span(self.topology, ranks)
+        return self.cost_model.collective(
+            op, nbytes, len(ranks), edge, concurrent=concurrent, node_span=span
+        )
+
+    def p2p_time(self, src: int, dst: int, nbytes: int, concurrent: int = 1) -> float:
+        """End-to-end duration of one point-to-point transfer."""
+        return self.cost_model.p2p(
+            nbytes,
+            self.transport(src, dst),
+            concurrent,
+            cross_cluster=not self.topology.same_cluster(src, dst),
+        )
+
+    def p2p_occupancy(self, src: int, dst: int, nbytes: int) -> float:
+        """Sender NIC busy time for one transfer (DES serialization)."""
+        return self.cost_model.p2p_nic_occupancy(
+            nbytes,
+            self.transport(src, dst),
+            cross_cluster=not self.topology.same_cluster(src, dst),
+        )
+
+    # ------------------------------------------------------------------ #
+    # DES resources
+    # ------------------------------------------------------------------ #
+
+    def attach_engine(self, engine: SimEngine) -> None:
+        """Bind a fresh simulation engine (drops previous NIC resources)."""
+        self.engine = engine
+        self._nic_tx.clear()
+        self._uplinks.clear()
+
+    def nic_tx_resource(self, rank: int, family: NICType) -> Resource:
+        """The transmit-side resource of the NIC ``rank``'s node uses for
+        ``family`` traffic.  All ranks of a node share it."""
+        if self.engine is None:
+            raise TransportError("fabric has no simulation engine attached")
+        node = self.topology.device(rank).node_global
+        key = (node, family)
+        res = self._nic_tx.get(key)
+        if res is None:
+            res = Resource(self.engine, capacity=1, name=f"nic-tx[n{node},{family.value}]")
+            self._nic_tx[key] = res
+        return res
+
+    def uplink_resource(self, src: int, dst: int) -> Optional[Resource]:
+        """The shared inter-cluster uplink resource between the clusters of
+        two ranks, or ``None`` when they share a cluster."""
+        if self.engine is None:
+            raise TransportError("fabric has no simulation engine attached")
+        ca = self.topology.device(src).cluster_id
+        cb = self.topology.device(dst).cluster_id
+        if ca == cb:
+            return None
+        key = (min(ca, cb), max(ca, cb))
+        res = self._uplinks.get(key)
+        if res is None:
+            res = Resource(
+                self.engine, capacity=1, name=f"uplink[c{key[0]}<->c{key[1]}]"
+            )
+            self._uplinks[key] = res
+        return res
+
+    def uplink_occupancy(self, nbytes: int) -> float:
+        """Time one transfer holds the inter-cluster uplink."""
+        return nbytes / self.cost_model.config.inter_cluster_uplink
+
+    def send_transport(self, src: int, dst: int) -> Transport:
+        """Alias of :meth:`transport` kept for readability at call sites."""
+        return self.transport(src, dst)

@@ -1,0 +1,108 @@
+"""Transport resolution between pairs of ranks.
+
+A *transport* is the concrete channel a flow runs over, with its achieved
+bandwidth and latency.  The incompatibility rule at the heart of the paper —
+InfiniBand and RoCE cannot interoperate, so mixed pairs drop to TCP over
+Ethernet — is applied by :meth:`ClusterTopology.effective_nic_type`;
+this module turns the resolved NIC family into concrete numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TransportError
+from repro.hardware.link import LinkType
+from repro.hardware.nic import NICType
+from repro.hardware.topology import ClusterTopology
+
+
+class TransportKind(enum.Enum):
+    """Concrete channel families a flow can use."""
+
+    NVLINK = "nvlink"
+    PCIE = "pcie"
+    RDMA_IB = "rdma-ib"
+    RDMA_ROCE = "rdma-roce"
+    TCP = "tcp"
+
+    @property
+    def is_intra_node(self) -> bool:
+        return self in (TransportKind.NVLINK, TransportKind.PCIE)
+
+    @property
+    def is_rdma(self) -> bool:
+        return self in (TransportKind.RDMA_IB, TransportKind.RDMA_ROCE)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_NIC_TO_KIND = {
+    NICType.INFINIBAND: TransportKind.RDMA_IB,
+    NICType.ROCE: TransportKind.RDMA_ROCE,
+    NICType.ETHERNET: TransportKind.TCP,
+}
+
+_KIND_TO_NIC = {v: k for k, v in _NIC_TO_KIND.items()}
+
+
+def nic_family_for(kind: TransportKind) -> NICType:
+    """The NIC family a network transport kind rides on."""
+    if kind.is_intra_node:
+        raise TransportError(f"{kind} is not a network transport")
+    return _KIND_TO_NIC[kind]
+
+
+@dataclass(frozen=True)
+class Transport:
+    """A resolved channel between two specific endpoints."""
+
+    kind: TransportKind
+    bandwidth: float  # achieved bytes/s for large messages
+    latency: float  # seconds one-way
+
+    def transfer_time(self, nbytes: int, concurrent: int = 1) -> float:
+        """Isolated transfer time, with ``concurrent`` equal flows sharing
+        the channel fairly."""
+        if nbytes < 0:
+            raise TransportError(f"negative transfer size: {nbytes}")
+        if concurrent < 1:
+            raise TransportError(f"concurrent flows must be >= 1: {concurrent}")
+        return self.latency + nbytes * concurrent / self.bandwidth
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}@{self.bandwidth / 1e9:.1f}GB/s"
+
+
+def resolve_transport(topology: ClusterTopology, a: int, b: int) -> Transport:
+    """Resolve the transport used by a flow between global ranks ``a``, ``b``.
+
+    Applies the paper's rules: intra-node pairs use the node's NVLink/PCIe;
+    otherwise the effective NIC family from the topology decides, and both
+    endpoints' NICs of that family bound the achieved rate (the slower end
+    governs).
+    """
+    if a == b:
+        raise TransportError(f"rank {a} does not communicate with itself")
+    if topology.same_node(a, b):
+        link = topology.node_of(a).intra_link
+        if link is None:
+            raise TransportError(
+                f"node of rank {a} has no intra-node link configured"
+            )
+        kind = (
+            TransportKind.NVLINK
+            if link.link_type == LinkType.NVLINK
+            else TransportKind.PCIE
+        )
+        return Transport(kind=kind, bandwidth=link.bandwidth, latency=link.latency)
+
+    family = topology.effective_nic_type(a, b)
+    assert family is not None  # same_node handled above
+    nic_a = topology.node_of(a).nic_for(family)
+    nic_b = topology.node_of(b).nic_for(family)
+    bandwidth = min(nic_a.effective_bandwidth, nic_b.effective_bandwidth)
+    latency = max(nic_a.latency, nic_b.latency)
+    return Transport(kind=_NIC_TO_KIND[family], bandwidth=bandwidth, latency=latency)

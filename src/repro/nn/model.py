@@ -1,0 +1,242 @@
+"""A small but complete GPT in NumPy with hand-derived backprop.
+
+Architecture (pre-norm GPT-2 style): token + positional embeddings, N
+blocks of [LayerNorm → causal multi-head attention → residual, LayerNorm →
+MLP(GELU) → residual], a final LayerNorm, and a logit projection tied to
+the token embedding.
+
+The class exposes exactly what the parallel trainers need:
+
+- :meth:`forward_blocks` / :meth:`backward_blocks` run a *slice* of the
+  block stack, so pipeline stages can own disjoint block ranges and
+  exchange activations / activation-gradients;
+- parameters and gradients are flat ``dict[str, ndarray]`` keyed by layer,
+  so data-parallel gradient synchronisation is one ring all-reduce over
+  the flattened vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn import tensorops as ops
+
+Params = Dict[str, np.ndarray]
+Grads = Dict[str, np.ndarray]
+
+
+@dataclass(frozen=True)
+class TinyGPTConfig:
+    """Architecture of the NumPy GPT."""
+
+    vocab_size: int = 256
+    seq_length: int = 32
+    hidden_size: int = 32
+    num_heads: int = 4
+    num_blocks: int = 2
+
+    def __post_init__(self) -> None:
+        if self.hidden_size % self.num_heads != 0:
+            raise ConfigurationError(
+                f"hidden {self.hidden_size} not divisible by heads "
+                f"{self.num_heads}"
+            )
+        for name in ("vocab_size", "seq_length", "hidden_size", "num_heads",
+                     "num_blocks"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+
+
+class TinyGPT:
+    """The model: owns parameters; forward/backward are pure functions of
+    (params, batch) so replicas stay trivially comparable."""
+
+    def __init__(self, config: TinyGPTConfig, seed: int = 0) -> None:
+        self.config = config
+        self.params = self._init_params(np.random.default_rng(seed))
+
+    # ------------------------------------------------------------------ #
+    # parameters
+    # ------------------------------------------------------------------ #
+
+    def _init_params(self, rng: np.random.Generator) -> Params:
+        c = self.config
+        scale = 0.02
+        params: Params = {
+            "wte": rng.normal(0, scale, (c.vocab_size, c.hidden_size)),
+            "wpe": rng.normal(0, scale, (c.seq_length, c.hidden_size)),
+            "ln_f.g": np.ones(c.hidden_size),
+            "ln_f.b": np.zeros(c.hidden_size),
+        }
+        for i in range(c.num_blocks):
+            p = f"h{i}."
+            params[p + "ln1.g"] = np.ones(c.hidden_size)
+            params[p + "ln1.b"] = np.zeros(c.hidden_size)
+            params[p + "attn.wqkv"] = rng.normal(
+                0, scale, (c.hidden_size, 3 * c.hidden_size)
+            )
+            params[p + "attn.bqkv"] = np.zeros(3 * c.hidden_size)
+            params[p + "attn.wo"] = rng.normal(
+                0, scale, (c.hidden_size, c.hidden_size)
+            )
+            params[p + "attn.bo"] = np.zeros(c.hidden_size)
+            params[p + "ln2.g"] = np.ones(c.hidden_size)
+            params[p + "ln2.b"] = np.zeros(c.hidden_size)
+            params[p + "mlp.w1"] = rng.normal(
+                0, scale, (c.hidden_size, 4 * c.hidden_size)
+            )
+            params[p + "mlp.b1"] = np.zeros(4 * c.hidden_size)
+            params[p + "mlp.w2"] = rng.normal(
+                0, scale, (4 * c.hidden_size, c.hidden_size)
+            )
+            params[p + "mlp.b2"] = np.zeros(c.hidden_size)
+        return params
+
+    def zero_grads(self) -> Grads:
+        return {k: np.zeros_like(v) for k, v in self.params.items()}
+
+    def block_param_keys(self, block: int) -> List[str]:
+        return [k for k in self.params if k.startswith(f"h{block}.")]
+
+    # ------------------------------------------------------------------ #
+    # block-level forward / backward (pipeline building blocks)
+    # ------------------------------------------------------------------ #
+
+    def _block_forward(self, x: np.ndarray, i: int):
+        p = self.params
+        pre = f"h{i}."
+        ln1, c_ln1 = ops.layernorm_forward(x, p[pre + "ln1.g"], p[pre + "ln1.b"])
+        qkv, c_qkv = ops.linear_forward(ln1, p[pre + "attn.wqkv"], p[pre + "attn.bqkv"])
+        q, k, v = np.split(qkv, 3, axis=-1)
+        att, c_att = ops.attention_forward(q, k, v, self.config.num_heads)
+        proj, c_proj = ops.linear_forward(att, p[pre + "attn.wo"], p[pre + "attn.bo"])
+        x1 = x + proj
+        ln2, c_ln2 = ops.layernorm_forward(x1, p[pre + "ln2.g"], p[pre + "ln2.b"])
+        fc1, c_fc1 = ops.linear_forward(ln2, p[pre + "mlp.w1"], p[pre + "mlp.b1"])
+        act, c_act = ops.gelu_forward(fc1)
+        fc2, c_fc2 = ops.linear_forward(act, p[pre + "mlp.w2"], p[pre + "mlp.b2"])
+        out = x1 + fc2
+        cache = (c_ln1, c_qkv, c_att, c_proj, c_ln2, c_fc1, c_act, c_fc2)
+        return out, cache
+
+    def _block_backward(self, dout: np.ndarray, cache, i: int, grads: Grads):
+        pre = f"h{i}."
+        c_ln1, c_qkv, c_att, c_proj, c_ln2, c_fc1, c_act, c_fc2 = cache
+        # MLP branch.
+        dfc2 = dout
+        dact, dw2, db2 = ops.linear_backward(dfc2, c_fc2)
+        grads[pre + "mlp.w2"] += dw2
+        grads[pre + "mlp.b2"] += db2
+        dfc1 = ops.gelu_backward(dact, c_act)
+        dln2, dw1, db1 = ops.linear_backward(dfc1, c_fc1)
+        grads[pre + "mlp.w1"] += dw1
+        grads[pre + "mlp.b1"] += db1
+        dx1, dg2, db2_ln = ops.layernorm_backward(dln2, c_ln2)
+        grads[pre + "ln2.g"] += dg2
+        grads[pre + "ln2.b"] += db2_ln
+        dx1 = dx1 + dout  # residual
+        # Attention branch.
+        datt, dwo, dbo = ops.linear_backward(dx1, c_proj)
+        grads[pre + "attn.wo"] += dwo
+        grads[pre + "attn.bo"] += dbo
+        dq, dk, dv = ops.attention_backward(datt, c_att)
+        dqkv = np.concatenate([dq, dk, dv], axis=-1)
+        dln1, dwqkv, dbqkv = ops.linear_backward(dqkv, c_qkv)
+        grads[pre + "attn.wqkv"] += dwqkv
+        grads[pre + "attn.bqkv"] += dbqkv
+        dx, dg1, db1_ln = ops.layernorm_backward(dln1, c_ln1)
+        grads[pre + "ln1.g"] += dg1
+        grads[pre + "ln1.b"] += db1_ln
+        return dx + dx1  # residual
+
+    def forward_blocks(self, x: np.ndarray, start: int, stop: int):
+        """Run blocks ``start..stop-1``; returns (activation, caches)."""
+        caches = []
+        for i in range(start, stop):
+            x, cache = self._block_forward(x, i)
+            caches.append(cache)
+        return x, caches
+
+    def backward_blocks(self, dx: np.ndarray, caches, start: int, stop: int,
+                        grads: Grads) -> np.ndarray:
+        """Backward through blocks ``stop-1..start``; accumulates grads."""
+        for offset, i in enumerate(reversed(range(start, stop))):
+            dx = self._block_backward(dx, caches[-(offset + 1)], i, grads)
+        return dx
+
+    # ------------------------------------------------------------------ #
+    # head and tail (embedding / logits)
+    # ------------------------------------------------------------------ #
+
+    def embed(self, tokens: np.ndarray):
+        """Token + positional embedding; tokens: (B, T) ints."""
+        T = tokens.shape[1]
+        if T > self.config.seq_length:
+            raise ConfigurationError(
+                f"sequence {T} exceeds configured {self.config.seq_length}"
+            )
+        emb, cache = ops.embedding_forward(tokens, self.params["wte"])
+        return emb + self.params["wpe"][:T], (cache, T)
+
+    def embed_backward(self, dx: np.ndarray, cache, grads: Grads) -> None:
+        emb_cache, T = cache
+        grads["wte"] += ops.embedding_backward(dx, emb_cache)
+        grads["wpe"][:T] += dx.sum(axis=0)
+
+    def head(self, x: np.ndarray):
+        """Final layernorm + tied logit projection."""
+        lnf, c_lnf = ops.layernorm_forward(
+            x, self.params["ln_f.g"], self.params["ln_f.b"]
+        )
+        logits = lnf @ self.params["wte"].T
+        return logits, (c_lnf, lnf)
+
+    def head_backward(self, dlogits: np.ndarray, cache, grads: Grads):
+        c_lnf, lnf = cache
+        dlnf = dlogits @ self.params["wte"]
+        C = lnf.shape[-1]
+        grads["wte"] += (
+            dlogits.reshape(-1, dlogits.shape[-1]).T @ lnf.reshape(-1, C)
+        )
+        dx, dg, db = ops.layernorm_backward(dlnf, c_lnf)
+        grads["ln_f.g"] += dg
+        grads["ln_f.b"] += db
+        return dx
+
+    # ------------------------------------------------------------------ #
+    # full model
+    # ------------------------------------------------------------------ #
+
+    def loss_and_grads(
+        self, tokens: np.ndarray, targets: np.ndarray
+    ) -> Tuple[float, Grads]:
+        """One full forward+backward; returns (mean loss, gradient dict)."""
+        grads = self.zero_grads()
+        x, emb_cache = self.embed(tokens)
+        x, caches = self.forward_blocks(x, 0, self.config.num_blocks)
+        logits, head_cache = self.head(x)
+        loss, ce_cache = ops.cross_entropy_forward(logits, targets)
+        dlogits = ops.cross_entropy_backward(ce_cache)
+        dx = self.head_backward(dlogits, head_cache, grads)
+        dx = self.backward_blocks(dx, caches, 0, self.config.num_blocks, grads)
+        self.embed_backward(dx, emb_cache, grads)
+        return float(loss), grads
+
+    def loss(self, tokens: np.ndarray, targets: np.ndarray) -> float:
+        """Forward-only mean loss (for evaluation and gradient checks)."""
+        x, _ = self.embed(tokens)
+        x, _ = self.forward_blocks(x, 0, self.config.num_blocks)
+        logits, _ = self.head(x)
+        value, _ = ops.cross_entropy_forward(logits, targets)
+        return float(value)
+
+    def clone(self) -> "TinyGPT":
+        """A deep copy with identical parameters (DP replicas)."""
+        other = TinyGPT.__new__(TinyGPT)
+        other.config = self.config
+        other.params = {k: v.copy() for k, v in self.params.items()}
+        return other

@@ -1,0 +1,73 @@
+"""Optimizers for the NumPy GPT: SGD and Adam.
+
+State lives per parameter key, so any trainer that produces a gradient
+dict (single, data-parallel, pipeline-parallel) plugs in unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+Params = Dict[str, np.ndarray]
+Grads = Dict[str, np.ndarray]
+
+
+class SGD:
+    """Plain stochastic gradient descent, optionally with momentum."""
+
+    def __init__(self, lr: float = 0.1, momentum: float = 0.0) -> None:
+        if lr <= 0:
+            raise ConfigurationError(f"lr must be positive: {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1): {momentum}")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def step(self, params: Params, grads: Grads) -> None:
+        """In-place parameter update."""
+        for key, grad in grads.items():
+            if self.momentum:
+                v = self._velocity.setdefault(key, np.zeros_like(grad))
+                v *= self.momentum
+                v += grad
+                update = v
+            else:
+                update = grad
+            params[key] -= self.lr * update
+
+
+class Adam:
+    """Adam with bias correction (the paper's models train with Adam)."""
+
+    def __init__(self, lr: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8) -> None:
+        if lr <= 0:
+            raise ConfigurationError(f"lr must be positive: {lr}")
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ConfigurationError("betas must be in [0, 1)")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params: Params, grads: Grads) -> None:
+        """In-place parameter update with bias-corrected moments."""
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for key, grad in grads.items():
+            m = self._m.setdefault(key, np.zeros_like(grad))
+            v = self._v.setdefault(key, np.zeros_like(grad))
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            params[key] -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)

@@ -1,0 +1,260 @@
+"""Numerical tensor parallelism: Megatron's sharded transformer block.
+
+Completes the 3D-parallelism validation triangle (data and pipeline
+parallel trainers live in :mod:`repro.nn.parallel_train`): each of ``t``
+simulated ranks holds a *slice* of every block's weights —
+
+- attention: column-parallel QKV (each rank owns ``H/t`` heads) and
+  row-parallel output projection;
+- MLP: column-parallel ``w1`` / row-parallel ``w2``;
+- layer norms, embeddings, and the head are replicated;
+
+— and the forward/backward passes insert exactly the all-reduces Megatron
+does (partial outputs summed after each row-parallel linear in forward;
+partial input-gradients summed after each column-parallel linear in
+backward), executed through this library's :func:`ring_allreduce`.
+
+The test suite asserts the sharded block's outputs and every reassembled
+gradient match the unsharded model to float tolerance — the correctness
+property the timing simulator's TP cost model takes for granted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.collectives.ring import ring_allreduce
+from repro.errors import ConfigurationError
+from repro.nn import tensorops as ops
+from repro.nn.model import TinyGPT
+
+
+def shard_block_params(model: TinyGPT, block: int, t: int) -> List[Dict[str, np.ndarray]]:
+    """Slice one block's weights for ``t`` tensor-parallel ranks.
+
+    QKV columns are sliced *per projection* (each rank gets its heads'
+    columns of q, of k, and of v); ``wo``/``w2`` rows are sliced to match.
+    Row-parallel biases (``bo``, ``b2``) stay whole and are added once
+    after the reduction, per Megatron convention.
+    """
+    c = model.config
+    if c.num_heads % t != 0:
+        raise ConfigurationError(
+            f"{c.num_heads} heads not divisible by tensor degree {t}"
+        )
+    C = c.hidden_size
+    slice_c = C // t
+    hidden4 = 4 * C
+    slice_4c = hidden4 // t
+    pre = f"h{block}."
+    p = model.params
+
+    shards: List[Dict[str, np.ndarray]] = []
+    for r in range(t):
+        cols = slice(r * slice_c, (r + 1) * slice_c)
+        cols4 = slice(r * slice_4c, (r + 1) * slice_4c)
+        wqkv = p[pre + "attn.wqkv"]
+        bqkv = p[pre + "attn.bqkv"]
+        # q, k, v column blocks for this rank's heads.
+        shard = {
+            "wq": wqkv[:, 0 * C:1 * C][:, cols].copy(),
+            "wk": wqkv[:, 1 * C:2 * C][:, cols].copy(),
+            "wv": wqkv[:, 2 * C:3 * C][:, cols].copy(),
+            "bq": bqkv[0 * C:1 * C][cols].copy(),
+            "bk": bqkv[1 * C:2 * C][cols].copy(),
+            "bv": bqkv[2 * C:3 * C][cols].copy(),
+            "wo": p[pre + "attn.wo"][cols, :].copy(),
+            "w1": p[pre + "mlp.w1"][:, cols4].copy(),
+            "b1": p[pre + "mlp.b1"][cols4].copy(),
+            "w2": p[pre + "mlp.w2"][cols4, :].copy(),
+        }
+        shards.append(shard)
+    return shards
+
+
+def tp_block_forward(
+    model: TinyGPT, block: int, x: np.ndarray,
+    shards: List[Dict[str, np.ndarray]],
+) -> Tuple[np.ndarray, list]:
+    """Sharded forward of one block; returns (output, caches-per-rank).
+
+    Communication points (both through :func:`ring_allreduce`):
+    after the attention output projection and after ``w2``.
+    """
+    t = len(shards)
+    c = model.config
+    p = model.params
+    pre = f"h{block}."
+    heads_per_rank = c.num_heads // t
+
+    ln1, c_ln1 = ops.layernorm_forward(x, p[pre + "ln1.g"], p[pre + "ln1.b"])
+    attn_partials, attn_caches = [], []
+    for shard in shards:
+        q, c_q = ops.linear_forward(ln1, shard["wq"], shard["bq"])
+        k, c_k = ops.linear_forward(ln1, shard["wk"], shard["bk"])
+        v, c_v = ops.linear_forward(ln1, shard["wv"], shard["bv"])
+        att, c_att = ops.attention_forward(q, k, v, heads_per_rank)
+        # Row-parallel wo: partial (B,T,C), bias deferred to post-reduce.
+        partial = att @ shard["wo"]
+        attn_partials.append(partial)
+        attn_caches.append((c_q, c_k, c_v, c_att, att))
+    reduced = ring_allreduce(attn_partials)  # forward all-reduce #1
+    proj = reduced[0] + p[pre + "attn.bo"]
+    x1 = x + proj
+
+    ln2, c_ln2 = ops.layernorm_forward(x1, p[pre + "ln2.g"], p[pre + "ln2.b"])
+    mlp_partials, mlp_caches = [], []
+    for shard in shards:
+        fc1, c_fc1 = ops.linear_forward(ln2, shard["w1"], shard["b1"])
+        act, c_act = ops.gelu_forward(fc1)
+        partial = act @ shard["w2"]
+        mlp_partials.append(partial)
+        mlp_caches.append((c_fc1, c_act, act))
+    reduced = ring_allreduce(mlp_partials)  # forward all-reduce #2
+    out = x1 + reduced[0] + p[pre + "mlp.b2"]
+    caches = (c_ln1, attn_caches, c_ln2, mlp_caches, x1.shape)
+    return out, caches
+
+
+def tp_block_backward(
+    model: TinyGPT, block: int, dout: np.ndarray, caches,
+    shards: List[Dict[str, np.ndarray]],
+) -> Tuple[np.ndarray, List[Dict[str, np.ndarray]], Dict[str, np.ndarray]]:
+    """Sharded backward; returns (dx, per-rank shard grads, replicated grads).
+
+    Communication points: the column-parallel linears' input gradients are
+    summed across ranks (backward all-reduces #1 and #2).
+    """
+    t = len(shards)
+    p = model.params
+    pre = f"h{block}."
+    c_ln1, attn_caches, c_ln2, mlp_caches, _ = caches
+    shard_grads: List[Dict[str, np.ndarray]] = [dict() for _ in range(t)]
+    replicated: Dict[str, np.ndarray] = {}
+
+    # MLP branch backward.
+    flat_dout = dout.reshape(-1, dout.shape[-1])
+    replicated[pre + "mlp.b2"] = flat_dout.sum(axis=0)
+    dln2_partials = []
+    for r, shard in enumerate(shards):
+        c_fc1, c_act, act = mlp_caches[r]
+        dact = dout @ shard["w2"].T
+        shard_grads[r]["w2"] = (
+            act.reshape(-1, act.shape[-1]).T @ flat_dout
+        )
+        dfc1 = ops.gelu_backward(dact, c_act)
+        dln2_r, dw1, db1 = ops.linear_backward(dfc1, c_fc1)
+        shard_grads[r]["w1"] = dw1
+        shard_grads[r]["b1"] = db1
+        dln2_partials.append(dln2_r)
+    dln2 = ring_allreduce(dln2_partials)[0]  # backward all-reduce #1
+    dx1, dg2, db2_ln = ops.layernorm_backward(dln2, c_ln2)
+    replicated[pre + "ln2.g"] = dg2
+    replicated[pre + "ln2.b"] = db2_ln
+    dx1 = dx1 + dout  # residual
+
+    # Attention branch backward.
+    replicated[pre + "attn.bo"] = dx1.reshape(-1, dx1.shape[-1]).sum(axis=0)
+    dln1_partials = []
+    for r, shard in enumerate(shards):
+        c_q, c_k, c_v, c_att, att = attn_caches[r]
+        datt = dx1 @ shard["wo"].T
+        shard_grads[r]["wo"] = (
+            att.reshape(-1, att.shape[-1]).T
+            @ dx1.reshape(-1, dx1.shape[-1])
+        )
+        dq, dk, dv = ops.attention_backward(datt, c_att)
+        dln1_q, dwq, dbq = ops.linear_backward(dq, c_q)
+        dln1_k, dwk, dbk = ops.linear_backward(dk, c_k)
+        dln1_v, dwv, dbv = ops.linear_backward(dv, c_v)
+        shard_grads[r].update(
+            wq=dwq, bq=dbq, wk=dwk, bk=dbk, wv=dwv, bv=dbv
+        )
+        dln1_partials.append(dln1_q + dln1_k + dln1_v)
+    dln1 = ring_allreduce(dln1_partials)[0]  # backward all-reduce #2
+    dx, dg1, db1_ln = ops.layernorm_backward(dln1, c_ln1)
+    replicated[pre + "ln1.g"] = dg1
+    replicated[pre + "ln1.b"] = db1_ln
+    return dx + dx1, shard_grads, replicated
+
+
+class TensorParallelTrainer:
+    """Full-model training with every block tensor-sharded across ``t``
+    simulated ranks (embeddings, layernorms, and the head replicated).
+
+    Numerically identical to :class:`~repro.nn.parallel_train.SingleTrainer`
+    — the equivalence test that validates the timing simulator's TP model.
+    """
+
+    def __init__(self, config, t: int, seed: int = 0, lr: float = 1e-3) -> None:
+        from repro.nn.optim import Adam
+
+        if t < 1:
+            raise ConfigurationError(f"tensor degree must be >= 1: {t}")
+        self.model = TinyGPT(config, seed=seed)
+        self.t = t
+        self.optimizer = Adam(lr=lr)
+
+    def step(self, tokens: np.ndarray, targets: np.ndarray) -> float:
+        from repro.nn.tensorops import (
+            cross_entropy_backward,
+            cross_entropy_forward,
+        )
+
+        model = self.model
+        grads = model.zero_grads()
+        num_blocks = model.config.num_blocks
+
+        # Shard every block's weights fresh from the (updated) parameters.
+        shards = [shard_block_params(model, b, self.t) for b in range(num_blocks)]
+
+        x, emb_cache = model.embed(tokens)
+        caches = []
+        for b in range(num_blocks):
+            x, cache = tp_block_forward(model, b, x, shards[b])
+            caches.append(cache)
+        logits, head_cache = model.head(x)
+        loss, ce_cache = cross_entropy_forward(logits, targets)
+
+        dx = model.head_backward(cross_entropy_backward(ce_cache), head_cache, grads)
+        for b in reversed(range(num_blocks)):
+            dx, shard_grads, replicated = tp_block_backward(
+                model, b, dx, caches[b], shards[b]
+            )
+            for key, grad in replicated.items():
+                grads[key] += grad
+            for key, grad in reassemble_block_grads(model, b, shard_grads).items():
+                grads[key] += grad
+        model.embed_backward(dx, emb_cache, grads)
+
+        self.optimizer.step(model.params, grads)
+        return float(loss)
+
+    def evaluate(self, tokens: np.ndarray, targets: np.ndarray) -> float:
+        return self.model.loss(tokens, targets)
+
+
+def reassemble_block_grads(
+    model: TinyGPT, block: int, shard_grads: List[Dict[str, np.ndarray]]
+) -> Dict[str, np.ndarray]:
+    """Concatenate per-rank shard gradients back into full-layout arrays
+    keyed like the unsharded model (for equivalence checks)."""
+    pre = f"h{block}."
+    wq = np.concatenate([g["wq"] for g in shard_grads], axis=1)
+    wk = np.concatenate([g["wk"] for g in shard_grads], axis=1)
+    wv = np.concatenate([g["wv"] for g in shard_grads], axis=1)
+    bq = np.concatenate([g["bq"] for g in shard_grads])
+    bk = np.concatenate([g["bk"] for g in shard_grads])
+    bv = np.concatenate([g["bv"] for g in shard_grads])
+    return {
+        pre + "attn.wqkv": np.concatenate([wq, wk, wv], axis=1),
+        pre + "attn.bqkv": np.concatenate([bq, bk, bv]),
+        pre + "attn.wo": np.concatenate(
+            [g["wo"] for g in shard_grads], axis=0
+        ),
+        pre + "mlp.w1": np.concatenate([g["w1"] for g in shard_grads], axis=1),
+        pre + "mlp.b1": np.concatenate([g["b1"] for g in shard_grads]),
+        pre + "mlp.w2": np.concatenate([g["w2"] for g in shard_grads], axis=0),
+    }

@@ -1,0 +1,199 @@
+"""Differentiable primitives: forward functions returning (output, cache)
+and matching backward functions returning input/parameter gradients.
+
+Shapes follow GPT conventions: activations are ``(B, T, C)`` (batch,
+sequence, channels); attention reshapes to ``(B, H, T, hd)``.  Every
+backward here is verified against central finite differences in the test
+suite, so the parallel trainers built on top inherit trustworthy gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+Cache = Tuple
+
+
+# --------------------------------------------------------------------- #
+# linear
+# --------------------------------------------------------------------- #
+
+def linear_forward(x: np.ndarray, w: np.ndarray, b: np.ndarray):
+    """``y = x @ w + b`` with x: (..., In), w: (In, Out), b: (Out,)."""
+    return x @ w + b, (x, w)
+
+
+def linear_backward(dy: np.ndarray, cache: Cache):
+    """Returns (dx, dw, db)."""
+    x, w = cache
+    dx = dy @ w.T
+    flat_x = x.reshape(-1, x.shape[-1])
+    flat_dy = dy.reshape(-1, dy.shape[-1])
+    dw = flat_x.T @ flat_dy
+    db = flat_dy.sum(axis=0)
+    return dx, dw, db
+
+
+# --------------------------------------------------------------------- #
+# layer norm
+# --------------------------------------------------------------------- #
+
+def layernorm_forward(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+                      eps: float = 1e-5):
+    """Per-last-axis normalisation with learnable scale/shift."""
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x - mean) * inv_std
+    return x_hat * gamma + beta, (x_hat, inv_std, gamma)
+
+
+def layernorm_backward(dy: np.ndarray, cache: Cache):
+    """Returns (dx, dgamma, dbeta)."""
+    x_hat, inv_std, gamma = cache
+    C = x_hat.shape[-1]
+    dgamma = (dy * x_hat).reshape(-1, C).sum(axis=0)
+    dbeta = dy.reshape(-1, C).sum(axis=0)
+    dx_hat = dy * gamma
+    # Classic layernorm backward over the last axis.
+    dx = (
+        dx_hat
+        - dx_hat.mean(axis=-1, keepdims=True)
+        - x_hat * (dx_hat * x_hat).mean(axis=-1, keepdims=True)
+    ) * inv_std
+    return dx, dgamma, dbeta
+
+
+# --------------------------------------------------------------------- #
+# GELU
+# --------------------------------------------------------------------- #
+
+_GELU_C = np.sqrt(2.0 / np.pi)
+
+
+def gelu_forward(x: np.ndarray):
+    """tanh-approximation GELU (the GPT-2 variant)."""
+    inner = _GELU_C * (x + 0.044715 * x**3)
+    t = np.tanh(inner)
+    return 0.5 * x * (1.0 + t), (x, t)
+
+
+def gelu_backward(dy: np.ndarray, cache: Cache):
+    x, t = cache
+    dinner = _GELU_C * (1.0 + 3 * 0.044715 * x**2)
+    dx = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t**2) * dinner
+    return dy * dx
+
+
+# --------------------------------------------------------------------- #
+# causal multi-head self-attention
+# --------------------------------------------------------------------- #
+
+def _split_heads(x: np.ndarray, num_heads: int) -> np.ndarray:
+    B, T, C = x.shape
+    hd = C // num_heads
+    return x.reshape(B, T, num_heads, hd).transpose(0, 2, 1, 3)  # (B,H,T,hd)
+
+
+def _merge_heads(x: np.ndarray) -> np.ndarray:
+    B, H, T, hd = x.shape
+    return x.transpose(0, 2, 1, 3).reshape(B, T, H * hd)
+
+
+def attention_forward(q: np.ndarray, k: np.ndarray, v: np.ndarray,
+                      num_heads: int):
+    """Causal softmax attention over already-projected q/k/v: (B, T, C)."""
+    qh, kh, vh = (_split_heads(t, num_heads) for t in (q, k, v))
+    hd = qh.shape[-1]
+    scores = qh @ kh.transpose(0, 1, 3, 2) / np.sqrt(hd)  # (B,H,T,T)
+    T = scores.shape[-1]
+    mask = np.triu(np.ones((T, T), dtype=bool), k=1)
+    scores = np.where(mask, -1e30, scores)
+    scores -= scores.max(axis=-1, keepdims=True)
+    exp = np.exp(scores)
+    probs = exp / exp.sum(axis=-1, keepdims=True)
+    out = probs @ vh  # (B,H,T,hd)
+    return _merge_heads(out), (qh, kh, vh, probs)
+
+
+def attention_backward(dy: np.ndarray, cache: Cache):
+    """Returns (dq, dk, dv) in merged (B, T, C) layout."""
+    qh, kh, vh, probs = cache
+    H = qh.shape[1]
+    hd = qh.shape[-1]
+    dout = _split_heads(dy, H)  # (B,H,T,hd)
+    dprobs = dout @ vh.transpose(0, 1, 3, 2)  # (B,H,T,T)
+    dvh = probs.transpose(0, 1, 3, 2) @ dout
+    # softmax backward (mask handled implicitly: masked probs are 0).
+    dscores = probs * (dprobs - (dprobs * probs).sum(axis=-1, keepdims=True))
+    dscores /= np.sqrt(hd)
+    dqh = dscores @ kh
+    dkh = dscores.transpose(0, 1, 3, 2) @ qh
+    return _merge_heads(dqh), _merge_heads(dkh), _merge_heads(dvh)
+
+
+# --------------------------------------------------------------------- #
+# cross entropy over logits
+# --------------------------------------------------------------------- #
+
+def cross_entropy_forward(logits: np.ndarray, targets: np.ndarray):
+    """Mean token cross-entropy.  logits: (B, T, V), targets: (B, T) ints."""
+    B, T, V = logits.shape
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - log_z
+    picked = np.take_along_axis(log_probs, targets[..., None], axis=-1)
+    loss = -picked.mean()
+    return loss, (log_probs, targets)
+
+
+def cross_entropy_backward(cache: Cache):
+    """Gradient of the mean loss w.r.t. logits."""
+    log_probs, targets = cache
+    B, T, V = log_probs.shape
+    dlogits = np.exp(log_probs)
+    onehot_rows = np.arange(B * T)
+    dlogits = dlogits.reshape(B * T, V)
+    dlogits[onehot_rows, targets.reshape(-1)] -= 1.0
+    return (dlogits / (B * T)).reshape(B, T, V)
+
+
+# --------------------------------------------------------------------- #
+# embedding
+# --------------------------------------------------------------------- #
+
+def embedding_forward(tokens: np.ndarray, table: np.ndarray):
+    """Lookup: tokens (B, T) ints -> (B, T, C)."""
+    return table[tokens], (tokens, table.shape[0])
+
+
+def embedding_backward(dy: np.ndarray, cache: Cache) -> np.ndarray:
+    tokens, vocab = cache
+    C = dy.shape[-1]
+    dtable = np.zeros((vocab, C), dtype=dy.dtype)
+    np.add.at(dtable, tokens.reshape(-1), dy.reshape(-1, C))
+    return dtable
+
+
+def tree_flatten_grads(grads: Dict[str, np.ndarray]) -> np.ndarray:
+    """Concatenate a gradient dict into one flat vector (sync payloads)."""
+    return np.concatenate([grads[k].ravel() for k in sorted(grads)])
+
+
+def tree_unflatten_grads(
+    flat: np.ndarray, reference: Dict[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`tree_flatten_grads` using reference shapes."""
+    out: Dict[str, np.ndarray] = {}
+    offset = 0
+    for key in sorted(reference):
+        size = reference[key].size
+        out[key] = flat[offset : offset + size].reshape(reference[key].shape)
+        offset += size
+    if offset != flat.size:
+        raise ValueError(
+            f"flat vector has {flat.size} elements, reference needs {offset}"
+        )
+    return out

@@ -1,0 +1,15 @@
+"""Parallelism degrees, group matrices (paper Eqs. 1/3/4), and placement.
+
+A *logical* rank grid is fixed by Megatron's formulas: tensor-parallel
+groups are consecutive rank blocks (Eq. 1), pipeline groups stride by
+``t*d`` (Eq. 3), and data-parallel groups stride by ``t`` within a stage
+(Eq. 4).  What Holmes changes is the *placement*: the mapping from logical
+ranks to physical devices (:mod:`repro.parallel.mapping`), chosen so that
+communication-heavy groups land on fast homogeneous NICs.
+"""
+
+from repro.parallel.degrees import ParallelConfig
+from repro.parallel.groups import ParallelLayout
+from repro.parallel.mapping import Placement, identity_placement
+
+__all__ = ["ParallelConfig", "ParallelLayout", "Placement", "identity_placement"]

@@ -1,0 +1,75 @@
+"""Parallelism degree configuration and validation.
+
+Per the paper's formalisation (§2.4): pipeline degree ``p``, tensor degree
+``t``, data degree ``d``, with ``d * p * t = N`` (the total device count).
+Tensor parallelism must fit within a node (§3.1.1: TP groups communicate
+over NVLink/PCIe, so ``t <= G``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParallelismError
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """The (t, p, d) triple plus batch geometry."""
+
+    tensor: int
+    pipeline: int
+    data: int
+    micro_batch_size: int = 1
+    global_batch_size: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("tensor", "pipeline", "data", "micro_batch_size", "global_batch_size"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ParallelismError(f"{name} must be >= 1, got {value}")
+        samples_per_replica = self.global_batch_size // self.data
+        if self.global_batch_size % self.data != 0:
+            raise ParallelismError(
+                f"global batch {self.global_batch_size} not divisible by "
+                f"data parallel degree {self.data}"
+            )
+        if samples_per_replica % self.micro_batch_size != 0:
+            raise ParallelismError(
+                f"per-replica batch {samples_per_replica} not divisible by "
+                f"micro batch size {self.micro_batch_size}"
+            )
+
+    @property
+    def world_size(self) -> int:
+        """N = d * p * t."""
+        return self.tensor * self.pipeline * self.data
+
+    @property
+    def num_microbatches(self) -> int:
+        """Microbatches per data-parallel replica per iteration (m)."""
+        return self.global_batch_size // self.data // self.micro_batch_size
+
+    def validate_against(self, world_size: int, gpus_per_node: int) -> None:
+        """Check the degrees fit the machine (N matches, t within a node)."""
+        if self.world_size != world_size:
+            raise ParallelismError(
+                f"d*p*t = {self.world_size} but the machine has {world_size} GPUs"
+            )
+        if self.tensor > gpus_per_node:
+            raise ParallelismError(
+                f"tensor parallel degree {self.tensor} exceeds GPUs per node "
+                f"{gpus_per_node}; TP must stay within a node (paper S3.1.1)"
+            )
+        if gpus_per_node % self.tensor != 0:
+            raise ParallelismError(
+                f"GPUs per node {gpus_per_node} not divisible by tensor degree "
+                f"{self.tensor}; TP groups would straddle nodes"
+            )
+
+    def __str__(self) -> str:
+        return (
+            f"t={self.tensor} p={self.pipeline} d={self.data} "
+            f"mbs={self.micro_batch_size} gbs={self.global_batch_size} "
+            f"(m={self.num_microbatches})"
+        )

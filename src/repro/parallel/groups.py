@@ -1,0 +1,128 @@
+"""Parallel group matrices — paper Equations 1, 3, and 4 (0-based).
+
+With degrees ``(t, p, d)`` over ``N = t*p*d`` logical ranks:
+
+- **Tensor** (Eq. 1): ``p*d`` groups of ``t`` consecutive ranks —
+  group ``i`` is ``[i*t + j  for j in 0..t-1]``.
+- **Pipeline** (Eq. 3): ``t*d`` groups of ``p`` ranks striding by ``t*d`` —
+  group ``i`` is ``[i + j*t*d  for j in 0..p-1]``.  Position ``j`` in the
+  group is pipeline *stage* ``j``.
+- **Data** (Eq. 4): ``p*t`` groups of ``d`` ranks; group ``i`` is
+  ``[(i % t) + ((i // t)*d + j)*t  for j in 0..d-1]`` — within stage
+  ``i // t``, ranks sharing tensor index ``i % t`` across replicas.
+
+These three partitions are mutually consistent: each rank appears in exactly
+one group of each kind, stages partition the rank space into contiguous
+``t*d`` blocks, and the data groups of stage ``s`` exactly tile that block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ParallelismError
+from repro.parallel.degrees import ParallelConfig
+
+
+class ParallelLayout:
+    """The full logical-rank group structure for one (t, p, d) setting."""
+
+    def __init__(self, config: ParallelConfig) -> None:
+        self.config = config
+        t, p, d = config.tensor, config.pipeline, config.data
+        N = config.world_size
+
+        #: Eq. 1 — tensor parallel groups, p*d rows of t ranks.
+        self.tp_groups: List[List[int]] = [
+            [i * t + j for j in range(t)] for i in range(p * d)
+        ]
+        #: Eq. 3 — pipeline parallel groups, t*d rows of p ranks.
+        self.pp_groups: List[List[int]] = [
+            [i + j * t * d for j in range(p)] for i in range(t * d)
+        ]
+        #: Eq. 4 — data parallel groups, p*t rows of d ranks.
+        self.dp_groups: List[List[int]] = [
+            [(i % t) + ((i // t) * d + j) * t for j in range(d)]
+            for i in range(p * t)
+        ]
+
+        self._stage_of: List[int] = [0] * N
+        self._pp_group_of: List[int] = [0] * N
+        self._dp_group_of: List[int] = [0] * N
+        self._tp_group_of: List[int] = [0] * N
+        for gi, group in enumerate(self.pp_groups):
+            for stage, rank in enumerate(group):
+                self._stage_of[rank] = stage
+                self._pp_group_of[rank] = gi
+        for gi, group in enumerate(self.dp_groups):
+            for rank in group:
+                self._dp_group_of[rank] = gi
+        for gi, group in enumerate(self.tp_groups):
+            for rank in group:
+                self._tp_group_of[rank] = gi
+        self._validate()
+
+    def _validate(self) -> None:
+        N = self.config.world_size
+        for kind, groups in (
+            ("tensor", self.tp_groups),
+            ("pipeline", self.pp_groups),
+            ("data", self.dp_groups),
+        ):
+            seen = sorted(r for g in groups for r in g)
+            if seen != list(range(N)):
+                raise ParallelismError(
+                    f"{kind} groups do not partition ranks 0..{N - 1}: {groups}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def stage_of(self, rank: int) -> int:
+        """Pipeline stage index of a logical rank."""
+        return self._stage_of[rank]
+
+    def pp_group_of(self, rank: int) -> List[int]:
+        return self.pp_groups[self._pp_group_of[rank]]
+
+    def dp_group_of(self, rank: int) -> List[int]:
+        return self.dp_groups[self._dp_group_of[rank]]
+
+    def tp_group_of(self, rank: int) -> List[int]:
+        return self.tp_groups[self._tp_group_of[rank]]
+
+    def stage_ranks(self, stage: int) -> List[int]:
+        """All logical ranks in pipeline stage ``stage`` (a contiguous block
+        of ``t*d`` ranks by Eq. 3)."""
+        p = self.config.pipeline
+        if not 0 <= stage < p:
+            raise ParallelismError(f"stage {stage} out of range [0, {p})")
+        td = self.config.tensor * self.config.data
+        return list(range(stage * td, (stage + 1) * td))
+
+    def prev_stage_peer(self, rank: int) -> int:
+        """The logical rank one stage earlier in this rank's pipeline group.
+
+        Raises for stage-0 ranks (no predecessor).
+        """
+        stage = self.stage_of(rank)
+        if stage == 0:
+            raise ParallelismError(f"rank {rank} is in stage 0; no predecessor")
+        return self.pp_group_of(rank)[stage - 1]
+
+    def next_stage_peer(self, rank: int) -> int:
+        """The logical rank one stage later in this rank's pipeline group."""
+        stage = self.stage_of(rank)
+        group = self.pp_group_of(rank)
+        if stage == len(group) - 1:
+            raise ParallelismError(f"rank {rank} is in the last stage; no successor")
+        return group[stage + 1]
+
+    def all_groups(self) -> Dict[str, List[List[int]]]:
+        """All three group families, for transport audits."""
+        return {
+            "tensor": self.tp_groups,
+            "pipeline": self.pp_groups,
+            "data": self.dp_groups,
+        }

@@ -1,0 +1,62 @@
+"""Placement: the mapping from logical ranks to physical devices.
+
+Megatron's group formulas (Eqs. 1/3/4) are fixed over *logical* ranks.  The
+Holmes scheduler's entire lever is the bijection ``logical -> physical``:
+by permuting which physical GPU hosts which logical rank, it decides which
+NICs each parallel group's traffic crosses.  :class:`Placement` is that
+bijection, with helpers to translate group matrices into physical ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import SchedulingError
+
+
+class Placement:
+    """A bijection from logical ranks to physical device ranks."""
+
+    def __init__(self, physical_of_logical: Sequence[int], name: str = "placement") -> None:
+        perm = list(physical_of_logical)
+        n = len(perm)
+        if sorted(perm) != list(range(n)):
+            raise SchedulingError(
+                f"{name}: not a permutation of 0..{n - 1}: {perm}"
+            )
+        self.name = name
+        self._phys = perm
+        self._logical = [0] * n
+        for logical, phys in enumerate(perm):
+            self._logical[phys] = logical
+
+    def __len__(self) -> int:
+        return len(self._phys)
+
+    def physical(self, logical_rank: int) -> int:
+        """The physical device hosting a logical rank."""
+        return self._phys[logical_rank]
+
+    def logical(self, physical_rank: int) -> int:
+        """The logical rank hosted on a physical device."""
+        return self._logical[physical_rank]
+
+    def map_group(self, logical_ranks: Sequence[int]) -> List[int]:
+        """Translate one group of logical ranks into physical ranks
+        (order preserved — ring position follows logical order)."""
+        return [self._phys[r] for r in logical_ranks]
+
+    def map_groups(self, groups: Sequence[Sequence[int]]) -> List[List[int]]:
+        return [self.map_group(g) for g in groups]
+
+    def map_all(self, families: Dict[str, Sequence[Sequence[int]]]) -> Dict[str, List[List[int]]]:
+        """Translate every group family (tensor/pipeline/data) at once."""
+        return {kind: self.map_groups(groups) for kind, groups in families.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Placement {self.name!r} n={len(self)}>"
+
+
+def identity_placement(world_size: int) -> Placement:
+    """Logical rank i on physical device i — Megatron-LM's default."""
+    return Placement(list(range(world_size)), name="identity")

@@ -1,0 +1,27 @@
+"""GPipe schedule: all forwards, then all backwards.
+
+The original pipeline schedule of Huang et al. — simple but
+memory-hungry (all activations held until the backward phase) and with the
+same ideal bubble as 1F1B.  Included as a baseline for schedule ablations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import SchedulingError
+from repro.schedule.microbatch import OpKind, PipelineOp
+
+
+def gpipe(num_stages: int, num_microbatches: int) -> List[List[PipelineOp]]:
+    """Generate the GPipe schedule for every stage."""
+    if num_stages < 1:
+        raise SchedulingError(f"num_stages must be >= 1: {num_stages}")
+    if num_microbatches < 1:
+        raise SchedulingError(f"num_microbatches must be >= 1: {num_microbatches}")
+    schedule: List[List[PipelineOp]] = []
+    for _stage in range(num_stages):
+        ops = [PipelineOp(OpKind.FORWARD, mb) for mb in range(num_microbatches)]
+        ops += [PipelineOp(OpKind.BACKWARD, mb) for mb in range(num_microbatches)]
+        schedule.append(ops)
+    return schedule

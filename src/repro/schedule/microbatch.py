@@ -1,0 +1,84 @@
+"""Schedule atoms and validation.
+
+Every pipeline schedule reduces to per-stage sequences of
+``(kind, microbatch, chunk)`` operations.  ``chunk`` indexes the model chunk
+(virtual stage) a rank owns — 0 for non-interleaved schedules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SchedulingError
+
+
+class OpKind(enum.Enum):
+    FORWARD = "F"
+    BACKWARD = "B"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class PipelineOp:
+    """One unit of pipeline work on one stage."""
+
+    kind: OpKind
+    microbatch: int
+    chunk: int = 0
+
+    def __str__(self) -> str:
+        suffix = f"/c{self.chunk}" if self.chunk else ""
+        return f"{self.kind.value}{self.microbatch}{suffix}"
+
+
+Schedule = List[List[PipelineOp]]  # indexed by stage
+
+
+def validate_schedule(
+    schedule: Sequence[Sequence[PipelineOp]],
+    num_microbatches: int,
+    num_chunks: int = 1,
+) -> None:
+    """Check the schedule is a complete, locally-ordered training step.
+
+    Per stage: every (microbatch, chunk) appears exactly once as forward and
+    once as backward, and each forward precedes its matching backward.
+    Raises :class:`SchedulingError` on any violation.
+    """
+    expected = {(mb, ck) for mb in range(num_microbatches) for ck in range(num_chunks)}
+    for stage, ops in enumerate(schedule):
+        fwd_pos: Dict[Tuple[int, int], int] = {}
+        bwd_pos: Dict[Tuple[int, int], int] = {}
+        for pos, op in enumerate(ops):
+            key = (op.microbatch, op.chunk)
+            book = fwd_pos if op.kind == OpKind.FORWARD else bwd_pos
+            if key in book:
+                raise SchedulingError(
+                    f"stage {stage}: duplicate {op.kind.value} for mb/chunk {key}"
+                )
+            book[key] = pos
+        if set(fwd_pos) != expected:
+            raise SchedulingError(
+                f"stage {stage}: forwards cover {sorted(fwd_pos)} "
+                f"but expected {sorted(expected)}"
+            )
+        if set(bwd_pos) != expected:
+            raise SchedulingError(
+                f"stage {stage}: backwards cover {sorted(bwd_pos)} "
+                f"but expected {sorted(expected)}"
+            )
+        for key in expected:
+            if bwd_pos[key] < fwd_pos[key]:
+                raise SchedulingError(
+                    f"stage {stage}: backward of {key} at position {bwd_pos[key]} "
+                    f"precedes its forward at {fwd_pos[key]}"
+                )
+
+
+def count_kind(ops: Sequence[PipelineOp], kind: OpKind) -> int:
+    """Number of ops of one kind in a stage's sequence."""
+    return sum(1 for op in ops if op.kind == kind)

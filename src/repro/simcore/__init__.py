@@ -1,0 +1,35 @@
+"""Discrete-event simulation core.
+
+A compact, dependency-free DES kernel in the style of SimPy: processes are
+Python generators that ``yield`` commands (:class:`Timeout`, :class:`Wait`,
+:class:`AllOf`, ...) to the :class:`SimEngine`, which advances virtual time.
+
+The Holmes training engine (:mod:`repro.core.engine`) runs one process per
+simulated GPU rank; compute kernels become :class:`Timeout` commands, pipeline
+point-to-point transfers become channel puts/gets, and collectives become
+rendezvous barriers whose duration comes from the network cost model.
+"""
+
+from repro.simcore.event import SimEvent
+from repro.simcore.engine import SimEngine
+from repro.simcore.process import Process, Timeout, Wait, AllOf, AnyOf
+from repro.simcore.resource import Resource, Store, Barrier
+from repro.simcore.trace import Span, TraceRecorder
+from repro.simcore.stats import RunningStats, Histogram
+
+__all__ = [
+    "SimEvent",
+    "SimEngine",
+    "Process",
+    "Timeout",
+    "Wait",
+    "AllOf",
+    "AnyOf",
+    "Resource",
+    "Store",
+    "Barrier",
+    "Span",
+    "TraceRecorder",
+    "RunningStats",
+    "Histogram",
+]

@@ -1,0 +1,100 @@
+"""The discrete-event simulation engine.
+
+:class:`SimEngine` owns virtual time and a priority queue of scheduled
+thunks.  It is deliberately minimal: determinism comes from a monotonically
+increasing tiebreaker sequence, so two thunks scheduled at the same instant
+run in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.simcore.event import SimEvent
+from repro.simcore.process import Process
+
+
+class SimEngine:
+    """Owns the event queue and virtual clock for one simulation run."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = count()
+        self._running = False
+        self._steps = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def steps(self) -> int:
+        """Number of thunks executed so far (useful for runaway detection)."""
+        return self._steps
+
+    def event(self, name: str = "") -> SimEvent:
+        """Create a fresh pending event bound to this engine."""
+        return SimEvent(self, name)
+
+    def timeout_event(self, delay: float, value: Any = None, name: str = "") -> SimEvent:
+        """Create an event that fires ``delay`` seconds from now."""
+        ev = SimEvent(self, name or f"timeout@{self._now + delay:.6f}")
+        self._schedule_at(self._now + delay, lambda: ev.succeed(value))
+        return ev
+
+    def process(self, generator: Generator, name: str = "proc") -> Process:
+        """Spawn ``generator`` as a process; it starts at the current time."""
+        proc = Process(self, generator, name=name)
+        self._schedule_at(self._now, proc._step)
+        return proc
+
+    def _schedule_at(self, when: float, thunk: Callable[[], None]) -> None:
+        if when < self._now - 1e-15:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < now={self._now}"
+            )
+        heapq.heappush(self._queue, (when, next(self._sequence), thunk))
+
+    def run(self, until: Optional[float] = None, max_steps: int = 50_000_000) -> float:
+        """Drain the event queue; returns the final virtual time.
+
+        ``until`` bounds virtual time; ``max_steps`` bounds work to catch
+        accidental infinite event loops in model code.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        try:
+            while self._queue:
+                when, _, thunk = self._queue[0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = when
+                self._steps += 1
+                if self._steps > max_steps:
+                    raise SimulationError(
+                        f"simulation exceeded {max_steps} steps; "
+                        "likely a livelock in process logic"
+                    )
+                thunk()
+        finally:
+            self._running = False
+        return self._now
+
+    def run_process(self, generator: Generator, name: str = "main") -> Any:
+        """Convenience: spawn a process, run to completion, return its value."""
+        proc = self.process(generator, name=name)
+        self.run()
+        if proc.alive:
+            raise SimulationError(
+                f"process {name!r} did not finish: deadlock "
+                "(waiting on an event nobody fires?)"
+            )
+        return proc.done.value

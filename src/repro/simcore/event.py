@@ -1,0 +1,105 @@
+"""Simulation events.
+
+A :class:`SimEvent` is a one-shot future living inside a single
+:class:`~repro.simcore.engine.SimEngine`.  Processes wait on events; the
+engine (or other processes) *succeed* them, optionally carrying a value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+class SimEvent:
+    """A one-shot future within a simulation.
+
+    Events start *pending*; calling :meth:`succeed` transitions them to
+    *triggered* exactly once and schedules all registered callbacks at the
+    current simulation time.  Succeeding twice raises
+    :class:`~repro.errors.SimulationError`.
+    """
+
+    __slots__ = ("engine", "name", "_value", "_triggered", "_callbacks")
+
+    def __init__(self, engine: "Any", name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._value: Any = None
+        self._triggered = False
+        self._callbacks: List[Callable[["SimEvent"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has already fired."""
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (``None`` until triggered)."""
+        return self._value
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        """Fire the event, delivering ``value`` to all waiters.
+
+        Returns ``self`` for chaining.  Raises if already triggered.
+        """
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} succeeded twice")
+        self._triggered = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+        return self
+
+    def add_callback(self, callback: Callable[["SimEvent"], None]) -> None:
+        """Register ``callback``; runs immediately if already triggered."""
+        if self._triggered:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<SimEvent {self.name!r} {state}>"
+
+
+class Condition(SimEvent):
+    """An event that fires when a quota of child events have fired."""
+
+    __slots__ = ("_remaining", "_results")
+
+    def __init__(
+        self,
+        engine: Any,
+        events: List[SimEvent],
+        wait_count: Optional[int] = None,
+        name: str = "condition",
+    ) -> None:
+        super().__init__(engine, name)
+        if wait_count is None:
+            wait_count = len(events)
+        if wait_count > len(events):
+            raise SimulationError(
+                f"condition needs {wait_count} events but only {len(events)} given"
+            )
+        self._remaining = wait_count
+        self._results: dict = {}
+        if wait_count == 0:
+            self.succeed({})
+            return
+        for idx, ev in enumerate(events):
+            ev.add_callback(self._make_child_callback(idx))
+
+    def _make_child_callback(self, idx: int) -> Callable[[SimEvent], None]:
+        def _on_child(ev: SimEvent) -> None:
+            if self._triggered:
+                return
+            self._results[idx] = ev.value
+            self._remaining -= 1
+            if self._remaining <= 0:
+                self.succeed(dict(self._results))
+
+        return _on_child

@@ -1,0 +1,147 @@
+"""Generator-based simulation processes and the commands they may yield.
+
+A process body is a generator function.  Each ``yield`` hands a *command* to
+the engine:
+
+``Timeout(delay)``
+    Suspend for ``delay`` seconds of virtual time.
+``Wait(event)``
+    Suspend until ``event`` fires; the yield expression evaluates to the
+    event's value.
+``AllOf(events)`` / ``AnyOf(events)``
+    Suspend until all (resp. any) of the given events fire.
+``SimEvent``
+    Bare events may be yielded directly (sugar for ``Wait(event)``).
+``Process``
+    Yielding another process waits for its completion (a *join*).
+
+Processes themselves expose a ``done`` :class:`SimEvent` that fires with the
+generator's return value, enabling fork/join patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, List, Optional
+
+from repro.errors import SimulationError
+from repro.simcore.event import Condition, SimEvent
+
+
+class Command:
+    """Base class for commands yielded by process generators."""
+
+    __slots__ = ()
+
+
+class Timeout(Command):
+    """Suspend the yielding process for ``delay`` seconds of virtual time."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = float(delay)
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Timeout({self.delay})"
+
+
+class Wait(Command):
+    """Suspend until a single event fires."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: SimEvent) -> None:
+        self.event = event
+
+
+class AllOf(Command):
+    """Suspend until *all* events in the collection fire."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[SimEvent]) -> None:
+        self.events = list(events)
+
+
+class AnyOf(Command):
+    """Suspend until *any one* event in the collection fires."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[SimEvent]) -> None:
+        self.events = list(events)
+        if not self.events:
+            raise SimulationError("AnyOf requires at least one event")
+
+
+class Process:
+    """A running simulation process wrapping a generator.
+
+    The engine steps the generator, interpreting each yielded command.  When
+    the generator returns, :attr:`done` fires with its return value.
+    """
+
+    __slots__ = ("engine", "name", "generator", "done", "_alive")
+
+    def __init__(self, engine: Any, generator: Generator, name: str = "proc") -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}; "
+                "did you forget to call the generator function?"
+            )
+        self.engine = engine
+        self.name = name
+        self.generator = generator
+        self.done: SimEvent = SimEvent(engine, name=f"{name}.done")
+        self._alive = True
+
+    @property
+    def alive(self) -> bool:
+        """Whether the process generator has not yet finished."""
+        return self._alive
+
+    def _step(self, send_value: Any = None) -> None:
+        """Advance the generator one yield, interpreting the command."""
+        try:
+            command = self.generator.send(send_value)
+        except StopIteration as stop:
+            self._alive = False
+            self.done.succeed(stop.value)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        engine = self.engine
+        if isinstance(command, Timeout):
+            engine._schedule_at(
+                engine.now + command.delay, lambda: self._step(command.value)
+            )
+        elif isinstance(command, Wait):
+            command.event.add_callback(lambda ev: self._resume_soon(ev.value))
+        elif isinstance(command, SimEvent):
+            command.add_callback(lambda ev: self._resume_soon(ev.value))
+        elif isinstance(command, Process):
+            command.done.add_callback(lambda ev: self._resume_soon(ev.value))
+        elif isinstance(command, AllOf):
+            cond = Condition(engine, command.events, name=f"{self.name}.allof")
+            cond.add_callback(lambda ev: self._resume_soon(ev.value))
+        elif isinstance(command, AnyOf):
+            cond = Condition(
+                engine, command.events, wait_count=1, name=f"{self.name}.anyof"
+            )
+            cond.add_callback(lambda ev: self._resume_soon(ev.value))
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported command: {command!r}"
+            )
+
+    def _resume_soon(self, value: Any) -> None:
+        """Resume via the event queue so callbacks never re-enter generators."""
+        self.engine._schedule_at(self.engine.now, lambda: self._step(value))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "alive" if self._alive else "done"
+        return f"<Process {self.name!r} {state}>"

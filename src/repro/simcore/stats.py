@@ -1,0 +1,118 @@
+"""Streaming statistics helpers.
+
+:class:`RunningStats` implements Welford's online algorithm so benchmark
+sweeps can accumulate mean/variance without storing every sample;
+:class:`Histogram` offers fixed-bin counting for latency distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+class RunningStats:
+    """Numerically stable online mean / variance / extrema (Welford)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the running aggregates."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def extend(self, values: Iterable[float]) -> "RunningStats":
+        for v in values:
+            self.add(v)
+        return self
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); 0.0 with fewer than two samples."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Combine two aggregates (parallel-merge form of Welford)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return self
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
+
+class Histogram:
+    """Fixed-width binning over ``[low, high)`` with under/overflow buckets."""
+
+    def __init__(self, low: float, high: float, bins: int) -> None:
+        if high <= low:
+            raise ValueError(f"histogram range is empty: [{low}, {high})")
+        if bins < 1:
+            raise ValueError(f"histogram needs >= 1 bin, got {bins}")
+        self.low = low
+        self.high = high
+        self.bins = bins
+        self.counts: List[int] = [0] * bins
+        self.underflow = 0
+        self.overflow = 0
+        self._width = (high - low) / bins
+
+    def add(self, value: float) -> None:
+        if value < self.low:
+            self.underflow += 1
+        elif value >= self.high:
+            self.overflow += 1
+        else:
+            self.counts[int((value - self.low) / self._width)] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts) + self.underflow + self.overflow
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bin midpoints (in-range samples only)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0,1], got {q}")
+        in_range = sum(self.counts)
+        if in_range == 0:
+            return self.low
+        target = q * in_range
+        cumulative = 0
+        for i, c in enumerate(self.counts):
+            cumulative += c
+            if cumulative >= target:
+                return self.low + (i + 0.5) * self._width
+        return self.high
+
+    def bin_edges(self) -> List[float]:
+        return [self.low + i * self._width for i in range(self.bins + 1)]

@@ -1,0 +1,54 @@
+"""Unit helpers and constants used throughout the library.
+
+All internal computation uses SI base units: **seconds** for time, **bytes**
+for data sizes, **bytes/second** for bandwidth, and **FLOP/s** for compute
+rates.  These helpers exist so call sites read naturally
+(``gbps(200)`` rather than ``200e9 / 8``) and so unit bugs are greppable.
+"""
+
+from __future__ import annotations
+
+#: Bits per byte; networking specs quote bits, we compute in bytes.
+BITS_PER_BYTE = 8
+
+KB = 1024
+MB = 1024**2
+GB = 1024**3
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits-per-second (NIC spec sheets) to bytes/second."""
+    return value * GIGA / BITS_PER_BYTE
+
+
+def gBps(value: float) -> float:
+    """Convert gigabytes-per-second (NVLink/PCIe spec sheets) to bytes/second."""
+    return value * GIGA
+
+
+def teraflops(value: float) -> float:
+    """Convert teraFLOP/s to FLOP/s."""
+    return value * TERA
+
+
+def to_teraflops(flops_per_second: float) -> float:
+    """Convert FLOP/s back to teraFLOP/s for reporting."""
+    return flops_per_second / TERA
+
+
+def microseconds(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * MICROSECOND
+
+
+def mib(value: float) -> float:
+    """Convert mebibytes to bytes."""
+    return value * MB

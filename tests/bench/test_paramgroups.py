@@ -1,0 +1,67 @@
+"""Tests for the Table 2 parameter groups."""
+
+import pytest
+
+from repro.bench.paramgroups import PARAM_GROUPS
+from repro.errors import ParallelismError
+from repro.model.params import parameter_count
+
+
+class TestTable2:
+    def test_eight_groups(self):
+        assert sorted(PARAM_GROUPS) == list(range(1, 9))
+
+    @pytest.mark.parametrize(
+        "gid,billions",
+        [(1, 3.6), (2, 3.6), (3, 7.5), (4, 7.5), (5, 7.5), (6, 7.5),
+         (7, 39.1), (8, 39.1)],
+    )
+    def test_parameter_counts(self, gid, billions):
+        group = PARAM_GROUPS[gid]
+        assert parameter_count(group.model) / 1e9 == pytest.approx(
+            billions, rel=0.02
+        )
+
+    @pytest.mark.parametrize("gid,t,p", [
+        (1, 1, 2), (2, 1, 2), (3, 1, 2), (4, 1, 2),
+        (5, 1, 3), (6, 1, 3), (7, 8, 2), (8, 8, 3),
+    ])
+    def test_parallel_degrees(self, gid, t, p):
+        group = PARAM_GROUPS[gid]
+        assert group.tensor_parallel == t
+        assert group.pipeline_parallel == p
+
+    @pytest.mark.parametrize("gid,batch", [
+        (1, 768), (2, 1536), (3, 1536), (4, 2688),
+        (5, 1536), (6, 2688), (7, 1536), (8, 1536),
+    ])
+    def test_batch_sizes(self, gid, batch):
+        assert PARAM_GROUPS[gid].global_batch_size == batch
+
+    def test_all_use_micro_batch_4(self):
+        assert all(g.micro_batch_size == 4 for g in PARAM_GROUPS.values())
+
+    def test_all_use_paper_vocab_and_seq(self):
+        for group in PARAM_GROUPS.values():
+            assert group.model.vocab_size == 51200
+            assert group.model.seq_length == 2048
+
+
+class TestParallelFor:
+    def test_pg1_on_32_gpus(self):
+        parallel = PARAM_GROUPS[1].parallel_for(32)
+        assert (parallel.tensor, parallel.pipeline, parallel.data) == (1, 2, 16)
+        assert parallel.num_microbatches == 12
+
+    def test_pg7_on_64_gpus(self):
+        parallel = PARAM_GROUPS[7].parallel_for(64)
+        assert (parallel.tensor, parallel.pipeline, parallel.data) == (8, 2, 4)
+
+    def test_indivisible_gpu_count_rejected(self):
+        with pytest.raises(ParallelismError):
+            PARAM_GROUPS[5].parallel_for(32)  # p=3 does not divide 32
+
+    def test_with_pipeline_override(self):
+        group = PARAM_GROUPS[3].with_pipeline(3)
+        assert group.pipeline_parallel == 3
+        assert group.model is PARAM_GROUPS[3].model

@@ -1,0 +1,45 @@
+"""Tests for the results-report aggregator."""
+
+import pathlib
+
+import pytest
+
+from repro.bench.report import collect_results, render_report, write_report
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "table1_nic_comparison.txt").write_text("IB 192 vs 197\n")
+    (tmp_path / "custom_experiment.txt").write_text("extra data\n")
+    return str(tmp_path)
+
+
+class TestReport:
+    def test_collect(self, results_dir):
+        results = collect_results(results_dir)
+        assert set(results) == {"table1_nic_comparison", "custom_experiment"}
+
+    def test_missing_dir_rejected(self):
+        with pytest.raises(ConfigurationError):
+            collect_results("/nonexistent/results")
+
+    def test_render_orders_known_sections_first(self, results_dir):
+        text = render_report(collect_results(results_dir))
+        assert text.index("Table 1") < text.index("custom_experiment")
+        assert "IB 192 vs 197" in text
+        assert "## Contents" in text
+
+    def test_render_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_report({})
+
+    def test_write_report(self, results_dir):
+        path = write_report(results_dir)
+        content = pathlib.Path(path).read_text()
+        assert content.startswith("# Regenerated evaluation report")
+
+    def test_write_report_custom_output(self, results_dir, tmp_path):
+        out = str(tmp_path / "out.md")
+        assert write_report(results_dir, output=out) == out
+        assert pathlib.Path(out).exists()

@@ -1,0 +1,83 @@
+"""Tests for the NIC environment builders."""
+
+import pytest
+
+from repro.bench.scenarios import (
+    ethernet_env,
+    homogeneous_env,
+    hybrid2_env,
+    hybrid3_env,
+    split_env,
+)
+from repro.errors import ConfigurationError
+from repro.hardware.nic import NICType
+
+
+class TestHomogeneous:
+    def test_case1_interconnect(self):
+        topo = homogeneous_env(4, NICType.INFINIBAND)
+        assert topo.inter_cluster_rdma
+        assert topo.world_size == 32
+        assert all(
+            topo.nic_type_of(r) == NICType.INFINIBAND for r in range(32)
+        )
+
+    def test_ethernet_env(self):
+        topo = ethernet_env(2)
+        assert all(topo.nic_type_of(r) == NICType.ETHERNET for r in range(16))
+
+
+class TestHybrid2:
+    def test_roce_cluster_first(self):
+        """Matches the paper's environment orderings (Fig. 6, Table 4)."""
+        topo = hybrid2_env(4)
+        assert topo.clusters[0].nic_type == NICType.ROCE
+        assert topo.clusters[1].nic_type == NICType.INFINIBAND
+        assert not topo.inter_cluster_rdma
+
+    def test_equal_halves(self):
+        topo = hybrid2_env(8)
+        assert topo.clusters[0].num_nodes == 4
+        assert topo.clusters[1].num_nodes == 4
+
+    def test_odd_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hybrid2_env(5)
+
+
+class TestHybrid3:
+    def test_table4_layout(self):
+        topo = hybrid3_env(
+            [NICType.ROCE, NICType.ROCE, NICType.INFINIBAND], 2
+        )
+        assert topo.num_clusters == 3
+        assert topo.world_size == 48
+        assert [c.nic_type for c in topo.clusters] == [
+            NICType.ROCE, NICType.ROCE, NICType.INFINIBAND
+        ]
+
+    def test_too_few_clusters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hybrid3_env([NICType.ROCE], 2)
+
+
+class TestSplit:
+    def test_same_family_two_clusters(self):
+        topo = split_env(4, NICType.INFINIBAND)
+        assert topo.num_clusters == 2
+        assert all(c.nic_type == NICType.INFINIBAND for c in topo.clusters)
+        assert not topo.inter_cluster_rdma
+
+    def test_cross_cluster_is_ethernet(self):
+        topo = split_env(4, NICType.ROCE)
+        first_c0 = topo.ranks_of_cluster(0)[0]
+        first_c1 = topo.ranks_of_cluster(1)[0]
+        assert topo.effective_nic_type(first_c0, first_c1) == NICType.ETHERNET
+
+    def test_ethernet_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_env(4, NICType.ETHERNET)
+
+    def test_odd_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_env(3, NICType.INFINIBAND)

@@ -1,0 +1,128 @@
+"""Tests for hierarchical all-reduce and all-to-all."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.hierarchical import (
+    alltoall,
+    hierarchical_allreduce,
+    hierarchical_allreduce_time,
+)
+from repro.errors import CommunicatorError
+from repro.hardware.nic import NICType
+from repro.hardware.presets import homogeneous_topology
+from repro.network.fabric import Fabric
+
+
+class TestHierarchicalAllreduce:
+    @pytest.mark.parametrize("nodes,per_node", [(2, 2), (2, 4), (3, 2), (4, 4)])
+    def test_matches_flat_sum(self, nodes, per_node):
+        total = nodes * per_node
+        rng = np.random.default_rng(total)
+        buffers = [rng.standard_normal(24) for _ in range(total)]
+        expected = np.sum(buffers, axis=0)
+        for result in hierarchical_allreduce(buffers, per_node):
+            np.testing.assert_allclose(result, expected, rtol=1e-10)
+
+    def test_preserves_shape(self):
+        buffers = [np.ones((3, 4)) for _ in range(4)]
+        results = hierarchical_allreduce(buffers, 2)
+        assert all(r.shape == (3, 4) for r in results)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(CommunicatorError):
+            hierarchical_allreduce([np.ones(4)] * 5, ranks_per_node=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(CommunicatorError):
+            hierarchical_allreduce([], 1)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(CommunicatorError):
+            hierarchical_allreduce([np.ones(3), np.ones(4)], 1)
+
+    @given(
+        nodes=st.integers(1, 4),
+        per_node=st.integers(1, 4),
+        n=st.integers(1, 16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_equals_flat(self, nodes, per_node, n):
+        total = nodes * per_node
+        rng = np.random.default_rng(total * 31 + n)
+        buffers = [rng.integers(-10, 10, n).astype(float) for _ in range(total)]
+        expected = np.sum(buffers, axis=0)
+        for result in hierarchical_allreduce(buffers, per_node):
+            np.testing.assert_allclose(result, expected, rtol=1e-12)
+
+
+class TestHierarchicalTiming:
+    def test_beats_flat_ring_for_large_groups(self):
+        """With a fast NVLink tier, the two-level schedule crosses the NIC
+        with less data per rank than a flat 32-rank ring."""
+        topo = homogeneous_topology(4, NICType.INFINIBAND)
+        fabric = Fabric(topo)
+        ranks = list(range(32))
+        nbytes = 1 << 30
+        flat = fabric.collective_time("allreduce", ranks, nbytes)
+        hier = hierarchical_allreduce_time(fabric, ranks, nbytes)
+        assert hier < flat
+
+    def test_single_node_falls_back_to_flat(self):
+        topo = homogeneous_topology(1, NICType.INFINIBAND)
+        fabric = Fabric(topo)
+        ranks = list(range(8))
+        flat = fabric.collective_time("allreduce", ranks, 1 << 20)
+        hier = hierarchical_allreduce_time(fabric, ranks, 1 << 20)
+        assert hier == pytest.approx(flat)
+
+    def test_trivial_cases_free(self):
+        topo = homogeneous_topology(1, NICType.INFINIBAND)
+        fabric = Fabric(topo)
+        assert hierarchical_allreduce_time(fabric, [0], 1 << 20) == 0.0
+        assert hierarchical_allreduce_time(fabric, [0, 1], 0) == 0.0
+
+    def test_unequal_nodes_rejected(self):
+        topo = homogeneous_topology(2, NICType.INFINIBAND)
+        fabric = Fabric(topo)
+        with pytest.raises(CommunicatorError):
+            hierarchical_allreduce_time(fabric, [0, 1, 8], 1 << 20)
+
+
+class TestAllToAll:
+    def test_exchange_pattern(self):
+        # Rank i sends chunk j to rank j.
+        buffers = [np.arange(4.0) + 10 * i for i in range(4)]
+        results = alltoall(buffers)
+        for dst in range(4):
+            expected = np.array([float(dst + 10 * src) for src in range(4)])
+            np.testing.assert_array_equal(results[dst], expected)
+
+    def test_total_volume_conserved(self):
+        rng = np.random.default_rng(7)
+        buffers = [rng.standard_normal(6) for _ in range(3)]
+        results = alltoall(buffers)
+        assert sum(r.size for r in results) == sum(b.size for b in buffers)
+        np.testing.assert_allclose(
+            np.sort(np.concatenate(results)),
+            np.sort(np.concatenate(buffers)),
+        )
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(CommunicatorError):
+            alltoall([np.ones(5), np.ones(5)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CommunicatorError):
+            alltoall([])
+
+    @given(d=st.integers(1, 6), chunk=st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_property_involution(self, d, chunk):
+        """All-to-all applied twice restores the original buffers."""
+        rng = np.random.default_rng(d * 13 + chunk)
+        buffers = [rng.standard_normal(d * chunk) for _ in range(d)]
+        twice = alltoall(alltoall(buffers))
+        for original, restored in zip(buffers, twice):
+            np.testing.assert_allclose(original, restored)

@@ -1,0 +1,68 @@
+"""Unit tests for the communicator pool and transport audits."""
+
+import pytest
+
+from repro.collectives.nccl import CommunicatorPool
+from repro.hardware.nic import NICType
+from repro.hardware.presets import make_topology, homogeneous_topology
+from repro.network.fabric import Fabric
+from repro.network.transport import TransportKind
+
+
+@pytest.fixture
+def pool():
+    topo = make_topology(
+        [(2, NICType.ROCE), (2, NICType.INFINIBAND)], inter_cluster_rdma=True
+    )
+    return CommunicatorPool(Fabric(topo))
+
+
+class TestPool:
+    def test_communicators_are_cached(self, pool):
+        a = pool.get([0, 8], name="dp")
+        b = pool.get([0, 8], name="dp")
+        assert a is b
+
+    def test_different_names_distinct(self, pool):
+        assert pool.get([0, 8], "dp") is not pool.get([0, 8], "pp")
+
+
+class TestReports:
+    def test_homogeneous_rdma_group(self, pool):
+        report = pool.report([0, 8], name="dp[0]")
+        assert report.transport_kind == TransportKind.RDMA_ROCE
+        assert report.is_rdma
+        assert not report.degraded_by_heterogeneity
+
+    def test_mixed_group_flagged_degraded(self, pool):
+        """IB + RoCE membership forces TCP: the Automatic-NIC-Selection
+        pathology (paper S3.2)."""
+        report = pool.report([0, 16], name="dp[bad]")
+        assert report.transport_kind == TransportKind.TCP
+        assert report.degraded_by_heterogeneity
+        assert set(report.nic_families) == {"infiniband", "roce"}
+
+    def test_ethernet_only_group_not_flagged(self):
+        topo = homogeneous_topology(2, NICType.ETHERNET)
+        pool = CommunicatorPool(Fabric(topo))
+        report = pool.report([0, 8])
+        assert report.transport_kind == TransportKind.TCP
+        assert not report.degraded_by_heterogeneity  # nothing was lost
+
+    def test_trivial_group_report(self, pool):
+        report = pool.report([3], name="solo")
+        assert not report.degraded_by_heterogeneity
+        assert report.transport_kind == TransportKind.NVLINK
+
+
+class TestAudit:
+    def test_audit_names_groups(self, pool):
+        reports = pool.audit({"data": [[0, 8], [16, 24]], "pipeline": [[0, 16]]})
+        names = [r.name for r in reports]
+        assert names == ["data[0]", "data[1]", "pipeline[0]"]
+
+    def test_degraded_groups_filter(self, pool):
+        degraded = pool.degraded_groups(
+            {"data": [[0, 8], [0, 16]], "pipeline": [[8, 24]]}
+        )
+        assert [r.name for r in degraded] == ["data[1]", "pipeline[0]"]

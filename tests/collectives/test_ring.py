@@ -1,0 +1,151 @@
+"""Correctness tests for the ring collective algorithms, including
+property-based checks against NumPy oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.ring import (
+    ring_allgather,
+    ring_allreduce,
+    ring_reduce_scatter,
+)
+from repro.errors import CommunicatorError
+
+
+def make_buffers(d, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(n) for _ in range(d)]
+
+
+group_sizes = st.integers(min_value=1, max_value=9)
+buffer_lens = st.integers(min_value=1, max_value=64)
+
+
+class TestRingAllreduce:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4, 8])
+    def test_sum_matches_numpy(self, d):
+        buffers = make_buffers(d, 40)
+        expected = np.sum(buffers, axis=0)
+        for result in ring_allreduce(buffers):
+            np.testing.assert_allclose(result, expected, rtol=1e-10)
+
+    def test_preserves_shape(self):
+        buffers = [np.ones((4, 5)) for _ in range(3)]
+        results = ring_allreduce(buffers)
+        assert all(r.shape == (4, 5) for r in results)
+        np.testing.assert_allclose(results[0], 3 * np.ones((4, 5)))
+
+    @pytest.mark.parametrize("op,oracle", [
+        ("sum", np.sum),
+        ("max", lambda b, axis: np.max(b, axis=axis)),
+        ("min", lambda b, axis: np.min(b, axis=axis)),
+        ("prod", lambda b, axis: np.prod(b, axis=axis)),
+    ])
+    def test_all_reduce_ops(self, op, oracle):
+        buffers = make_buffers(4, 16, seed=3)
+        expected = oracle(buffers, axis=0)
+        for result in ring_allreduce(buffers, op=op):
+            np.testing.assert_allclose(result, expected, rtol=1e-10)
+
+    def test_does_not_mutate_inputs(self):
+        buffers = make_buffers(3, 10)
+        originals = [b.copy() for b in buffers]
+        ring_allreduce(buffers)
+        for b, o in zip(buffers, originals):
+            np.testing.assert_array_equal(b, o)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(CommunicatorError, match="unknown reduce op"):
+            ring_allreduce(make_buffers(2, 4), op="xor")
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(CommunicatorError):
+            ring_allreduce([])
+
+    @given(d=group_sizes, n=buffer_lens, seed=st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_property_allreduce_is_sum(self, d, n, seed):
+        rng = np.random.default_rng(seed)
+        buffers = [rng.integers(-100, 100, size=n).astype(float) for _ in range(d)]
+        expected = np.sum(buffers, axis=0)
+        for result in ring_allreduce(buffers):
+            np.testing.assert_allclose(result, expected, rtol=1e-12)
+
+    @given(d=group_sizes, n=buffer_lens)
+    @settings(max_examples=30, deadline=None)
+    def test_property_all_ranks_identical(self, d, n):
+        buffers = make_buffers(d, n, seed=d * 100 + n)
+        results = ring_allreduce(buffers)
+        for r in results[1:]:
+            np.testing.assert_array_equal(r, results[0])
+
+
+class TestRingReduceScatter:
+    def test_shards_cover_reduction(self):
+        """Rank r holds the fully reduced chunk (r+1) mod d."""
+        d, n = 4, 20
+        buffers = make_buffers(d, n)
+        expected = np.sum(buffers, axis=0)
+        shards = ring_reduce_scatter(buffers)
+        chunks = np.array_split(expected, d)
+        for r in range(d):
+            np.testing.assert_allclose(shards[r], chunks[(r + 1) % d], rtol=1e-10)
+
+    def test_uneven_chunks(self):
+        # 7 elements over 3 ranks: chunk sizes 3, 2, 2.
+        buffers = make_buffers(3, 7)
+        shards = ring_reduce_scatter(buffers)
+        assert sorted(len(s) for s in shards) == [2, 2, 3]
+
+    def test_single_rank_identity(self):
+        buf = np.arange(5.0)
+        [shard] = ring_reduce_scatter([buf])
+        np.testing.assert_array_equal(shard, buf)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(CommunicatorError, match="mismatched"):
+            ring_reduce_scatter([np.zeros(3), np.zeros(4)])
+
+    @given(d=st.integers(2, 8), n=st.integers(2, 48))
+    @settings(max_examples=40, deadline=None)
+    def test_property_concatenated_shards_equal_sum(self, d, n):
+        buffers = make_buffers(d, n, seed=n)
+        expected = np.sum(buffers, axis=0)
+        shards = ring_reduce_scatter(buffers)
+        # Reassemble in chunk order: chunk j lives on rank (j-1) mod d.
+        reassembled = np.concatenate([shards[(j - 1) % d] for j in range(d)])
+        np.testing.assert_allclose(reassembled, expected, rtol=1e-10)
+
+
+class TestRingAllgather:
+    def test_gathers_in_order(self):
+        shards = [np.full(3, float(i)) for i in range(4)]
+        results = ring_allgather(shards)
+        expected = np.concatenate(shards)
+        for r in results:
+            np.testing.assert_array_equal(r, expected)
+
+    def test_variable_shard_sizes(self):
+        shards = [np.arange(2.0), np.arange(3.0), np.arange(1.0)]
+        results = ring_allgather(shards)
+        expected = np.concatenate(shards)
+        for r in results:
+            np.testing.assert_array_equal(r, expected)
+
+    def test_single_rank(self):
+        [result] = ring_allgather([np.arange(4.0)])
+        np.testing.assert_array_equal(result, np.arange(4.0))
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(CommunicatorError):
+            ring_allgather([])
+
+    @given(d=st.integers(1, 8), n=st.integers(1, 32))
+    @settings(max_examples=40, deadline=None)
+    def test_property_gather_equals_concatenate(self, d, n):
+        rng = np.random.default_rng(d * 31 + n)
+        shards = [rng.standard_normal(n) for _ in range(d)]
+        expected = np.concatenate(shards)
+        for result in ring_allgather(shards):
+            np.testing.assert_array_equal(result, expected)

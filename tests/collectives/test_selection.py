@@ -1,0 +1,71 @@
+"""Tests for cost-based all-reduce algorithm selection."""
+
+import pytest
+
+from repro.collectives.selection import (
+    AlgorithmChoice,
+    select_allreduce,
+    selection_table,
+)
+from repro.errors import CommunicatorError
+from repro.hardware.nic import NICType
+from repro.hardware.presets import homogeneous_topology
+from repro.network.fabric import Fabric
+
+
+@pytest.fixture
+def fabric():
+    return Fabric(homogeneous_topology(4, NICType.INFINIBAND))
+
+
+class TestSelection:
+    def test_winner_is_cheapest(self, fabric):
+        choice = select_allreduce(fabric, list(range(32)), 1 << 28)
+        assert choice.duration == min(choice.costs.values())
+        assert choice.algorithm in choice.costs
+
+    def test_tiny_messages_prefer_tree(self, fabric):
+        """At 1 KiB over 32 ranks the ring's 62 latency steps lose to the
+        tree's 2*log2(32)=10."""
+        choice = select_allreduce(fabric, list(range(32)), 1 << 10)
+        assert choice.algorithm == "tree"
+
+    def test_large_messages_prefer_hierarchical(self, fabric):
+        choice = select_allreduce(fabric, list(range(32)), 4 << 30)
+        assert choice.algorithm == "hierarchical"
+        assert choice.speedup_over("flat-ring") > 1.0
+
+    def test_trivial_cases(self, fabric):
+        assert select_allreduce(fabric, [0], 1 << 20).duration == 0.0
+        assert select_allreduce(fabric, [0, 1], 0).duration == 0.0
+
+    def test_hierarchical_skipped_for_uneven_layouts(self, fabric):
+        # 3 ranks on node 0 and 1 on node 1: no uniform two-level schedule.
+        choice = select_allreduce(fabric, [0, 1, 2, 8], 1 << 26)
+        assert "hierarchical" not in choice.costs
+
+    def test_speedup_over_unknown_rejected(self, fabric):
+        choice = select_allreduce(fabric, [0, 8], 1 << 20)
+        with pytest.raises(CommunicatorError):
+            choice.speedup_over("quantum")
+
+    def test_selection_table_covers_sizes(self, fabric):
+        table = selection_table(fabric, list(range(16)))
+        assert len(table) == 5
+        # Winners shift from latency-optimal to bandwidth-optimal.
+        assert table[0].algorithm == "tree"
+        assert table[-1].algorithm in ("flat-ring", "hierarchical")
+
+    def test_crossover_monotone(self, fabric):
+        """Once the bandwidth-optimal family wins, it keeps winning."""
+        table = selection_table(
+            fabric, list(range(16)),
+            sizes=[1 << s for s in range(8, 33, 2)],
+        )
+        winners = [c.algorithm for c in table]
+        seen_bandwidth = False
+        for w in winners:
+            if w in ("flat-ring", "hierarchical"):
+                seen_bandwidth = True
+            elif seen_bandwidth:
+                pytest.fail(f"tree won again after bandwidth algorithms: {winners}")

@@ -1,0 +1,94 @@
+"""Correctness tests for tree broadcast/reduce."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.tree import tree_broadcast, tree_reduce
+from repro.errors import CommunicatorError
+
+
+class TestTreeBroadcast:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4, 5, 8, 9])
+    def test_all_positions_receive(self, d):
+        buf = np.arange(6.0)
+        results = tree_broadcast(buf, d)
+        assert len(results) == d
+        for r in results:
+            np.testing.assert_array_equal(r, buf)
+
+    @pytest.mark.parametrize("root", [0, 1, 3])
+    def test_nonzero_root(self, root):
+        buf = np.array([1.0, 2.0])
+        results = tree_broadcast(buf, 4, root=root)
+        for r in results:
+            np.testing.assert_array_equal(r, buf)
+
+    def test_results_are_copies(self):
+        buf = np.zeros(3)
+        results = tree_broadcast(buf, 3)
+        results[0][0] = 99.0
+        assert buf[0] == 0.0
+        assert results[1][0] == 0.0
+
+    def test_invalid_root_rejected(self):
+        with pytest.raises(CommunicatorError):
+            tree_broadcast(np.zeros(1), 4, root=4)
+
+    def test_invalid_group_rejected(self):
+        with pytest.raises(CommunicatorError):
+            tree_broadcast(np.zeros(1), 0)
+
+    @given(d=st.integers(1, 16), root=st.integers(0, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_property_every_position_gets_payload(self, d, root):
+        if root >= d:
+            root %= d
+        payload = np.array([float(root), float(d)])
+        results = tree_broadcast(payload, d, root=root)
+        assert len(results) == d
+        for r in results:
+            np.testing.assert_array_equal(r, payload)
+
+
+class TestTreeReduce:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4, 5, 7, 8])
+    def test_sum_matches_numpy(self, d):
+        rng = np.random.default_rng(d)
+        buffers = [rng.standard_normal(10) for _ in range(d)]
+        result = tree_reduce(buffers)
+        np.testing.assert_allclose(result, np.sum(buffers, axis=0), rtol=1e-10)
+
+    @pytest.mark.parametrize("root", [0, 2, 3])
+    def test_nonzero_root(self, root):
+        buffers = [np.full(4, float(i)) for i in range(4)]
+        result = tree_reduce(buffers, root=root)
+        np.testing.assert_allclose(result, np.full(4, 6.0))
+
+    def test_max_op(self):
+        buffers = [np.array([1.0, 9.0]), np.array([5.0, 2.0])]
+        np.testing.assert_array_equal(
+            tree_reduce(buffers, op="max"), np.array([5.0, 9.0])
+        )
+
+    def test_inputs_unchanged(self):
+        buffers = [np.ones(3), np.ones(3) * 2]
+        tree_reduce(buffers)
+        np.testing.assert_array_equal(buffers[0], np.ones(3))
+
+    def test_invalid_root_rejected(self):
+        with pytest.raises(CommunicatorError):
+            tree_reduce([np.zeros(1)], root=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(CommunicatorError):
+            tree_reduce([])
+
+    @given(d=st.integers(1, 12), n=st.integers(1, 20), root=st.integers(0, 11))
+    @settings(max_examples=40, deadline=None)
+    def test_property_reduce_is_sum(self, d, n, root):
+        root %= d
+        rng = np.random.default_rng(d * 7 + n)
+        buffers = [rng.integers(-50, 50, n).astype(float) for _ in range(d)]
+        result = tree_reduce(buffers, root=root)
+        np.testing.assert_allclose(result, np.sum(buffers, axis=0), rtol=1e-12)

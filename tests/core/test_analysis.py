@@ -1,0 +1,80 @@
+"""Tests for iteration analysis (utilization, bubble, breakdowns)."""
+
+import pytest
+
+from repro.core.analysis import analyze
+from repro.core.engine import TrainingSimulation
+from repro.core.scheduler import HolmesScheduler
+from repro.errors import ConfigurationError
+from repro.hardware.nic import NICType
+from repro.hardware.presets import homogeneous_topology
+from repro.model.config import GPTConfig
+from repro.parallel.degrees import ParallelConfig
+
+MODEL = GPTConfig(num_layers=8, hidden_size=2048, num_attention_heads=16,
+                  seq_length=1024, vocab_size=16384)
+
+
+def run(p=2, m_mult=8, overhead=0.0):
+    topo = homogeneous_topology(2, NICType.INFINIBAND, gpus_per_node=2)
+    d = 4 // p
+    parallel = ParallelConfig(tensor=1, pipeline=p, data=d,
+                              micro_batch_size=1,
+                              global_batch_size=d * m_mult)
+    plan = HolmesScheduler().plan(topo, parallel, MODEL,
+                                  partition_strategy="uniform")
+    return TrainingSimulation(
+        plan, MODEL, trace_enabled=True, iteration_overhead=overhead
+    ).run()
+
+
+class TestAnalyze:
+    def test_breakdown_covers_iteration(self):
+        analysis = analyze(run())
+        for rank in analysis.ranks:
+            assert rank.total == pytest.approx(analysis.iteration_time, rel=1e-6)
+            assert rank.compute > 0
+            assert rank.idle >= 0
+
+    def test_rank_count(self):
+        analysis = analyze(run())
+        assert len(analysis.ranks) == 4
+
+    def test_bubble_close_to_analytic_1f1b(self):
+        """Balanced homogeneous pipeline: realised idle fraction tracks
+        (p-1)/m within a couple of points (plus small comm waits)."""
+        # p=2, d=2, global batch = d * m_mult -> m = 16 microbatches.
+        analysis = analyze(run(p=2, m_mult=16))
+        expected = (2 - 1) / 16
+        assert analysis.bubble_fraction == pytest.approx(expected, abs=0.05)
+
+    def test_no_pipeline_no_bubble(self):
+        analysis = analyze(run(p=1, m_mult=8))
+        assert analysis.bubble_fraction < 0.05
+
+    def test_utilization_below_one(self):
+        analysis = analyze(run())
+        assert 0.5 < analysis.mean_utilization < 1.0
+
+    def test_stage_summary_keys(self):
+        analysis = analyze(run(p=2))
+        summary = analysis.stage_summary()
+        assert sorted(summary) == [0, 1]
+        for stage in summary.values():
+            assert set(stage) == {"compute", "p2p", "collective", "idle",
+                                  "utilization"}
+
+    def test_overhead_counts_as_idle(self):
+        lean = analyze(run(overhead=0.0))
+        padded = analyze(run(overhead=1.0))
+        assert padded.bubble_fraction > lean.bubble_fraction
+
+    def test_untraced_run_rejected(self):
+        topo = homogeneous_topology(1, NICType.INFINIBAND, gpus_per_node=2)
+        parallel = ParallelConfig(tensor=1, pipeline=1, data=2,
+                                  micro_batch_size=1, global_batch_size=4)
+        plan = HolmesScheduler().plan(topo, parallel, MODEL,
+                                      partition_strategy="uniform")
+        result = TrainingSimulation(plan, MODEL, trace_enabled=False).run()
+        with pytest.raises(ConfigurationError):
+            analyze(result)

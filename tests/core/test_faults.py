@@ -1,0 +1,126 @@
+"""Tests for fault handling: surviving topologies, replanning, checkpoints."""
+
+import math
+
+import pytest
+
+from repro.core.faults import (
+    CheckpointPolicy,
+    replan_after_failure,
+    surviving_topology,
+)
+from repro.errors import ConfigurationError, TopologyError
+from repro.hardware.nic import NICType
+from repro.hardware.presets import make_topology
+from repro.model.config import GPTConfig
+
+SMALL = GPTConfig(num_layers=8, hidden_size=1024, num_attention_heads=8,
+                  seq_length=512, vocab_size=8192)
+
+
+@pytest.fixture
+def topo():
+    return make_topology(
+        [(2, NICType.ROCE), (2, NICType.INFINIBAND)],
+        inter_cluster_rdma=False, gpus_per_node=4,
+    )
+
+
+class TestSurvivingTopology:
+    def test_remove_one_node(self, topo):
+        survivors = surviving_topology(topo, [1])
+        assert survivors.num_nodes == 3
+        assert survivors.world_size == 12
+        assert survivors.clusters[0].num_nodes == 1
+
+    def test_remove_whole_cluster(self, topo):
+        survivors = surviving_topology(topo, [0, 1])
+        assert survivors.num_clusters == 1
+        assert survivors.clusters[0].nic_type == NICType.INFINIBAND
+
+    def test_rank_renumbering_is_dense(self, topo):
+        survivors = surviving_topology(topo, [2])
+        assert [d.rank for d in survivors._devices] == list(range(12))
+
+    def test_no_survivors_rejected(self, topo):
+        with pytest.raises(TopologyError):
+            surviving_topology(topo, [0, 1, 2, 3])
+
+    def test_bad_node_index_rejected(self, topo):
+        with pytest.raises(TopologyError):
+            surviving_topology(topo, [9])
+
+    def test_original_untouched(self, topo):
+        surviving_topology(topo, [0])
+        assert topo.num_nodes == 4
+
+
+class TestReplan:
+    def test_degraded_plan_found(self, topo):
+        candidates = replan_after_failure(
+            topo, [3], SMALL, global_batch_size=48, micro_batch_size=2
+        )
+        assert candidates
+        assert candidates[0].parallel.world_size == 12
+
+    def test_degraded_throughput_lower(self, topo):
+        from repro.core.planner import plan_best
+
+        # Batch large enough that compute dominates the fixed per-iteration
+        # overhead, so losing a quarter of the GPUs must show up.
+        healthy = plan_best(topo, SMALL, 192, micro_batch_size=2, top_k=1)[0]
+        degraded = replan_after_failure(
+            topo, [0], SMALL, global_batch_size=192, micro_batch_size=2
+        )[0]
+        assert degraded.throughput < healthy.throughput
+
+
+class TestCheckpointPolicy:
+    def test_young_daly_interval(self):
+        policy = CheckpointPolicy(checkpoint_time=50.0, restart_time=300.0,
+                                  mtbf=24 * 3600.0)
+        assert policy.optimal_interval == pytest.approx(
+            math.sqrt(2 * 50 * 24 * 3600)
+        )
+
+    def test_goodput_below_one(self):
+        policy = CheckpointPolicy(50.0, 300.0, 24 * 3600.0)
+        goodput = policy.goodput_fraction()
+        assert 0.9 < goodput < 1.0
+
+    def test_optimal_interval_beats_extremes(self):
+        policy = CheckpointPolicy(50.0, 300.0, 24 * 3600.0)
+        best = policy.goodput_fraction()
+        assert best >= policy.goodput_fraction(interval=60.0)
+        assert best >= policy.goodput_fraction(interval=12 * 3600.0)
+
+    def test_effective_tflops_scales(self):
+        policy = CheckpointPolicy(50.0, 300.0, 24 * 3600.0)
+        assert policy.effective_tflops(200.0) == pytest.approx(
+            200.0 * policy.goodput_fraction()
+        )
+
+    def test_frequent_failures_hurt(self):
+        rare = CheckpointPolicy(50.0, 300.0, mtbf=7 * 24 * 3600.0)
+        frequent = CheckpointPolicy(50.0, 300.0, mtbf=3600.0)
+        assert frequent.goodput_fraction() < rare.goodput_fraction()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(checkpoint_time=0.0, restart_time=1.0, mtbf=10.0),
+            dict(checkpoint_time=1.0, restart_time=0.0, mtbf=10.0),
+            dict(checkpoint_time=1.0, restart_time=1.0, mtbf=0.0),
+            dict(checkpoint_time=20.0, restart_time=1.0, mtbf=10.0),
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CheckpointPolicy(**kwargs)
+
+    def test_negative_inputs_rejected(self):
+        policy = CheckpointPolicy(50.0, 300.0, 24 * 3600.0)
+        with pytest.raises(ConfigurationError):
+            policy.goodput_fraction(interval=-1.0)
+        with pytest.raises(ConfigurationError):
+            policy.effective_tflops(-1.0)

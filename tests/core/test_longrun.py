@@ -1,0 +1,85 @@
+"""Tests for the long-run campaign simulator, including the mutual
+validation against the analytic Young/Daly goodput."""
+
+import numpy as np
+import pytest
+
+from repro.core.faults import CheckpointPolicy
+from repro.core.longrun import simulate_campaign
+from repro.errors import ConfigurationError
+
+POLICY = CheckpointPolicy(checkpoint_time=60.0, restart_time=300.0,
+                          mtbf=6 * 3600.0)
+
+
+class TestCampaign:
+    def test_accounting_closes(self):
+        result = simulate_campaign(POLICY, iteration_time=10.0,
+                                   horizon=24 * 3600.0, seed=1)
+        total = (result.useful_time + result.checkpoint_time
+                 + result.lost_time + result.restart_time)
+        assert total == pytest.approx(result.horizon, rel=1e-9)
+
+    def test_no_failures_without_horizon_reaching_mtbf(self):
+        lucky = CheckpointPolicy(60.0, 300.0, mtbf=1e12)
+        result = simulate_campaign(lucky, 10.0, horizon=3600.0, seed=2)
+        assert result.num_failures == 0
+        assert result.lost_time == 0.0
+        assert result.goodput > 0.9
+
+    def test_deterministic_by_seed(self):
+        a = simulate_campaign(POLICY, 10.0, 24 * 3600.0, seed=7)
+        b = simulate_campaign(POLICY, 10.0, 24 * 3600.0, seed=7)
+        assert a.goodput == b.goodput
+        assert a.num_failures == b.num_failures
+
+    def test_failures_cost_progress(self):
+        churn = CheckpointPolicy(60.0, 300.0, mtbf=1800.0)
+        calm = CheckpointPolicy(60.0, 300.0, mtbf=7 * 24 * 3600.0)
+        bad = simulate_campaign(churn, 10.0, 48 * 3600.0, seed=3)
+        good = simulate_campaign(calm, 10.0, 48 * 3600.0, seed=3)
+        assert bad.goodput < good.goodput
+        assert bad.num_failures > good.num_failures
+
+    def test_simulation_converges_to_analytic_goodput(self):
+        """Over a long horizon (many failures) the simulated goodput must
+        land near the Young/Daly first-order prediction — the analytic and
+        stochastic models validate each other."""
+        horizon = 1000 * POLICY.mtbf  # ~1000 failures
+        goodputs = [
+            simulate_campaign(POLICY, 10.0, horizon, seed=s).goodput
+            for s in range(3)
+        ]
+        analytic = POLICY.goodput_fraction()
+        assert np.mean(goodputs) == pytest.approx(analytic, abs=0.01)
+
+    def test_optimal_interval_beats_bad_intervals_in_simulation(self):
+        horizon = 500 * POLICY.mtbf
+        best = simulate_campaign(POLICY, 10.0, horizon, seed=11).goodput
+        too_often = simulate_campaign(
+            POLICY, 10.0, horizon, interval=120.0, seed=11
+        ).goodput
+        too_rare = simulate_campaign(
+            POLICY, 10.0, horizon, interval=POLICY.mtbf, seed=11
+        ).goodput
+        assert best > too_often
+        assert best > too_rare
+
+    def test_event_log_structure(self):
+        result = simulate_campaign(POLICY, 10.0, 12 * 3600.0, seed=5)
+        kinds = {e.kind for e in result.events}
+        assert "checkpoint" in kinds
+        times = [e.time for e in result.events]
+        assert times == sorted(times)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(iteration_time=0.0, horizon=100.0),
+            dict(iteration_time=1.0, horizon=0.0),
+            dict(iteration_time=1.0, horizon=100.0, interval=0.0),
+        ],
+    )
+    def test_invalid_args_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            simulate_campaign(POLICY, **kwargs)

@@ -1,0 +1,145 @@
+"""Tests for the GPU memory feasibility model."""
+
+import pytest
+
+from repro.core.memory_model import (
+    MemoryEstimate,
+    estimate_memory,
+    fits_in_memory,
+    stage_parameter_count,
+)
+from repro.core.partition import uniform_partition
+from repro.errors import ConfigurationError
+from repro.hardware.presets import A100
+from repro.model.config import GPTConfig
+from repro.model.params import parameter_count
+from repro.parallel.degrees import ParallelConfig
+
+
+@pytest.fixture
+def pg7_model():
+    return GPTConfig(num_layers=48, hidden_size=8192, num_attention_heads=64)
+
+
+@pytest.fixture
+def pg1_model():
+    return GPTConfig(num_layers=30, hidden_size=3072, num_attention_heads=32)
+
+
+class TestStageParams:
+    def test_stage0_includes_embedding(self, pg1_model):
+        layers = uniform_partition(30, 2)
+        s0 = stage_parameter_count(pg1_model, layers, 0)
+        s1 = stage_parameter_count(pg1_model, layers, 1)
+        assert s0 > s1
+        assert s0 + s1 == parameter_count(pg1_model)
+
+    def test_out_of_range_stage_rejected(self, pg1_model):
+        with pytest.raises(ConfigurationError):
+            stage_parameter_count(pg1_model, [15, 15], 2)
+
+
+class TestEstimate:
+    def test_components_positive(self, pg1_model):
+        parallel = ParallelConfig(tensor=1, pipeline=2, data=16,
+                                  micro_batch_size=4, global_batch_size=768)
+        estimate = estimate_memory(pg1_model, parallel, [15, 15])
+        assert estimate.weights_and_grads > 0
+        assert estimate.optimizer_state > 0
+        assert estimate.activations > 0
+        assert estimate.total == (
+            estimate.weights_and_grads + estimate.optimizer_state
+            + estimate.activations + estimate.reserve
+        )
+
+    def test_wrong_partition_length_rejected(self, pg1_model):
+        parallel = ParallelConfig(tensor=1, pipeline=2, data=16,
+                                  micro_batch_size=4, global_batch_size=768)
+        with pytest.raises(ConfigurationError):
+            estimate_memory(pg1_model, parallel, [10, 10, 10])
+
+    def test_tensor_parallel_shrinks_memory(self, pg7_model):
+        layers = uniform_partition(48, 2)
+        p_t1 = ParallelConfig(tensor=1, pipeline=2, data=32,
+                              micro_batch_size=4, global_batch_size=1536)
+        p_t8 = ParallelConfig(tensor=8, pipeline=2, data=4,
+                              micro_batch_size=4, global_batch_size=1536)
+        m1 = estimate_memory(pg7_model, p_t1, layers)
+        m8 = estimate_memory(pg7_model, p_t8, layers)
+        assert m8.total < m1.total
+
+    def test_distributed_optimizer_shards_adam(self, pg1_model):
+        parallel = ParallelConfig(tensor=1, pipeline=2, data=16,
+                                  micro_batch_size=4, global_batch_size=768)
+        sharded = estimate_memory(pg1_model, parallel, [15, 15],
+                                  distributed_optimizer=True)
+        replicated = estimate_memory(pg1_model, parallel, [15, 15],
+                                     distributed_optimizer=False)
+        assert sharded.optimizer_state * 16 == pytest.approx(
+            replicated.optimizer_state, rel=0.01
+        )
+
+
+class TestPaperConstraint:
+    """PG7/8 set t=8 'due to the large parameter size' — our model must
+    reproduce that necessity."""
+
+    def test_39b_needs_tensor_parallelism(self, pg7_model):
+        layers = uniform_partition(48, 2)
+        p_t1 = ParallelConfig(tensor=1, pipeline=2, data=32,
+                              micro_batch_size=4, global_batch_size=1536)
+        assert not fits_in_memory(pg7_model, p_t1, layers, A100)
+
+    def test_39b_fits_at_t8(self, pg7_model):
+        layers = uniform_partition(48, 2)
+        p_t8 = ParallelConfig(tensor=8, pipeline=2, data=4,
+                              micro_batch_size=4, global_batch_size=1536)
+        assert fits_in_memory(pg7_model, p_t8, layers, A100)
+
+    def test_3_6b_fits_at_t1(self, pg1_model):
+        """Groups 1-6 run at tensor parallel 1 — they must fit that way."""
+        layers = uniform_partition(30, 2)
+        parallel = ParallelConfig(tensor=1, pipeline=2, data=16,
+                                  micro_batch_size=4, global_batch_size=768)
+        assert fits_in_memory(pg1_model, parallel, layers, A100)
+
+    def test_utilization_fraction(self, pg1_model):
+        layers = uniform_partition(30, 2)
+        parallel = ParallelConfig(tensor=1, pipeline=2, data=16,
+                                  micro_batch_size=4, global_batch_size=768)
+        estimate = estimate_memory(pg1_model, parallel, layers)
+        assert 0.0 < estimate.utilization(A100) < 1.0
+
+
+class TestZeroStages:
+    def test_stages_monotonically_shrink_memory(self, pg1_model):
+        from repro.core.partition import uniform_partition
+
+        layers = uniform_partition(30, 2)
+        parallel = ParallelConfig(tensor=1, pipeline=2, data=16,
+                                  micro_batch_size=4, global_batch_size=768)
+        totals = [
+            estimate_memory(pg1_model, parallel, layers, zero_stage=z).total
+            for z in range(4)
+        ]
+        assert totals == sorted(totals, reverse=True)
+        assert totals[3] < totals[0]
+
+    def test_stage1_equals_distributed_default(self, pg1_model):
+        from repro.core.partition import uniform_partition
+
+        layers = uniform_partition(30, 2)
+        parallel = ParallelConfig(tensor=1, pipeline=2, data=16,
+                                  micro_batch_size=4, global_batch_size=768)
+        default = estimate_memory(pg1_model, parallel, layers)
+        explicit = estimate_memory(pg1_model, parallel, layers, zero_stage=1)
+        assert default.total == explicit.total
+
+    def test_invalid_stage_rejected(self, pg1_model):
+        from repro.core.partition import uniform_partition
+
+        layers = uniform_partition(30, 2)
+        parallel = ParallelConfig(tensor=1, pipeline=2, data=16,
+                                  micro_batch_size=4, global_batch_size=768)
+        with pytest.raises(ConfigurationError):
+            estimate_memory(pg1_model, parallel, layers, zero_stage=4)

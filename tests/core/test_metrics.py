@@ -1,0 +1,23 @@
+"""Tests for metric assembly."""
+
+import pytest
+
+from repro.core.metrics import compute_metrics
+from repro.model.config import GPTConfig
+from repro.model.flops import flops_per_iteration
+
+
+class TestComputeMetrics:
+    def test_fields_consistent(self):
+        model = GPTConfig(num_layers=30, hidden_size=3072, num_attention_heads=32)
+        metrics = compute_metrics(model, 768, iteration_time=7.74, num_gpus=32)
+        assert metrics.total_flops == pytest.approx(flops_per_iteration(model, 768))
+        assert metrics.throughput == pytest.approx(768 / 7.74)
+        assert metrics.tflops_per_gpu == pytest.approx(
+            metrics.total_flops / (7.74 * 32) / 1e12
+        )
+
+    def test_str_format(self):
+        model = GPTConfig(num_layers=2, hidden_size=256, num_attention_heads=4)
+        text = str(compute_metrics(model, 8, 1.0, 4))
+        assert "TFLOPS" in text and "samples/s" in text

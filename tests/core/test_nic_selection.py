@@ -1,0 +1,62 @@
+"""Tests for the Automatic NIC Selection audit."""
+
+import pytest
+
+from repro.core.nic_selection import audit_parallel_groups
+from repro.core.scheduler import HolmesScheduler
+from repro.hardware.nic import NICType
+from repro.hardware.presets import make_topology
+from repro.model.config import GPTConfig
+from repro.network.fabric import Fabric
+from repro.parallel.degrees import ParallelConfig
+
+
+@pytest.fixture
+def hybrid_topo():
+    return make_topology(
+        [(2, NICType.ROCE), (2, NICType.INFINIBAND)], inter_cluster_rdma=True
+    )
+
+
+def plan_for(topo, placement_strategy):
+    model = GPTConfig(num_layers=30, hidden_size=3072, num_attention_heads=32)
+    parallel = ParallelConfig(tensor=1, pipeline=2, data=16,
+                              micro_batch_size=4, global_batch_size=768)
+    return HolmesScheduler().plan(
+        topo, parallel, model,
+        placement_strategy=placement_strategy,
+        partition_strategy="uniform",
+    )
+
+
+class TestAudit:
+    def test_holmes_placement_keeps_dp_on_rdma(self, hybrid_topo):
+        plan = plan_for(hybrid_topo, "holmes")
+        audit = audit_parallel_groups(Fabric(hybrid_topo), plan.physical_groups)
+        assert audit.fully_selected
+        assert audit.dp_rdma_fraction == 1.0
+        assert audit.dp_groups_degraded == 0
+
+    def test_adversarial_grouping_detected(self, hybrid_topo):
+        """Hand-build a DP group mixing IB and RoCE: the audit flags it."""
+        fabric = Fabric(hybrid_topo)
+        groups = {"data": [[0, 16], [8, 24]], "pipeline": [], "tensor": []}
+        audit = audit_parallel_groups(fabric, groups)
+        assert not audit.fully_selected
+        assert audit.dp_groups_degraded == 2
+        assert audit.dp_rdma_fraction == 0.0
+        assert len(audit.degraded()) == 2
+
+    def test_trivial_dp_groups_ignored(self, hybrid_topo):
+        audit = audit_parallel_groups(
+            Fabric(hybrid_topo), {"data": [[0], [1]]}
+        )
+        assert audit.dp_groups_total == 0
+        assert audit.dp_rdma_fraction == 1.0
+        assert audit.fully_selected
+
+    def test_reports_cover_all_families(self, hybrid_topo):
+        plan = plan_for(hybrid_topo, "holmes")
+        audit = audit_parallel_groups(Fabric(hybrid_topo), plan.physical_groups)
+        names = {r.name.split("[")[0] for r in audit.reports}
+        assert names == {"tensor", "pipeline", "data"}

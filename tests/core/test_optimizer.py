@@ -1,0 +1,125 @@
+"""Tests for gradient synchronisation strategies."""
+
+import pytest
+
+from repro.core.optimizer import (
+    STRATEGIES,
+    OptimizerStrategy,
+    SyncOp,
+    make_overlapped,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_expected_strategies_present(self):
+        assert set(STRATEGIES) == {"allreduce", "distributed", "overlapped",
+                                   "zero2", "zero3"}
+
+    def test_allreduce_moves_fp32_grads(self):
+        volumes = STRATEGIES["allreduce"].sync_volume_bytes(1000)
+        assert volumes == {"allreduce": 4000}
+
+    def test_distributed_is_rs_plus_ag(self):
+        volumes = STRATEGIES["distributed"].sync_volume_bytes(1000)
+        assert volumes == {"reduce_scatter": 4000, "allgather": 2000}
+
+    def test_overlapped_same_volumes_as_distributed(self):
+        assert (
+            STRATEGIES["overlapped"].sync_volume_bytes(10)
+            == STRATEGIES["distributed"].sync_volume_bytes(10)
+        )
+
+
+class TestExposedTime:
+    def test_non_overlapped_fully_exposed(self):
+        strategy = STRATEGIES["distributed"]
+        times = {"reduce_scatter": 2.0, "allgather": 1.0}
+        assert strategy.exposed_time(times, backward_window=100.0) == 3.0
+
+    def test_overlapped_hides_fraction(self):
+        strategy = make_overlapped(0.5)
+        times = {"reduce_scatter": 2.0, "allgather": 1.0}
+        # Both ops overlappable at 50%: exposed = 1.0 + 0.5 = 1.5.
+        assert strategy.exposed_time(times, backward_window=100.0) == pytest.approx(1.5)
+
+    def test_overlap_bounded_by_backward_window(self):
+        strategy = make_overlapped(1.0)
+        times = {"reduce_scatter": 10.0, "allgather": 0.0}
+        exposed = strategy.exposed_time(times, backward_window=3.0)
+        assert exposed == pytest.approx(7.0)  # only 3s of hiding available
+
+    def test_tcp_overlap_scaled_down(self):
+        strategy = make_overlapped(1.0)
+        times = {"reduce_scatter": 10.0, "allgather": 0.0}
+        rdma = strategy.exposed_time(times, 100.0, over_tcp=False)
+        tcp = strategy.exposed_time(times, 100.0, over_tcp=True)
+        assert rdma == pytest.approx(0.0)
+        assert tcp == pytest.approx(10.0 * (1 - strategy.tcp_overlap_scale))
+
+    def test_step_overhead_added(self):
+        strategy = OptimizerStrategy(
+            name="x", ops=(SyncOp("allreduce", 4, False),), step_overhead=0.25
+        )
+        assert strategy.exposed_time({"allreduce": 1.0}, 0.0) == pytest.approx(1.25)
+
+    def test_zero_window_hides_nothing(self):
+        strategy = make_overlapped(1.0)
+        times = {"reduce_scatter": 5.0, "allgather": 2.0}
+        assert strategy.exposed_time(times, backward_window=0.0) == pytest.approx(7.0)
+
+    def test_negative_inputs_rejected(self):
+        strategy = STRATEGIES["distributed"]
+        with pytest.raises(ConfigurationError):
+            strategy.exposed_time({"reduce_scatter": 1.0}, backward_window=-1.0)
+        with pytest.raises(ConfigurationError):
+            strategy.exposed_time({"reduce_scatter": -1.0}, backward_window=1.0)
+
+    def test_negative_shard_rejected(self):
+        with pytest.raises(ConfigurationError):
+            STRATEGIES["allreduce"].sync_volume_bytes(-1)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(overlap_efficiency=-0.1),
+            dict(overlap_efficiency=1.1),
+            dict(step_overhead=-1.0),
+            dict(tcp_overlap_scale=-0.1),
+            dict(tcp_overlap_scale=1.1),
+        ],
+    )
+    def test_invalid_strategy_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            OptimizerStrategy(name="bad", ops=(), **kwargs)
+
+
+class TestZeroStrategies:
+    def test_zero2_matches_distributed_comm(self):
+        assert (
+            STRATEGIES["zero2"].sync_volume_bytes(100)
+            == STRATEGIES["distributed"].sync_volume_bytes(100)
+        )
+
+    def test_zero3_gathers_params_twice(self):
+        volumes = STRATEGIES["zero3"].sync_volume_bytes(100)
+        assert volumes["reduce_scatter"] == 400
+        assert volumes["allgather"] == 400  # 2 bytes x 2 gathers
+
+    def test_zero3_everything_overlappable(self):
+        assert all(op.overlappable for op in STRATEGIES["zero3"].ops)
+
+    def test_duplicate_op_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OptimizerStrategy(
+                name="bad",
+                ops=(SyncOp("allgather", 2, True), SyncOp("allgather", 2, True)),
+            )
+
+    def test_invalid_repeat_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OptimizerStrategy(
+                name="bad", ops=(SyncOp("allgather", 2, True, repeat=0),)
+            )

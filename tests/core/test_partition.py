@@ -1,0 +1,130 @@
+"""Tests for pipeline partitioning (uniform + paper Eq. 2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partition import (
+    partition_boundaries,
+    self_adapting_partition,
+    stage_speed_from_nic,
+    uniform_partition,
+)
+from repro.errors import PartitionError
+from repro.hardware.nic import NICType
+
+
+class TestUniformPartition:
+    def test_even_split(self):
+        assert uniform_partition(30, 2) == [15, 15]
+        assert uniform_partition(36, 3) == [12, 12, 12]
+
+    def test_remainder_to_earlier_stages(self):
+        assert uniform_partition(10, 3) == [4, 3, 3]
+
+    def test_single_stage(self):
+        assert uniform_partition(7, 1) == [7]
+
+    def test_too_few_layers_rejected(self):
+        with pytest.raises(PartitionError):
+            uniform_partition(2, 3)
+
+    def test_invalid_stage_count(self):
+        with pytest.raises(PartitionError):
+            uniform_partition(4, 0)
+
+    @given(layers=st.integers(1, 200), stages=st.integers(1, 16))
+    @settings(max_examples=80, deadline=None)
+    def test_property_sums_and_balance(self, layers, stages):
+        if layers < stages:
+            with pytest.raises(PartitionError):
+                uniform_partition(layers, stages)
+            return
+        counts = uniform_partition(layers, stages)
+        assert sum(counts) == layers
+        assert max(counts) - min(counts) <= 1
+        assert all(c >= 1 for c in counts)
+
+
+class TestSelfAdaptingPartition:
+    def test_paper_example_ib_vs_roce(self):
+        """Eq. 2 with Table 1 proxies and alpha=1.05: the IB stage of a
+        36-layer model at p=2 receives more layers than the RoCE stage."""
+        speeds = [stage_speed_from_nic(NICType.ROCE),
+                  stage_speed_from_nic(NICType.INFINIBAND)]
+        counts = self_adapting_partition(36, speeds, alpha=1.05)
+        assert sum(counts) == 36
+        assert counts[1] > counts[0]  # IB stage gets more
+        # floor(1.05 * 160/357 * 36) = 16 for RoCE.
+        assert counts == [16, 20]
+
+    def test_equal_speeds_equal_split(self):
+        counts = self_adapting_partition(30, [100.0, 100.0], alpha=1.0)
+        assert counts == [15, 15]
+
+    def test_three_stages_ordering(self):
+        counts = self_adapting_partition(36, [122.0, 160.0, 197.0])
+        assert sum(counts) == 36
+        assert counts[0] <= counts[1] <= counts[2]
+
+    def test_every_stage_gets_a_layer(self):
+        counts = self_adapting_partition(4, [1.0, 1000.0, 1.0, 1.0])
+        assert counts == [1, 1, 1, 1]
+
+    def test_alpha_biases_toward_fast(self):
+        mild = self_adapting_partition(100, [100.0, 200.0], alpha=1.0)
+        strong = self_adapting_partition(100, [100.0, 200.0], alpha=1.3)
+        assert strong[1] >= mild[1]
+
+    @pytest.mark.parametrize(
+        "layers,speeds,alpha",
+        [
+            (0, [1.0], 1.0),
+            (4, [], 1.0),
+            (4, [1.0, -1.0], 1.0),
+            (4, [1.0, 2.0], 0.0),
+            (1, [1.0, 2.0], 1.0),  # fewer layers than stages
+        ],
+    )
+    def test_invalid_inputs_rejected(self, layers, speeds, alpha):
+        with pytest.raises(PartitionError):
+            self_adapting_partition(layers, speeds, alpha=alpha)
+
+    @given(
+        layers=st.integers(2, 128),
+        speeds=st.lists(st.floats(1.0, 1000.0), min_size=1, max_size=8),
+        alpha=st.floats(0.5, 1.5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_valid_partition(self, layers, speeds, alpha):
+        if layers < len(speeds):
+            return
+        counts = self_adapting_partition(layers, speeds, alpha=alpha)
+        assert sum(counts) == layers
+        assert all(c >= 1 for c in counts)
+        assert len(counts) == len(speeds)
+
+    @given(
+        layers=st.integers(8, 96),
+        slow=st.floats(50.0, 150.0),
+        fast=st.floats(151.0, 400.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_faster_stage_never_fewer_layers(self, layers, slow, fast):
+        counts = self_adapting_partition(layers, [slow, fast], alpha=1.05)
+        assert counts[1] >= counts[0]
+
+
+class TestSpeedProxies:
+    def test_table1_values(self):
+        assert stage_speed_from_nic(NICType.INFINIBAND) == 197.0
+        assert stage_speed_from_nic(NICType.ROCE) == 160.0
+        assert stage_speed_from_nic(NICType.ETHERNET) == 122.0
+
+
+class TestBoundaries:
+    def test_cumulative_offsets(self):
+        assert partition_boundaries([3, 2, 4]) == [0, 3, 5, 9]
+
+    def test_empty_stage_rejected(self):
+        with pytest.raises(PartitionError):
+            partition_boundaries([3, 0, 2])

@@ -1,0 +1,91 @@
+"""Tests for the auto-parallelism planner."""
+
+import pytest
+
+from repro.core.planner import enumerate_configs, evaluate_candidates, plan_best
+from repro.errors import ConfigurationError
+from repro.hardware.nic import NICType
+from repro.hardware.presets import homogeneous_topology, make_topology
+from repro.model.config import GPTConfig
+
+SMALL = GPTConfig(num_layers=8, hidden_size=1024, num_attention_heads=8,
+                  seq_length=512, vocab_size=8192)
+
+
+@pytest.fixture
+def topo():
+    return homogeneous_topology(2, NICType.INFINIBAND, gpus_per_node=4)
+
+
+class TestEnumeration:
+    def test_all_configs_valid(self, topo):
+        configs = list(enumerate_configs(topo, SMALL, global_batch_size=64,
+                                         micro_batch_size=2))
+        assert configs
+        for c in configs:
+            assert c.world_size == topo.world_size
+            assert c.tensor <= topo.gpus_per_node
+            assert 64 % c.data == 0
+
+    def test_pipeline_bounded_by_layers(self, topo):
+        configs = enumerate_configs(topo, SMALL, 64, micro_batch_size=2)
+        assert all(c.pipeline <= SMALL.num_layers for c in configs)
+
+    def test_max_tensor_cap(self, topo):
+        configs = enumerate_configs(topo, SMALL, 64, micro_batch_size=2,
+                                    max_tensor=1)
+        assert all(c.tensor == 1 for c in configs)
+
+    def test_batch_divisibility_filters(self, topo):
+        configs = list(enumerate_configs(topo, SMALL, global_batch_size=7,
+                                         micro_batch_size=1))
+        assert all(7 % c.data == 0 for c in configs)
+
+
+class TestEvaluation:
+    def test_candidates_sorted_by_throughput(self, topo):
+        configs = enumerate_configs(topo, SMALL, 64, micro_batch_size=2)
+        candidates = evaluate_candidates(topo, SMALL, configs)
+        assert candidates
+        throughputs = [c.throughput for c in candidates]
+        assert throughputs == sorted(throughputs, reverse=True)
+
+    def test_memory_infeasible_dropped(self):
+        topo = homogeneous_topology(1, NICType.INFINIBAND, gpus_per_node=2)
+        huge = GPTConfig(num_layers=96, hidden_size=12288,
+                         num_attention_heads=96)
+        with pytest.raises(ConfigurationError, match="does not fit"):
+            plan_best(topo, huge, global_batch_size=16, micro_batch_size=1)
+
+    def test_straddling_excluded_by_default(self):
+        """Three heterogeneous clusters with p that cannot align: those
+        configurations are skipped rather than silently degraded."""
+        topo = make_topology(
+            [(1, NICType.ROCE), (1, NICType.INFINIBAND)],
+            inter_cluster_rdma=False, gpus_per_node=4,
+        )
+        configs = enumerate_configs(topo, SMALL, 64, micro_batch_size=2)
+        candidates = evaluate_candidates(topo, SMALL, configs)
+        assert all(c.straddling_stages == 0 for c in candidates)
+
+    def test_plan_best_top_k(self, topo):
+        best = plan_best(topo, SMALL, 64, micro_batch_size=2, top_k=3)
+        assert 1 <= len(best) <= 3
+
+    def test_describe(self, topo):
+        best = plan_best(topo, SMALL, 64, micro_batch_size=2, top_k=1)[0]
+        text = best.describe()
+        assert "TFLOPS" in text and "t=" in text
+
+
+class TestPlannerChoices:
+    def test_hybrid_machine_prefers_cluster_aligned_pipeline(self):
+        """On a RoCE+IB pair of clusters the planner's best plans use
+        pipeline parallelism across the boundary (p even), never DP."""
+        topo = make_topology(
+            [(1, NICType.ROCE), (1, NICType.INFINIBAND)],
+            inter_cluster_rdma=False, gpus_per_node=4,
+        )
+        best = plan_best(topo, SMALL, 64, micro_batch_size=2, top_k=3)
+        for candidate in best:
+            assert candidate.parallel.pipeline % 2 == 0

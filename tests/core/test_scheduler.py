@@ -1,0 +1,146 @@
+"""Tests for the Holmes scheduler: placements, stage NICs, plans."""
+
+import pytest
+
+from repro.core.scheduler import HolmesScheduler
+from repro.errors import SchedulingError
+from repro.hardware.nic import NICType
+from repro.hardware.presets import homogeneous_topology, make_topology
+from repro.model.config import GPTConfig
+from repro.parallel.degrees import ParallelConfig
+
+
+@pytest.fixture
+def model():
+    return GPTConfig(num_layers=30, hidden_size=3072, num_attention_heads=32)
+
+
+@pytest.fixture
+def hybrid_topo():
+    # RoCE cluster first, as the paper lists its environments.
+    return make_topology(
+        [(2, NICType.ROCE), (2, NICType.INFINIBAND)], inter_cluster_rdma=False
+    )
+
+
+def pconfig(t, p, d, batch=None):
+    return ParallelConfig(tensor=t, pipeline=p, data=d,
+                          micro_batch_size=4, global_batch_size=batch or 4 * d)
+
+
+class TestHolmesPlacement:
+    def test_aligned_stages_identity_order(self, hybrid_topo, model):
+        plan = HolmesScheduler().plan(
+            hybrid_topo, pconfig(1, 2, 16, batch=768), model
+        )
+        # Stage 0 -> RoCE cluster (ranks 0..15), stage 1 -> IB cluster.
+        assert plan.straddling_stages == 0
+        assert plan.stage_nics == (NICType.ROCE, NICType.INFINIBAND)
+        stage0_phys = [plan.placement.physical(r) for r in plan.layout.stage_ranks(0)]
+        assert sorted(stage0_phys) == list(range(16))
+
+    def test_homogeneous_env_trivial(self, model):
+        topo = homogeneous_topology(4, NICType.INFINIBAND)
+        plan = HolmesScheduler().plan(topo, pconfig(1, 2, 16, batch=768), model)
+        assert plan.straddling_stages == 0
+        assert plan.stage_nics == (NICType.INFINIBAND, NICType.INFINIBAND)
+
+    def test_three_clusters_three_stages(self, model):
+        topo = make_topology(
+            [(2, NICType.ROCE), (2, NICType.ROCE), (2, NICType.INFINIBAND)],
+            inter_cluster_rdma=False,
+        )
+        plan = HolmesScheduler().plan(topo, pconfig(1, 3, 16, batch=768), model)
+        assert plan.straddling_stages == 0
+        assert plan.stage_nics == (
+            NICType.ROCE, NICType.ROCE, NICType.INFINIBAND
+        )
+
+    def test_reordering_avoids_straddle(self, model):
+        """Clusters of 1+2+1 nodes with p=2 (stage = 2 nodes): the natural
+        order straddles; a reordering can avoid it."""
+        topo = make_topology(
+            [(1, NICType.ROCE), (2, NICType.INFINIBAND), (1, NICType.ROCE)],
+            inter_cluster_rdma=False,
+        )
+        plan = HolmesScheduler().plan(topo, pconfig(1, 2, 16, batch=768), model)
+        assert plan.straddling_stages == 0
+        families = set(plan.stage_nics)
+        assert NICType.INFINIBAND in families
+
+    def test_same_family_split_clusters_marks_ethernet_dp(self, model):
+        """Two unconnected IB clusters, p=1: the single stage spans both, so
+        its DP groups ride Ethernet (paper Case 2 boundary condition)."""
+        topo = make_topology(
+            [(1, NICType.INFINIBAND), (1, NICType.INFINIBAND)],
+            inter_cluster_rdma=False,
+        )
+        plan = HolmesScheduler().plan(topo, pconfig(1, 1, 16, batch=768), model)
+        assert plan.stage_nics == (NICType.ETHERNET,)
+
+    def test_split_env_stages_keep_rdma(self, model):
+        """Two unconnected IB clusters with p=2: each stage stays inside one
+        cluster, DP keeps InfiniBand (Figure 4's scenario)."""
+        topo = make_topology(
+            [(2, NICType.INFINIBAND), (2, NICType.INFINIBAND)],
+            inter_cluster_rdma=False,
+        )
+        plan = HolmesScheduler().plan(topo, pconfig(1, 2, 16, batch=768), model)
+        assert plan.stage_nics == (NICType.INFINIBAND, NICType.INFINIBAND)
+
+
+class TestIdentityPlacement:
+    def test_identity_strategy(self, hybrid_topo, model):
+        plan = HolmesScheduler().plan(
+            hybrid_topo, pconfig(1, 2, 16, batch=768), model,
+            placement_strategy="identity",
+        )
+        assert plan.placement.name == "identity"
+        assert [plan.placement.physical(i) for i in range(32)] == list(range(32))
+
+    def test_unknown_strategy_rejected(self, hybrid_topo, model):
+        with pytest.raises(SchedulingError):
+            HolmesScheduler().plan(
+                hybrid_topo, pconfig(1, 2, 16, batch=768), model,
+                placement_strategy="random",
+            )
+
+
+class TestPartitionStrategies:
+    def test_self_adapting_gives_ib_more_layers(self, hybrid_topo):
+        model = GPTConfig(num_layers=36, hidden_size=4096, num_attention_heads=32)
+        plan = HolmesScheduler(alpha=1.05).plan(
+            hybrid_topo, pconfig(1, 2, 16, batch=768), model
+        )
+        # Stage 0 is RoCE, stage 1 is IB: IB gets more layers (proxies come
+        # from the simulated testbed's own drag measurements).
+        assert plan.stage_layers == (17, 19)
+
+    def test_uniform_partition(self, hybrid_topo, model):
+        plan = HolmesScheduler().plan(
+            hybrid_topo, pconfig(1, 2, 16, batch=768), model,
+            partition_strategy="uniform",
+        )
+        assert plan.stage_layers == (15, 15)
+
+    def test_unknown_partition_rejected(self, hybrid_topo, model):
+        with pytest.raises(SchedulingError):
+            HolmesScheduler().plan(
+                hybrid_topo, pconfig(1, 2, 16, batch=768), model,
+                partition_strategy="magic",
+            )
+
+
+class TestPlanProperties:
+    def test_physical_groups_are_permuted(self, hybrid_topo, model):
+        plan = HolmesScheduler().plan(hybrid_topo, pconfig(1, 2, 16, batch=768), model)
+        groups = plan.physical_groups
+        assert set(groups) == {"tensor", "pipeline", "data"}
+        flat = sorted(r for g in groups["data"] for r in g)
+        assert flat == list(range(32))
+
+    def test_describe_mentions_strategies(self, hybrid_topo, model):
+        plan = HolmesScheduler().plan(hybrid_topo, pconfig(1, 2, 16, batch=768), model)
+        text = plan.describe()
+        assert "holmes" in text
+        assert "self_adapting" in text

@@ -1,0 +1,117 @@
+"""Tests for traffic accounting and the NIC upgrade advisor."""
+
+import pytest
+
+from repro.bench.paramgroups import PARAM_GROUPS
+from repro.bench.scenarios import ethernet_env, homogeneous_env, hybrid2_env
+from repro.core.advisor import advise_upgrades, upgrade_cluster_nic
+from repro.core.scheduler import HolmesScheduler
+from repro.core.traffic import iteration_traffic
+from repro.errors import ConfigurationError
+from repro.hardware.nic import NICType
+from repro.model.memory import GRAD_BYTES_PER_PARAM, PARAM_BYTES_PER_PARAM
+
+
+def plan_for(topo, group):
+    return HolmesScheduler().plan(
+        topo, group.parallel_for(topo.world_size), group.model
+    )
+
+
+class TestTrafficAccounting:
+    def test_hybrid_dp_rides_rdma(self):
+        group = PARAM_GROUPS[1]
+        topo = hybrid2_env(4)
+        report = iteration_traffic(plan_for(topo, group), group.model)
+        assert report.by_type["data"] > 0
+        assert report.by_type["pipeline"] > 0
+        assert report.by_type["tensor"] == 0  # t=1
+        # All DP bytes on RDMA; pipeline crosses the uplink.
+        assert report.by_link["rdma"] >= report.by_type["data"]
+        assert report.by_link["uplink"] > 0
+        assert report.fraction_on_rdma() > 0.8
+
+    def test_ethernet_env_has_no_rdma_traffic(self):
+        group = PARAM_GROUPS[1]
+        topo = ethernet_env(2)
+        report = iteration_traffic(plan_for(topo, group), group.model)
+        assert report.by_link["rdma"] == 0
+        assert report.fraction_on_rdma() == 0.0
+
+    def test_dp_volume_matches_formula(self):
+        """One DP group, known shard: wire bytes = (4+2) * params * (d-1)."""
+        group = PARAM_GROUPS[1]
+        topo = homogeneous_env(2, NICType.INFINIBAND)
+        plan = plan_for(topo, group)
+        report = iteration_traffic(plan, group.model)
+        from repro.model.params import (
+            embedding_params,
+            transformer_layer_params,
+        )
+
+        d = plan.parallel.data
+        per_op = GRAD_BYTES_PER_PARAM + PARAM_BYTES_PER_PARAM
+        expected = 0
+        for stage, layers in enumerate(plan.stage_layers):
+            shard = layers * transformer_layer_params(group.model)
+            if stage == 0:
+                shard += embedding_params(group.model)
+            expected += per_op * shard * (d - 1)
+        assert report.by_type["data"] == pytest.approx(expected, rel=1e-6)
+
+    def test_tensor_traffic_on_nvlink(self):
+        group = PARAM_GROUPS[7]  # t=8
+        topo = hybrid2_env(4)
+        report = iteration_traffic(plan_for(topo, group), group.model)
+        assert report.by_type["tensor"] > 0
+        assert report.by_link["nvlink"] >= report.by_type["tensor"]
+
+    def test_pipeline_volume_scales_with_microbatches(self):
+        group_small = PARAM_GROUPS[1]  # batch 768
+        group_big = PARAM_GROUPS[2]  # batch 1536, same model
+        topo = hybrid2_env(4)
+        small = iteration_traffic(plan_for(topo, group_small), group_small.model)
+        big = iteration_traffic(plan_for(topo, group_big), group_big.model)
+        assert big.by_type["pipeline"] == 2 * small.by_type["pipeline"]
+
+
+class TestUpgradeAdvisor:
+    def test_swap_changes_family(self):
+        topo = hybrid2_env(4)  # cluster 0 RoCE, cluster 1 IB
+        upgraded = upgrade_cluster_nic(topo, 0, NICType.INFINIBAND)
+        assert upgraded.clusters[0].nic_type == NICType.INFINIBAND
+        assert topo.clusters[0].nic_type == NICType.ROCE  # original intact
+
+    def test_invalid_swaps_rejected(self):
+        topo = hybrid2_env(4)
+        with pytest.raises(ConfigurationError):
+            upgrade_cluster_nic(topo, 0, NICType.ETHERNET)
+        with pytest.raises(ConfigurationError):
+            upgrade_cluster_nic(topo, 9, NICType.INFINIBAND)
+
+    def test_advise_on_hybrid(self):
+        """On RoCE+IB, the only upgrade is RoCE cluster -> IB, and it must
+        help (it removes both drag and the slow sync)."""
+        group = PARAM_GROUPS[1]
+        options = advise_upgrades(hybrid2_env(4), group)
+        assert len(options) == 1
+        best = options[0]
+        assert best.cluster_id == 0
+        assert best.to_family == NICType.INFINIBAND
+        assert best.speedup > 1.0
+        assert "cluster 0" in best.describe()
+
+    def test_no_upgrades_on_all_ib(self):
+        group = PARAM_GROUPS[1]
+        options = advise_upgrades(
+            homogeneous_env(2, NICType.INFINIBAND), group
+        )
+        assert options == []
+
+    def test_ethernet_cluster_offers_two_paths(self):
+        group = PARAM_GROUPS[1]
+        options = advise_upgrades(ethernet_env(2), group)
+        targets = {o.to_family for o in options}
+        assert targets == {NICType.ROCE, NICType.INFINIBAND}
+        # IB upgrade beats RoCE upgrade.
+        assert options[0].to_family == NICType.INFINIBAND

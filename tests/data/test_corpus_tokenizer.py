@@ -1,0 +1,112 @@
+"""Tests for the synthetic corpus and tokenizers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.corpus import SyntheticCorpus
+from repro.data.tokenizer import BPETokenizer, CharTokenizer
+from repro.errors import ConfigurationError
+
+
+class TestSyntheticCorpus:
+    def test_deterministic_by_seed(self):
+        a = SyntheticCorpus(seed=1).generate(100, seed=5)
+        b = SyntheticCorpus(seed=1).generate(100, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = SyntheticCorpus(seed=1).generate(100, seed=5)
+        b = SyntheticCorpus(seed=2).generate(100, seed=5)
+        assert a != b
+
+    def test_word_count(self):
+        text = SyntheticCorpus().generate(250)
+        assert len(text.split()) == 250
+
+    def test_words_come_from_vocabulary(self):
+        corpus = SyntheticCorpus(vocab_words=20)
+        vocab = set(corpus.words)
+        assert set(corpus.generate(500).split()) <= vocab
+
+    def test_frequencies_are_skewed(self):
+        """Zipfian unigram + Markov structure: the most common word must
+        clearly dominate the median word."""
+        from collections import Counter
+
+        counts = Counter(SyntheticCorpus().generate(5000).split())
+        frequencies = sorted(counts.values(), reverse=True)
+        assert frequencies[0] > 3 * frequencies[len(frequencies) // 2]
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticCorpus(vocab_words=1)
+        with pytest.raises(ConfigurationError):
+            SyntheticCorpus().generate(0)
+
+
+class TestCharTokenizer:
+    def test_round_trip(self):
+        text = "hello world"
+        tok = CharTokenizer(text)
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_unknown_char_rejected(self):
+        tok = CharTokenizer("ab")
+        with pytest.raises(ConfigurationError):
+            tok.encode("abc")
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CharTokenizer("")
+
+
+class TestBPETokenizer:
+    @pytest.fixture
+    def corpus_text(self):
+        return SyntheticCorpus(vocab_words=30, seed=3).generate(2000)
+
+    def test_round_trip(self, corpus_text):
+        tok = BPETokenizer().train(corpus_text, vocab_size=100)
+        sample = " ".join(corpus_text.split()[:50])
+        assert tok.decode(tok.encode(sample)) == sample
+
+    def test_vocab_size_respected(self, corpus_text):
+        tok = BPETokenizer().train(corpus_text, vocab_size=80)
+        assert tok.vocab_size <= 80
+
+    def test_merges_compress(self, corpus_text):
+        """More merges -> fewer tokens per text."""
+        small = BPETokenizer().train(corpus_text, vocab_size=30)
+        large = BPETokenizer().train(corpus_text, vocab_size=200)
+        sample = " ".join(corpus_text.split()[:100])
+        assert len(large.encode(sample)) < len(small.encode(sample))
+
+    def test_frequent_words_become_single_tokens(self, corpus_text):
+        from collections import Counter
+
+        tok = BPETokenizer().train(corpus_text, vocab_size=300)
+        top_word = Counter(corpus_text.split()).most_common(1)[0][0]
+        pieces = tok.tokenize(top_word)
+        assert len(pieces) == 1
+
+    def test_untrained_tokenizer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BPETokenizer().encode("x")
+
+    def test_out_of_vocabulary_piece_rejected(self, corpus_text):
+        tok = BPETokenizer().train(corpus_text, vocab_size=60)
+        with pytest.raises(ConfigurationError):
+            tok.encode("qqqq")  # 'q' never appears in the syllable alphabet
+
+    def test_invalid_training_args(self):
+        with pytest.raises(ConfigurationError):
+            BPETokenizer().train("", 10)
+        with pytest.raises(ConfigurationError):
+            BPETokenizer().train("ab ab", 1)
+
+    @given(vocab=st.integers(20, 120), words=st.integers(50, 300))
+    @settings(max_examples=10, deadline=None)
+    def test_property_round_trip(self, vocab, words):
+        text = SyntheticCorpus(vocab_words=15, seed=vocab).generate(words)
+        tok = BPETokenizer().train(text, vocab_size=vocab)
+        assert tok.decode(tok.encode(text)) == text

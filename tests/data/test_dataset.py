@@ -1,0 +1,100 @@
+"""Tests for the token dataset and DP sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.dataset import DataParallelSampler, TokenDataset
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def dataset():
+    return TokenDataset(np.arange(101), seq_length=10)  # 10 samples
+
+
+class TestTokenDataset:
+    def test_sample_count(self, dataset):
+        assert len(dataset) == 10
+
+    def test_target_is_shifted_input(self, dataset):
+        inputs, targets = dataset.sample(0)
+        np.testing.assert_array_equal(targets, inputs + 1)
+        assert inputs.shape == (10,)
+
+    def test_samples_tile_the_stream(self, dataset):
+        inputs0, _ = dataset.sample(0)
+        inputs1, _ = dataset.sample(1)
+        assert inputs1[0] == inputs0[-1] + 1
+
+    def test_batch_stacks(self, dataset):
+        inputs, targets = dataset.batch([0, 3, 5])
+        assert inputs.shape == (3, 10)
+        assert targets.shape == (3, 10)
+
+    def test_out_of_range_rejected(self, dataset):
+        with pytest.raises(ConfigurationError):
+            dataset.sample(10)
+
+    def test_too_short_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TokenDataset(np.arange(5), seq_length=10)
+
+    def test_invalid_seq_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TokenDataset(np.arange(100), seq_length=0)
+
+
+class TestDataParallelSampler:
+    @pytest.fixture
+    def sampler(self, dataset):
+        return DataParallelSampler(dataset, data_parallel=2,
+                                   batch_per_replica=2, seed=1)
+
+    def test_batches_per_epoch(self, sampler):
+        assert sampler.batches_per_epoch == 2  # 10 // (2*2) = 2
+
+    def test_each_sample_once_per_epoch(self, sampler):
+        consumed = sampler.epoch_coverage(epoch=0)
+        assert len(consumed) == len(set(consumed))
+        assert len(consumed) == 8  # 2 steps x 2 replicas x 2 samples
+
+    def test_replicas_disjoint_within_step(self, sampler):
+        a = set(sampler.replica_indices(0, epoch=0, step=0))
+        b = set(sampler.replica_indices(1, epoch=0, step=0))
+        assert not (a & b)
+
+    def test_deterministic_per_epoch(self, sampler):
+        assert sampler.replica_indices(0, 3, 1) == sampler.replica_indices(0, 3, 1)
+
+    def test_epochs_shuffle_differently(self, sampler):
+        assert sampler.epoch_coverage(0) != sampler.epoch_coverage(1)
+
+    def test_replica_batch_shapes(self, sampler):
+        inputs, targets = sampler.replica_batch(1, epoch=0, step=1)
+        assert inputs.shape == (2, 10)
+        assert targets.shape == (2, 10)
+
+    def test_invalid_queries_rejected(self, sampler):
+        with pytest.raises(ConfigurationError):
+            sampler.replica_indices(2, 0, 0)
+        with pytest.raises(ConfigurationError):
+            sampler.replica_indices(0, 0, 2)
+
+    def test_oversized_configuration_rejected(self, dataset):
+        with pytest.raises(ConfigurationError):
+            DataParallelSampler(dataset, data_parallel=4, batch_per_replica=4)
+
+    @given(
+        d=st.integers(1, 4),
+        b=st.integers(1, 3),
+        epoch=st.integers(0, 5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_epoch_is_partition(self, d, b, epoch):
+        dataset = TokenDataset(np.arange(1 + 8 * d * b * 4), seq_length=8)
+        sampler = DataParallelSampler(dataset, d, b, seed=9)
+        consumed = sampler.epoch_coverage(epoch)
+        assert len(consumed) == len(set(consumed))
+        assert len(consumed) == sampler.batches_per_epoch * d * b
+        assert all(0 <= i < len(dataset) for i in consumed)

@@ -1,0 +1,46 @@
+"""Unit tests for the GPU compute model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.gpu import GPUSpec
+from repro.units import GB, teraflops
+
+
+class TestGPUSpec:
+    def test_effective_flops(self):
+        gpu = GPUSpec("test", peak_flops=teraflops(312), memory_bytes=80 * GB,
+                      base_mfu=0.5)
+        assert gpu.effective_flops == pytest.approx(156e12)
+
+    def test_compute_time(self):
+        gpu = GPUSpec("test", peak_flops=1e12, memory_bytes=GB, base_mfu=1.0)
+        assert gpu.compute_time(2e12) == pytest.approx(2.0)
+
+    def test_compute_time_zero(self):
+        gpu = GPUSpec("test", peak_flops=1e12, memory_bytes=GB)
+        assert gpu.compute_time(0.0) == 0.0
+
+    def test_negative_flops_rejected(self):
+        gpu = GPUSpec("test", peak_flops=1e12, memory_bytes=GB)
+        with pytest.raises(ConfigurationError):
+            gpu.compute_time(-1.0)
+
+    def test_with_mfu_returns_copy(self):
+        gpu = GPUSpec("test", peak_flops=1e12, memory_bytes=GB, base_mfu=0.8)
+        tuned = gpu.with_mfu(0.5)
+        assert tuned.base_mfu == 0.5
+        assert gpu.base_mfu == 0.8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(peak_flops=0.0, memory_bytes=GB),
+            dict(peak_flops=1e12, memory_bytes=0),
+            dict(peak_flops=1e12, memory_bytes=GB, base_mfu=0.0),
+            dict(peak_flops=1e12, memory_bytes=GB, base_mfu=1.1),
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GPUSpec("bad", **kwargs)

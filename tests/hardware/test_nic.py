@@ -1,0 +1,78 @@
+"""Unit tests for NIC specs and the RDMA compatibility rule."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.nic import NICSpec, NICType, rdma_compatible
+from repro.units import gbps, microseconds
+
+
+class TestNICType:
+    def test_rdma_families(self):
+        assert NICType.INFINIBAND.is_rdma
+        assert NICType.ROCE.is_rdma
+        assert not NICType.ETHERNET.is_rdma
+
+    def test_str(self):
+        assert str(NICType.ROCE) == "roce"
+
+
+class TestNICSpec:
+    def test_effective_bandwidth(self):
+        nic = NICSpec(NICType.INFINIBAND, gbps(200), microseconds(2), 0.9)
+        assert nic.effective_bandwidth == pytest.approx(200e9 / 8 * 0.9)
+
+    def test_transfer_time_includes_latency(self):
+        nic = NICSpec(NICType.ETHERNET, bandwidth=1e9, latency=1e-3, efficiency=1.0)
+        assert nic.transfer_time(1_000_000) == pytest.approx(1e-3 + 1e-3)
+
+    def test_transfer_time_zero_bytes_is_latency(self):
+        nic = NICSpec(NICType.ETHERNET, bandwidth=1e9, latency=5e-6)
+        assert nic.transfer_time(0) == pytest.approx(5e-6)
+
+    def test_negative_transfer_rejected(self):
+        nic = NICSpec(NICType.ETHERNET, bandwidth=1e9, latency=0.0)
+        with pytest.raises(ConfigurationError):
+            nic.transfer_time(-1)
+
+    def test_with_efficiency_returns_copy(self):
+        nic = NICSpec(NICType.ROCE, gbps(200), 0.0, efficiency=0.5)
+        faster = nic.with_efficiency(0.9)
+        assert faster.efficiency == 0.9
+        assert nic.efficiency == 0.5  # original unchanged
+
+    def test_default_name_from_type(self):
+        nic = NICSpec(NICType.ROCE, 1e9, 0.0)
+        assert nic.name == "roce"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(bandwidth=0.0, latency=0.0),
+            dict(bandwidth=-1.0, latency=0.0),
+            dict(bandwidth=1e9, latency=-1e-6),
+            dict(bandwidth=1e9, latency=0.0, efficiency=0.0),
+            dict(bandwidth=1e9, latency=0.0, efficiency=1.5),
+            dict(bandwidth=1e9, latency=0.0, compute_drag=-0.1),
+            dict(bandwidth=1e9, latency=0.0, compute_drag=1.0),
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            NICSpec(NICType.ETHERNET, **kwargs)
+
+
+class TestRDMACompatibility:
+    """The incompatibility rule at the heart of the paper (S1, S2.1.2)."""
+
+    def test_same_rdma_family_compatible(self):
+        assert rdma_compatible(NICType.INFINIBAND, NICType.INFINIBAND)
+        assert rdma_compatible(NICType.ROCE, NICType.ROCE)
+
+    def test_ib_and_roce_incompatible(self):
+        assert not rdma_compatible(NICType.INFINIBAND, NICType.ROCE)
+        assert not rdma_compatible(NICType.ROCE, NICType.INFINIBAND)
+
+    def test_ethernet_never_rdma(self):
+        assert not rdma_compatible(NICType.ETHERNET, NICType.ETHERNET)
+        assert not rdma_compatible(NICType.ETHERNET, NICType.INFINIBAND)

@@ -1,0 +1,83 @@
+"""Unit tests for Node and Cluster construction rules."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.hardware.cluster import Cluster
+from repro.hardware.nic import NICType
+from repro.hardware.presets import ETH_25, IB_200, ROCE_200, make_node
+
+
+class TestNode:
+    def test_rdma_node_prefers_rdma(self):
+        node = make_node(0, NICType.INFINIBAND)
+        assert node.nic_type == NICType.INFINIBAND
+        assert node.best_nic is node.rdma_nic
+
+    def test_ethernet_node_has_no_rdma(self):
+        node = make_node(0, NICType.ETHERNET)
+        assert node.rdma_nic is None
+        assert node.nic_type == NICType.ETHERNET
+        assert node.best_nic is node.ethernet_nic
+
+    def test_nic_for_ethernet_always_available(self):
+        node = make_node(0, NICType.ROCE)
+        assert node.nic_for(NICType.ETHERNET) is node.ethernet_nic
+
+    def test_nic_for_matching_rdma(self):
+        node = make_node(0, NICType.ROCE)
+        assert node.nic_for(NICType.ROCE) is node.rdma_nic
+
+    def test_nic_for_missing_family_raises(self):
+        node = make_node(0, NICType.ROCE)
+        with pytest.raises(ConfigurationError):
+            node.nic_for(NICType.INFINIBAND)
+
+    def test_invalid_gpu_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_node(0, NICType.INFINIBAND, gpus_per_node=0)
+
+    def test_ethernet_slot_must_hold_ethernet(self):
+        from repro.hardware.node import Node
+        from repro.hardware.presets import A100
+
+        with pytest.raises(ConfigurationError):
+            Node(0, A100, 8, ethernet_nic=IB_200)
+
+    def test_rdma_slot_rejects_ethernet(self):
+        from repro.hardware.node import Node
+        from repro.hardware.presets import A100
+
+        with pytest.raises(ConfigurationError):
+            Node(0, A100, 8, ethernet_nic=ETH_25, rdma_nic=ETH_25)
+
+
+class TestCluster:
+    def test_homogeneous_cluster(self):
+        nodes = tuple(make_node(i, NICType.ROCE) for i in range(3))
+        cluster = Cluster(0, nodes)
+        assert cluster.nic_type == NICType.ROCE
+        assert cluster.num_nodes == 3
+        assert cluster.num_gpus == 24
+
+    def test_mixed_families_rejected(self):
+        nodes = (make_node(0, NICType.ROCE), make_node(1, NICType.INFINIBAND))
+        with pytest.raises(TopologyError, match="mixes NIC families"):
+            Cluster(0, nodes)
+
+    def test_mixed_gpu_counts_rejected(self):
+        nodes = (
+            make_node(0, NICType.ROCE, gpus_per_node=8),
+            make_node(1, NICType.ROCE, gpus_per_node=4),
+        )
+        with pytest.raises(TopologyError, match="GPU counts"):
+            Cluster(0, nodes)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(TopologyError):
+            Cluster(0, ())
+
+    def test_default_name(self):
+        cluster = Cluster(2, (make_node(0, NICType.INFINIBAND),))
+        assert "cluster2" in cluster.name
+        assert "infiniband" in cluster.name

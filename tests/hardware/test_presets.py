@@ -1,0 +1,80 @@
+"""Unit tests for the testbed presets and topology builders."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.nic import NICType
+from repro.hardware.presets import (
+    A100,
+    ETH_25,
+    GPUS_PER_NODE,
+    IB_200,
+    ROCE_200,
+    homogeneous_topology,
+    make_cluster,
+    make_topology,
+    nic_preset,
+)
+from repro.units import gbps, teraflops
+
+
+class TestPresetValues:
+    """Pin the paper-derived constants so calibration drift is visible."""
+
+    def test_a100_peak(self):
+        assert A100.peak_flops == teraflops(312)
+        assert A100.memory_bytes == 80 * 1024**3
+
+    def test_nic_bandwidths_match_table1(self):
+        assert IB_200.bandwidth == gbps(200)
+        assert ROCE_200.bandwidth == gbps(200)
+        assert ETH_25.bandwidth == gbps(25)
+
+    def test_roce_slower_than_ib_despite_equal_line_rate(self):
+        """The paper's central RoCE observation (Table 1)."""
+        assert ROCE_200.effective_bandwidth < IB_200.effective_bandwidth
+        assert ROCE_200.compute_drag > IB_200.compute_drag
+
+    def test_ethernet_slowest(self):
+        assert ETH_25.effective_bandwidth < ROCE_200.effective_bandwidth
+
+    def test_gpus_per_node_is_eight(self):
+        assert GPUS_PER_NODE == 8
+
+    def test_nic_preset_lookup(self):
+        assert nic_preset(NICType.INFINIBAND) is IB_200
+        assert nic_preset(NICType.ROCE) is ROCE_200
+        assert nic_preset(NICType.ETHERNET) is ETH_25
+
+
+class TestBuilders:
+    def test_homogeneous_topology_case1(self):
+        topo = homogeneous_topology(4, NICType.INFINIBAND)
+        assert topo.world_size == 32
+        assert topo.inter_cluster_rdma
+        assert topo.num_clusters == 1
+
+    def test_make_topology_multi_cluster(self):
+        topo = make_topology([(2, NICType.ROCE), (2, NICType.INFINIBAND)])
+        assert topo.num_clusters == 2
+        assert not topo.inter_cluster_rdma
+        assert topo.clusters[0].nic_type == NICType.ROCE
+        assert topo.clusters[1].nic_type == NICType.INFINIBAND
+
+    def test_node_ids_are_globally_unique(self):
+        topo = make_topology([(2, NICType.ROCE), (3, NICType.INFINIBAND)])
+        ids = [topo._nodes[i].node_id for i in range(topo.num_nodes)]
+        assert ids == list(range(5))
+
+    def test_empty_shapes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_topology([])
+
+    def test_zero_node_cluster_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cluster(0, 0, NICType.ROCE)
+
+    def test_custom_gpus_per_node(self):
+        topo = homogeneous_topology(2, NICType.ROCE, gpus_per_node=4)
+        assert topo.world_size == 8
+        assert topo.gpus_per_node == 4

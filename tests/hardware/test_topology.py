@@ -1,0 +1,155 @@
+"""Unit tests for ClusterTopology: rank numbering, locality, transport rules."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.hardware.nic import NICType
+from repro.hardware.presets import make_topology, homogeneous_topology
+
+
+@pytest.fixture
+def figure2_topology():
+    """The paper's Figure 2 machine: 2 clusters x 2 nodes x 4 GPUs,
+    cluster 0 InfiniBand, cluster 1 RoCE, no inter-cluster interconnect."""
+    return make_topology(
+        [(2, NICType.INFINIBAND), (2, NICType.ROCE)],
+        inter_cluster_rdma=False,
+        gpus_per_node=4,
+    )
+
+
+class TestRankNumbering:
+    """Paper S2.4: sequential numbering of clusters, nodes, devices."""
+
+    def test_world_size(self, figure2_topology):
+        assert figure2_topology.world_size == 16
+        assert figure2_topology.num_nodes == 4
+        assert figure2_topology.num_clusters == 2
+
+    def test_ranks_are_sequential_within_nodes(self, figure2_topology):
+        topo = figure2_topology
+        for node in range(4):
+            ranks = topo.ranks_of_node(node)
+            assert ranks == list(range(node * 4, (node + 1) * 4))
+
+    def test_device_info_round_trip(self, figure2_topology):
+        topo = figure2_topology
+        dev = topo.device(9)  # second GPU of node 2 = first node of cluster 1
+        assert dev.rank == 9
+        assert dev.cluster_id == 1
+        assert dev.node_global == 2
+        assert dev.node_local == 0
+        assert dev.gpu_index == 1
+
+    def test_cluster_rank_blocks(self, figure2_topology):
+        topo = figure2_topology
+        assert topo.ranks_of_cluster(0) == list(range(8))
+        assert topo.ranks_of_cluster(1) == list(range(8, 16))
+
+    def test_out_of_range_rank_raises(self, figure2_topology):
+        with pytest.raises(TopologyError):
+            figure2_topology.device(16)
+        with pytest.raises(TopologyError):
+            figure2_topology.device(-1)
+
+    def test_out_of_range_node_raises(self, figure2_topology):
+        with pytest.raises(TopologyError):
+            figure2_topology.ranks_of_node(4)
+
+
+class TestLocality:
+    def test_same_node(self, figure2_topology):
+        assert figure2_topology.same_node(0, 3)
+        assert not figure2_topology.same_node(3, 4)
+
+    def test_same_cluster(self, figure2_topology):
+        assert figure2_topology.same_cluster(0, 7)
+        assert not figure2_topology.same_cluster(7, 8)
+
+    def test_nic_type_of(self, figure2_topology):
+        assert figure2_topology.nic_type_of(0) == NICType.INFINIBAND
+        assert figure2_topology.nic_type_of(8) == NICType.ROCE
+
+
+class TestEffectiveNIC:
+    """The paper's transport rules (S2.2, S3.2)."""
+
+    def test_intra_node_has_no_nic(self, figure2_topology):
+        assert figure2_topology.effective_nic_type(0, 1) is None
+
+    def test_intra_cluster_uses_rdma(self, figure2_topology):
+        assert (
+            figure2_topology.effective_nic_type(0, 4) == NICType.INFINIBAND
+        )
+        assert figure2_topology.effective_nic_type(8, 12) == NICType.ROCE
+
+    def test_cross_cluster_without_interconnect_is_ethernet(
+        self, figure2_topology
+    ):
+        assert figure2_topology.effective_nic_type(0, 8) == NICType.ETHERNET
+
+    def test_cross_cluster_with_interconnect_same_family_is_rdma(self):
+        topo = make_topology(
+            [(1, NICType.INFINIBAND), (1, NICType.INFINIBAND)],
+            inter_cluster_rdma=True,
+        )
+        assert topo.effective_nic_type(0, 8) == NICType.INFINIBAND
+
+    def test_cross_cluster_mixed_families_is_ethernet_even_with_interconnect(self):
+        """IB and RoCE are incompatible no matter the wiring (paper S1)."""
+        topo = make_topology(
+            [(1, NICType.INFINIBAND), (1, NICType.ROCE)],
+            inter_cluster_rdma=True,
+        )
+        assert topo.effective_nic_type(0, 8) == NICType.ETHERNET
+
+    def test_ethernet_only_cluster(self):
+        topo = homogeneous_topology(2, NICType.ETHERNET)
+        assert topo.effective_nic_type(0, 8) == NICType.ETHERNET
+
+
+class TestGroupNIC:
+    def test_single_node_group_is_none(self, figure2_topology):
+        assert figure2_topology.group_nic_type([0, 1, 2]) is None
+
+    def test_homogeneous_group(self, figure2_topology):
+        assert (
+            figure2_topology.group_nic_type([0, 4, 5]) == NICType.INFINIBAND
+        )
+
+    def test_mixed_group_degrades_to_ethernet(self, figure2_topology):
+        assert figure2_topology.group_nic_type([0, 8]) == NICType.ETHERNET
+
+    def test_tiny_group(self, figure2_topology):
+        assert figure2_topology.group_nic_type([3]) is None
+
+
+class TestValidation:
+    def test_empty_topology_rejected(self):
+        from repro.hardware.topology import ClusterTopology
+
+        with pytest.raises(TopologyError):
+            ClusterTopology([])
+
+    def test_mismatched_gpus_per_node_rejected(self):
+        from repro.hardware.presets import make_cluster
+        from repro.hardware.topology import ClusterTopology
+
+        c0 = make_cluster(0, 1, NICType.INFINIBAND, gpus_per_node=8)
+        c1 = make_cluster(1, 1, NICType.ROCE, gpus_per_node=4)
+        with pytest.raises(TopologyError, match="GPUs per node"):
+            ClusterTopology([c0, c1])
+
+    def test_duplicate_cluster_ids_rejected(self):
+        from repro.hardware.presets import make_cluster
+        from repro.hardware.topology import ClusterTopology
+
+        c0 = make_cluster(0, 1, NICType.INFINIBAND)
+        c1 = make_cluster(0, 1, NICType.ROCE)
+        with pytest.raises(TopologyError, match="duplicate"):
+            ClusterTopology([c0, c1])
+
+    def test_describe_mentions_clusters(self, figure2_topology):
+        text = figure2_topology.describe()
+        assert "2 cluster(s)" in text
+        assert "16 GPU(s)" in text

@@ -1,0 +1,43 @@
+"""Calibration quality gate: the shipped constants must reproduce the
+paper's Table 1 / Table 3 within tolerance, with the documented residual
+structure."""
+
+import pytest
+
+from repro.bench.calibration import (
+    ACCEPTABLE_MEAN_ERROR,
+    evaluate_against_table3,
+    verify_calibration,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    # Evaluate once for all tests in this module (48 simulated cells).
+    return evaluate_against_table3()
+
+
+class TestCalibrationQuality:
+    def test_mean_error_within_bar(self, report):
+        assert report.mean_relative_error <= ACCEPTABLE_MEAN_ERROR
+
+    def test_table1_anchor_row_tight(self):
+        """The headline anchors (PG1, 4 nodes) must be within 5%."""
+        sub = evaluate_against_table3(
+            keys=[(1, 4, "InfiniBand"), (1, 4, "RoCE"), (1, 4, "Ethernet")]
+        )
+        assert sub.max_relative_error < 0.05
+
+    def test_verify_calibration_passes(self):
+        report = verify_calibration()
+        assert report.mean_relative_error <= ACCEPTABLE_MEAN_ERROR
+
+    def test_worst_cells_reported(self, report):
+        worst = report.worst(3)
+        assert len(worst) == 3
+        assert worst[0].relative_error >= worst[1].relative_error
+
+    def test_every_cell_within_loose_bound(self, report):
+        """No single cell drifts past 30% — catches gross regressions in
+        any one environment/scale combination."""
+        assert report.max_relative_error < 0.30

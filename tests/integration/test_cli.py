@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_environment, main, make_parser
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_unknown_env_rejected(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["simulate", "--env", "carrier-pigeon"])
+
+    def test_environments_buildable(self):
+        for env in ("ib", "roce", "ethernet", "hybrid", "split-ib", "split-roce"):
+            topo = build_environment(env, 4)
+            assert topo.world_size == 32
+
+
+class TestCommands:
+    def test_topology(self, capsys):
+        assert main(["topology", "--nodes", "4", "--env", "hybrid"]) == 0
+        out = capsys.readouterr().out
+        assert "2 cluster(s)" in out
+
+    def test_simulate(self, capsys):
+        assert main(
+            ["simulate", "--nodes", "2", "--env", "ib", "--group", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "TFLOPS/GPU" in out
+        assert "DP on RDMA" in out
+
+    def test_simulate_base_flag(self, capsys):
+        assert main(
+            ["simulate", "--nodes", "2", "--env", "hybrid", "--group", "1",
+             "--base"]
+        ) == 0
+
+    def test_compare(self, capsys):
+        assert main(
+            ["compare", "--nodes", "2", "--env", "hybrid", "--group", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "holmes" in out and "megatron-lm" in out
+
+    def test_plan(self, capsys):
+        assert main(
+            ["plan", "--nodes", "2", "--env", "ib", "--layers", "8",
+             "--hidden", "1024", "--heads", "8", "--batch", "64",
+             "--micro-batch", "2", "--top", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "TFLOPS" in out
+
+    def test_trace_export(self, tmp_path, capsys):
+        output = tmp_path / "trace.json"
+        assert main(
+            ["trace", "--nodes", "2", "--env", "ib", "--group", "1",
+             "-o", str(output)]
+        ) == 0
+        payload = json.loads(output.read_text())
+        assert payload["traceEvents"]
+        kinds = {e.get("cat") for e in payload["traceEvents"]}
+        assert "compute" in kinds
+
+
+class TestCheckCommand:
+    def test_check_passes_on_feasible_config(self, capsys):
+        from repro.cli import main
+
+        assert main(["check", "--nodes", "4", "--env", "hybrid",
+                     "--group", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "preflight: PASS" in out
+        assert "OK" in out
+        assert "DEGRADED" not in out  # Holmes keeps DP groups clean
+
+    def test_check_reports_memory_breakdown(self, capsys):
+        from repro.cli import main
+
+        main(["check", "--nodes", "2", "--env", "ib", "--group", "1"])
+        out = capsys.readouterr().out
+        assert "weights+grads" in out
+        assert "activations" in out
+
+
+class TestReproduceCommand:
+    def test_reproduce_single_experiment(self):
+        from repro.cli import main
+
+        assert main(["reproduce", "--only", "table2_param_groups"]) == 0

@@ -1,0 +1,122 @@
+"""End-to-end integration tests at the paper's real scales.
+
+These run the full pipeline (scheduler -> engine -> metrics) on the actual
+testbed shapes (8-GPU nodes, 32-96 GPUs) and check the paper's qualitative
+claims hold — the *shape* requirements of the reproduction.
+"""
+
+import pytest
+
+from repro import quick_simulate
+from repro.bench.paper_data import shapes_hold
+from repro.bench.paramgroups import PARAM_GROUPS
+from repro.bench.runner import run_holmes_case
+from repro.bench.scenarios import (
+    ethernet_env,
+    homogeneous_env,
+    hybrid2_env,
+    hybrid3_env,
+    split_env,
+)
+from repro.hardware.nic import NICType
+
+
+def sweep(group_id, nodes):
+    group = PARAM_GROUPS[group_id]
+    return {
+        "InfiniBand": run_holmes_case(
+            homogeneous_env(nodes, NICType.INFINIBAND), group
+        ).tflops,
+        "RoCE": run_holmes_case(
+            homogeneous_env(nodes, NICType.ROCE), group
+        ).tflops,
+        "Ethernet": run_holmes_case(ethernet_env(nodes), group).tflops,
+        "Hybrid": run_holmes_case(hybrid2_env(nodes), group).tflops,
+    }
+
+
+class TestPaperShapes:
+    """Abstract claim: 'performance levels close to those achievable with
+    homogeneous RDMA-capable networks, significantly exceeding training
+    efficiency within the pure Ethernet environment.'"""
+
+    @pytest.mark.parametrize("group_id,nodes", [(1, 4), (2, 4), (3, 4), (3, 8)])
+    def test_environment_ordering(self, group_id, nodes):
+        measured = sweep(group_id, nodes)
+        claims = shapes_hold(measured)
+        assert claims["ib_fastest"], measured
+        assert claims["rdma_beats_ethernet"], measured
+        assert claims["hybrid_between"], measured
+        assert claims["hybrid_close_to_rdma"], measured
+        assert claims["hybrid_beats_ethernet_clearly"], measured
+
+    def test_tflops_declines_with_scale_at_fixed_batch(self):
+        """Table 3's scaling shape: fixed global batch, more GPUs -> lower
+        per-GPU TFLOPS (communication share grows, microbatches shrink)."""
+        group = PARAM_GROUPS[1]
+        t4 = run_holmes_case(homogeneous_env(4, NICType.INFINIBAND), group).tflops
+        t6 = run_holmes_case(homogeneous_env(6, NICType.INFINIBAND), group).tflops
+        t8 = run_holmes_case(homogeneous_env(8, NICType.INFINIBAND), group).tflops
+        assert t4 > t6 > t8
+
+    def test_throughput_grows_with_scale(self):
+        group = PARAM_GROUPS[1]
+        t4 = run_holmes_case(homogeneous_env(4, NICType.INFINIBAND), group).throughput
+        t8 = run_holmes_case(homogeneous_env(8, NICType.INFINIBAND), group).throughput
+        assert t8 > t4
+
+
+class TestCase2CrossCluster:
+    """Figure 4: training across clusters without high-speed interconnects."""
+
+    @pytest.mark.parametrize("family", [NICType.INFINIBAND, NICType.ROCE])
+    def test_split_env_between_bounds(self, family):
+        group = PARAM_GROUPS[1]
+        upper = run_holmes_case(homogeneous_env(4, family), group).tflops
+        lower = run_holmes_case(ethernet_env(4), group).tflops
+        split = run_holmes_case(split_env(4, family), group).tflops
+        assert lower < split <= upper * 1.02
+
+    def test_split_env_dp_keeps_rdma(self):
+        group = PARAM_GROUPS[1]
+        result = run_holmes_case(split_env(4, NICType.INFINIBAND), group)
+        assert result.dp_rdma_fraction == 1.0
+
+
+class TestThreeClusters:
+    """Table 4: three clusters, pipeline degree 3."""
+
+    @pytest.mark.parametrize(
+        "families",
+        [
+            [NICType.ROCE, NICType.ROCE, NICType.INFINIBAND],
+            [NICType.ROCE, NICType.INFINIBAND, NICType.INFINIBAND],
+        ],
+    )
+    def test_hybrid3_beats_ethernet(self, families):
+        group = PARAM_GROUPS[5]  # p=3
+        topo = hybrid3_env(families, 2)
+        hybrid = run_holmes_case(topo, group)
+        eth = run_holmes_case(ethernet_env(6), group)
+        assert hybrid.tflops > eth.tflops
+        assert hybrid.dp_rdma_fraction == 1.0
+
+    def test_hybrid3_at_12_nodes(self):
+        group = PARAM_GROUPS[6]
+        topo = hybrid3_env(
+            [NICType.ROCE, NICType.INFINIBAND, NICType.INFINIBAND], 4
+        )
+        result = run_holmes_case(topo, group)
+        assert result.num_gpus == 96
+        assert result.tflops > 0
+
+
+class TestQuickSimulate:
+    def test_public_api_entry_point(self):
+        result = quick_simulate(hybrid2_env(4), PARAM_GROUPS[1])
+        assert result.tflops > 0
+
+    def test_full_configuration_faster_in_hybrid(self):
+        base = quick_simulate(hybrid2_env(8), PARAM_GROUPS[3], full=False)
+        full = quick_simulate(hybrid2_env(8), PARAM_GROUPS[3], full=True)
+        assert full.iteration_time < base.iteration_time

@@ -1,0 +1,120 @@
+"""Paper Figure 2, reproduced exactly.
+
+The figure's worked example: a 6-layer transformer trained across 2
+clusters of 2 nodes x 4 GPUs; nodes 1-2 on InfiniBand, nodes 3-4 on RoCE;
+no inter-cluster interconnect.  Parallelism degrees d=2, t=2, p=4 — wait,
+the caption says data 2, tensor 2, pipeline 4: 2*2*4 = 16 GPUs.  Pipeline
+runs between the clusters over Ethernet; the layers are *unevenly*
+partitioned into stages; data parallelism stays inside each cluster on
+RDMA; tensor parallelism stays inside each node.
+
+This test asserts each of those sentences against the actual plan.
+
+Note on stage counts: the caption says the layers split into "2 stages"
+across the clusters while the degrees give p=4 pipeline stages (2 per
+cluster); we verify the p=4 structure and the cluster-level 2-way split.
+"""
+
+import pytest
+
+from repro.core.nic_selection import audit_parallel_groups
+from repro.core.scheduler import HolmesScheduler
+from repro.hardware.nic import NICType
+from repro.hardware.presets import make_topology
+from repro.model.config import GPTConfig
+from repro.network.fabric import Fabric
+from repro.network.transport import TransportKind
+from repro.parallel.degrees import ParallelConfig
+
+
+@pytest.fixture(scope="module")
+def figure2():
+    topology = make_topology(
+        [(2, NICType.INFINIBAND), (2, NICType.ROCE)],
+        inter_cluster_rdma=False,
+        gpus_per_node=4,
+    )
+    model = GPTConfig(num_layers=6, hidden_size=512, num_attention_heads=8,
+                      seq_length=128, vocab_size=2048)
+    parallel = ParallelConfig(tensor=2, pipeline=4, data=2,
+                              micro_batch_size=1, global_batch_size=8)
+    plan = HolmesScheduler().plan(topology, parallel, model)
+    return topology, model, parallel, plan
+
+
+class TestFigure2:
+    def test_sixteen_gpus_two_clusters(self, figure2):
+        topology, _, parallel, _ = figure2
+        assert topology.world_size == 16 == parallel.world_size
+        assert topology.num_clusters == 2
+
+    def test_tensor_parallelism_within_nodes(self, figure2):
+        """'Tensor parallelism is implemented within each node using PCI-E'
+        — every TP group's members share a node."""
+        topology, _, _, plan = figure2
+        for group in plan.physical_groups["tensor"]:
+            nodes = {topology.device(r).node_global for r in group}
+            assert len(nodes) == 1
+
+    def test_data_parallelism_within_clusters_on_rdma(self, figure2):
+        """'Data parallelism is performed within each cluster using RDMA.'"""
+        topology, _, _, plan = figure2
+        fabric = Fabric(topology)
+        for group in plan.physical_groups["data"]:
+            clusters = {topology.device(r).cluster_id for r in group}
+            assert len(clusters) == 1
+            transport = fabric.group_transport(group)
+            assert transport.kind.is_rdma or transport.kind.is_intra_node
+
+    def test_pipeline_crosses_clusters_over_ethernet(self, figure2):
+        """'There is no high-speed interconnect between the two clusters,
+        and communication between them relies solely on low-speed
+        Ethernet.'"""
+        topology, _, _, plan = figure2
+        fabric = Fabric(topology)
+        crossing_found = False
+        for group in plan.physical_groups["pipeline"]:
+            for src, dst in zip(group, group[1:]):
+                if not topology.same_cluster(src, dst):
+                    crossing_found = True
+                    assert fabric.transport(src, dst).kind == TransportKind.TCP
+        assert crossing_found
+
+    def test_layers_unevenly_partitioned_by_cluster(self, figure2):
+        """'The model's layers are unevenly partitioned ... and further
+        distributed to different GPU devices across the two clusters': the
+        IB cluster's stages carry at least as many layers as RoCE's."""
+        topology, _, _, plan = figure2
+        # Stage s lives in the cluster hosting its first physical rank.
+        per_cluster = {0: 0, 1: 0}
+        for stage, layers in enumerate(plan.stage_layers):
+            phys = plan.placement.physical(plan.layout.stage_ranks(stage)[0])
+            per_cluster[topology.device(phys).cluster_id] += layers
+        assert sum(per_cluster.values()) == 6
+        ib_cluster = 0  # listed first in this topology
+        assert per_cluster[ib_cluster] >= per_cluster[1]
+
+    def test_cluster_level_two_way_split(self, figure2):
+        """p=4 stages group into 2 cluster-level blocks of 2 stages each."""
+        topology, _, _, plan = figure2
+        stage_clusters = []
+        for stage in range(4):
+            phys = plan.placement.physical(plan.layout.stage_ranks(stage)[0])
+            stage_clusters.append(topology.device(phys).cluster_id)
+        # Contiguous cluster blocks: e.g. [0, 0, 1, 1].
+        assert stage_clusters == sorted(stage_clusters)
+        assert stage_clusters.count(0) == 2
+        assert stage_clusters.count(1) == 2
+
+    def test_audit_fully_selected(self, figure2):
+        topology, _, _, plan = figure2
+        audit = audit_parallel_groups(Fabric(topology), plan.physical_groups)
+        assert audit.fully_selected
+        assert audit.dp_rdma_fraction == 1.0
+
+    def test_simulation_runs_on_figure2_machine(self, figure2):
+        from repro.core.engine import TrainingSimulation
+
+        topology, model, parallel, plan = figure2
+        result = TrainingSimulation(plan, model, trace_enabled=False).run()
+        assert result.iteration_time > 0

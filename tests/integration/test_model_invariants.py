@@ -1,0 +1,122 @@
+"""Hypothesis invariants over the hardware/network/cost layers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.nic import NICType
+from repro.hardware.presets import make_topology
+from repro.network.costmodel import CollectiveCostModel
+from repro.network.fabric import Fabric
+from repro.network.transport import Transport, TransportKind, resolve_transport
+
+FAMILIES = [NICType.INFINIBAND, NICType.ROCE, NICType.ETHERNET]
+
+
+@st.composite
+def topologies(draw):
+    shapes = [
+        (draw(st.integers(1, 2)), draw(st.sampled_from(FAMILIES)))
+        for _ in range(draw(st.integers(1, 3)))
+    ]
+    return make_topology(
+        shapes, inter_cluster_rdma=draw(st.booleans()), gpus_per_node=2
+    )
+
+
+class TestTopologyInvariants:
+    @given(topologies(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_effective_nic_symmetric(self, topo, data):
+        a = data.draw(st.integers(0, topo.world_size - 1))
+        b = data.draw(st.integers(0, topo.world_size - 1))
+        if a == b:
+            return
+        assert topo.effective_nic_type(a, b) == topo.effective_nic_type(b, a)
+
+    @given(topologies(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_transport_symmetric(self, topo, data):
+        a = data.draw(st.integers(0, topo.world_size - 1))
+        b = data.draw(st.integers(0, topo.world_size - 1))
+        if a == b:
+            return
+        ta = resolve_transport(topo, a, b)
+        tb = resolve_transport(topo, b, a)
+        assert ta.kind == tb.kind
+        assert ta.bandwidth == tb.bandwidth
+
+    @given(topologies())
+    @settings(max_examples=40, deadline=None)
+    def test_group_transport_no_faster_than_any_pair(self, topo):
+        """The slowest-edge rule: a group's negotiated bandwidth never
+        exceeds the bandwidth of its slowest node pair."""
+        fabric = Fabric(topo)
+        ranks = list(range(0, topo.world_size, 2))
+        if len(ranks) < 2:
+            return
+        group_bw = fabric.group_transport(ranks).bandwidth
+        reps = {topo.device(r).node_global: r for r in ranks}
+        rep_ranks = list(reps.values())
+        if len(rep_ranks) < 2:
+            return
+        pair_bws = [
+            fabric.transport(a, b).bandwidth
+            for i, a in enumerate(rep_ranks)
+            for b in rep_ranks[i + 1 :]
+        ]
+        assert group_bw <= min(pair_bws) + 1e-9
+
+    @given(topologies(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_mixed_rdma_group_is_tcp(self, topo, data):
+        fabric = Fabric(topo)
+        ranks = data.draw(
+            st.lists(
+                st.integers(0, topo.world_size - 1),
+                min_size=2, max_size=6, unique=True,
+            )
+        )
+        families = {topo.nic_type_of(r) for r in ranks}
+        rdma = {f for f in families if f.is_rdma}
+        if len(rdma) > 1:
+            transport = fabric.group_transport(ranks)
+            if not transport.kind.is_intra_node:
+                assert transport.kind == TransportKind.TCP
+
+
+class TestCostModelInvariants:
+    EDGE = Transport(TransportKind.RDMA_IB, bandwidth=20e9, latency=2e-6)
+
+    @given(
+        nbytes=st.integers(1, 1 << 32),
+        d=st.integers(2, 64),
+        op=st.sampled_from(["allreduce", "reduce_scatter", "allgather",
+                            "broadcast"]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_costs_positive_and_finite(self, nbytes, d, op):
+        model = CollectiveCostModel()
+        t = model.collective(op, nbytes, d, self.EDGE)
+        assert 0 < t < 1e6
+
+    @given(nbytes=st.integers(1, 1 << 30), d=st.integers(2, 32))
+    @settings(max_examples=60, deadline=None)
+    def test_rs_never_exceeds_allreduce(self, nbytes, d):
+        model = CollectiveCostModel()
+        assert model.ring_reduce_scatter(
+            nbytes, d, self.EDGE
+        ) <= model.ring_allreduce(nbytes, d, self.EDGE)
+
+    @given(
+        nbytes=st.integers(1 << 20, 1 << 30),
+        d=st.integers(2, 32),
+        k=st.integers(2, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bandwidth_term_superlinear_never(self, nbytes, d, k):
+        """k-fold larger payload costs at most k-fold more (latency terms
+        make small payloads relatively more expensive, never less)."""
+        model = CollectiveCostModel()
+        one = model.ring_allreduce(nbytes, d, self.EDGE)
+        big = model.ring_allreduce(k * nbytes, d, self.EDGE)
+        assert big <= k * one + 1e-9

@@ -1,0 +1,133 @@
+"""Property-based invariants over randomised machines and configurations.
+
+These catch the class of bugs example-based tests miss: a placement that
+stops being a bijection on some odd cluster shape, an iteration that ends
+before its compute lower bound, a plan whose partition loses a layer.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.engine import TrainingSimulation
+from repro.core.scheduler import HolmesScheduler
+from repro.hardware.nic import NICType
+from repro.hardware.presets import make_topology
+from repro.model.config import GPTConfig
+from repro.model.flops import flops_per_iteration
+from repro.parallel.degrees import ParallelConfig
+
+MODEL = GPTConfig(num_layers=12, hidden_size=512, num_attention_heads=8,
+                  seq_length=256, vocab_size=4096)
+
+FAMILIES = [NICType.INFINIBAND, NICType.ROCE, NICType.ETHERNET]
+
+
+@st.composite
+def machines(draw):
+    """Random 1-3 cluster machines with 2 GPUs per node."""
+    num_clusters = draw(st.integers(1, 3))
+    shapes = [
+        (draw(st.integers(1, 3)), draw(st.sampled_from(FAMILIES)))
+        for _ in range(num_clusters)
+    ]
+    inter = draw(st.booleans())
+    return make_topology(shapes, inter_cluster_rdma=inter, gpus_per_node=2)
+
+
+@st.composite
+def machine_and_config(draw):
+    topo = draw(machines())
+    N = topo.world_size
+    # Valid (t, p, d): t in {1, 2}, p divides what's left.
+    t = draw(st.sampled_from([1, 2]))
+    remaining = N // t
+    divisors = [p for p in range(1, min(remaining, MODEL.num_layers) + 1)
+                if remaining % p == 0]
+    p = draw(st.sampled_from(divisors))
+    d = remaining // p
+    mbs = draw(st.sampled_from([1, 2]))
+    m = draw(st.integers(1, 4))
+    parallel = ParallelConfig(tensor=t, pipeline=p, data=d,
+                              micro_batch_size=mbs,
+                              global_batch_size=d * mbs * m)
+    return topo, parallel
+
+
+class TestSchedulerProperties:
+    @given(machine_and_config())
+    @settings(max_examples=50, deadline=None)
+    def test_plan_is_structurally_valid(self, mc):
+        topo, parallel = mc
+        plan = HolmesScheduler().plan(topo, parallel, MODEL)
+        N = topo.world_size
+        # Placement is a bijection.
+        physical = [plan.placement.physical(i) for i in range(N)]
+        assert sorted(physical) == list(range(N))
+        # Partition conserves layers and leaves no stage empty.
+        assert sum(plan.stage_layers) == MODEL.num_layers
+        assert all(c >= 1 for c in plan.stage_layers)
+        assert len(plan.stage_nics) == parallel.pipeline
+        # Physical groups still partition the rank space.
+        for groups in plan.physical_groups.values():
+            flat = sorted(r for g in groups for r in g)
+            assert flat == list(range(N))
+
+    @given(machine_and_config())
+    @settings(max_examples=50, deadline=None)
+    def test_holmes_never_straddles_more_than_identity(self, mc):
+        topo, parallel = mc
+        scheduler = HolmesScheduler()
+        holmes = scheduler.plan(topo, parallel, MODEL)
+        identity = scheduler.plan(
+            topo, parallel, MODEL, placement_strategy="identity",
+            partition_strategy="uniform",
+        )
+        assert holmes.straddling_stages <= identity.straddling_stages
+
+
+class TestEngineProperties:
+    @given(machine_and_config())
+    @settings(max_examples=25, deadline=None)
+    def test_iteration_respects_compute_lower_bound(self, mc):
+        """No simulated iteration can beat perfect-efficiency compute."""
+        topo, parallel = mc
+        plan = HolmesScheduler().plan(topo, parallel, MODEL)
+        result = TrainingSimulation(
+            plan, MODEL, trace_enabled=False, iteration_overhead=0.0
+        ).run()
+        gpu = topo.node_of(0).gpu
+        lower_bound = flops_per_iteration(
+            MODEL, parallel.global_batch_size
+        ) / (topo.world_size * gpu.effective_flops)
+        assert result.iteration_time >= lower_bound * 0.999
+
+    @given(machine_and_config())
+    @settings(max_examples=25, deadline=None)
+    def test_determinism(self, mc):
+        topo, parallel = mc
+        plan = HolmesScheduler().plan(topo, parallel, MODEL)
+        a = TrainingSimulation(plan, MODEL, trace_enabled=False).run()
+        b = TrainingSimulation(plan, MODEL, trace_enabled=False).run()
+        assert a.iteration_time == b.iteration_time
+
+    @given(st.integers(1, 3), st.sampled_from([1, 2, 4]))
+    @settings(max_examples=15, deadline=None)
+    def test_ethernet_never_faster_than_infiniband(self, nodes, mbs):
+        from repro.hardware.presets import homogeneous_topology
+
+        results = {}
+        for family in (NICType.INFINIBAND, NICType.ETHERNET):
+            topo = homogeneous_topology(nodes, family, gpus_per_node=2)
+            N = topo.world_size
+            p = 2 if N >= 4 else 1
+            parallel = ParallelConfig(
+                tensor=1, pipeline=p, data=N // p,
+                micro_batch_size=mbs,
+                global_batch_size=(N // p) * mbs * 2,
+            )
+            plan = HolmesScheduler().plan(topo, parallel, MODEL)
+            results[family] = TrainingSimulation(
+                plan, MODEL, trace_enabled=False
+            ).run().iteration_time
+        assert results[NICType.ETHERNET] >= results[NICType.INFINIBAND]

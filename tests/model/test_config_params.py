@@ -1,0 +1,93 @@
+"""Tests for GPTConfig and parameter counting (paper Eq. 5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.model.config import GPTConfig
+from repro.model.params import (
+    embedding_params,
+    layer_parameter_counts,
+    parameter_count,
+    transformer_layer_params,
+)
+
+
+class TestGPTConfig:
+    def test_defaults_match_paper(self):
+        config = GPTConfig(num_layers=30, hidden_size=3072, num_attention_heads=32)
+        assert config.seq_length == 2048
+        assert config.vocab_size == 51200
+        assert config.dtype_bytes == 2
+
+    def test_head_dim(self):
+        config = GPTConfig(num_layers=2, hidden_size=1024, num_attention_heads=16)
+        assert config.head_dim == 64
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_layers=0, hidden_size=64, num_attention_heads=4),
+            dict(num_layers=2, hidden_size=0, num_attention_heads=4),
+            dict(num_layers=2, hidden_size=64, num_attention_heads=0),
+            dict(num_layers=2, hidden_size=65, num_attention_heads=4),  # not divisible
+            dict(num_layers=2, hidden_size=64, num_attention_heads=4, seq_length=0),
+            dict(num_layers=2, hidden_size=64, num_attention_heads=4, vocab_size=0),
+            dict(num_layers=2, hidden_size=64, num_attention_heads=4, dtype_bytes=3),
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GPTConfig(**kwargs)
+
+    def test_describe_reports_billions(self):
+        config = GPTConfig(num_layers=30, hidden_size=3072, num_attention_heads=32)
+        assert "3.6B" in config.describe()
+
+
+class TestEquation5:
+    """P = 12 l h^2 (1 + 13/(12h) + (V+s)/(12lh))."""
+
+    @pytest.mark.parametrize(
+        "layers,hidden,heads,expected_billions",
+        [
+            (30, 3072, 32, 3.6),  # parameter group 1/2
+            (36, 4096, 32, 7.5),  # parameter groups 3-6
+            (48, 8192, 64, 39.1),  # parameter groups 7/8
+        ],
+    )
+    def test_matches_table2(self, layers, hidden, heads, expected_billions):
+        config = GPTConfig(layers, hidden, heads)
+        assert parameter_count(config) / 1e9 == pytest.approx(
+            expected_billions, rel=0.02
+        )
+
+    def test_exact_closed_form(self):
+        config = GPTConfig(num_layers=4, hidden_size=128, num_attention_heads=8,
+                           seq_length=64, vocab_size=1000)
+        l, h, V, s = 4, 128, 1000, 64
+        formula = 12 * l * h * h * (1 + 13 / (12 * h) + (V + s) / (12 * l * h))
+        assert parameter_count(config) == pytest.approx(formula)
+
+    def test_components_sum_to_total(self):
+        config = GPTConfig(num_layers=12, hidden_size=768, num_attention_heads=12)
+        total = (
+            config.num_layers * transformer_layer_params(config)
+            + embedding_params(config)
+        )
+        assert total == parameter_count(config)
+
+    def test_layer_parameter_counts_dict(self):
+        config = GPTConfig(num_layers=2, hidden_size=64, num_attention_heads=4)
+        counts = layer_parameter_counts(config)
+        assert counts["total"] == parameter_count(config)
+        assert counts["num_transformer_layers"] == 2
+
+    @given(
+        l=st.integers(1, 96),
+        h=st.sampled_from([256, 512, 1024, 4096]),
+    )
+    def test_property_params_positive_and_monotone_in_layers(self, l, h):
+        config = GPTConfig(l, h, num_attention_heads=4)
+        bigger = GPTConfig(l + 1, h, num_attention_heads=4)
+        assert 0 < parameter_count(config) < parameter_count(bigger)

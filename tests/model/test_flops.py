@@ -1,0 +1,94 @@
+"""Tests for FLOP accounting (paper Eq. 6) and the TFLOPS metric."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.model.config import GPTConfig
+from repro.model.flops import (
+    achieved_tflops_per_gpu,
+    flops_per_iteration,
+    layer_flops_per_microbatch,
+    layer_forward_flops,
+    logit_flops_per_microbatch,
+    throughput_samples_per_second,
+)
+
+
+@pytest.fixture
+def pg1_model():
+    return GPTConfig(num_layers=30, hidden_size=3072, num_attention_heads=32)
+
+
+class TestEquation6:
+    def test_closed_form(self, pg1_model):
+        B, s = 768, 2048
+        l, h, V = 30, 3072, 51200
+        expected = 96 * B * s * l * h * h * (1 + s / (6 * h) + V / (16 * l * h))
+        assert flops_per_iteration(pg1_model, B) == pytest.approx(expected)
+
+    def test_linear_in_batch(self, pg1_model):
+        f1 = flops_per_iteration(pg1_model, 256)
+        f2 = flops_per_iteration(pg1_model, 512)
+        assert f2 == pytest.approx(2 * f1)
+
+    def test_decomposition_matches_total(self, pg1_model):
+        """Layer + logit FLOPs over all microbatches reproduce Eq. 6."""
+        B = 768
+        per_layer = layer_flops_per_microbatch(pg1_model, B)
+        logit = logit_flops_per_microbatch(pg1_model, B)
+        total = (
+            pg1_model.num_layers * (per_layer["forward"] + per_layer["backward"])
+            + logit["forward"]
+            + logit["backward"]
+        )
+        assert total == pytest.approx(flops_per_iteration(pg1_model, B), rel=1e-12)
+
+    def test_backward_is_three_forward_units(self, pg1_model):
+        per_layer = layer_flops_per_microbatch(pg1_model, 4)
+        assert per_layer["backward"] == pytest.approx(3 * per_layer["forward"])
+
+    def test_logit_backward_is_two_forward(self, pg1_model):
+        logit = logit_flops_per_microbatch(pg1_model, 4)
+        assert logit["backward"] == pytest.approx(2 * logit["forward"])
+        assert logit["forward"] == pytest.approx(
+            2 * 4 * 2048 * 3072 * 51200
+        )
+
+    def test_invalid_batch_rejected(self, pg1_model):
+        with pytest.raises(ConfigurationError):
+            flops_per_iteration(pg1_model, 0)
+        with pytest.raises(ConfigurationError):
+            layer_forward_flops(pg1_model, 0)
+
+    @given(B=st.integers(1, 4096))
+    def test_property_flops_positive(self, B):
+        config = GPTConfig(num_layers=2, hidden_size=256, num_attention_heads=4)
+        assert flops_per_iteration(config, B) > 0
+
+
+class TestMetrics:
+    def test_tflops_paper_consistency(self, pg1_model):
+        """Table 1 internal consistency: 197 TFLOPS and 99.23 samples/s on
+        32 GPUs imply the same iteration time (within rounding)."""
+        iter_from_throughput = 768 / 99.23
+        tflops = achieved_tflops_per_gpu(pg1_model, 768, iter_from_throughput, 32)
+        assert tflops == pytest.approx(197, rel=0.03)
+
+    def test_throughput(self):
+        assert throughput_samples_per_second(768, 7.68) == pytest.approx(100.0)
+
+    def test_invalid_inputs_rejected(self, pg1_model):
+        with pytest.raises(ConfigurationError):
+            achieved_tflops_per_gpu(pg1_model, 768, 0.0, 32)
+        with pytest.raises(ConfigurationError):
+            achieved_tflops_per_gpu(pg1_model, 768, 1.0, 0)
+        with pytest.raises(ConfigurationError):
+            throughput_samples_per_second(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            throughput_samples_per_second(1, 0.0)
+
+    def test_tflops_inverse_in_time(self, pg1_model):
+        fast = achieved_tflops_per_gpu(pg1_model, 768, 5.0, 32)
+        slow = achieved_tflops_per_gpu(pg1_model, 768, 10.0, 32)
+        assert fast == pytest.approx(2 * slow)

@@ -1,0 +1,107 @@
+"""Tests for byte accounting and the layer stack builder."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.config import GPTConfig
+from repro.model.layers import LayerKind, build_layer_stack
+from repro.model.memory import (
+    GRAD_BYTES_PER_PARAM,
+    OPTIMIZER_BYTES_PER_PARAM,
+    PARAM_BYTES_PER_PARAM,
+    activation_message_bytes,
+    gradient_bytes,
+    optimizer_state_bytes,
+    parameter_bytes,
+    tp_allreduce_bytes,
+)
+from repro.model.params import parameter_count
+
+
+@pytest.fixture
+def model():
+    return GPTConfig(num_layers=4, hidden_size=512, num_attention_heads=8,
+                     seq_length=128, vocab_size=2048)
+
+
+class TestByteAccounting:
+    def test_mixed_precision_constants(self):
+        assert GRAD_BYTES_PER_PARAM == 4  # fp32 accumulation
+        assert PARAM_BYTES_PER_PARAM == 2  # fp16 weights
+        assert OPTIMIZER_BYTES_PER_PARAM == 12  # Adam m, v + master fp32
+
+    def test_gradient_bytes(self):
+        assert gradient_bytes(1000) == 4000
+
+    def test_parameter_bytes(self):
+        assert parameter_bytes(1000) == 2000
+
+    def test_optimizer_state_bytes(self):
+        assert optimizer_state_bytes(1000) == 12000
+
+    def test_negative_params_rejected(self):
+        for fn in (gradient_bytes, parameter_bytes, optimizer_state_bytes):
+            with pytest.raises(ConfigurationError):
+                fn(-1)
+
+
+class TestActivationMessages:
+    def test_full_activation(self, model):
+        nbytes = activation_message_bytes(model, 4, tensor_parallel=1)
+        assert nbytes == 4 * 128 * 512 * 2
+
+    def test_scatter_gather_divides_by_t(self, model):
+        full = activation_message_bytes(model, 4, tensor_parallel=1)
+        split = activation_message_bytes(model, 4, tensor_parallel=8)
+        assert split == full // 8
+
+    def test_scatter_gather_disabled(self, model):
+        full = activation_message_bytes(
+            model, 4, tensor_parallel=8, scatter_gather=False
+        )
+        assert full == 4 * 128 * 512 * 2
+
+    def test_tp_allreduce_bytes(self, model):
+        assert tp_allreduce_bytes(model, 2) == 2 * 128 * 512 * 2
+
+    def test_invalid_args(self, model):
+        with pytest.raises(ConfigurationError):
+            activation_message_bytes(model, 0)
+        with pytest.raises(ConfigurationError):
+            activation_message_bytes(model, 1, tensor_parallel=0)
+        with pytest.raises(ConfigurationError):
+            tp_allreduce_bytes(model, 0)
+
+
+class TestLayerStack:
+    def test_stack_structure(self, model):
+        stack = build_layer_stack(model, microbatch=2)
+        kinds = [layer.kind for layer in stack]
+        assert kinds[0] == LayerKind.EMBEDDING
+        assert kinds[-1] == LayerKind.LOGIT
+        assert all(k == LayerKind.TRANSFORMER for k in kinds[1:-1])
+        assert len(stack) == model.num_layers + 2
+
+    def test_params_sum_to_eq5(self, model):
+        stack = build_layer_stack(model, microbatch=2)
+        assert sum(l.params for l in stack) == parameter_count(model)
+
+    def test_embedding_has_no_flops(self, model):
+        stack = build_layer_stack(model, microbatch=2)
+        assert stack[0].forward_flops == 0.0
+        assert stack[0].backward_flops == 0.0
+
+    def test_logit_flops_present(self, model):
+        stack = build_layer_stack(model, microbatch=2)
+        assert stack[-1].forward_flops > 0
+        assert stack[-1].params == 0  # tied to embedding weights
+
+    def test_transformer_layers_identical(self, model):
+        stack = build_layer_stack(model, microbatch=2)
+        transformer = stack[1:-1]
+        assert len({l.forward_flops for l in transformer}) == 1
+        assert len({l.params for l in transformer}) == 1
+
+    def test_invalid_microbatch(self, model):
+        with pytest.raises(ConfigurationError):
+            build_layer_stack(model, microbatch=0)

@@ -1,0 +1,156 @@
+"""Unit and property tests for the collective cost model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.network.costmodel import CollectiveCostModel, CostModelConfig
+from repro.network.transport import Transport, TransportKind
+
+RDMA = Transport(TransportKind.RDMA_IB, bandwidth=20e9, latency=2e-6)
+TCP = Transport(TransportKind.TCP, bandwidth=2e9, latency=30e-6)
+NVL = Transport(TransportKind.NVLINK, bandwidth=250e9, latency=3e-6)
+
+
+@pytest.fixture
+def model():
+    return CollectiveCostModel()
+
+
+class TestRingAllreduce:
+    def test_single_rank_is_free(self, model):
+        assert model.ring_allreduce(1 << 30, 1, RDMA) == 0.0
+
+    def test_zero_bytes_is_free(self, model):
+        assert model.ring_allreduce(0, 16, RDMA) == 0.0
+
+    def test_bandwidth_term_dominates_large_messages(self, model):
+        nbytes = 8 << 30  # 8 GiB
+        d = 16
+        t = model.ring_allreduce(nbytes, d, RDMA)
+        expected_bw = 2 * nbytes * (d - 1) / d / RDMA.bandwidth
+        assert t == pytest.approx(expected_bw, rel=0.05)
+
+    def test_latency_term_dominates_small_messages(self, model):
+        t = model.ring_allreduce(64, 16, TCP)
+        latency_term = 2 * 15 * (TCP.latency + model.config.step_overhead[TCP.kind])
+        assert t == pytest.approx(latency_term, rel=0.01)
+
+    def test_concurrency_divides_bandwidth(self, model):
+        base = model.ring_allreduce(1 << 30, 8, RDMA)
+        shared = model.ring_allreduce(1 << 30, 8, RDMA, concurrent=4)
+        assert shared > 3.5 * base  # latency term unchanged, bw term x4
+
+    def test_invalid_args(self, model):
+        with pytest.raises(ConfigurationError):
+            model.ring_allreduce(-1, 4, RDMA)
+        with pytest.raises(ConfigurationError):
+            model.ring_allreduce(1, 0, RDMA)
+        with pytest.raises(ConfigurationError):
+            model.ring_allreduce(1, 4, RDMA, concurrent=0)
+        with pytest.raises(ConfigurationError):
+            model.ring_allreduce(1, 4, RDMA, node_span=0)
+
+    @given(
+        nbytes=st.integers(min_value=1, max_value=1 << 34),
+        d=st.integers(min_value=2, max_value=128),
+    )
+    def test_property_allreduce_equals_rs_plus_ag(self, nbytes, d):
+        """Ring all-reduce = reduce-scatter + all-gather, exactly."""
+        model = CollectiveCostModel()
+        ar = model.ring_allreduce(nbytes, d, RDMA)
+        rs = model.ring_reduce_scatter(nbytes, d, RDMA)
+        ag = model.ring_allgather(nbytes, d, RDMA)
+        assert ar == pytest.approx(rs + ag, rel=1e-9)
+
+    @given(
+        nbytes=st.integers(min_value=1, max_value=1 << 32),
+        d=st.integers(min_value=2, max_value=64),
+    )
+    def test_property_monotone_in_bytes_and_transport(self, nbytes, d):
+        model = CollectiveCostModel()
+        assert model.ring_allreduce(nbytes, d, RDMA) <= model.ring_allreduce(
+            2 * nbytes, d, RDMA
+        )
+        assert model.ring_allreduce(nbytes, d, RDMA) < model.ring_allreduce(
+            nbytes, d, TCP
+        )
+
+
+class TestBroadcast:
+    def test_log_depth(self, model):
+        nbytes = 1 << 20
+        t8 = model.tree_broadcast(nbytes, 8, RDMA)
+        t64 = model.tree_broadcast(nbytes, 64, RDMA)
+        assert t64 == pytest.approx(2 * t8, rel=0.01)  # log2: 3 vs 6 rounds
+
+    def test_single_rank_free(self, model):
+        assert model.tree_broadcast(1 << 20, 1, RDMA) == 0.0
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "op", ["allreduce", "reduce_scatter", "allgather", "broadcast"]
+    )
+    def test_known_ops(self, model, op):
+        assert model.collective(op, 1 << 20, 4, RDMA) > 0.0
+
+    def test_unknown_op_raises(self, model):
+        with pytest.raises(ConfigurationError, match="unknown collective"):
+            model.collective("alltoall", 1, 4, RDMA)
+
+
+class TestP2P:
+    def test_includes_transport_overheads(self, model):
+        t = model.p2p(2_000_000, TCP)
+        expected = TCP.latency + model.config.p2p_overhead[TCP.kind] + 1e-3
+        assert t == pytest.approx(expected)
+
+    def test_cross_cluster_factor(self):
+        config = CostModelConfig(inter_cluster_p2p_factor=0.5)
+        model = CollectiveCostModel(config)
+        local = model.p2p(1 << 20, TCP)
+        remote = model.p2p(1 << 20, TCP, cross_cluster=True)
+        assert remote > local
+
+    def test_occupancy_excludes_latency(self, model):
+        occ = model.p2p_nic_occupancy(2_000_000, TCP)
+        assert occ == pytest.approx(model.config.p2p_overhead[TCP.kind] + 1e-3)
+
+    def test_negative_bytes_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.p2p(-1, TCP)
+        with pytest.raises(ConfigurationError):
+            model.p2p_nic_occupancy(-1, TCP)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(bucket_bytes=0),
+            dict(congestion_beta=-0.1),
+            dict(inter_cluster_p2p_factor=0.0),
+            dict(inter_cluster_p2p_factor=1.5),
+            dict(inter_cluster_uplink=0.0),
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CostModelConfig(**kwargs)
+
+    def test_with_congestion(self):
+        config = CostModelConfig().with_congestion(0.25)
+        assert config.congestion_beta == 0.25
+
+    def test_congestion_slows_multi_node_rings(self):
+        model = CollectiveCostModel(CostModelConfig(congestion_beta=0.5))
+        near = model.ring_allreduce(1 << 30, 8, RDMA, node_span=1)
+        far = model.ring_allreduce(1 << 30, 8, RDMA, node_span=4)
+        assert far > near
+
+    def test_congestion_skips_intra_node_links(self):
+        model = CollectiveCostModel(CostModelConfig(congestion_beta=0.5))
+        near = model.ring_allreduce(1 << 30, 8, NVL, node_span=1)
+        far = model.ring_allreduce(1 << 30, 8, NVL, node_span=4)
+        assert far == pytest.approx(near)

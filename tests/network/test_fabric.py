@@ -1,0 +1,118 @@
+"""Unit tests for the Fabric: caching, group transports, DES resources."""
+
+import pytest
+
+from repro.errors import CommunicatorError, TransportError
+from repro.hardware.nic import NICType
+from repro.hardware.presets import ETH_25, IB_200, ROCE_200, make_topology
+from repro.network.fabric import Fabric
+from repro.network.transport import TransportKind
+from repro.simcore.engine import SimEngine
+
+
+@pytest.fixture
+def hybrid_topo():
+    return make_topology(
+        [(2, NICType.ROCE), (2, NICType.INFINIBAND)], inter_cluster_rdma=False
+    )
+
+
+@pytest.fixture
+def fabric(hybrid_topo):
+    return Fabric(hybrid_topo)
+
+
+class TestPairTransport:
+    def test_caches_pairs_symmetrically(self, fabric):
+        t1 = fabric.transport(0, 16)
+        t2 = fabric.transport(16, 0)
+        assert t1 is t2
+
+    def test_force_ethernet_overrides_rdma(self, hybrid_topo):
+        fabric = Fabric(hybrid_topo, force_ethernet=True)
+        t = fabric.transport(0, 8)  # same RoCE cluster, normally RDMA
+        assert t.kind == TransportKind.TCP
+        assert t.bandwidth == pytest.approx(ETH_25.effective_bandwidth)
+
+    def test_force_ethernet_keeps_nvlink(self, hybrid_topo):
+        fabric = Fabric(hybrid_topo, force_ethernet=True)
+        assert fabric.transport(0, 1).kind == TransportKind.NVLINK
+
+
+class TestGroupTransport:
+    def test_single_node_group_uses_intra_link(self, fabric):
+        t = fabric.group_transport([0, 1, 2])
+        assert t.kind == TransportKind.NVLINK
+
+    def test_homogeneous_group_uses_rdma(self, fabric):
+        t = fabric.group_transport(list(range(0, 16)))
+        assert t.kind == TransportKind.RDMA_ROCE
+        assert t.bandwidth == pytest.approx(ROCE_200.effective_bandwidth)
+
+    def test_heterogeneous_group_collapses_to_tcp(self, fabric):
+        """The slowest-edge rule: one IB/RoCE cross pair drags the whole
+        ring to TCP (the pathology Automatic NIC Selection removes)."""
+        t = fabric.group_transport([0, 8, 16, 24])
+        assert t.kind == TransportKind.TCP
+
+    def test_too_small_group_rejected(self, fabric):
+        with pytest.raises(CommunicatorError):
+            fabric.group_transport([3])
+
+
+class TestCollectiveTime:
+    def test_trivial_groups_are_free(self, fabric):
+        assert fabric.collective_time("allreduce", [0], 1 << 20) == 0.0
+        assert fabric.collective_time("allreduce", [0, 8], 0) == 0.0
+
+    def test_rdma_group_faster_than_degraded(self, fabric):
+        rdma = fabric.collective_time("allreduce", [16, 24], 1 << 30)
+        mixed = fabric.collective_time("allreduce", [8, 16], 1 << 30)
+        assert rdma < mixed
+
+    def test_p2p_time_positive(self, fabric):
+        assert fabric.p2p_time(0, 16, 1 << 20) > 0.0
+
+    def test_cross_cluster_p2p_slower_with_factor(self, hybrid_topo):
+        from repro.network.costmodel import CostModelConfig
+
+        fabric = Fabric(
+            hybrid_topo, CostModelConfig(inter_cluster_p2p_factor=0.5)
+        )
+        # 0-8: same cluster over RoCE; 0-16: cross-cluster over Ethernet.
+        occ_intra = fabric.p2p_occupancy(0, 8, 1 << 24)
+        occ_cross = fabric.p2p_occupancy(0, 16, 1 << 24)
+        assert occ_cross > occ_intra
+
+
+class TestDESResources:
+    def test_nic_resource_requires_engine(self, fabric):
+        with pytest.raises(TransportError):
+            fabric.nic_tx_resource(0, NICType.ETHERNET)
+
+    def test_nic_resource_shared_per_node(self, hybrid_topo):
+        fabric = Fabric(hybrid_topo, engine=SimEngine())
+        a = fabric.nic_tx_resource(0, NICType.ETHERNET)
+        b = fabric.nic_tx_resource(7, NICType.ETHERNET)  # same node
+        c = fabric.nic_tx_resource(8, NICType.ETHERNET)  # next node
+        assert a is b
+        assert a is not c
+
+    def test_uplink_resource_per_cluster_pair(self, hybrid_topo):
+        fabric = Fabric(hybrid_topo, engine=SimEngine())
+        assert fabric.uplink_resource(0, 8) is None  # same cluster
+        up1 = fabric.uplink_resource(0, 16)
+        up2 = fabric.uplink_resource(24, 8)
+        assert up1 is up2
+
+    def test_uplink_occupancy(self, hybrid_topo):
+        fabric = Fabric(hybrid_topo, engine=SimEngine())
+        bw = fabric.cost_model.config.inter_cluster_uplink
+        assert fabric.uplink_occupancy(int(bw)) == pytest.approx(1.0)
+
+    def test_attach_engine_resets_resources(self, hybrid_topo):
+        fabric = Fabric(hybrid_topo, engine=SimEngine())
+        old = fabric.nic_tx_resource(0, NICType.ETHERNET)
+        fabric.attach_engine(SimEngine())
+        new = fabric.nic_tx_resource(0, NICType.ETHERNET)
+        assert old is not new

@@ -1,0 +1,85 @@
+"""Unit tests for transport resolution."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.hardware.nic import NICType
+from repro.hardware.presets import ETH_25, IB_200, NVLINK, ROCE_200, make_topology
+from repro.network.transport import (
+    Transport,
+    TransportKind,
+    nic_family_for,
+    resolve_transport,
+)
+
+
+@pytest.fixture
+def hybrid_topo():
+    return make_topology(
+        [(2, NICType.INFINIBAND), (2, NICType.ROCE)], inter_cluster_rdma=False
+    )
+
+
+class TestTransportKind:
+    def test_intra_node_kinds(self):
+        assert TransportKind.NVLINK.is_intra_node
+        assert TransportKind.PCIE.is_intra_node
+        assert not TransportKind.TCP.is_intra_node
+
+    def test_rdma_kinds(self):
+        assert TransportKind.RDMA_IB.is_rdma
+        assert TransportKind.RDMA_ROCE.is_rdma
+        assert not TransportKind.TCP.is_rdma
+
+    def test_nic_family_for_network_kinds(self):
+        assert nic_family_for(TransportKind.RDMA_IB) == NICType.INFINIBAND
+        assert nic_family_for(TransportKind.TCP) == NICType.ETHERNET
+
+    def test_nic_family_for_intra_node_raises(self):
+        with pytest.raises(TransportError):
+            nic_family_for(TransportKind.NVLINK)
+
+
+class TestTransferTime:
+    def test_includes_latency_and_bandwidth(self):
+        t = Transport(TransportKind.TCP, bandwidth=1e9, latency=1e-3)
+        assert t.transfer_time(1_000_000) == pytest.approx(2e-3)
+
+    def test_concurrent_flows_share_fairly(self):
+        t = Transport(TransportKind.TCP, bandwidth=1e9, latency=0.0)
+        assert t.transfer_time(1_000_000, concurrent=4) == pytest.approx(4e-3)
+
+    def test_invalid_args_rejected(self):
+        t = Transport(TransportKind.TCP, bandwidth=1e9, latency=0.0)
+        with pytest.raises(TransportError):
+            t.transfer_time(-1)
+        with pytest.raises(TransportError):
+            t.transfer_time(1, concurrent=0)
+
+
+class TestResolveTransport:
+    def test_intra_node_is_nvlink(self, hybrid_topo):
+        t = resolve_transport(hybrid_topo, 0, 1)
+        assert t.kind == TransportKind.NVLINK
+        assert t.bandwidth == NVLINK.bandwidth
+
+    def test_intra_cluster_ib(self, hybrid_topo):
+        t = resolve_transport(hybrid_topo, 0, 8)
+        assert t.kind == TransportKind.RDMA_IB
+        assert t.bandwidth == pytest.approx(IB_200.effective_bandwidth)
+
+    def test_intra_cluster_roce(self, hybrid_topo):
+        t = resolve_transport(hybrid_topo, 16, 24)
+        assert t.kind == TransportKind.RDMA_ROCE
+        assert t.bandwidth == pytest.approx(ROCE_200.effective_bandwidth)
+
+    def test_cross_cluster_falls_to_tcp(self, hybrid_topo):
+        t = resolve_transport(hybrid_topo, 0, 16)
+        assert t.kind == TransportKind.TCP
+        assert t.bandwidth == pytest.approx(ETH_25.effective_bandwidth)
+        # TCP latency dominated by the slower Ethernet endpoint.
+        assert t.latency == pytest.approx(ETH_25.latency)
+
+    def test_self_communication_rejected(self, hybrid_topo):
+        with pytest.raises(TransportError):
+            resolve_transport(hybrid_topo, 3, 3)

@@ -1,0 +1,105 @@
+"""Tests for the NumPy GPT: gradient checks and structural invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.model import TinyGPT, TinyGPTConfig
+
+CONFIG = TinyGPTConfig(vocab_size=11, seq_length=6, hidden_size=8,
+                       num_heads=2, num_blocks=2)
+
+
+@pytest.fixture
+def model():
+    return TinyGPT(CONFIG, seed=1)
+
+
+@pytest.fixture
+def batch():
+    rng = np.random.default_rng(2)
+    tokens = rng.integers(0, CONFIG.vocab_size, (2, CONFIG.seq_length))
+    targets = rng.integers(0, CONFIG.vocab_size, (2, CONFIG.seq_length))
+    return tokens, targets
+
+
+class TestStructure:
+    def test_parameter_keys(self, model):
+        assert "wte" in model.params and "wpe" in model.params
+        assert "h0.attn.wqkv" in model.params
+        assert "h1.mlp.w2" in model.params
+        assert model.block_param_keys(0)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TinyGPTConfig(hidden_size=10, num_heads=3)
+        with pytest.raises(ConfigurationError):
+            TinyGPTConfig(num_blocks=0)
+
+    def test_clone_is_deep(self, model):
+        other = model.clone()
+        other.params["wte"][0, 0] += 1.0
+        assert model.params["wte"][0, 0] != other.params["wte"][0, 0]
+
+    def test_sequence_too_long_rejected(self, model):
+        tokens = np.zeros((1, CONFIG.seq_length + 1), dtype=int)
+        with pytest.raises(ConfigurationError):
+            model.embed(tokens)
+
+
+class TestGradients:
+    def test_loss_and_grads_consistent_with_loss(self, model, batch):
+        tokens, targets = batch
+        loss, _ = model.loss_and_grads(tokens, targets)
+        assert loss == pytest.approx(model.loss(tokens, targets))
+
+    def test_full_model_gradcheck_sampled(self, model, batch):
+        """Finite-difference check on a sample of parameters from every
+        layer family (full FD over all params would be slow)."""
+        tokens, targets = batch
+        _, grads = model.loss_and_grads(tokens, targets)
+        rng = np.random.default_rng(3)
+        eps = 1e-5
+        for key in ["wte", "wpe", "h0.attn.wqkv", "h0.mlp.w1", "h1.attn.wo",
+                    "h1.mlp.b2", "h0.ln1.g", "ln_f.b"]:
+            param = model.params[key]
+            flat = param.ravel()
+            for _ in range(3):
+                i = rng.integers(0, flat.size)
+                orig = flat[i]
+                flat[i] = orig + eps
+                hi = model.loss(tokens, targets)
+                flat[i] = orig - eps
+                lo = model.loss(tokens, targets)
+                flat[i] = orig
+                fd = (hi - lo) / (2 * eps)
+                assert grads[key].ravel()[i] == pytest.approx(fd, abs=1e-4), key
+
+    def test_initial_loss_near_uniform(self, model, batch):
+        tokens, targets = batch
+        assert model.loss(tokens, targets) == pytest.approx(
+            np.log(CONFIG.vocab_size), rel=0.1
+        )
+
+    def test_block_slicing_matches_full_forward(self, model, batch):
+        tokens, _ = batch
+        x, _ = model.embed(tokens)
+        full, _ = model.forward_blocks(x, 0, CONFIG.num_blocks)
+        half1, _ = model.forward_blocks(x, 0, 1)
+        half2, _ = model.forward_blocks(half1, 1, 2)
+        np.testing.assert_allclose(full, half2, atol=1e-12)
+
+    def test_causal_prediction_independence(self, model):
+        """Changing a later input token must not change earlier logits."""
+        tokens = np.zeros((1, CONFIG.seq_length), dtype=int)
+        x, _ = model.embed(tokens)
+        x, _ = model.forward_blocks(x, 0, CONFIG.num_blocks)
+        logits_a, _ = model.head(x)
+        tokens2 = tokens.copy()
+        tokens2[0, -1] = 5
+        x2, _ = model.embed(tokens2)
+        x2, _ = model.forward_blocks(x2, 0, CONFIG.num_blocks)
+        logits_b, _ = model.head(x2)
+        np.testing.assert_allclose(
+            logits_a[:, :-1], logits_b[:, :-1], atol=1e-10
+        )

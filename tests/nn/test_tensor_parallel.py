@@ -1,0 +1,133 @@
+"""Tensor-parallel numerical equivalence: the sharded block must match the
+unsharded model exactly — outputs, input gradients, and every parameter
+gradient (reassembled from shards)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.model import TinyGPT, TinyGPTConfig
+from repro.nn.tensor_parallel import (
+    reassemble_block_grads,
+    shard_block_params,
+    tp_block_backward,
+    tp_block_forward,
+)
+
+CONFIG = TinyGPTConfig(vocab_size=17, seq_length=6, hidden_size=16,
+                       num_heads=4, num_blocks=2)
+
+
+@pytest.fixture
+def model():
+    return TinyGPT(CONFIG, seed=3)
+
+
+@pytest.fixture
+def x():
+    rng = np.random.default_rng(4)
+    return rng.standard_normal((2, CONFIG.seq_length, CONFIG.hidden_size)) * 0.5
+
+
+@pytest.fixture
+def dout():
+    rng = np.random.default_rng(5)
+    return rng.standard_normal((2, CONFIG.seq_length, CONFIG.hidden_size))
+
+
+class TestSharding:
+    @pytest.mark.parametrize("t", [1, 2, 4])
+    def test_shards_partition_weights(self, model, t):
+        shards = shard_block_params(model, 0, t)
+        assert len(shards) == t
+        full_w1 = np.concatenate([s["w1"] for s in shards], axis=1)
+        np.testing.assert_array_equal(full_w1, model.params["h0.mlp.w1"])
+        full_wo = np.concatenate([s["wo"] for s in shards], axis=0)
+        np.testing.assert_array_equal(full_wo, model.params["h0.attn.wo"])
+
+    def test_indivisible_heads_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            shard_block_params(model, 0, 3)
+
+
+class TestForwardEquivalence:
+    @pytest.mark.parametrize("t", [1, 2, 4])
+    def test_output_matches_unsharded(self, model, x, t):
+        reference, _ = model._block_forward(x, 0)
+        shards = shard_block_params(model, 0, t)
+        sharded, _ = tp_block_forward(model, 0, x, shards)
+        np.testing.assert_allclose(sharded, reference, atol=1e-12)
+
+    def test_stacked_blocks_match(self, model, x):
+        """Two sharded blocks chained reproduce the unsharded stack."""
+        reference, _ = model.forward_blocks(x, 0, 2)
+        h = x
+        for block in range(2):
+            shards = shard_block_params(model, block, 2)
+            h, _ = tp_block_forward(model, block, h, shards)
+        np.testing.assert_allclose(h, reference, atol=1e-12)
+
+
+class TestBackwardEquivalence:
+    @pytest.mark.parametrize("t", [1, 2, 4])
+    def test_gradients_match_unsharded(self, model, x, dout, t):
+        # Reference: unsharded block backward.
+        _, ref_cache = model._block_forward(x, 0)
+        ref_grads = model.zero_grads()
+        ref_dx = model._block_backward(dout, ref_cache, 0, ref_grads)
+
+        shards = shard_block_params(model, 0, t)
+        _, caches = tp_block_forward(model, 0, x, shards)
+        dx, shard_grads, replicated = tp_block_backward(
+            model, 0, dout, caches, shards
+        )
+        np.testing.assert_allclose(dx, ref_dx, atol=1e-10)
+        # Replicated parameter gradients (layernorms, row-parallel biases).
+        for key, grad in replicated.items():
+            np.testing.assert_allclose(
+                grad, ref_grads[key], atol=1e-10, err_msg=key
+            )
+        # Sharded parameter gradients, reassembled.
+        for key, grad in reassemble_block_grads(model, 0, shard_grads).items():
+            np.testing.assert_allclose(
+                grad, ref_grads[key], atol=1e-10, err_msg=key
+            )
+
+    def test_all_keys_covered(self, model, x, dout):
+        """Replicated + reassembled grads cover every block-0 parameter."""
+        shards = shard_block_params(model, 0, 2)
+        _, caches = tp_block_forward(model, 0, x, shards)
+        _, shard_grads, replicated = tp_block_backward(
+            model, 0, dout, caches, shards
+        )
+        covered = set(replicated) | set(
+            reassemble_block_grads(model, 0, shard_grads)
+        )
+        assert covered == set(model.block_param_keys(0))
+
+
+class TestTensorParallelTrainer:
+    @pytest.mark.parametrize("t", [1, 2, 4])
+    def test_training_matches_single(self, t):
+        from repro.nn.parallel_train import SingleTrainer, make_lm_batch
+        from repro.nn.tensor_parallel import TensorParallelTrainer
+
+        rng = np.random.default_rng(8)
+        tokens, targets = make_lm_batch(rng, CONFIG, batch=4)
+        single = SingleTrainer(CONFIG, seed=13)
+        sharded = TensorParallelTrainer(CONFIG, t=t, seed=13)
+        for _ in range(3):
+            loss_s = single.step(tokens, targets)
+            loss_t = sharded.step(tokens, targets)
+            assert loss_t == pytest.approx(loss_s, abs=1e-10)
+        for key in single.model.params:
+            np.testing.assert_allclose(
+                single.model.params[key], sharded.model.params[key],
+                atol=1e-8, err_msg=key,
+            )
+
+    def test_invalid_degree_rejected(self):
+        from repro.nn.tensor_parallel import TensorParallelTrainer
+
+        with pytest.raises(ConfigurationError):
+            TensorParallelTrainer(CONFIG, t=0)

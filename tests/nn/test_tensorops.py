@@ -1,0 +1,185 @@
+"""Finite-difference verification of every hand-derived backward pass."""
+
+import numpy as np
+import pytest
+
+from repro.nn import tensorops as ops
+
+RNG = np.random.default_rng(0)
+EPS = 1e-5
+
+
+def numerical_grad(fn, x, eps=EPS):
+    """Central finite differences of a scalar function w.r.t. array x."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn()
+        flat[i] = orig - eps
+        lo = fn()
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+class TestLinear:
+    def test_backward_matches_fd(self):
+        x = RNG.standard_normal((2, 3, 4))
+        w = RNG.standard_normal((4, 5))
+        b = RNG.standard_normal(5)
+        dy = RNG.standard_normal((2, 3, 5))
+
+        def loss():
+            y, _ = ops.linear_forward(x, w, b)
+            return float((y * dy).sum())
+
+        _, cache = ops.linear_forward(x, w, b)
+        dx, dw, db = ops.linear_backward(dy, cache)
+        np.testing.assert_allclose(dx, numerical_grad(loss, x), atol=1e-6)
+        np.testing.assert_allclose(dw, numerical_grad(loss, w), atol=1e-6)
+        np.testing.assert_allclose(db, numerical_grad(loss, b), atol=1e-6)
+
+
+class TestLayerNorm:
+    def test_backward_matches_fd(self):
+        x = RNG.standard_normal((2, 3, 6))
+        g = RNG.standard_normal(6)
+        b = RNG.standard_normal(6)
+        dy = RNG.standard_normal((2, 3, 6))
+
+        def loss():
+            y, _ = ops.layernorm_forward(x, g, b)
+            return float((y * dy).sum())
+
+        _, cache = ops.layernorm_forward(x, g, b)
+        dx, dg, db = ops.layernorm_backward(dy, cache)
+        np.testing.assert_allclose(dx, numerical_grad(loss, x), atol=1e-5)
+        np.testing.assert_allclose(dg, numerical_grad(loss, g), atol=1e-5)
+        np.testing.assert_allclose(db, numerical_grad(loss, b), atol=1e-5)
+
+    def test_forward_normalises(self):
+        x = RNG.standard_normal((4, 8)) * 5 + 3
+        y, _ = ops.layernorm_forward(x, np.ones(8), np.zeros(8))
+        np.testing.assert_allclose(y.mean(axis=-1), 0.0, atol=1e-7)
+        np.testing.assert_allclose(y.std(axis=-1), 1.0, atol=1e-2)
+
+
+class TestGELU:
+    def test_backward_matches_fd(self):
+        x = RNG.standard_normal((3, 4))
+        dy = RNG.standard_normal((3, 4))
+
+        def loss():
+            y, _ = ops.gelu_forward(x)
+            return float((y * dy).sum())
+
+        _, cache = ops.gelu_forward(x)
+        dx = ops.gelu_backward(dy, cache)
+        np.testing.assert_allclose(dx, numerical_grad(loss, x), atol=1e-6)
+
+    def test_values(self):
+        y, _ = ops.gelu_forward(np.array([0.0, 100.0, -100.0]))
+        np.testing.assert_allclose(y, [0.0, 100.0, 0.0], atol=1e-6)
+
+
+class TestAttention:
+    def test_backward_matches_fd(self):
+        B, T, C, H = 2, 4, 6, 2
+        q = RNG.standard_normal((B, T, C)) * 0.5
+        k = RNG.standard_normal((B, T, C)) * 0.5
+        v = RNG.standard_normal((B, T, C)) * 0.5
+        dy = RNG.standard_normal((B, T, C))
+
+        def loss():
+            y, _ = ops.attention_forward(q, k, v, H)
+            return float((y * dy).sum())
+
+        _, cache = ops.attention_forward(q, k, v, H)
+        dq, dk, dv = ops.attention_backward(dy, cache)
+        np.testing.assert_allclose(dq, numerical_grad(loss, q), atol=1e-5)
+        np.testing.assert_allclose(dk, numerical_grad(loss, k), atol=1e-5)
+        np.testing.assert_allclose(dv, numerical_grad(loss, v), atol=1e-5)
+
+    def test_causality(self):
+        """Output at position t must not depend on inputs after t."""
+        B, T, C, H = 1, 5, 4, 2
+        q = RNG.standard_normal((B, T, C))
+        k = RNG.standard_normal((B, T, C))
+        v = RNG.standard_normal((B, T, C))
+        base, _ = ops.attention_forward(q, k, v, H)
+        k2, v2 = k.copy(), v.copy()
+        k2[:, -1] += 10.0
+        v2[:, -1] += 10.0
+        bumped, _ = ops.attention_forward(q, k2, v2, H)
+        np.testing.assert_allclose(base[:, :-1], bumped[:, :-1], atol=1e-10)
+        assert not np.allclose(base[:, -1], bumped[:, -1])
+
+    def test_probs_rows_sum_to_one(self):
+        q = RNG.standard_normal((1, 4, 4))
+        _, (qh, kh, vh, probs) = ops.attention_forward(q, q, q, 2)
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-10)
+
+
+class TestCrossEntropy:
+    def test_backward_matches_fd(self):
+        B, T, V = 2, 3, 5
+        logits = RNG.standard_normal((B, T, V))
+        targets = RNG.integers(0, V, (B, T))
+
+        def loss():
+            value, _ = ops.cross_entropy_forward(logits, targets)
+            return float(value)
+
+        _, cache = ops.cross_entropy_forward(logits, targets)
+        dlogits = ops.cross_entropy_backward(cache)
+        np.testing.assert_allclose(
+            dlogits, numerical_grad(loss, logits), atol=1e-6
+        )
+
+    def test_uniform_logits_give_log_v(self):
+        logits = np.zeros((2, 4, 7))
+        targets = np.zeros((2, 4), dtype=int)
+        loss, _ = ops.cross_entropy_forward(logits, targets)
+        assert loss == pytest.approx(np.log(7))
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((1, 2, 3), -50.0)
+        targets = np.array([[1, 2]])
+        logits[0, 0, 1] = 50.0
+        logits[0, 1, 2] = 50.0
+        loss, _ = ops.cross_entropy_forward(logits, targets)
+        assert loss < 1e-6
+
+
+class TestEmbedding:
+    def test_backward_scatters(self):
+        table = RNG.standard_normal((10, 4))
+        tokens = np.array([[1, 1, 3]])
+        y, cache = ops.embedding_forward(tokens, table)
+        np.testing.assert_array_equal(y[0, 0], table[1])
+        dy = np.ones((1, 3, 4))
+        dtable = ops.embedding_backward(dy, cache)
+        np.testing.assert_allclose(dtable[1], 2.0 * np.ones(4))  # used twice
+        np.testing.assert_allclose(dtable[3], np.ones(4))
+        np.testing.assert_allclose(dtable[0], np.zeros(4))
+
+
+class TestGradFlattening:
+    def test_round_trip(self):
+        grads = {
+            "b": RNG.standard_normal((2, 3)),
+            "a": RNG.standard_normal(5),
+        }
+        flat = ops.tree_flatten_grads(grads)
+        assert flat.shape == (11,)
+        restored = ops.tree_unflatten_grads(flat, grads)
+        for key in grads:
+            np.testing.assert_array_equal(restored[key], grads[key])
+
+    def test_size_mismatch_rejected(self):
+        grads = {"a": np.zeros(3)}
+        with pytest.raises(ValueError):
+            ops.tree_unflatten_grads(np.zeros(5), grads)

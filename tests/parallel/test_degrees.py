@@ -1,0 +1,67 @@
+"""Tests for parallelism degree validation."""
+
+import pytest
+
+from repro.errors import ParallelismError
+from repro.parallel.degrees import ParallelConfig
+
+
+class TestParallelConfig:
+    def test_world_size(self):
+        config = ParallelConfig(tensor=2, pipeline=3, data=4,
+                                micro_batch_size=1, global_batch_size=8)
+        assert config.world_size == 24
+
+    def test_num_microbatches_pg1(self):
+        """Parameter group 1 on 32 GPUs: d=16, batch 768, micro 4 -> m=12."""
+        config = ParallelConfig(tensor=1, pipeline=2, data=16,
+                                micro_batch_size=4, global_batch_size=768)
+        assert config.num_microbatches == 12
+
+    def test_batch_not_divisible_by_data_rejected(self):
+        with pytest.raises(ParallelismError, match="not divisible"):
+            ParallelConfig(tensor=1, pipeline=1, data=3,
+                           micro_batch_size=1, global_batch_size=8)
+
+    def test_replica_batch_not_divisible_by_micro_rejected(self):
+        with pytest.raises(ParallelismError, match="not divisible"):
+            ParallelConfig(tensor=1, pipeline=1, data=2,
+                           micro_batch_size=3, global_batch_size=8)
+
+    @pytest.mark.parametrize("field", ["tensor", "pipeline", "data",
+                                       "micro_batch_size", "global_batch_size"])
+    def test_non_positive_degrees_rejected(self, field):
+        kwargs = dict(tensor=1, pipeline=1, data=1,
+                      micro_batch_size=1, global_batch_size=1)
+        kwargs[field] = 0
+        with pytest.raises(ParallelismError):
+            ParallelConfig(**kwargs)
+
+    def test_validate_against_machine(self):
+        config = ParallelConfig(tensor=8, pipeline=2, data=2,
+                                micro_batch_size=1, global_batch_size=4)
+        config.validate_against(world_size=32, gpus_per_node=8)  # fits
+
+    def test_validate_wrong_world_size(self):
+        config = ParallelConfig(tensor=1, pipeline=2, data=2,
+                                micro_batch_size=1, global_batch_size=2)
+        with pytest.raises(ParallelismError, match="machine has"):
+            config.validate_against(world_size=32, gpus_per_node=8)
+
+    def test_tensor_exceeding_node_rejected(self):
+        config = ParallelConfig(tensor=16, pipeline=1, data=2,
+                                micro_batch_size=1, global_batch_size=2)
+        with pytest.raises(ParallelismError, match="within a node"):
+            config.validate_against(world_size=32, gpus_per_node=8)
+
+    def test_tensor_straddling_node_rejected(self):
+        config = ParallelConfig(tensor=3, pipeline=1, data=8,
+                                micro_batch_size=1, global_batch_size=8)
+        with pytest.raises(ParallelismError, match="straddle"):
+            config.validate_against(world_size=24, gpus_per_node=8)
+
+    def test_str_mentions_degrees(self):
+        config = ParallelConfig(tensor=1, pipeline=2, data=4,
+                                micro_batch_size=2, global_batch_size=16)
+        text = str(config)
+        assert "t=1" in text and "p=2" in text and "d=4" in text

@@ -1,0 +1,135 @@
+"""Tests for the group matrices (paper Eqs. 1/3/4), including the paper's
+own worked example and property-based partition invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParallelismError
+from repro.parallel.degrees import ParallelConfig
+from repro.parallel.groups import ParallelLayout
+
+
+def layout(t, p, d):
+    batch = d  # minimal valid batch
+    return ParallelLayout(
+        ParallelConfig(tensor=t, pipeline=p, data=d,
+                       micro_batch_size=1, global_batch_size=batch)
+    )
+
+
+class TestPaperFormulas:
+    def test_figure2_example(self):
+        """The paper's Figure 2: t=2, p=4, d=2 over 16 GPUs."""
+        lay = layout(t=2, p=4, d=2)
+        # Eq. 1: tensor groups are consecutive pairs.
+        assert lay.tp_groups[0] == [0, 1]
+        assert lay.tp_groups[7] == [14, 15]
+        # Eq. 3: pipeline groups stride by t*d = 4.
+        assert lay.pp_groups[0] == [0, 4, 8, 12]
+        assert lay.pp_groups[3] == [3, 7, 11, 15]
+        # Eq. 4: data groups stride by t within a stage.
+        assert lay.dp_groups[0] == [0, 2]
+        assert lay.dp_groups[1] == [1, 3]
+
+    def test_simple_t1(self):
+        lay = layout(t=1, p=2, d=2)
+        assert lay.pp_groups == [[0, 2], [1, 3]]
+        assert lay.dp_groups == [[0, 1], [2, 3]]
+        assert lay.tp_groups == [[0], [1], [2], [3]]
+
+    def test_group_matrix_shapes(self):
+        t, p, d = 2, 3, 4
+        lay = layout(t, p, d)
+        assert len(lay.tp_groups) == p * d and all(len(g) == t for g in lay.tp_groups)
+        assert len(lay.pp_groups) == t * d and all(len(g) == p for g in lay.pp_groups)
+        assert len(lay.dp_groups) == p * t and all(len(g) == d for g in lay.dp_groups)
+
+
+class TestQueries:
+    def test_stage_of(self):
+        lay = layout(t=2, p=2, d=2)
+        assert [lay.stage_of(r) for r in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_stage_ranks_contiguous(self):
+        lay = layout(t=2, p=2, d=2)
+        assert lay.stage_ranks(0) == [0, 1, 2, 3]
+        assert lay.stage_ranks(1) == [4, 5, 6, 7]
+        with pytest.raises(ParallelismError):
+            lay.stage_ranks(2)
+
+    def test_pipeline_neighbours(self):
+        lay = layout(t=1, p=3, d=1)
+        assert lay.next_stage_peer(0) == 1
+        assert lay.prev_stage_peer(2) == 1
+        with pytest.raises(ParallelismError):
+            lay.prev_stage_peer(0)
+        with pytest.raises(ParallelismError):
+            lay.next_stage_peer(2)
+
+    def test_group_of_rank_consistency(self):
+        lay = layout(t=2, p=2, d=4)
+        for rank in range(lay.config.world_size):
+            assert rank in lay.tp_group_of(rank)
+            assert rank in lay.pp_group_of(rank)
+            assert rank in lay.dp_group_of(rank)
+
+    def test_all_groups_dict(self):
+        lay = layout(t=1, p=2, d=2)
+        groups = lay.all_groups()
+        assert set(groups) == {"tensor", "pipeline", "data"}
+
+
+@st.composite
+def degree_triples(draw):
+    t = draw(st.sampled_from([1, 2, 4, 8]))
+    p = draw(st.integers(1, 6))
+    d = draw(st.integers(1, 8))
+    return t, p, d
+
+
+class TestPartitionInvariants:
+    @given(degree_triples())
+    @settings(max_examples=60, deadline=None)
+    def test_property_each_family_partitions_ranks(self, tpd):
+        t, p, d = tpd
+        lay = layout(t, p, d)
+        N = t * p * d
+        for groups in (lay.tp_groups, lay.pp_groups, lay.dp_groups):
+            flat = sorted(r for g in groups for r in g)
+            assert flat == list(range(N))
+
+    @given(degree_triples())
+    @settings(max_examples=60, deadline=None)
+    def test_property_dp_groups_stay_within_stage(self, tpd):
+        t, p, d = tpd
+        lay = layout(t, p, d)
+        for group in lay.dp_groups:
+            stages = {lay.stage_of(r) for r in group}
+            assert len(stages) == 1
+
+    @given(degree_triples())
+    @settings(max_examples=60, deadline=None)
+    def test_property_pp_group_hits_every_stage_once(self, tpd):
+        t, p, d = tpd
+        lay = layout(t, p, d)
+        for group in lay.pp_groups:
+            assert [lay.stage_of(r) for r in group] == list(range(p))
+
+    @given(degree_triples())
+    @settings(max_examples=60, deadline=None)
+    def test_property_tp_groups_consecutive(self, tpd):
+        t, p, d = tpd
+        lay = layout(t, p, d)
+        for group in lay.tp_groups:
+            assert group == list(range(group[0], group[0] + t))
+
+    @given(degree_triples())
+    @settings(max_examples=40, deadline=None)
+    def test_property_tp_dp_intersection_is_singleton(self, tpd):
+        """Any tensor group and any data group of the same stage intersect
+        in at most one rank (grid structure)."""
+        t, p, d = tpd
+        lay = layout(t, p, d)
+        for tp in lay.tp_groups[: min(4, len(lay.tp_groups))]:
+            for dp in lay.dp_groups[: min(4, len(lay.dp_groups))]:
+                assert len(set(tp) & set(dp)) <= 1

@@ -1,0 +1,52 @@
+"""Tests for placements (logical -> physical rank bijections)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchedulingError
+from repro.parallel.mapping import Placement, identity_placement
+
+
+class TestPlacement:
+    def test_identity(self):
+        p = identity_placement(4)
+        assert [p.physical(i) for i in range(4)] == [0, 1, 2, 3]
+        assert [p.logical(i) for i in range(4)] == [0, 1, 2, 3]
+
+    def test_permutation_round_trip(self):
+        p = Placement([2, 0, 3, 1])
+        assert p.physical(0) == 2
+        assert p.logical(2) == 0
+        for logical in range(4):
+            assert p.logical(p.physical(logical)) == logical
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(SchedulingError):
+            Placement([0, 0, 1])
+        with pytest.raises(SchedulingError):
+            Placement([0, 2])
+
+    def test_map_group_preserves_order(self):
+        p = Placement([3, 2, 1, 0])
+        assert p.map_group([0, 2]) == [3, 1]
+
+    def test_map_groups(self):
+        p = Placement([1, 0])
+        assert p.map_groups([[0], [1], [0, 1]]) == [[1], [0], [1, 0]]
+
+    def test_map_all_families(self):
+        p = Placement([1, 0, 3, 2])
+        families = {"data": [[0, 1]], "pipeline": [[0, 2]]}
+        mapped = p.map_all(families)
+        assert mapped == {"data": [[1, 0]], "pipeline": [[1, 3]]}
+
+    def test_len(self):
+        assert len(identity_placement(7)) == 7
+
+    @given(st.permutations(list(range(12))))
+    def test_property_bijection(self, perm):
+        p = Placement(perm)
+        physical = [p.physical(i) for i in range(12)]
+        assert sorted(physical) == list(range(12))
+        for phys in range(12):
+            assert p.physical(p.logical(phys)) == phys

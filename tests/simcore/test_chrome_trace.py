@@ -1,0 +1,72 @@
+"""Tests for Chrome trace export."""
+
+import io
+import json
+
+import pytest
+
+from repro.simcore.chrome_trace import (
+    default_rank_names,
+    export_chrome_trace,
+    span_to_event,
+)
+from repro.simcore.trace import Span, TraceRecorder
+
+
+class TestSpanToEvent:
+    def test_complete_event_shape(self):
+        span = Span(rank=3, kind="compute", label="forward",
+                    start=0.5, end=1.5, bytes=0, meta=(("mb", 2),))
+        event = span_to_event(span)
+        assert event["ph"] == "X"
+        assert event["tid"] == 3
+        assert event["ts"] == pytest.approx(0.5e6)
+        assert event["dur"] == pytest.approx(1.0e6)
+        assert event["args"]["mb"] == 2
+
+    def test_bytes_in_args(self):
+        span = Span(0, "p2p", "send:act", 0.0, 0.1, bytes=1024)
+        assert span_to_event(span)["args"]["bytes"] == 1024
+
+
+class TestExport:
+    def test_round_trip_json(self):
+        trace = TraceRecorder()
+        trace.record(0, "compute", "forward", 0.0, 1.0)
+        trace.record(1, "collective", "dp-sync", 1.0, 2.0)
+        payload = json.loads(export_chrome_trace(trace))
+        assert len(payload["traceEvents"]) == 2
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_writes_to_fileobj(self):
+        trace = TraceRecorder()
+        trace.record(0, "compute", "forward", 0.0, 1.0)
+        buffer = io.StringIO()
+        export_chrome_trace(trace, buffer)
+        assert json.loads(buffer.getvalue())["traceEvents"]
+
+    def test_rank_names_emitted_as_metadata(self):
+        trace = TraceRecorder()
+        trace.record(0, "compute", "forward", 0.0, 1.0)
+        payload = json.loads(
+            export_chrome_trace(trace, rank_names={0: "rank0 s0"})
+        )
+        metadata = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert metadata[0]["args"]["name"] == "rank0 s0"
+
+
+class TestDefaultRankNames:
+    def test_names_mention_stage_and_cluster(self):
+        from repro.bench.paramgroups import PARAM_GROUPS
+        from repro.bench.scenarios import hybrid2_env
+        from repro.core.scheduler import HolmesScheduler
+
+        topo = hybrid2_env(4)
+        group = PARAM_GROUPS[1]
+        plan = HolmesScheduler().plan(
+            topo, group.parallel_for(32), group.model
+        )
+        names = default_rank_names(plan)
+        assert len(names) == 32
+        assert "s0" in names[0] and "roce" in names[0]
+        assert "s1" in names[31] and "infiniband" in names[31]

@@ -1,0 +1,88 @@
+"""Unit tests for the DES engine: scheduling, ordering, time semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore.engine import SimEngine
+from repro.simcore.process import Timeout
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self):
+        assert SimEngine().now == 0.0
+
+    def test_timeout_event_advances_clock(self):
+        engine = SimEngine()
+        ev = engine.timeout_event(2.5, value="done")
+        engine.run()
+        assert engine.now == pytest.approx(2.5)
+        assert ev.value == "done"
+
+    def test_events_fire_in_time_order(self):
+        engine = SimEngine()
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            engine.timeout_event(delay).add_callback(
+                lambda e, d=delay: order.append(d)
+            )
+        engine.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        engine = SimEngine()
+        order = []
+        for i in range(10):
+            engine.timeout_event(1.0).add_callback(lambda e, i=i: order.append(i))
+        engine.run()
+        assert order == list(range(10))
+
+    def test_run_until_bounds_time(self):
+        engine = SimEngine()
+        engine.timeout_event(10.0)
+        final = engine.run(until=4.0)
+        assert final == 4.0
+        assert engine.now == 4.0
+
+    def test_scheduling_in_past_raises(self):
+        engine = SimEngine()
+        engine.timeout_event(5.0)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine._schedule_at(1.0, lambda: None)
+
+    def test_max_steps_guard(self):
+        engine = SimEngine()
+
+        def rearm():
+            engine._schedule_at(engine.now, rearm)
+
+        engine._schedule_at(0.0, rearm)
+        with pytest.raises(SimulationError, match="exceeded"):
+            engine.run(max_steps=100)
+
+
+class TestRunProcess:
+    def test_returns_generator_value(self):
+        engine = SimEngine()
+
+        def body():
+            yield Timeout(1.0)
+            return "result"
+
+        assert engine.run_process(body()) == "result"
+
+    def test_deadlock_detected(self):
+        engine = SimEngine()
+
+        def body():
+            yield engine.event("never-fires")
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            engine.run_process(body())
+
+    def test_steps_counter_increments(self):
+        engine = SimEngine()
+        engine.timeout_event(1.0)
+        engine.timeout_event(2.0)
+        engine.run()
+        assert engine.steps >= 2

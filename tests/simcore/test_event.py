@@ -1,0 +1,90 @@
+"""Unit tests for the simulation event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore.engine import SimEngine
+from repro.simcore.event import Condition, SimEvent
+
+
+@pytest.fixture
+def engine():
+    return SimEngine()
+
+
+class TestSimEvent:
+    def test_starts_pending(self, engine):
+        ev = engine.event("x")
+        assert not ev.triggered
+        assert ev.value is None
+
+    def test_succeed_delivers_value(self, engine):
+        ev = engine.event("x")
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.value == 42
+
+    def test_succeed_twice_raises(self, engine):
+        ev = engine.event("x")
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_callback_runs_on_succeed(self, engine):
+        ev = engine.event("x")
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == []
+        ev.succeed("payload")
+        assert seen == ["payload"]
+
+    def test_callback_on_triggered_event_runs_immediately(self, engine):
+        ev = engine.event("x")
+        ev.succeed(7)
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == [7]
+
+    def test_multiple_callbacks_all_run(self, engine):
+        ev = engine.event("x")
+        seen = []
+        for i in range(5):
+            ev.add_callback(lambda e, i=i: seen.append(i))
+        ev.succeed()
+        assert seen == [0, 1, 2, 3, 4]
+
+
+class TestCondition:
+    def test_all_of_fires_after_all_children(self, engine):
+        children = [engine.event(f"c{i}") for i in range(3)]
+        cond = Condition(engine, children)
+        children[0].succeed("a")
+        children[1].succeed("b")
+        assert not cond.triggered
+        children[2].succeed("c")
+        assert cond.triggered
+        assert cond.value == {0: "a", 1: "b", 2: "c"}
+
+    def test_any_of_fires_after_first_child(self, engine):
+        children = [engine.event(f"c{i}") for i in range(3)]
+        cond = Condition(engine, children, wait_count=1)
+        children[1].succeed("mid")
+        assert cond.triggered
+        assert cond.value == {1: "mid"}
+
+    def test_empty_condition_fires_immediately(self, engine):
+        cond = Condition(engine, [])
+        assert cond.triggered
+
+    def test_wait_count_beyond_children_raises(self, engine):
+        with pytest.raises(SimulationError):
+            Condition(engine, [engine.event()], wait_count=2)
+
+    def test_pretriggered_children_count(self, engine):
+        a = engine.event("a")
+        a.succeed(1)
+        b = engine.event("b")
+        cond = Condition(engine, [a, b])
+        assert not cond.triggered
+        b.succeed(2)
+        assert cond.triggered

@@ -1,0 +1,137 @@
+"""Unit tests for generator processes and their commands."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore.engine import SimEngine
+from repro.simcore.process import AllOf, AnyOf, Process, Timeout, Wait
+
+
+@pytest.fixture
+def engine():
+    return SimEngine()
+
+
+class TestTimeout:
+    def test_timeout_suspends_for_delay(self, engine):
+        times = []
+
+        def body():
+            times.append(engine.now)
+            yield Timeout(1.5)
+            times.append(engine.now)
+
+        engine.process(body())
+        engine.run()
+        assert times == [0.0, 1.5]
+
+    def test_timeout_value_passed_back(self, engine):
+        def body():
+            got = yield Timeout(1.0, value="tick")
+            return got
+
+        assert engine.run_process(body()) == "tick"
+
+    def test_negative_timeout_raises(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_zero_timeout_is_valid(self, engine):
+        def body():
+            yield Timeout(0.0)
+            return engine.now
+
+        assert engine.run_process(body()) == 0.0
+
+
+class TestWaiting:
+    def test_wait_returns_event_value(self, engine):
+        ev = engine.timeout_event(2.0, value="late")
+
+        def body():
+            got = yield Wait(ev)
+            return got, engine.now
+
+        assert engine.run_process(body()) == ("late", 2.0)
+
+    def test_bare_event_yield_is_wait(self, engine):
+        ev = engine.timeout_event(1.0, value=9)
+
+        def body():
+            got = yield ev
+            return got
+
+        assert engine.run_process(body()) == 9
+
+    def test_all_of_waits_for_slowest(self, engine):
+        evs = [engine.timeout_event(d) for d in (1.0, 3.0, 2.0)]
+
+        def body():
+            yield AllOf(evs)
+            return engine.now
+
+        assert engine.run_process(body()) == 3.0
+
+    def test_any_of_waits_for_fastest(self, engine):
+        evs = [engine.timeout_event(d) for d in (5.0, 1.0, 3.0)]
+
+        def body():
+            yield AnyOf(evs)
+            return engine.now
+
+        assert engine.run_process(body()) == 1.0
+
+    def test_any_of_empty_raises(self):
+        with pytest.raises(SimulationError):
+            AnyOf([])
+
+
+class TestJoin:
+    def test_yield_process_joins(self, engine):
+        def child():
+            yield Timeout(2.0)
+            return "child-result"
+
+        def parent():
+            proc = engine.process(child(), name="child")
+            got = yield proc
+            return got, engine.now
+
+        assert engine.run_process(parent()) == ("child-result", 2.0)
+
+    def test_fork_join_parallel_children(self, engine):
+        def child(delay):
+            yield Timeout(delay)
+            return delay
+
+        def parent():
+            procs = [engine.process(child(d)) for d in (1.0, 2.0, 3.0)]
+            yield AllOf([p.done for p in procs])
+            return engine.now
+
+        # Children run concurrently: join at max, not sum.
+        assert engine.run_process(parent()) == 3.0
+
+    def test_done_event_carries_return(self, engine):
+        def child():
+            yield Timeout(1.0)
+            return 123
+
+        proc = engine.process(child())
+        engine.run()
+        assert not proc.alive
+        assert proc.done.value == 123
+
+
+class TestErrors:
+    def test_non_generator_body_raises(self, engine):
+        with pytest.raises(SimulationError, match="generator"):
+            Process(engine, lambda: None)  # type: ignore[arg-type]
+
+    def test_unknown_command_raises(self, engine):
+        def body():
+            yield "not-a-command"
+
+        engine.process(body())
+        with pytest.raises(SimulationError, match="unsupported command"):
+            engine.run()

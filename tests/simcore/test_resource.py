@@ -1,0 +1,172 @@
+"""Unit tests for Resource, Store, and Barrier."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore.engine import SimEngine
+from repro.simcore.process import Timeout, Wait
+from repro.simcore.resource import Barrier, Resource, Store
+
+
+@pytest.fixture
+def engine():
+    return SimEngine()
+
+
+class TestResource:
+    def test_immediate_grant_under_capacity(self, engine):
+        res = Resource(engine, capacity=2)
+        assert res.acquire().triggered
+        assert res.acquire().triggered
+        assert res.available == 0
+
+    def test_waiter_queues_until_release(self, engine):
+        res = Resource(engine, capacity=1)
+        first = res.acquire()
+        second = res.acquire()
+        assert first.triggered and not second.triggered
+        res.release()
+        assert second.triggered
+
+    def test_fifo_ordering(self, engine):
+        res = Resource(engine, capacity=1)
+        res.acquire()
+        waiters = [res.acquire() for _ in range(3)]
+        res.release()
+        assert [w.triggered for w in waiters] == [True, False, False]
+        res.release()
+        assert [w.triggered for w in waiters] == [True, True, False]
+
+    def test_release_idle_raises(self, engine):
+        res = Resource(engine, capacity=1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_zero_capacity_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            Resource(engine, capacity=0)
+
+    def test_serialization_timing(self, engine):
+        """Two 1-second holds through a capacity-1 resource take 2 seconds."""
+        res = Resource(engine, capacity=1)
+        ends = []
+
+        def worker():
+            yield Wait(res.acquire())
+            yield Timeout(1.0)
+            res.release()
+            ends.append(engine.now)
+
+        engine.process(worker())
+        engine.process(worker())
+        engine.run()
+        assert ends == [1.0, 2.0]
+
+
+class TestStore:
+    def test_put_then_get(self, engine):
+        store = Store(engine)
+        store.put("item")
+        ev = store.get()
+        assert ev.triggered and ev.value == "item"
+
+    def test_get_then_put_wakes_getter(self, engine):
+        store = Store(engine)
+        ev = store.get()
+        assert not ev.triggered
+        store.put(5)
+        assert ev.value == 5
+
+    def test_fifo_item_order(self, engine):
+        store = Store(engine)
+        for i in range(3):
+            store.put(i)
+        assert [store.get().value for _ in range(3)] == [0, 1, 2]
+
+    def test_fifo_getter_order(self, engine):
+        store = Store(engine)
+        getters = [store.get() for _ in range(2)]
+        store.put("a")
+        store.put("b")
+        assert [g.value for g in getters] == ["a", "b"]
+
+    def test_len_counts_items(self, engine):
+        store = Store(engine)
+        assert len(store) == 0
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestBarrier:
+    def test_releases_after_all_parties(self, engine):
+        barrier = Barrier(engine, parties=3, duration_fn=lambda a: 1.0)
+        releases = []
+
+        def party(delay):
+            yield Timeout(delay)
+            yield Wait(barrier.arrive())
+            releases.append(engine.now)
+
+        for d in (0.0, 1.0, 2.0):
+            engine.process(party(d))
+        engine.run()
+        # Last arrival at t=2, +1.0 duration: everyone releases at 3.0.
+        assert releases == [3.0, 3.0, 3.0]
+
+    def test_duration_fn_sees_arrivals(self, engine):
+        seen = {}
+
+        def duration(arrivals):
+            seen["arrivals"] = sorted(arrivals)
+            return 0.5
+
+        barrier = Barrier(engine, parties=2, duration_fn=duration)
+
+        def party(delay):
+            yield Timeout(delay)
+            yield Wait(barrier.arrive())
+
+        engine.process(party(1.0))
+        engine.process(party(4.0))
+        engine.run()
+        assert seen["arrivals"] == [1.0, 4.0]
+        assert barrier.completions[0]["skew"] == pytest.approx(3.0)
+
+    def test_barrier_reuses_across_generations(self, engine):
+        barrier = Barrier(engine, parties=2, duration_fn=lambda a: 1.0)
+        ends = []
+
+        def party():
+            yield Wait(barrier.arrive())
+            ends.append(engine.now)
+            yield Wait(barrier.arrive())
+            ends.append(engine.now)
+
+        engine.process(party())
+        engine.process(party())
+        engine.run()
+        assert ends == [1.0, 1.0, 2.0, 2.0]
+        assert len(barrier.completions) == 2
+
+    def test_negative_duration_raises(self, engine):
+        barrier = Barrier(engine, parties=1, duration_fn=lambda a: -1.0)
+
+        def party():
+            yield Wait(barrier.arrive())
+
+        engine.process(party())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_single_party_barrier_releases_immediately(self, engine):
+        barrier = Barrier(engine, parties=1, duration_fn=lambda a: 0.25)
+        ev = barrier.arrive()
+        assert not ev.triggered  # release is scheduled, not synchronous
+        engine.run()
+        assert ev.triggered
+        assert engine.now == pytest.approx(0.25)
+
+    def test_invalid_parties_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            Barrier(engine, parties=0)

@@ -1,0 +1,109 @@
+"""Unit and property tests for the streaming statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simcore.stats import Histogram, RunningStats
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRunningStats:
+    def test_empty_stats(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+
+    def test_single_value(self):
+        stats = RunningStats()
+        stats.add(5.0)
+        assert stats.mean == 5.0
+        assert stats.variance == 0.0
+        assert stats.minimum == stats.maximum == 5.0
+
+    def test_matches_numpy(self):
+        values = [1.5, 2.5, -3.0, 4.25, 0.0, 7.75]
+        stats = RunningStats().extend(values)
+        assert stats.mean == pytest.approx(np.mean(values))
+        assert stats.variance == pytest.approx(np.var(values, ddof=1))
+        assert stats.stddev == pytest.approx(np.std(values, ddof=1))
+
+    @given(st.lists(finite_floats, min_size=2, max_size=200))
+    def test_property_matches_numpy(self, values):
+        stats = RunningStats().extend(values)
+        assert stats.count == len(values)
+        assert stats.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-9)
+        assert stats.variance == pytest.approx(
+            np.var(values, ddof=1), rel=1e-6, abs=1e-6
+        )
+        assert stats.minimum == min(values)
+        assert stats.maximum == max(values)
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=100),
+        st.lists(finite_floats, min_size=1, max_size=100),
+    )
+    def test_property_merge_equals_combined(self, a, b):
+        merged = RunningStats().extend(a).merge(RunningStats().extend(b))
+        combined = RunningStats().extend(a + b)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-9)
+        assert merged.variance == pytest.approx(
+            combined.variance, rel=1e-6, abs=1e-6
+        )
+
+    def test_merge_with_empty(self):
+        stats = RunningStats().extend([1.0, 2.0])
+        stats.merge(RunningStats())
+        assert stats.count == 2
+        empty = RunningStats()
+        empty.merge(RunningStats().extend([3.0]))
+        assert empty.count == 1
+        assert empty.mean == 3.0
+
+
+class TestHistogram:
+    def test_basic_binning(self):
+        hist = Histogram(0.0, 10.0, bins=10)
+        for v in (0.5, 1.5, 1.6, 9.9):
+            hist.add(v)
+        assert hist.counts[0] == 1
+        assert hist.counts[1] == 2
+        assert hist.counts[9] == 1
+
+    def test_under_and_overflow(self):
+        hist = Histogram(0.0, 1.0, bins=2)
+        hist.add(-0.1)
+        hist.add(1.0)  # right edge is exclusive
+        hist.add(5.0)
+        assert hist.underflow == 1
+        assert hist.overflow == 2
+        assert hist.total == 3
+
+    def test_quantile_midpoint(self):
+        hist = Histogram(0.0, 10.0, bins=10)
+        for v in range(10):
+            hist.add(v + 0.5)
+        assert hist.quantile(0.5) == pytest.approx(4.5, abs=1.0)
+        assert hist.quantile(0.0) <= hist.quantile(1.0)
+
+    def test_quantile_empty_returns_low(self):
+        assert Histogram(2.0, 3.0, bins=4).quantile(0.5) == 2.0
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(1.0, 1.0, bins=2)
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, bins=0)
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, bins=2).quantile(1.5)
+
+    def test_bin_edges(self):
+        edges = Histogram(0.0, 1.0, bins=4).bin_edges()
+        assert edges == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0])

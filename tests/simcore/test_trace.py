@@ -1,0 +1,67 @@
+"""Unit tests for the trace recorder."""
+
+import pytest
+
+from repro.simcore.trace import Span, TraceRecorder
+
+
+class TestSpan:
+    def test_duration(self):
+        span = Span(rank=0, kind="compute", label="forward", start=1.0, end=3.5)
+        assert span.duration == pytest.approx(2.5)
+
+
+class TestTraceRecorder:
+    def test_record_and_query_by_label(self):
+        trace = TraceRecorder()
+        trace.record(0, "compute", "forward", 0.0, 1.0)
+        trace.record(1, "compute", "forward", 0.0, 2.0)
+        trace.record(0, "compute", "backward", 1.0, 3.0)
+        assert len(trace.by_label("forward")) == 2
+        assert len(trace.by_label("backward")) == 1
+
+    def test_by_rank(self):
+        trace = TraceRecorder()
+        trace.record(3, "p2p", "send:act", 0.0, 0.5)
+        trace.record(4, "p2p", "send:act", 0.0, 0.5)
+        assert [s.rank for s in trace.by_rank(3)] == [3]
+
+    def test_total_and_mean_time(self):
+        trace = TraceRecorder()
+        trace.record(0, "collective", "dp-sync", 0.0, 2.0)
+        trace.record(1, "collective", "dp-sync", 0.0, 4.0)
+        assert trace.total_time("dp-sync") == pytest.approx(6.0)
+        assert trace.mean_time("dp-sync") == pytest.approx(3.0)
+        assert trace.mean_time("missing") == 0.0
+
+    def test_total_time_filtered_by_rank(self):
+        trace = TraceRecorder()
+        trace.record(0, "compute", "forward", 0.0, 1.0)
+        trace.record(1, "compute", "forward", 0.0, 5.0)
+        assert trace.total_time("forward", rank=1) == pytest.approx(5.0)
+
+    def test_busy_fraction(self):
+        trace = TraceRecorder()
+        trace.record(0, "compute", "forward", 0.0, 3.0)
+        trace.record(0, "idle", "bubble", 3.0, 10.0)
+        assert trace.busy_fraction(0, horizon=10.0) == pytest.approx(0.3)
+        assert trace.busy_fraction(0, horizon=0.0) == 0.0
+
+    def test_disabled_recorder_drops_spans(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(0, "compute", "forward", 0.0, 1.0)
+        assert trace.spans == []
+
+    def test_negative_span_rejected(self):
+        trace = TraceRecorder()
+        with pytest.raises(ValueError):
+            trace.record(0, "compute", "forward", 2.0, 1.0)
+
+    def test_summary_aggregates(self):
+        trace = TraceRecorder()
+        trace.record(0, "compute", "forward", 0.0, 1.0)
+        trace.record(0, "compute", "forward", 1.0, 3.0)
+        summary = trace.summary()
+        assert summary["forward"]["count"] == 2
+        assert summary["forward"]["total"] == pytest.approx(3.0)
+        assert summary["forward"]["mean"] == pytest.approx(1.5)

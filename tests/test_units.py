@@ -1,0 +1,38 @@
+"""Tests for unit conversion helpers (unit bugs are the classic simulator
+failure mode, so these are pinned exactly)."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_gbps_is_bytes_per_second(self):
+        # 200 Gb/s = 25 GB/s.
+        assert units.gbps(200) == pytest.approx(25e9)
+
+    def test_gBps(self):
+        assert units.gBps(250) == pytest.approx(250e9)
+
+    def test_teraflops_round_trip(self):
+        assert units.to_teraflops(units.teraflops(312)) == pytest.approx(312)
+
+    def test_microseconds(self):
+        assert units.microseconds(30) == pytest.approx(30e-6)
+
+    def test_mib(self):
+        assert units.mib(1) == 1024**2
+
+    def test_byte_constants(self):
+        assert units.KB == 1024
+        assert units.MB == 1024**2
+        assert units.GB == 1024**3
+        assert units.BITS_PER_BYTE == 8
+
+    def test_table1_bandwidths(self):
+        """The paper's Table 1 column: 200/200/25 Gb/s."""
+        from repro.hardware.presets import ETH_25, IB_200, ROCE_200
+
+        assert IB_200.bandwidth == units.gbps(200)
+        assert ROCE_200.bandwidth == units.gbps(200)
+        assert ETH_25.bandwidth == units.gbps(25)
