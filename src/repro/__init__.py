@@ -23,6 +23,7 @@ Quickstart::
 
 from repro.core.engine import IterationResult, TrainingSimulation
 from repro.core.scheduler import HolmesScheduler, TrainingPlan
+from repro.faults import FaultEvent, FaultKind, FaultPlan
 from repro.frameworks import FRAMEWORKS, HOLMES, simulate_framework
 from repro.hardware.nic import NICType
 from repro.model.config import GPTConfig
@@ -54,6 +55,9 @@ __all__ = [
     "TrainingPlan",
     "TrainingSimulation",
     "IterationResult",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
     "FRAMEWORKS",
     "HOLMES",
     "simulate_framework",

@@ -25,7 +25,7 @@ the current defaults so tests can pin the calibration quality.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.bench.paper_data import TABLE3
 from repro.bench.paramgroups import PARAM_GROUPS

@@ -8,7 +8,7 @@ to produce Table-3-style grids for their own models.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.bench.runner import CaseResult, run_framework_case
 from repro.errors import ConfigurationError

@@ -6,7 +6,7 @@ regenerated tables against the published ones at a glance.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Sequence
 
 
 def format_row(values: Sequence[object], widths: Sequence[int]) -> str:

@@ -7,6 +7,7 @@ Commands
 ``plan``      auto-parallelism search for a custom model
 ``topology``  describe a machine
 ``trace``     export a simulated iteration as Chrome trace JSON
+``faults``    inject NIC/link/node faults and report the degraded iteration
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ from repro.bench.scenarios import (
     split_env,
 )
 from repro.bench.tables import format_table
+from repro.errors import ConfigurationError
 from repro.hardware.nic import NICType
 
 ENV_CHOICES = ("ib", "roce", "ethernet", "hybrid", "split-ib", "split-roce")
@@ -207,6 +209,126 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _parse_fault_event(spec: str):
+    """Parse ``KIND:key=value,...`` into a :class:`FaultEvent`.
+
+    Example: ``nic-flap:node=0,time=0.005,duration=0.5``.
+    """
+    from repro.faults import FaultEvent, FaultKind
+
+    kind_name, _, rest = spec.partition(":")
+    try:
+        kind = FaultKind(kind_name)
+    except ValueError:
+        choices = ", ".join(k.value for k in FaultKind)
+        raise SystemExit(f"unknown fault kind {kind_name!r} (one of: {choices})")
+    fields = {}
+    if rest:
+        for part in rest.split(","):
+            key, _, value = part.partition("=")
+            if not value:
+                raise SystemExit(f"bad fault field {part!r} in {spec!r}")
+            fields[key.strip()] = value.strip()
+    try:
+        kwargs = {"time": float(fields.pop("time", 0.0)), "kind": kind}
+        if "node" in fields:
+            kwargs["node"] = int(fields.pop("node"))
+        if "rank" in fields:
+            kwargs["rank"] = int(fields.pop("rank"))
+        if "duration" in fields:
+            kwargs["duration"] = float(fields.pop("duration"))
+        if "factor" in fields:
+            kwargs["factor"] = float(fields.pop("factor"))
+        if "loss" in fields:
+            kwargs["loss_rate"] = float(fields.pop("loss"))
+        if fields:
+            raise SystemExit(
+                f"unknown fault fields {sorted(fields)} in {spec!r}"
+            )
+        return FaultEvent(**kwargs)
+    except (ConfigurationError, ValueError) as exc:
+        raise SystemExit(f"bad fault event {spec!r}: {exc}")
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Simulate one iteration healthy, then again under a fault plan."""
+    from repro.core.engine import TrainingSimulation
+    from repro.core.scheduler import HolmesScheduler
+    from repro.faults import FaultPlan
+
+    topology = resolve_machine(args)
+    group = PARAM_GROUPS[args.group]
+    parallel = group.parallel_for(topology.world_size)
+    plan = HolmesScheduler().plan(topology, parallel, group.model)
+    healthy = TrainingSimulation(plan, group.model).run()
+
+    events = tuple(_parse_fault_event(s) for s in args.event or ())
+    if args.random_events:
+        horizon = args.horizon if args.horizon else healthy.iteration_time
+        fault_plan = FaultPlan.random(
+            topology, horizon=horizon, seed=args.seed,
+            num_events=args.random_events,
+        ).extended(events)
+    else:
+        fault_plan = FaultPlan(events=events)
+    if len(fault_plan) == 0:
+        raise SystemExit("no faults given: use --event and/or --random N")
+    try:
+        fault_plan.validate_against(topology)
+    except ConfigurationError as exc:
+        raise SystemExit(f"fault plan does not fit this machine: {exc}")
+
+    print(topology.describe())
+    print(f"model: {group.model.describe()}\n")
+    print(fault_plan.describe())
+    result = TrainingSimulation(plan, group.model, fault_plan=fault_plan).run()
+    print(f"\nhealthy: {healthy.metrics}")
+    print(f"faulted: {result.metrics}")
+    slowdown = result.iteration_time / healthy.iteration_time
+    print(f"slowdown: {slowdown:.2f}x"
+          + ("  [ABORTED: node crash detected]" if result.aborted else ""))
+    if result.faults is not None:
+        print(f"\n{result.faults.describe()}")
+
+    if args.campaign:
+        from repro.core.faults import CheckpointPolicy
+        from repro.core.longrun import (
+            ElasticPolicy,
+            elastic_goodput_analytic,
+            simulate_elastic_campaign,
+        )
+
+        policy = ElasticPolicy(
+            num_nodes=topology.num_nodes,
+            node_mtbf=args.node_mtbf,
+            repair_time=args.repair_time,
+            reconfig_time=args.reconfig_time,
+            correlated_outage_prob=args.outage_prob,
+            cluster_size=min(args.outage_size, topology.num_nodes),
+        )
+        ckpt = CheckpointPolicy(
+            checkpoint_time=args.checkpoint_time,
+            restart_time=args.reconfig_time + args.repair_time,
+            mtbf=args.node_mtbf / topology.num_nodes,
+        )
+        campaign = simulate_elastic_campaign(
+            policy, ckpt, healthy.iteration_time, args.campaign, seed=args.seed
+        )
+        analytic = elastic_goodput_analytic(policy, ckpt)
+        print(f"\nelastic campaign over {args.campaign:.0f}s "
+              f"(seed {args.seed}):")
+        print(f"  goodput:    {campaign.goodput:.1%} "
+              f"(analytic first-order: {analytic:.1%})")
+        print(f"  iterations: {campaign.iterations_completed}")
+        print(f"  failures:   {campaign.num_failures} "
+              f"(min alive: {campaign.min_alive}/{topology.num_nodes})")
+        print(f"  time lost:  checkpoints {campaign.checkpoint_time:.0f}s, "
+              f"rollback {campaign.lost_time:.0f}s, "
+              f"reconfig {campaign.reconfig_time:.0f}s, "
+              f"degraded-running {campaign.degraded_time:.0f}s")
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -258,6 +380,36 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--group", type=int, choices=sorted(PARAM_GROUPS), default=1)
     p.add_argument("-o", "--output", default="holmes_trace.json")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("faults", help="simulate an iteration under faults")
+    _add_machine_args(p)
+    p.add_argument("--group", type=int, choices=sorted(PARAM_GROUPS), default=1)
+    p.add_argument("--event", action="append", metavar="KIND:k=v,...",
+                   help="explicit fault, e.g. nic-flap:node=0,time=0.005 "
+                        "(repeatable; kinds: nic-flap, link-degrade, "
+                        "packet-loss, node-crash, straggler)")
+    p.add_argument("--random", dest="random_events", type=int, default=0,
+                   metavar="N", help="add N seeded random faults")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for --random and --campaign (default 0)")
+    p.add_argument("--horizon", type=float, default=None,
+                   help="random-fault window in seconds "
+                        "(default: the healthy iteration time)")
+    p.add_argument("--campaign", type=float, default=None, metavar="SECONDS",
+                   help="also simulate an elastic campaign of this length")
+    p.add_argument("--node-mtbf", type=float, default=200_000.0,
+                   help="per-node MTBF in seconds (default 200000)")
+    p.add_argument("--repair-time", type=float, default=600.0,
+                   help="node repair time in seconds (default 600)")
+    p.add_argument("--reconfig-time", type=float, default=60.0,
+                   help="elastic reconfiguration cost in seconds (default 60)")
+    p.add_argument("--checkpoint-time", type=float, default=30.0,
+                   help="checkpoint write cost in seconds (default 30)")
+    p.add_argument("--outage-prob", type=float, default=0.0,
+                   help="probability a failure is a correlated cluster outage")
+    p.add_argument("--outage-size", type=int, default=2,
+                   help="nodes lost in a correlated outage (default 2)")
+    p.set_defaults(fn=cmd_faults)
     return parser
 
 

@@ -11,13 +11,11 @@ a mixed IB/RoCE group silently degrades to TCP over Ethernet.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.collectives.communicator import Communicator
-from repro.errors import CommunicatorError
-from repro.hardware.nic import NICType
 from repro.network.fabric import Fabric
-from repro.network.transport import Transport, TransportKind
+from repro.network.transport import TransportKind
 
 
 @dataclass(frozen=True)

@@ -119,6 +119,18 @@ def send(
     else:
         from repro.network.transport import nic_family_for
 
+        # A NIC fault may have re-resolved this pair to a different
+        # transport family since it last communicated; the first transfer
+        # over the new channel pays the communicator rebuild.
+        rebuild = fabric.pair_rebuild_time(src, dst)
+        if rebuild > 0.0:
+            rebuild_start = engine.now
+            yield Timeout(rebuild)
+            if trace is not None:
+                trace.record(
+                    src, "fault", "comm-rebuild", rebuild_start, engine.now,
+                    dst=dst,
+                )
         family = nic_family_for(transport.kind)
         nic = fabric.nic_tx_resource(src, family)
         yield Wait(nic.acquire())

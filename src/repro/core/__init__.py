@@ -26,6 +26,14 @@ from repro.core.metrics import IterationMetrics, compute_metrics
 from repro.core.memory_model import MemoryEstimate, estimate_memory, fits_in_memory
 from repro.core.planner import PlanCandidate, plan_best
 from repro.core.faults import CheckpointPolicy, replan_after_failure, surviving_topology
+from repro.core.longrun import (
+    CampaignResult,
+    ElasticPolicy,
+    ElasticCampaignResult,
+    elastic_goodput_analytic,
+    simulate_campaign,
+    simulate_elastic_campaign,
+)
 from repro.core.analysis import IterationAnalysis, analyze
 
 __all__ = [
@@ -37,6 +45,12 @@ __all__ = [
     "CheckpointPolicy",
     "replan_after_failure",
     "surviving_topology",
+    "CampaignResult",
+    "ElasticPolicy",
+    "ElasticCampaignResult",
+    "elastic_goodput_analytic",
+    "simulate_campaign",
+    "simulate_elastic_campaign",
     "IterationAnalysis",
     "analyze",
     "uniform_partition",

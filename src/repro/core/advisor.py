@@ -14,7 +14,7 @@ versus "upgrade cluster 1" can be compared directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List
 
 from repro.bench.paramgroups import ParameterGroup
 from repro.errors import ConfigurationError

@@ -20,10 +20,12 @@ The simulation is deterministic: same plan, same numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.collectives.p2p import ChannelRegistry, recv, send
 from repro.core.metrics import IterationMetrics, compute_metrics
+from repro.faults.injector import FaultInjector, FaultReport
+from repro.faults.plan import FaultPlan
 from repro.core.nic_selection import NICSelectionAudit, audit_parallel_groups
 from repro.core.optimizer import STRATEGIES, OptimizerStrategy
 from repro.core.scheduler import TrainingPlan
@@ -76,6 +78,10 @@ class IterationResult:
     #: per-stage gradient-sync component durations (seconds)
     sync_times: List[Dict[str, float]]
     optimizer_name: str
+    #: degradation accounting when a fault plan was injected (None otherwise)
+    faults: Optional[FaultReport] = None
+    #: True when a node crash aborted the iteration before completion
+    aborted: bool = False
 
     @property
     def iteration_time(self) -> float:
@@ -118,6 +124,7 @@ class TrainingSimulation:
         recompute_activations: bool = True,
         stragglers: Optional[Dict[int, float]] = None,
         tie_embeddings: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         """``blocking_p2p`` mirrors Megatron's synchronous
         ``batch_isend_irecv`` semantics: a rank waits for its inter-stage
@@ -147,6 +154,13 @@ class TrainingSimulation:
         #: embeddings, Megatron's --untie-embeddings-and-output-weights);
         #: enable to study the cost.
         self.tie_embeddings = tie_embeddings
+        #: timed in-simulation faults (NIC flaps, loss, crashes, ...); the
+        #: plan is deterministic data — replaying it reproduces the run
+        #: byte-identically.  Validated against the plan's topology here so
+        #: misconfigured plans fail before any simulation work happens.
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            fault_plan.validate_against(plan.topology)
         self.stragglers: Dict[int, float] = dict(stragglers or {})
         for rank, factor in self.stragglers.items():
             if factor < 1.0:
@@ -332,6 +346,15 @@ class TrainingSimulation:
         work = self._chunk_work(fabric)
         groups = plan.physical_groups
 
+        injector: Optional[FaultInjector] = None
+        if self.fault_plan is not None and len(self.fault_plan) > 0:
+            # Communicators are built over the healthy fabric at startup, so
+            # any mid-run transport change counts as a rebuild.
+            for family_groups in groups.values():
+                fabric.establish(family_groups)
+            injector = FaultInjector(self.fault_plan, fabric, trace=trace)
+            injector.install()
+
         act_bytes = activation_message_bytes(
             self.model,
             parallel.micro_batch_size,
@@ -390,6 +413,15 @@ class TrainingSimulation:
 
         placement = plan.placement
         layout = plan.layout
+        finish_times: Dict[int, float] = {}  # physical rank -> done time
+
+        def _slowdown(phys: int) -> float:
+            """Compute slowdown of a rank *right now*: static stragglers
+            composed with any dynamic straggler fault currently in force."""
+            factor = self.stragglers.get(phys, 1.0)
+            if injector is not None:
+                factor *= injector.straggler_factor(phys)
+            return factor
 
         def rank_process(phys: int) -> Generator:
             logical = placement.logical(phys)
@@ -397,7 +429,6 @@ class TrainingSimulation:
             pp_group_logical = layout.pp_group_of(logical)
             pp_group_phys = [placement.physical(r) for r in pp_group_logical]
             bwd_window = 0.0
-            slowdown = self.stragglers.get(phys, 1.0)
 
             for op in schedule[stage]:
                 chunk = op.chunk
@@ -410,7 +441,7 @@ class TrainingSimulation:
                             channels, src, phys, f"act:{chunk}:{tag_mb}"
                         )
                     start = engine.now
-                    yield Timeout(work[stage][chunk].forward_time * slowdown)
+                    yield Timeout(work[stage][chunk].forward_time * _slowdown(phys))
                     trace.record(
                         phys, "compute", "forward", start, engine.now,
                         mb=tag_mb, chunk=chunk, stage=stage,
@@ -436,8 +467,9 @@ class TrainingSimulation:
                             channels, src, phys, f"grad:{chunk}:{tag_mb}"
                         )
                     start = engine.now
-                    yield Timeout(work[stage][chunk].backward_time * slowdown)
-                    bwd_window += work[stage][chunk].backward_time * slowdown
+                    backward = work[stage][chunk].backward_time * _slowdown(phys)
+                    yield Timeout(backward)
+                    bwd_window += backward
                     trace.record(
                         phys, "compute", "backward", start, engine.now,
                         mb=tag_mb, chunk=chunk, stage=stage,
@@ -488,23 +520,50 @@ class TrainingSimulation:
             start = engine.now
             yield Wait(barrier.arrive())
             trace.record(phys, "collective", "dp-sync", start, engine.now)
+            finish_times[phys] = engine.now
 
         procs = [
             engine.process(rank_process(r), name=f"rank{r}")
             for r in range(topo.world_size)
         ]
-        engine.run()
-        for proc in procs:
-            if proc.alive:
-                raise SimulationError(
-                    f"{proc.name} deadlocked before finishing its schedule"
-                )
+        # A fault plan that crashes a node would deadlock the pipeline on
+        # the dead rank's silence; instead the run is bounded at the moment
+        # survivors detect the crash (keep-alive expiry) and the iteration
+        # reports as aborted — degraded but finite, never hung.
+        abort_at: Optional[float] = None
+        if injector is not None:
+            abort_at = injector.abort_time(
+                fabric.cost_model.config.retry_policy.crash_detection
+            )
+        engine.run(until=abort_at)
+        aborted = any(proc.alive for proc in procs)
+        if aborted and abort_at is None:
+            stuck = next(proc for proc in procs if proc.alive)
+            raise SimulationError(
+                f"{stuck.name} deadlocked before finishing its schedule"
+            )
 
         # Strategy step_overhead is already charged inside each barrier's
-        # exposed time; the fixed framework overhead is added here.
-        iteration_time = engine.now + self.iteration_overhead
+        # exposed time; the fixed framework overhead is added here.  With an
+        # injector installed, pending fault-recovery timers may outlive the
+        # ranks, so the makespan is the last rank completion, not engine.now.
+        if aborted:
+            end_time = engine.now
+        elif injector is not None and finish_times:
+            end_time = max(finish_times.values())
+        else:
+            end_time = engine.now
+        iteration_time = end_time + self.iteration_overhead
+        fault_report: Optional[FaultReport] = None
+        if injector is not None:
+            fault_report = injector.report()
         metrics = compute_metrics(
-            self.model, parallel.global_batch_size, iteration_time, topo.world_size
+            self.model,
+            parallel.global_batch_size,
+            iteration_time,
+            topo.world_size,
+            retry_time=fabric.fault_stats.retry_time,
+            rebuild_time=fabric.fault_stats.rebuild_time,
         )
         audit = audit_parallel_groups(fabric, groups)
         # Record the canonical reduce-scatter spans for Figure 3.
@@ -524,4 +583,6 @@ class TrainingSimulation:
             audit=audit,
             sync_times=sync_times,
             optimizer_name=self.optimizer.name,
+            faults=fault_report,
+            aborted=aborted,
         )

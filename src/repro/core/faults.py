@@ -17,6 +17,7 @@ when they do not:
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -112,6 +113,15 @@ class CheckpointPolicy:
         checkpoint_overhead = self.checkpoint_time / T
         failure_overhead = (T / 2.0 + self.restart_time) / self.mtbf
         fraction = 1.0 - checkpoint_overhead - failure_overhead
+        if fraction <= 0.0:
+            warnings.warn(
+                f"checkpoint interval {T:.1f}s yields goodput "
+                f"{fraction:.3f} <= 0: the job cannot make forward progress "
+                f"(checkpoint overhead {checkpoint_overhead:.3f}, failure "
+                f"overhead {failure_overhead:.3f})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return max(0.0, fraction)
 
     def effective_tflops(

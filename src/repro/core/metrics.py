@@ -20,7 +20,12 @@ from repro.model.flops import (
 
 @dataclass(frozen=True)
 class IterationMetrics:
-    """The paper's two headline metrics plus raw inputs."""
+    """The paper's two headline metrics plus raw inputs.
+
+    ``retry_time`` and ``rebuild_time`` are non-zero only for degraded
+    iterations: expected seconds lost to retransmissions on lossy links and
+    to communicator rebuilds after transport fallbacks, respectively.
+    """
 
     iteration_time: float  # seconds
     num_gpus: int
@@ -28,17 +33,32 @@ class IterationMetrics:
     total_flops: float
     tflops_per_gpu: float
     throughput: float  # samples / second
+    retry_time: float = 0.0  # seconds lost to transport retries
+    rebuild_time: float = 0.0  # seconds lost to communicator rebuilds
+
+    @property
+    def degraded_time(self) -> float:
+        """Total time attributable to fault handling."""
+        return self.retry_time + self.rebuild_time
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"iter={self.iteration_time:.3f}s  "
             f"TFLOPS={self.tflops_per_gpu:.0f}  "
             f"throughput={self.throughput:.2f} samples/s"
         )
+        if self.degraded_time:
+            text += f"  degraded={self.degraded_time:.3f}s"
+        return text
 
 
 def compute_metrics(
-    model: GPTConfig, global_batch_size: int, iteration_time: float, num_gpus: int
+    model: GPTConfig,
+    global_batch_size: int,
+    iteration_time: float,
+    num_gpus: int,
+    retry_time: float = 0.0,
+    rebuild_time: float = 0.0,
 ) -> IterationMetrics:
     """Assemble :class:`IterationMetrics` from a simulated iteration."""
     return IterationMetrics(
@@ -50,4 +70,6 @@ def compute_metrics(
             model, global_batch_size, iteration_time, num_gpus
         ),
         throughput=throughput_samples_per_second(global_batch_size, iteration_time),
+        retry_time=retry_time,
+        rebuild_time=rebuild_time,
     )

@@ -14,7 +14,7 @@ degradations, and summarise how much DP traffic runs over RDMA.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from repro.collectives.nccl import CommunicatorPool, GroupTransportReport

@@ -21,7 +21,7 @@ the pipeline flush and *how much* of it hides under backward computation:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.errors import ConfigurationError
 from repro.model.memory import GRAD_BYTES_PER_PARAM, PARAM_BYTES_PER_PARAM

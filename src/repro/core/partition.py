@@ -16,7 +16,7 @@ sum to N with every stage keeping at least one layer.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.errors import PartitionError
 from repro.hardware.nic import NICType

@@ -14,7 +14,7 @@ should I shard this model over these clusters?".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 from repro.core.engine import TrainingSimulation
 from repro.core.memory_model import estimate_memory

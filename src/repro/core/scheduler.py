@@ -21,13 +21,12 @@ differ only in declared policy.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.partition import (
     self_adapting_partition,
     stage_speed_from_drag,
-    stage_speed_from_nic,
     uniform_partition,
 )
 from repro.errors import SchedulingError

@@ -12,16 +12,14 @@ cross-check (tested against the cost model's inputs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.core.optimizer import OptimizerStrategy, STRATEGIES
 from repro.core.scheduler import TrainingPlan
-from repro.errors import ConfigurationError
 from repro.model.config import GPTConfig
 from repro.model.layers import LayerKind, build_layer_stack
 from repro.model.memory import activation_message_bytes, tp_allreduce_bytes
-from repro.network.transport import TransportKind
 from repro.network.fabric import Fabric
 
 #: TP all-reduce counts per transformer layer (see repro.core.engine).

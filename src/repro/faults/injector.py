@@ -1,0 +1,227 @@
+"""Applying fault plans to a live simulation.
+
+:class:`FaultInjector` walks a :class:`~repro.faults.plan.FaultPlan` as a
+discrete-event process: at each event's time it mutates the fabric's health
+overlay (taking a NIC down, degrading a link, imposing loss, crashing a
+node) and schedules the matching recovery when the event is transient.
+Mutations bump the fabric's health epoch, so the next communication that
+touches an affected pair re-resolves its transport — RDMA traffic falls
+back to TCP/Ethernet, pays a communicator rebuild, and returns to RDMA when
+the flap ends.
+
+Everything is deterministic: the plan is data, the engine's event order is
+stable, and lossy links are priced by expected-value retry math rather than
+sampled retransmissions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.hardware.nic import NICType
+from repro.network.fabric import Fabric
+from repro.simcore.process import Timeout
+from repro.simcore.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One applied (or recovered) fault, as it happened in virtual time."""
+
+    time: float
+    action: str  # "inject" | "recover"
+    event: FaultEvent
+
+    def describe(self) -> str:
+        return f"[{self.time:9.3f}s] {self.action:7s} {self.event.describe()}"
+
+
+@dataclass
+class FaultReport:
+    """What a fault plan cost one simulated iteration."""
+
+    #: events applied/recovered, in virtual-time order
+    records: List[FaultRecord] = field(default_factory=list)
+    #: expected time lost to retransmissions on lossy links (seconds,
+    #: summed over all transfers and collectives that paid them)
+    retry_time: float = 0.0
+    #: summed communicator rebuild charges (seconds)
+    rebuild_time: float = 0.0
+    rebuild_count: int = 0
+    #: rank pairs ending the iteration on a fallback transport
+    fallback_pairs: Tuple[Tuple[int, int], ...] = ()
+    #: collective groups ending the iteration on a fallback transport
+    fallback_groups: Tuple[Tuple[int, ...], ...] = ()
+    #: True when a NODE_CRASH aborted the iteration
+    aborted: bool = False
+    crashed_nodes: Tuple[int, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return bool(
+            self.records
+            or self.retry_time
+            or self.rebuild_count
+            or self.aborted
+        )
+
+    def describe(self) -> str:
+        lines = [
+            "FaultReport("
+            f"retry={self.retry_time:.3f}s, "
+            f"rebuilds={self.rebuild_count} ({self.rebuild_time:.3f}s), "
+            f"fallback pairs={len(self.fallback_pairs)}, "
+            f"groups={len(self.fallback_groups)}"
+            + (", ABORTED" if self.aborted else "")
+            + ")"
+        ]
+        lines += [r.describe() for r in self.records]
+        return "\n  ".join(lines)
+
+
+class FaultInjector:
+    """Drives one fault plan against one fabric inside one simulation."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        fabric: Fabric,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        if fabric.engine is None:
+            raise ConfigurationError(
+                "fault injection needs a fabric with a simulation engine"
+            )
+        plan.validate_against(fabric.topology)
+        self.plan = plan
+        self.fabric = fabric
+        self.trace = trace
+        self.records: List[FaultRecord] = []
+        self.crashed_nodes: Set[int] = set()
+        #: rank -> multiplicative compute slowdown currently in force
+        self._straggler_factors: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # installation
+    # ------------------------------------------------------------------ #
+
+    def install(self) -> None:
+        """Spawn one injector process per plan event on the fabric engine."""
+        engine = self.fabric.engine
+        assert engine is not None
+        for index, event in enumerate(self.plan):
+            engine.process(
+                self._event_process(event),
+                name=f"fault[{index}:{event.kind}]",
+            )
+
+    def _event_process(self, event: FaultEvent) -> Generator:
+        if event.time > 0:
+            yield Timeout(event.time)
+        self._apply(event)
+        if not math.isinf(event.duration) and event.kind != FaultKind.NODE_CRASH:
+            yield Timeout(event.duration)
+            self._recover(event)
+
+    # ------------------------------------------------------------------ #
+    # apply / recover
+    # ------------------------------------------------------------------ #
+
+    def _record(self, action: str, event: FaultEvent) -> None:
+        engine = self.fabric.engine
+        assert engine is not None
+        self.records.append(FaultRecord(engine.now, action, event))
+        if self.trace is not None:
+            self.trace.record(
+                -1, "fault", f"{action}:{event.kind}", engine.now, engine.now,
+                target_node=event.node if event.node is not None else -1,
+                target_rank=event.rank if event.rank is not None else -1,
+            )
+
+    def _rdma_family(self, node: int) -> NICType:
+        rank = self.fabric.topology.ranks_of_node(node)[0]
+        nic = self.fabric.topology.node_of(rank).rdma_nic
+        assert nic is not None  # enforced by FaultPlan.validate_against
+        return nic.nic_type
+
+    def _fault_family(self, event: FaultEvent) -> NICType:
+        """Which NIC family a degrade/loss event hits: the RDMA NIC when the
+        node has one (that's what training traffic rides), else Ethernet."""
+        assert event.node is not None
+        rank = self.fabric.topology.ranks_of_node(event.node)[0]
+        nic = self.fabric.topology.node_of(rank).rdma_nic
+        return nic.nic_type if nic is not None else NICType.ETHERNET
+
+    def _apply(self, event: FaultEvent) -> None:
+        health = self.fabric.health
+        if event.kind == FaultKind.NIC_FLAP:
+            assert event.node is not None
+            health.set_down(event.node, self._rdma_family(event.node))
+        elif event.kind == FaultKind.LINK_DEGRADE:
+            assert event.node is not None
+            health.set_bandwidth_factor(
+                event.node, self._fault_family(event), event.factor
+            )
+        elif event.kind == FaultKind.PACKET_LOSS:
+            assert event.node is not None
+            health.set_loss_rate(
+                event.node, self._fault_family(event), event.loss_rate
+            )
+        elif event.kind == FaultKind.NODE_CRASH:
+            assert event.node is not None
+            self.crashed_nodes.add(event.node)
+            health.crash_node(event.node)
+        else:  # STRAGGLER
+            assert event.rank is not None
+            self._straggler_factors[event.rank] = event.factor
+        self._record("inject", event)
+
+    def _recover(self, event: FaultEvent) -> None:
+        health = self.fabric.health
+        if event.kind == FaultKind.NIC_FLAP:
+            assert event.node is not None
+            health.set_down(event.node, self._rdma_family(event.node), down=False)
+        elif event.kind == FaultKind.LINK_DEGRADE:
+            assert event.node is not None
+            health.set_bandwidth_factor(
+                event.node, self._fault_family(event), 1.0
+            )
+        elif event.kind == FaultKind.PACKET_LOSS:
+            assert event.node is not None
+            health.set_loss_rate(event.node, self._fault_family(event), 0.0)
+        else:  # STRAGGLER (NODE_CRASH never recovers in-iteration)
+            assert event.rank is not None
+            self._straggler_factors.pop(event.rank, None)
+        self._record("recover", event)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def straggler_factor(self, rank: int) -> float:
+        """Current dynamic compute slowdown of a rank (1.0 when healthy)."""
+        return self._straggler_factors.get(rank, 1.0)
+
+    def abort_time(self, crash_detection: float) -> Optional[float]:
+        """Virtual time at which survivors notice the first crash, or
+        ``None`` when the plan kills no node."""
+        first = self.plan.first_crash()
+        return None if first is None else first + crash_detection
+
+    def report(self) -> FaultReport:
+        """Snapshot the degradation accounting after the simulation ran."""
+        stats = self.fabric.fault_stats
+        return FaultReport(
+            records=list(self.records),
+            retry_time=stats.retry_time,
+            rebuild_time=stats.rebuild_time,
+            rebuild_count=stats.rebuild_count,
+            fallback_pairs=tuple(sorted(stats.fallback_pairs)),
+            fallback_groups=tuple(sorted(stats.fallback_groups)),
+            aborted=bool(self.crashed_nodes),
+            crashed_nodes=tuple(sorted(self.crashed_nodes)),
+        )

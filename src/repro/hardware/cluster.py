@@ -9,12 +9,10 @@ Per the paper's problem setup (§2.2):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Sequence
+from dataclasses import dataclass
 
-from repro.errors import ConfigurationError, TopologyError
+from repro.errors import TopologyError
 from repro.hardware.nic import NICType
-from repro.hardware.node import Node
 
 
 @dataclass(frozen=True)

@@ -25,7 +25,7 @@ is a tested invariant.
 from __future__ import annotations
 
 import json
-from typing import IO, Dict, List, Optional, Union
+from typing import IO, Dict, List, Union
 
 from repro.errors import ConfigurationError
 from repro.hardware.cluster import Cluster

@@ -9,12 +9,12 @@ sharing is what makes per-NIC contention matter at scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.hardware.gpu import GPUSpec
-from repro.hardware.link import LinkSpec, LinkType
+from repro.hardware.link import LinkSpec
 from repro.hardware.nic import NICSpec, NICType
 
 

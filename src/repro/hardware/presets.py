@@ -17,7 +17,7 @@ computational speed").
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.hardware.cluster import Cluster

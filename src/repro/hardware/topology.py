@@ -15,11 +15,11 @@ other?
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import TopologyError
 from repro.hardware.cluster import Cluster
-from repro.hardware.nic import NICSpec, NICType, rdma_compatible
+from repro.hardware.nic import NICType, rdma_compatible
 from repro.hardware.node import Node
 
 

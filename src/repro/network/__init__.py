@@ -11,6 +11,14 @@ from repro.network.transport import Transport, TransportKind, resolve_transport
 from repro.network.costmodel import CostModelConfig, CollectiveCostModel
 from repro.network.contention import concurrent_groups_per_nic, group_node_span
 from repro.network.fabric import Fabric
+from repro.network.health import FabricHealth, FaultStats, NicHealth
+from repro.network.reliability import (
+    RetryPolicy,
+    delivery_probability,
+    expected_attempts,
+    expected_retry_overhead,
+    reliable_transfer_time,
+)
 
 __all__ = [
     "Transport",
@@ -21,4 +29,12 @@ __all__ = [
     "concurrent_groups_per_nic",
     "group_node_span",
     "Fabric",
+    "FabricHealth",
+    "FaultStats",
+    "NicHealth",
+    "RetryPolicy",
+    "delivery_probability",
+    "expected_attempts",
+    "expected_retry_overhead",
+    "reliable_transfer_time",
 ]

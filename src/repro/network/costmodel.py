@@ -22,6 +22,11 @@ from dataclasses import dataclass, field, replace
 from typing import Dict
 
 from repro.errors import ConfigurationError
+from repro.network.reliability import (
+    RetryPolicy,
+    expected_attempts,
+    expected_retry_overhead,
+)
 from repro.network.transport import Transport, TransportKind
 from repro.units import MB
 
@@ -70,6 +75,13 @@ class CostModelConfig:
     #: what makes the Hybrid environment trail the pure-RoCE environment by
     #: a growing margin as compute shrinks (paper Table 3).
     inter_cluster_uplink: float = 4.5e9
+    #: Bounded-retry reliability parameters for lossy links; see
+    #: :mod:`repro.network.reliability`.
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Seconds to tear down and rebuild a communicator when a rank pair or
+    #: group re-resolves to a different transport family mid-run (NCCL
+    #: re-init after a NIC fault forces the RDMA -> TCP fallback).
+    comm_rebuild_time: float = 0.25
 
     def __post_init__(self) -> None:
         if self.bucket_bytes <= 0:
@@ -86,6 +98,10 @@ class CostModelConfig:
         if self.inter_cluster_uplink <= 0:
             raise ConfigurationError(
                 f"inter_cluster_uplink must be positive: {self.inter_cluster_uplink}"
+            )
+        if self.comm_rebuild_time < 0:
+            raise ConfigurationError(
+                f"comm_rebuild_time must be >= 0: {self.comm_rebuild_time}"
             )
 
     def with_congestion(self, beta: float) -> "CostModelConfig":
@@ -122,6 +138,17 @@ class CollectiveCostModel:
     def _num_buckets(self, nbytes: int) -> int:
         return max(1, math.ceil(nbytes / self.config.bucket_bytes))
 
+    def _reliability_overhead(
+        self, edge: Transport, msg_time: float, num_messages: float
+    ) -> float:
+        """Expected retransmission cost of ``num_messages`` wire messages of
+        ``msg_time`` each over a lossy edge (0.0 on healthy links)."""
+        if edge.loss_rate == 0.0:
+            return 0.0
+        return num_messages * expected_retry_overhead(
+            msg_time, edge.loss_rate, self.config.retry_policy
+        )
+
     # ------------------------------------------------------------------ #
     # collectives
     # ------------------------------------------------------------------ #
@@ -140,8 +167,12 @@ class CollectiveCostModel:
         d = group_size
         bw = self._edge_bandwidth(edge, concurrent, node_span)
         bandwidth_term = 2.0 * nbytes * (d - 1) / d / bw
-        latency_term = 2.0 * (d - 1) * self._step_latency(edge) * self._num_buckets(nbytes)
-        return bandwidth_term + latency_term
+        num_messages = 2.0 * (d - 1) * self._num_buckets(nbytes)
+        latency_term = num_messages * self._step_latency(edge)
+        retry_term = self._reliability_overhead(
+            edge, bandwidth_term / num_messages, num_messages
+        )
+        return bandwidth_term + latency_term + retry_term
 
     def ring_reduce_scatter(
         self, nbytes: int, group_size: int, edge: Transport,
@@ -157,8 +188,12 @@ class CollectiveCostModel:
         d = group_size
         bw = self._edge_bandwidth(edge, concurrent, node_span)
         bandwidth_term = nbytes * (d - 1) / d / bw
-        latency_term = (d - 1) * self._step_latency(edge) * self._num_buckets(nbytes)
-        return bandwidth_term + latency_term
+        num_messages = (d - 1) * self._num_buckets(nbytes)
+        latency_term = num_messages * self._step_latency(edge)
+        retry_term = self._reliability_overhead(
+            edge, bandwidth_term / num_messages, num_messages
+        )
+        return bandwidth_term + latency_term + retry_term
 
     def ring_allgather(
         self, nbytes: int, group_size: int, edge: Transport,
@@ -181,7 +216,8 @@ class CollectiveCostModel:
             return 0.0
         bw = self._edge_bandwidth(edge, concurrent, node_span)
         depth = math.ceil(math.log2(group_size))
-        return depth * (self._step_latency(edge) + nbytes / bw)
+        retry_term = self._reliability_overhead(edge, nbytes / bw, depth)
+        return depth * (self._step_latency(edge) + nbytes / bw) + retry_term
 
     def collective(
         self, op: str, nbytes: int, group_size: int, edge: Transport,
@@ -214,7 +250,8 @@ class CollectiveCostModel:
         bw = self._edge_bandwidth(edge, concurrent, node_span=1)
         if cross_cluster:
             bw *= self.config.inter_cluster_p2p_factor
-        return edge.latency + overhead + nbytes / bw
+        attempt = edge.latency + overhead + nbytes / bw
+        return attempt + self._reliability_overhead(edge, attempt, 1)
 
     def p2p_nic_occupancy(
         self, nbytes: int, edge: Transport, cross_cluster: bool = False
@@ -226,4 +263,8 @@ class CollectiveCostModel:
         bw = edge.bandwidth
         if cross_cluster:
             bw *= self.config.inter_cluster_p2p_factor
-        return self.config.p2p_overhead[edge.kind] + nbytes / bw
+        attempt = self.config.p2p_overhead[edge.kind] + nbytes / bw
+        # Retransmissions re-occupy the sender's NIC for a full attempt.
+        return attempt * expected_attempts(
+            edge.loss_rate, self.config.retry_policy.max_retries
+        )

@@ -7,21 +7,40 @@ of a rank group (which governs ring collectives), and — when attached to a
 :class:`~repro.simcore.engine.SimEngine` — hands out per-node NIC transmit
 resources so concurrent point-to-point transfers through one NIC serialize
 naturally in the discrete-event simulation.
+
+Resolution is *health-aware*: a :class:`~repro.network.health.FabricHealth`
+overlay (mutated by the fault injector) can take NICs down, degrade link
+bandwidth, or impose per-transfer loss.  When an RDMA NIC is down, affected
+pairs re-resolve to the TCP/Ethernet fallback — the paper's §3.2 mechanics
+applied dynamically — and the first communication over the changed transport
+is charged a communicator rebuild.  Transport caches are epoch-keyed against
+the health overlay, so resolution stays O(1) between faults.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.errors import CommunicatorError, TransportError
-from repro.hardware.link import LinkType
 from repro.hardware.nic import NICType
 from repro.hardware.topology import ClusterTopology
 from repro.network.contention import group_node_span
 from repro.network.costmodel import CollectiveCostModel, CostModelConfig
-from repro.network.transport import Transport, TransportKind, resolve_transport
+from repro.network.health import FabricHealth, FaultStats
+from repro.network.transport import (
+    Transport,
+    TransportKind,
+    nic_family_for,
+    resolve_transport,
+)
 from repro.simcore.engine import SimEngine
 from repro.simcore.resource import Resource
+
+#: Per-transfer loss probability modelling a *dead* destination (crashed
+#: node, both NIC families down): every attempt times out, the bounded
+#: retry budget is exhausted, and the transfer is abandoned — expensive but
+#: finite, so the simulation cannot deadlock on a corpse.
+DEAD_LINK_LOSS = 0.99
 
 
 class Fabric:
@@ -42,8 +61,13 @@ class Fabric:
         self.cost_model = CollectiveCostModel(config)
         self.engine = engine
         self.force_ethernet = force_ethernet
-        self._pair_cache: Dict[Tuple[int, int], Transport] = {}
-        self._group_cache: Dict[Tuple[int, ...], Transport] = {}
+        self.health = FabricHealth()
+        self.fault_stats = FaultStats()
+        self._pair_cache: Dict[Tuple[int, int], Tuple[int, Transport]] = {}
+        self._group_cache: Dict[Tuple[int, ...], Tuple[int, Transport]] = {}
+        #: last transport family observed per pair / group, for rebuild charges
+        self._pair_kind: Dict[Tuple[int, int], TransportKind] = {}
+        self._group_kind: Dict[Tuple[int, ...], TransportKind] = {}
         self._nic_tx: Dict[Tuple[int, NICType], Resource] = {}
         self._uplinks: Dict[Tuple[int, int], Resource] = {}
 
@@ -52,21 +76,70 @@ class Fabric:
     # ------------------------------------------------------------------ #
 
     def transport(self, a: int, b: int) -> Transport:
-        """Resolved (cached) transport between two ranks."""
+        """Resolved (cached, health-aware) transport between two ranks."""
         key = (a, b) if a < b else (b, a)
         cached = self._pair_cache.get(key)
-        if cached is None:
-            cached = resolve_transport(self.topology, key[0], key[1])
-            if self.force_ethernet and not cached.kind.is_intra_node:
-                eth_a = self.topology.node_of(key[0]).ethernet_nic
-                eth_b = self.topology.node_of(key[1]).ethernet_nic
-                cached = Transport(
-                    kind=TransportKind.TCP,
-                    bandwidth=min(eth_a.effective_bandwidth, eth_b.effective_bandwidth),
-                    latency=max(eth_a.latency, eth_b.latency),
-                )
-            self._pair_cache[key] = cached
-        return cached
+        if cached is not None and cached[0] == self.health.epoch:
+            return cached[1]
+        transport = self._resolve_pair(key[0], key[1])
+        self._pair_cache[key] = (self.health.epoch, transport)
+        return transport
+
+    def _ethernet_fallback(self, a: int, b: int) -> Transport:
+        """TCP over both endpoints' Ethernet NICs (slower end governs)."""
+        eth_a = self.topology.node_of(a).ethernet_nic
+        eth_b = self.topology.node_of(b).ethernet_nic
+        return Transport(
+            kind=TransportKind.TCP,
+            bandwidth=min(eth_a.effective_bandwidth, eth_b.effective_bandwidth),
+            latency=max(eth_a.latency, eth_b.latency),
+        )
+
+    def _resolve_pair(self, a: int, b: int) -> Transport:
+        base = resolve_transport(self.topology, a, b)
+        if base.kind.is_intra_node:
+            return base
+        if self.force_ethernet:
+            base = self._ethernet_fallback(a, b)
+
+        node_a = self.topology.device(a).node_global
+        node_b = self.topology.device(b).node_global
+        family = nic_family_for(base.kind)
+        key = (a, b) if a < b else (b, a)
+
+        if base.kind.is_rdma and (
+            self.health.get(node_a, family).down
+            or self.health.get(node_b, family).down
+        ):
+            # Graceful degradation: the RDMA path is gone, affected traffic
+            # re-routes over TCP/Ethernet (and pays for it).
+            base = self._ethernet_fallback(a, b)
+            family = NICType.ETHERNET
+            self.fault_stats.fallback_pairs.add(key)
+        elif base.kind.is_rdma:
+            self.fault_stats.fallback_pairs.discard(key)
+
+        health_a = self.health.get(node_a, family)
+        health_b = self.health.get(node_b, family)
+        if health_a.down or health_b.down:
+            # Even the fallback NIC is dead (node crash): transfers burn the
+            # full bounded retry budget and are abandoned — finite, no hang.
+            return Transport(
+                kind=base.kind,
+                bandwidth=base.bandwidth,
+                latency=base.latency,
+                loss_rate=DEAD_LINK_LOSS,
+            )
+        factor = min(health_a.bandwidth_factor, health_b.bandwidth_factor)
+        loss = 1.0 - (1.0 - health_a.loss_rate) * (1.0 - health_b.loss_rate)
+        if factor == 1.0 and loss == 0.0:
+            return base
+        return Transport(
+            kind=base.kind,
+            bandwidth=base.bandwidth * factor,
+            latency=base.latency,
+            loss_rate=min(loss, DEAD_LINK_LOSS),
+        )
 
     def group_transport(self, ranks: Sequence[int]) -> Transport:
         """The slowest edge a node-contiguous ring over ``ranks`` must cross.
@@ -82,8 +155,8 @@ class Fabric:
         if len(ranks) < 2:
             raise CommunicatorError(f"group transport needs >= 2 ranks: {ranks}")
         cached = self._group_cache.get(ranks)
-        if cached is not None:
-            return cached
+        if cached is not None and cached[0] == self.health.epoch:
+            return cached[1]
 
         # One representative rank per node.
         reps: Dict[int, int] = {}
@@ -97,12 +170,63 @@ class Fabric:
             for i, a in enumerate(rep_ranks):
                 for b in rep_ranks[i + 1 :]:
                     t = self.transport(a, b)
-                    if worst is None or t.bandwidth < worst.bandwidth:
+                    if (
+                        worst is None
+                        or t.bandwidth < worst.bandwidth
+                        or (
+                            t.bandwidth == worst.bandwidth
+                            and t.loss_rate > worst.loss_rate
+                        )
+                    ):
                         worst = t
             assert worst is not None
             transport = worst
-        self._group_cache[ranks] = transport
+        self._group_cache[ranks] = (self.health.epoch, transport)
         return transport
+
+    # ------------------------------------------------------------------ #
+    # communicator rebuild charges
+    # ------------------------------------------------------------------ #
+
+    def _rebuild_charge(
+        self,
+        kinds: Dict[Tuple[int, ...], TransportKind],
+        key: Tuple[int, ...],
+        kind: TransportKind,
+    ) -> float:
+        """Seconds of communicator re-init owed because the transport family
+        of ``key`` changed since it last communicated (0.0 otherwise)."""
+        prev = kinds.get(key)
+        kinds[key] = kind
+        if prev is None or prev == kind:
+            return 0.0
+        charge = self.cost_model.config.comm_rebuild_time
+        self.fault_stats.rebuild_count += 1
+        self.fault_stats.rebuild_time += charge
+        return charge
+
+    def pair_rebuild_time(self, src: int, dst: int) -> float:
+        """Rebuild charge owed by the (src, dst) channel right now."""
+        key = (src, dst) if src < dst else (dst, src)
+        return self._rebuild_charge(
+            self._pair_kind, key, self.transport(src, dst).kind
+        )
+
+    def establish(self, groups: Sequence[Sequence[int]]) -> None:
+        """Model startup communicator creation: resolve the transport of
+        every group (and every pair inside it) against the *current* fabric
+        state and remember the families.  A fault that later changes a
+        family is then recognised as a transition — charged a rebuild and
+        tracked as a fallback — even if the group had not yet communicated
+        when the fault hit."""
+        for group in groups:
+            members = tuple(sorted(set(group)))
+            if len(members) < 2:
+                continue
+            self._group_kind[members] = self.group_transport(members).kind
+            for i, a in enumerate(members):
+                for b in members[i + 1 :]:
+                    self._pair_kind[(a, b)] = self.transport(a, b).kind
 
     # ------------------------------------------------------------------ #
     # analytic timing
@@ -111,15 +235,37 @@ class Fabric:
     def collective_time(
         self, op: str, ranks: Sequence[int], nbytes: int, concurrent: int = 1
     ) -> float:
-        """Duration of one collective over ``ranks`` moving ``nbytes``."""
+        """Duration of one collective over ``ranks`` moving ``nbytes``,
+        including retransmission cost on lossy edges and a communicator
+        rebuild when the group's transport family changed since its last
+        collective."""
         ranks = list(ranks)
         if len(ranks) <= 1 or nbytes == 0:
             return 0.0
         edge = self.group_transport(ranks)
+        key = tuple(sorted(set(ranks)))
+        prev_kind = self._group_kind.get(key)
+        rebuild = self._rebuild_charge(self._group_kind, key, edge.kind)
+        if prev_kind is not None and prev_kind != edge.kind:
+            if prev_kind.is_rdma and not edge.kind.is_rdma:
+                self.fault_stats.fallback_groups.add(key)
+            elif edge.kind.is_rdma:
+                self.fault_stats.fallback_groups.discard(key)
         span = group_node_span(self.topology, ranks)
-        return self.cost_model.collective(
+        duration = self.cost_model.collective(
             op, nbytes, len(ranks), edge, concurrent=concurrent, node_span=span
         )
+        if edge.loss_rate > 0.0:
+            clean = self.cost_model.collective(
+                op,
+                nbytes,
+                len(ranks),
+                Transport(edge.kind, edge.bandwidth, edge.latency),
+                concurrent=concurrent,
+                node_span=span,
+            )
+            self.fault_stats.retry_time += duration - clean
+        return duration + rebuild
 
     def p2p_time(self, src: int, dst: int, nbytes: int, concurrent: int = 1) -> float:
         """End-to-end duration of one point-to-point transfer."""
@@ -131,12 +277,21 @@ class Fabric:
         )
 
     def p2p_occupancy(self, src: int, dst: int, nbytes: int) -> float:
-        """Sender NIC busy time for one transfer (DES serialization)."""
-        return self.cost_model.p2p_nic_occupancy(
-            nbytes,
-            self.transport(src, dst),
-            cross_cluster=not self.topology.same_cluster(src, dst),
+        """Sender NIC busy time for one transfer (DES serialization),
+        including the expected retransmissions on a lossy link."""
+        edge = self.transport(src, dst)
+        cross = not self.topology.same_cluster(src, dst)
+        occupancy = self.cost_model.p2p_nic_occupancy(
+            nbytes, edge, cross_cluster=cross
         )
+        if edge.loss_rate > 0.0:
+            clean = self.cost_model.p2p_nic_occupancy(
+                nbytes,
+                Transport(edge.kind, edge.bandwidth, edge.latency),
+                cross_cluster=cross,
+            )
+            self.fault_stats.retry_time += occupancy - clean
+        return occupancy
 
     # ------------------------------------------------------------------ #
     # DES resources

@@ -1,0 +1,131 @@
+"""Transport-level reliability: timeouts, bounded retries, backoff.
+
+RDMA fabrics are lossless by design; TCP and degraded links are not.  When a
+link develops a per-transfer loss probability ``p`` (PFC storm, flapping
+optics, congested uplink), a reliable transport pays for it with
+retransmissions: detect the loss after an ack timeout, wait out an
+exponential backoff, and send again — up to a bounded number of retries.
+
+This module prices that machinery *deterministically* via expected values,
+so a lossy link slows transfers by a principled, reproducible amount instead
+of a magic slowdown factor (and the discrete-event simulation stays
+byte-identical across replays of the same fault plan):
+
+- attempt ``k`` (0-based) is reached with probability ``p**k``;
+- each retry re-pays the transfer time, plus the ack timeout that detected
+  the loss, plus the backoff wait before the retry;
+- retries are *bounded*: after ``max_retries`` failed retries the transfer
+  is abandoned (the caller treats the link as dead and falls back), so the
+  expected cost is always finite — no deadlock, no unbounded tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry reliability parameters of one transport stack.
+
+    ``ack_timeout``: seconds to declare one attempt lost (retransmission
+    timer).  ``max_retries``: retransmissions before the link is declared
+    dead.  Backoff before retry ``k`` (1-based) is
+    ``min(backoff_cap, backoff_base * backoff_factor ** (k - 1))``.
+    ``crash_detection``: seconds for peers to notice a crashed node (keep-
+    alive expiry) — used by the training engine to abort an iteration whose
+    fault plan kills a node, instead of deadlocking on its silence.
+    """
+
+    ack_timeout: float = 0.05
+    max_retries: int = 5
+    backoff_base: float = 0.01
+    backoff_factor: float = 2.0
+    backoff_cap: float = 1.0
+    crash_detection: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.ack_timeout < 0:
+            raise ConfigurationError(f"ack_timeout must be >= 0: {self.ack_timeout}")
+        if self.max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0: {self.max_retries}")
+        if self.backoff_base < 0:
+            raise ConfigurationError(f"backoff_base must be >= 0: {self.backoff_base}")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1: {self.backoff_factor}"
+            )
+        if self.backoff_cap < 0:
+            raise ConfigurationError(f"backoff_cap must be >= 0: {self.backoff_cap}")
+        if self.crash_detection <= 0:
+            raise ConfigurationError(
+                f"crash_detection must be positive: {self.crash_detection}"
+            )
+
+    def backoff(self, retry: int) -> float:
+        """Backoff wait before the ``retry``-th retransmission (1-based)."""
+        if retry < 1:
+            raise ConfigurationError(f"retry index must be >= 1: {retry}")
+        return min(
+            self.backoff_cap,
+            self.backoff_base * self.backoff_factor ** (retry - 1),
+        )
+
+
+def _check_loss_rate(loss_rate: float) -> None:
+    if not 0.0 <= loss_rate < 1.0:
+        raise ConfigurationError(f"loss_rate must be in [0, 1): {loss_rate}")
+
+
+def expected_attempts(loss_rate: float, max_retries: int) -> float:
+    """Expected transmission attempts under bounded retries.
+
+    Attempt ``k`` (0-based, up to ``max_retries`` retries) happens iff the
+    first ``k`` attempts all failed: ``E[A] = sum_{k=0..R} p**k``.
+    """
+    _check_loss_rate(loss_rate)
+    if max_retries < 0:
+        raise ConfigurationError(f"max_retries must be >= 0: {max_retries}")
+    if loss_rate == 0.0:
+        return 1.0
+    p = loss_rate
+    return (1.0 - p ** (max_retries + 1)) / (1.0 - p)
+
+
+def delivery_probability(loss_rate: float, policy: RetryPolicy) -> float:
+    """Probability a transfer succeeds within the retry budget."""
+    _check_loss_rate(loss_rate)
+    return 1.0 - loss_rate ** (policy.max_retries + 1)
+
+
+def expected_retry_overhead(
+    transfer_time: float, loss_rate: float, policy: RetryPolicy
+) -> float:
+    """Expected *extra* seconds a lossy link adds to one transfer.
+
+    Retry ``k`` (1-based) occurs with probability ``p**k`` and costs a full
+    retransmission plus the ack timeout that detected the loss plus the
+    backoff wait.  The sum is finite by construction (bounded retries).
+    """
+    _check_loss_rate(loss_rate)
+    if transfer_time < 0:
+        raise ConfigurationError(f"negative transfer_time: {transfer_time}")
+    if loss_rate == 0.0:
+        return 0.0
+    overhead = 0.0
+    p_reach = 1.0
+    for retry in range(1, policy.max_retries + 1):
+        p_reach *= loss_rate  # probability the previous attempt failed
+        overhead += p_reach * (
+            transfer_time + policy.ack_timeout + policy.backoff(retry)
+        )
+    return overhead
+
+
+def reliable_transfer_time(
+    transfer_time: float, loss_rate: float, policy: RetryPolicy
+) -> float:
+    """Expected end-to-end time of one transfer including retransmissions."""
+    return transfer_time + expected_retry_overhead(transfer_time, loss_rate, policy)

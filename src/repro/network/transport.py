@@ -57,11 +57,21 @@ def nic_family_for(kind: TransportKind) -> NICType:
 
 @dataclass(frozen=True)
 class Transport:
-    """A resolved channel between two specific endpoints."""
+    """A resolved channel between two specific endpoints.
+
+    ``loss_rate`` is the per-transfer loss probability of the channel
+    (0.0 on healthy links); the cost model prices the resulting bounded
+    retransmissions via :mod:`repro.network.reliability`.
+    """
 
     kind: TransportKind
     bandwidth: float  # achieved bytes/s for large messages
     latency: float  # seconds one-way
+    loss_rate: float = 0.0  # per-transfer loss probability
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise TransportError(f"loss_rate must be in [0, 1): {self.loss_rate}")
 
     def transfer_time(self, nbytes: int, concurrent: int = 1) -> float:
         """Isolated transfer time, with ``concurrent`` equal flows sharing

@@ -18,7 +18,7 @@ The class exposes exactly what the parallel trainers need:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -18,7 +18,7 @@ one group of each kind, stages partition the rank space into contiguous
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from repro.errors import ParallelismError
 from repro.parallel.degrees import ParallelConfig

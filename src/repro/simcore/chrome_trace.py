@@ -8,7 +8,7 @@ fastest way to understand why an iteration takes as long as it does.
 from __future__ import annotations
 
 import json
-from typing import IO, Dict, Iterable, Optional
+from typing import IO, Dict, Optional
 
 from repro.simcore.trace import Span, TraceRecorder
 

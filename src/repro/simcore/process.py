@@ -21,7 +21,7 @@ generator's return value, enabling fork/join patterns.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Iterable, List, Optional
+from typing import Any, Generator, Iterable
 
 from repro.errors import SimulationError
 from repro.simcore.event import Condition, SimEvent

@@ -8,7 +8,7 @@ sweeps can accumulate mean/variance without storing every sample;
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence
+from typing import Iterable, List
 
 
 class RunningStats:

@@ -6,7 +6,6 @@ from repro.bench.paramgroups import PARAM_GROUPS
 from repro.bench.runner import HOLMES_BASE
 from repro.bench.scenarios import homogeneous_env
 from repro.bench.sweep import (
-    SweepPoint,
     node_scaling_points,
     scaling_efficiency,
     sweep_machines,

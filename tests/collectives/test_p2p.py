@@ -7,7 +7,6 @@ from repro.hardware.nic import NICType
 from repro.hardware.presets import make_topology
 from repro.network.fabric import Fabric
 from repro.simcore.engine import SimEngine
-from repro.simcore.process import AllOf
 from repro.simcore.trace import TraceRecorder
 
 

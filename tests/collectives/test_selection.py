@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.collectives.selection import (
-    AlgorithmChoice,
-    select_allreduce,
-    selection_table,
-)
+from repro.collectives.selection import select_allreduce, selection_table
 from repro.errors import CommunicatorError
 from repro.hardware.nic import NICType
 from repro.hardware.presets import homogeneous_topology

@@ -1,6 +1,7 @@
 """Tests for fault handling: surviving topologies, replanning, checkpoints."""
 
 import math
+import warnings
 
 import pytest
 
@@ -124,3 +125,53 @@ class TestCheckpointPolicy:
             policy.goodput_fraction(interval=-1.0)
         with pytest.raises(ConfigurationError):
             policy.effective_tflops(-1.0)
+
+
+class TestSurvivingTopologyEdgeCases:
+    def test_duplicate_failed_indices_counted_once(self, topo):
+        deduped = surviving_topology(topo, [1, 1, 1])
+        assert deduped.num_nodes == 3
+        assert deduped.world_size == 12
+
+    def test_kill_entire_cluster_drops_it(self, topo):
+        survivors = surviving_topology(topo, [2, 3])
+        assert survivors.num_clusters == 1
+        assert survivors.clusters[0].nic_type == NICType.ROCE
+        assert survivors.world_size == 8
+
+    def test_inter_cluster_rdma_flag_preserved(self):
+        rdma_linked = make_topology(
+            [(2, NICType.INFINIBAND), (2, NICType.INFINIBAND)],
+            inter_cluster_rdma=True, gpus_per_node=4,
+        )
+        survivors = surviving_topology(rdma_linked, [0])
+        assert survivors.inter_cluster_rdma is True
+        no_rdma = make_topology(
+            [(2, NICType.ROCE), (2, NICType.INFINIBAND)],
+            inter_cluster_rdma=False, gpus_per_node=4,
+        )
+        assert surviving_topology(no_rdma, [0]).inter_cluster_rdma is False
+
+    def test_cluster_ids_stable_after_cluster_loss(self, topo):
+        survivors = surviving_topology(topo, [0, 1])
+        assert survivors.clusters[0].cluster_id == topo.clusters[1].cluster_id
+
+
+class TestGoodputWarning:
+    def test_unworkable_interval_warns_and_clamps(self):
+        policy = CheckpointPolicy(
+            checkpoint_time=50.0, restart_time=300.0, mtbf=3600.0
+        )
+        # A 10000s interval loses > 100% of wall time to failures alone.
+        with pytest.warns(RuntimeWarning, match="forward progress"):
+            fraction = policy.goodput_fraction(interval=10_000.0)
+        assert fraction == 0.0
+
+    def test_healthy_interval_does_not_warn(self):
+        policy = CheckpointPolicy(
+            checkpoint_time=60.0, restart_time=300.0, mtbf=6 * 3600.0
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning fails the test
+            fraction = policy.goodput_fraction()
+        assert fraction > 0.5

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.memory_model import (
-    MemoryEstimate,
     estimate_memory,
     fits_in_memory,
     stage_parameter_count,

@@ -1,0 +1,165 @@
+"""End-to-end fault injection through the training simulation.
+
+Covers the PR's acceptance criteria: a seeded plan replayed twice yields
+byte-identical metrics, and an injected mid-run RDMA NIC fault demonstrably
+re-routes affected traffic to TCP/Ethernet with a longer — but finite —
+iteration (bounded retries, no deadlock).
+"""
+
+import pytest
+
+from repro.core.engine import TrainingSimulation
+from repro.core.scheduler import HolmesScheduler
+from repro.faults import FaultEvent, FaultKind, FaultPlan
+from repro.hardware.nic import NICType
+from repro.hardware.presets import make_topology
+from repro.model.config import GPTConfig
+from repro.parallel.degrees import ParallelConfig
+
+MODEL = GPTConfig(num_layers=8, hidden_size=1024, num_attention_heads=8,
+                  seq_length=512, vocab_size=8192)
+# Two nodes per cluster so data-parallel groups span nodes over RDMA.
+TOPOLOGY = make_topology(
+    [(2, NICType.ROCE), (2, NICType.INFINIBAND)],
+    inter_cluster_rdma=False, gpus_per_node=2,
+)
+PARALLEL = ParallelConfig(tensor=1, pipeline=2, data=4,
+                          micro_batch_size=2, global_batch_size=32)
+PLAN = HolmesScheduler().plan(TOPOLOGY, PARALLEL, MODEL)
+
+
+def run(fault_plan=None):
+    return TrainingSimulation(
+        PLAN, MODEL, fault_plan=fault_plan, iteration_overhead=0.0
+    ).run()
+
+
+HEALTHY = run()
+
+MID_RUN_FLAP = FaultPlan(events=(
+    FaultEvent(time=0.005, kind=FaultKind.NIC_FLAP, node=0, duration=300.0),
+))
+
+
+class TestDeterminism:
+    def test_seeded_plan_replays_byte_identical(self):
+        plan = FaultPlan.random(
+            TOPOLOGY, horizon=HEALTHY.iteration_time, seed=7, num_events=4
+        )
+        a = run(plan)
+        b = run(plan)
+        assert a.iteration_time == b.iteration_time  # exact, not approx
+        assert a.metrics == b.metrics
+        assert a.faults.records == b.faults.records
+        assert a.faults.retry_time == b.faults.retry_time
+
+    def test_empty_plan_matches_no_plan(self):
+        assert run(FaultPlan()).iteration_time == HEALTHY.iteration_time
+
+
+class TestNicFlapFallback:
+    def test_rdma_fault_reroutes_to_ethernet_and_finishes(self):
+        result = run(MID_RUN_FLAP)
+        report = result.faults
+        # Affected traffic fell back to TCP/Ethernet...
+        assert report.fallback_pairs or report.fallback_groups
+        # ...paying a communicator rebuild...
+        assert report.rebuild_count >= 1
+        assert report.rebuild_time > 0.0
+        # ...making the iteration longer but finite, with no abort.
+        assert result.iteration_time > HEALTHY.iteration_time
+        assert result.iteration_time < 100 * HEALTHY.iteration_time
+        assert not result.aborted
+        assert result.metrics.degraded_time > 0.0
+
+    def test_flap_that_ends_before_any_communication_is_free(self):
+        plan = FaultPlan(events=(
+            FaultEvent(time=0.0, kind=FaultKind.NIC_FLAP, node=0,
+                       duration=1e-5),
+        ))
+        result = run(plan)
+        assert result.iteration_time == pytest.approx(HEALTHY.iteration_time)
+
+    def test_flap_on_unused_family_changes_nothing(self):
+        # Node 3 is in the InfiniBand cluster; flapping its IB NIC degrades
+        # that cluster's DP group, but a flap on an Ethernet-only path
+        # cannot exist — so instead check a flap on node 3 does not touch
+        # the ROCE cluster's groups.
+        plan = FaultPlan(events=(
+            FaultEvent(time=0.005, kind=FaultKind.NIC_FLAP, node=3,
+                       duration=300.0),
+        ))
+        result = run(plan)
+        assert all(
+            0 not in pair and 1 not in pair
+            for pair in result.faults.fallback_pairs
+        )
+
+
+class TestPacketLossAndDegrade:
+    def test_lossy_link_pays_bounded_retries(self):
+        plan = FaultPlan(events=(
+            FaultEvent(time=0.0, kind=FaultKind.PACKET_LOSS, node=0,
+                       loss_rate=0.10),
+        ))
+        result = run(plan)
+        assert result.faults.retry_time > 0.0
+        assert result.iteration_time > HEALTHY.iteration_time
+        assert result.iteration_time < 100 * HEALTHY.iteration_time
+
+    def test_brownout_slows_iteration(self):
+        plan = FaultPlan(events=(
+            FaultEvent(time=0.0, kind=FaultKind.LINK_DEGRADE, node=0,
+                       factor=0.25),
+        ))
+        result = run(plan)
+        assert result.iteration_time > HEALTHY.iteration_time
+
+    def test_deeper_loss_costs_more(self):
+        def iteration_at(loss):
+            plan = FaultPlan(events=(
+                FaultEvent(time=0.0, kind=FaultKind.PACKET_LOSS, node=0,
+                           loss_rate=loss),
+            ))
+            return run(plan).iteration_time
+
+        assert iteration_at(0.05) < iteration_at(0.20) < iteration_at(0.60)
+
+
+class TestCrashAndStraggler:
+    def test_node_crash_aborts_after_detection_no_deadlock(self):
+        plan = FaultPlan(events=(
+            FaultEvent(time=0.01, kind=FaultKind.NODE_CRASH, node=1),
+        ))
+        result = run(plan)  # must not raise SimulationError (deadlock)
+        assert result.aborted
+        assert result.faults.aborted
+        assert result.faults.crashed_nodes == (1,)
+
+    def test_crash_after_iteration_completes_is_harmless(self):
+        plan = FaultPlan(events=(
+            FaultEvent(time=HEALTHY.iteration_time + 1.0,
+                       kind=FaultKind.NODE_CRASH, node=1),
+        ))
+        result = run(plan)
+        assert not result.aborted
+
+    def test_straggler_slows_only_while_active(self):
+        plan = FaultPlan(events=(
+            FaultEvent(time=0.0, kind=FaultKind.STRAGGLER, rank=0,
+                       factor=2.0),
+        ))
+        result = run(plan)
+        assert result.iteration_time > HEALTHY.iteration_time
+
+    def test_transient_faults_recover(self):
+        plan = FaultPlan(events=(
+            FaultEvent(time=0.0, kind=FaultKind.STRAGGLER, rank=0,
+                       factor=10.0, duration=1e-4),
+        ))
+        transient = run(plan)
+        permanent = run(FaultPlan(events=(
+            FaultEvent(time=0.0, kind=FaultKind.STRAGGLER, rank=0,
+                       factor=10.0),
+        )))
+        assert transient.iteration_time < permanent.iteration_time

@@ -1,0 +1,122 @@
+"""Tests for fault plans: validation, ordering, seeded generation."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultEvent, FaultKind, FaultPlan
+from repro.hardware.nic import NICType
+from repro.hardware.presets import make_topology
+
+TOPOLOGY = make_topology(
+    [(2, NICType.ROCE), (2, NICType.INFINIBAND)], gpus_per_node=2
+)
+
+
+class TestFaultEvent:
+    def test_node_faults_require_node(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(time=0.0, kind=FaultKind.NIC_FLAP)
+
+    def test_straggler_requires_rank_and_slowdown(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(time=0.0, kind=FaultKind.STRAGGLER)
+        with pytest.raises(ConfigurationError):
+            FaultEvent(time=0.0, kind=FaultKind.STRAGGLER, rank=0, factor=0.5)
+
+    def test_degrade_factor_must_shrink_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(time=0.0, kind=FaultKind.LINK_DEGRADE, node=0, factor=1.5)
+
+    def test_loss_rate_range(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(time=0.0, kind=FaultKind.PACKET_LOSS, node=0, loss_rate=1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(time=-1.0, kind=FaultKind.NODE_CRASH, node=0)
+
+    def test_default_duration_is_permanent(self):
+        event = FaultEvent(time=1.0, kind=FaultKind.NIC_FLAP, node=0)
+        assert math.isinf(event.duration)
+        assert math.isinf(event.end_time)
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan(events=(
+            FaultEvent(time=5.0, kind=FaultKind.NODE_CRASH, node=1),
+            FaultEvent(time=1.0, kind=FaultKind.NIC_FLAP, node=0),
+        ))
+        assert [e.time for e in plan] == [1.0, 5.0]
+
+    def test_validate_against_checks_node_range(self):
+        plan = FaultPlan(events=(
+            FaultEvent(time=0.0, kind=FaultKind.NODE_CRASH, node=99),
+        ))
+        with pytest.raises(ConfigurationError):
+            plan.validate_against(TOPOLOGY)
+
+    def test_validate_against_checks_rank_range(self):
+        plan = FaultPlan(events=(
+            FaultEvent(time=0.0, kind=FaultKind.STRAGGLER, rank=99, factor=2.0),
+        ))
+        with pytest.raises(ConfigurationError):
+            plan.validate_against(TOPOLOGY)
+
+    def test_nic_flap_needs_rdma_nic(self):
+        ethernet_only = make_topology([(2, NICType.ETHERNET)], gpus_per_node=2)
+        plan = FaultPlan(events=(
+            FaultEvent(time=0.0, kind=FaultKind.NIC_FLAP, node=0),
+        ))
+        with pytest.raises(ConfigurationError):
+            plan.validate_against(ethernet_only)
+
+    def test_first_crash(self):
+        plan = FaultPlan(events=(
+            FaultEvent(time=3.0, kind=FaultKind.NODE_CRASH, node=0),
+            FaultEvent(time=1.0, kind=FaultKind.NODE_CRASH, node=1),
+        ))
+        assert plan.first_crash() == 1.0
+        assert FaultPlan().first_crash() is None
+
+    def test_extended_merges_and_resorts(self):
+        base = FaultPlan(events=(
+            FaultEvent(time=2.0, kind=FaultKind.NIC_FLAP, node=0),
+        ))
+        merged = base.extended(
+            [FaultEvent(time=1.0, kind=FaultKind.NODE_CRASH, node=1)]
+        )
+        assert len(merged) == 2
+        assert merged.events[0].kind == FaultKind.NODE_CRASH
+
+
+class TestRandomPlans:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.random(TOPOLOGY, horizon=10.0, seed=42, num_events=5)
+        b = FaultPlan.random(TOPOLOGY, horizon=10.0, seed=42, num_events=5)
+        assert a.events == b.events
+        assert a.seed == 42
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.random(TOPOLOGY, horizon=10.0, seed=1, num_events=5)
+        b = FaultPlan.random(TOPOLOGY, horizon=10.0, seed=2, num_events=5)
+        assert a.events != b.events
+
+    def test_events_within_horizon_and_valid(self):
+        plan = FaultPlan.random(TOPOLOGY, horizon=7.5, seed=3, num_events=20)
+        assert len(plan) == 20
+        assert all(0.0 <= e.time < 7.5 for e in plan)
+        plan.validate_against(TOPOLOGY)  # raises on any invalid target
+
+    def test_no_crashes_by_default(self):
+        plan = FaultPlan.random(TOPOLOGY, horizon=10.0, seed=4, num_events=30)
+        assert plan.first_crash() is None
+
+    def test_ethernet_only_machines_never_get_nic_flaps(self):
+        ethernet_only = make_topology([(2, NICType.ETHERNET)], gpus_per_node=2)
+        plan = FaultPlan.random(
+            ethernet_only, horizon=10.0, seed=5, num_events=30
+        )
+        assert all(e.kind != FaultKind.NIC_FLAP for e in plan)

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ConfigurationError, TopologyError
 from repro.hardware.cluster import Cluster
 from repro.hardware.nic import NICType
-from repro.hardware.presets import ETH_25, IB_200, ROCE_200, make_node
+from repro.hardware.presets import ETH_25, IB_200, make_node
 
 
 class TestNode:

@@ -95,3 +95,43 @@ class TestReproduceCommand:
         from repro.cli import main
 
         assert main(["reproduce", "--only", "table2_param_groups"]) == 0
+
+
+class TestFaultsCommand:
+    def test_explicit_event(self, capsys):
+        assert main([
+            "faults", "--nodes", "4", "--env", "hybrid", "--group", "1",
+            "--event", "nic-flap:node=0,time=0.005,duration=30",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "healthy:" in out
+        assert "faulted:" in out
+        assert "slowdown:" in out
+        assert "nic-flap on node 0" in out
+
+    def test_random_plan(self, capsys):
+        assert main([
+            "faults", "--nodes", "2", "--env", "hybrid", "--group", "1",
+            "--random", "3", "--seed", "9",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "FaultPlan(3 events, seed=9)" in out
+
+    def test_no_faults_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "--nodes", "2", "--env", "hybrid"])
+
+    def test_bad_event_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "--nodes", "2", "--env", "hybrid",
+                  "--event", "gremlins:node=0"])
+
+    def test_campaign_summary(self, capsys):
+        assert main([
+            "faults", "--nodes", "2", "--env", "hybrid", "--group", "1",
+            "--event", "packet-loss:node=0,time=0,loss=0.05",
+            "--campaign", "500000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "elastic campaign" in out
+        assert "goodput:" in out

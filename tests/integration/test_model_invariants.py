@@ -1,6 +1,5 @@
 """Hypothesis invariants over the hardware/network/cost layers."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.hardware.nic import NICType

@@ -5,9 +5,7 @@ stops being a bijection on some odd cluster shape, an iteration that ends
 before its compute lower bound, a plan whose partition loses a layer.
 """
 
-import numpy as np
-import pytest
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.core.engine import TrainingSimulation
 from repro.core.scheduler import HolmesScheduler

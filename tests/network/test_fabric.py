@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import CommunicatorError, TransportError
 from repro.hardware.nic import NICType
-from repro.hardware.presets import ETH_25, IB_200, ROCE_200, make_topology
+from repro.hardware.presets import ETH_25, ROCE_200, make_topology
 from repro.network.fabric import Fabric
 from repro.network.transport import TransportKind
 from repro.simcore.engine import SimEngine

@@ -1,0 +1,89 @@
+"""Tests for the transport reliability model (retry/backoff pricing)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.reliability import (
+    RetryPolicy,
+    delivery_probability,
+    expected_attempts,
+    expected_retry_overhead,
+    reliable_transfer_time,
+)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_then_caps(self):
+        policy = RetryPolicy(backoff_base=0.01, backoff_factor=2.0,
+                             backoff_cap=0.05)
+        assert policy.backoff(1) == pytest.approx(0.01)
+        assert policy.backoff(2) == pytest.approx(0.02)
+        assert policy.backoff(3) == pytest.approx(0.04)
+        assert policy.backoff(4) == pytest.approx(0.05)  # capped
+        assert policy.backoff(10) == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(ack_timeout=-0.1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_factor=0.5)
+
+
+class TestExpectedAttempts:
+    def test_lossless_link_sends_once(self):
+        assert expected_attempts(0.0, 5) == 1.0
+
+    def test_matches_truncated_geometric_sum(self):
+        p, retries = 0.2, 4
+        direct = sum(p**k for k in range(retries + 1))
+        assert expected_attempts(p, retries) == pytest.approx(direct)
+
+    def test_monotone_in_loss(self):
+        a = [expected_attempts(p, 5) for p in (0.0, 0.1, 0.3, 0.6, 0.9)]
+        assert a == sorted(a)
+        assert all(1.0 <= x <= 6.0 for x in a)
+
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_attempts(1.0, 5)
+        with pytest.raises(ConfigurationError):
+            expected_attempts(-0.1, 5)
+
+
+class TestDeliveryProbability:
+    def test_bounded_retries_leave_residual_failure(self):
+        prob = delivery_probability(0.5, RetryPolicy(max_retries=2))
+        assert prob == pytest.approx(1.0 - 0.5**3)
+        assert prob < 1.0
+
+    def test_lossless_always_delivers(self):
+        assert delivery_probability(0.0, RetryPolicy(max_retries=0)) == 1.0
+
+
+class TestRetryOverhead:
+    def test_zero_on_clean_link(self):
+        assert expected_retry_overhead(1.0, 0.0, RetryPolicy()) == 0.0
+
+    def test_each_retry_pays_timeout_backoff_and_resend(self):
+        policy = RetryPolicy(ack_timeout=0.5, max_retries=1,
+                             backoff_base=0.25, backoff_factor=2.0,
+                             backoff_cap=10.0)
+        # One possible retry, taken with probability p: costs the resend
+        # (1.0) + ack timeout (0.5) + first backoff (0.25).
+        overhead = expected_retry_overhead(1.0, 0.4, policy)
+        assert overhead == pytest.approx(0.4 * (1.0 + 0.5 + 0.25))
+
+    def test_reliable_transfer_time_is_base_plus_overhead(self):
+        policy = RetryPolicy()
+        total = reliable_transfer_time(2.0, 0.1, policy)
+        assert total == pytest.approx(
+            2.0 + expected_retry_overhead(2.0, 0.1, policy)
+        )
+        assert total > 2.0
+
+    def test_overhead_finite_even_at_high_loss(self):
+        # Bounded retries: even a 95%-loss link costs a finite amount.
+        overhead = expected_retry_overhead(1.0, 0.95, RetryPolicy())
+        assert overhead < 20.0

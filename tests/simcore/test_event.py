@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.simcore.engine import SimEngine
-from repro.simcore.event import Condition, SimEvent
+from repro.simcore.event import Condition
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Unit and property tests for the streaming statistics helpers."""
 
-import math
 
 import numpy as np
 import pytest
