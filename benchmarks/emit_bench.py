@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Emit a machine-readable benchmark snapshot: ``BENCH_<date>.json``.
+
+Runs the calibrated Table 1 scenarios (homogeneous InfiniBand / RoCE /
+Ethernet, 4 nodes, parameter group 1) through the full telemetry pipeline
+— each case produces a schema-validated :mod:`repro.obs` profile report —
+and writes one JSON document CI can archive and diff across commits.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/emit_bench.py --out-dir results
+    PYTHONPATH=src python benchmarks/emit_bench.py \
+        --check benchmarks/bench_reference.json       # drift gate (CI)
+    PYTHONPATH=src python benchmarks/emit_bench.py --write-reference
+
+``--check`` exits non-zero when any scenario's headline TFLOPS drifts more
+than ``--tolerance`` (default 2%) from the committed reference — the guard
+CI uses to catch accidental performance-model changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import sys
+from typing import Dict
+
+from repro.bench.paramgroups import PARAM_GROUPS
+from repro.bench.runner import HOLMES_BASE
+from repro.bench.scenarios import ethernet_env, homogeneous_env
+from repro.frameworks.base import simulate_framework
+from repro.hardware.nic import NICType
+from repro.obs.report import build_report, validate_report
+
+BENCH_SCHEMA = "repro.obs.bench/v1"
+REFERENCE_PATH = os.path.join(os.path.dirname(__file__), "bench_reference.json")
+
+#: The calibrated Table 1 scenarios (paper §4.2): one NIC family per run.
+SCENARIOS = {
+    "ib": lambda nodes: homogeneous_env(nodes, NICType.INFINIBAND),
+    "roce": lambda nodes: homogeneous_env(nodes, NICType.ROCE),
+    "ethernet": ethernet_env,
+}
+
+
+def run_bench(nodes: int, group_id: int) -> Dict[str, object]:
+    """Run every scenario and assemble the BENCH document."""
+    group = PARAM_GROUPS[group_id]
+    cases: Dict[str, object] = {}
+    for name, build in SCENARIOS.items():
+        topology = build(nodes)
+        result = simulate_framework(
+            HOLMES_BASE, topology, group.parallel_for(topology.world_size),
+            group.model, trace_enabled=True,
+        )
+        scenario = {
+            "env": name,
+            "nodes": nodes,
+            "group": group_id,
+            "world_size": topology.world_size,
+        }
+        report = build_report(result, scenario=scenario)
+        validate_report(report)
+        cases[name] = {
+            "tflops_per_gpu": result.tflops,
+            "throughput_samples_per_s": result.throughput,
+            "iteration_seconds": result.iteration_time,
+            "report": report,
+        }
+    return {
+        "schema": BENCH_SCHEMA,
+        "date": datetime.date.today().isoformat(),
+        "nodes": nodes,
+        "group": group_id,
+        "cases": cases,
+    }
+
+
+def check_drift(bench: Dict, reference: Dict, tolerance: float) -> int:
+    """Compare headline TFLOPS against the reference; return exit code."""
+    failures = []
+    ref_cases = reference.get("cases", {})
+    for name, case in bench["cases"].items():
+        ref = ref_cases.get(name)
+        if ref is None:
+            failures.append(f"{name}: missing from reference")
+            continue
+        expected = ref["tflops_per_gpu"]
+        actual = case["tflops_per_gpu"]
+        drift = abs(actual - expected) / expected if expected else float("inf")
+        status = "FAIL" if drift > tolerance else "ok"
+        print(
+            f"  {name:10s} {actual:8.2f} TFLOPS "
+            f"(reference {expected:8.2f}, drift {drift * 100:5.2f}%) {status}"
+        )
+        if drift > tolerance:
+            failures.append(
+                f"{name}: {actual:.2f} vs reference {expected:.2f} "
+                f"({drift * 100:.2f}% > {tolerance * 100:.1f}%)"
+            )
+    if failures:
+        print("\nbenchmark drift detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nno drift beyond tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=4,
+                        help="nodes per scenario (default 4, the Table 1 "
+                             "calibration point)")
+    parser.add_argument("--group", type=int, choices=sorted(PARAM_GROUPS),
+                        default=1, help="parameter group (default 1)")
+    parser.add_argument("--out-dir", default="results",
+                        help="directory for BENCH_<date>.json (default results)")
+    parser.add_argument("--check", metavar="REF", nargs="?",
+                        const=REFERENCE_PATH, default=None,
+                        help="compare TFLOPS against a reference JSON and "
+                             "exit 1 on drift (default reference: "
+                             "benchmarks/bench_reference.json)")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="allowed relative TFLOPS drift (default 0.02)")
+    parser.add_argument("--write-reference", action="store_true",
+                        help="update benchmarks/bench_reference.json with "
+                             "this run's headline numbers")
+    args = parser.parse_args(argv)
+
+    bench = run_bench(args.nodes, args.group)
+    os.makedirs(args.out_dir, exist_ok=True)
+    out_path = os.path.join(args.out_dir, f"BENCH_{bench['date']}.json")
+    with open(out_path, "w") as fh:
+        json.dump(bench, fh, indent=2)
+    print(f"wrote {out_path}")
+    for name, case in bench["cases"].items():
+        print(f"  {name:10s} {case['tflops_per_gpu']:8.2f} TFLOPS  "
+              f"{case['iteration_seconds']:7.3f}s/iter")
+
+    if args.write_reference:
+        reference = {
+            "schema": BENCH_SCHEMA,
+            "nodes": bench["nodes"],
+            "group": bench["group"],
+            "cases": {
+                name: {"tflops_per_gpu": case["tflops_per_gpu"]}
+                for name, case in bench["cases"].items()
+            },
+        }
+        with open(REFERENCE_PATH, "w") as fh:
+            json.dump(reference, fh, indent=2)
+            fh.write("\n")
+        print(f"updated {REFERENCE_PATH}")
+
+    if args.check:
+        with open(args.check) as fh:
+            reference = json.load(fh)
+        print(f"\nchecking against {args.check} "
+              f"(tolerance {args.tolerance * 100:.1f}%):")
+        return check_drift(bench, reference, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

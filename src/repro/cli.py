@@ -8,6 +8,7 @@ Commands
 ``topology``  describe a machine
 ``trace``     export a simulated iteration as Chrome trace JSON
 ``faults``    inject NIC/link/node faults and report the degraded iteration
+``profile``   full telemetry: time-loss budget, utilization, JSON report
 """
 
 from __future__ import annotations
@@ -329,6 +330,76 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Simulate one traced iteration and emit the full telemetry report:
+    critical-path time-loss budget, per-NIC/link utilization, metrics
+    registry snapshot, and (optionally) a Chrome trace with utilization
+    counter tracks and fault markers."""
+    import json
+
+    from repro.core.engine import TrainingSimulation
+    from repro.core.scheduler import HolmesScheduler
+    from repro.faults import FaultPlan
+    from repro.obs.report import build_report, render_report, validate_report
+    from repro.obs.timeline import utilization_counter_events
+
+    topology = resolve_machine(args)
+    group = PARAM_GROUPS[args.group]
+    parallel = group.parallel_for(topology.world_size)
+    plan = HolmesScheduler().plan(topology, parallel, group.model)
+
+    fault_plan = None
+    events = tuple(_parse_fault_event(s) for s in args.event or ())
+    if events:
+        fault_plan = FaultPlan(events=events)
+        try:
+            fault_plan.validate_against(topology)
+        except ConfigurationError as exc:
+            raise SystemExit(f"fault plan does not fit this machine: {exc}")
+
+    result = TrainingSimulation(
+        plan, group.model, fault_plan=fault_plan
+    ).run()
+
+    trace_path = args.trace
+    if trace_path:
+        from repro.obs.timeline import link_utilization, nic_utilization
+        from repro.simcore.chrome_trace import (
+            default_rank_names,
+            export_chrome_trace,
+        )
+
+        horizon = result.makespan or result.iteration_time
+        counters = utilization_counter_events(
+            nic_utilization(result.trace, horizon), prefix="nic"
+        ) + utilization_counter_events(
+            link_utilization(result.trace, horizon), prefix="link"
+        )
+        with open(trace_path, "w") as fh:
+            export_chrome_trace(
+                result.trace, fh,
+                rank_names=default_rank_names(plan),
+                extra_events=counters,
+            )
+
+    scenario = {
+        "env": args.env if not args.machine else "custom",
+        "nodes": topology.num_nodes,
+        "group": args.group,
+        "world_size": topology.world_size,
+        "faulted": bool(events),
+    }
+    report = build_report(result, scenario=scenario, trace_path=trace_path)
+    validate_report(report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+    print(render_report(report))
+    if args.out:
+        print(f"\nwrote report to {args.out}")
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -410,6 +481,22 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--outage-size", type=int, default=2,
                    help="nodes lost in a correlated outage (default 2)")
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "profile",
+        help="full telemetry report for one simulated iteration",
+    )
+    _add_machine_args(p)
+    p.add_argument("--group", type=int, choices=sorted(PARAM_GROUPS), default=1)
+    p.add_argument("--event", action="append", metavar="KIND:k=v,...",
+                   help="profile under faults, e.g. straggler:rank=0,factor=3 "
+                        "(repeatable; same syntax as the faults command)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the JSON profile report here")
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="also export a Chrome trace with utilization "
+                        "counter tracks and fault markers")
+    p.set_defaults(fn=cmd_profile)
     return parser
 
 

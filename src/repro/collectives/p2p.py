@@ -71,6 +71,7 @@ def _deliver(
     nbytes: int,
     latency: float,
     payload: Any = None,
+    trace: Optional[TraceRecorder] = None,
 ) -> Generator:
     """Network-side continuation of a send: store-and-forward through the
     inter-cluster uplink (if any), then the propagation latency, then
@@ -79,8 +80,15 @@ def _deliver(
     uplink = fabric.uplink_resource(src, dst)
     if uplink is not None:
         yield Wait(uplink.acquire())
+        held = fabric.engine.now
         yield Timeout(fabric.uplink_occupancy(nbytes))
         uplink.release()
+        if trace is not None and trace.enabled:
+            trace.record(
+                src, "uplink", f"uplink:{tag}", held, fabric.engine.now, nbytes,
+                src_cluster=fabric.topology.device(src).cluster_id,
+                dst_cluster=fabric.topology.device(dst).cluster_id,
+            )
     yield Timeout(latency)
     channels.channel(src, dst, tag).store.put(
         Message(src=src, dst=dst, tag=tag, nbytes=nbytes, payload=payload)
@@ -109,6 +117,9 @@ def send(
     engine = fabric.engine
     if engine is None:
         raise TransportError("fabric has no simulation engine attached")
+    # A disabled recorder must be a true no-op on this hot path: skip even
+    # the label f-strings and kwargs dicts, not just the append.
+    tracing = trace is not None and trace.enabled
     transport = fabric.transport(src, dst)
     start = engine.now
     if transport.kind.is_intra_node:
@@ -126,7 +137,7 @@ def send(
         if rebuild > 0.0:
             rebuild_start = engine.now
             yield Timeout(rebuild)
-            if trace is not None:
+            if tracing:
                 trace.record(
                     src, "fault", "comm-rebuild", rebuild_start, engine.now,
                     dst=dst,
@@ -134,27 +145,50 @@ def send(
         family = nic_family_for(transport.kind)
         nic = fabric.nic_tx_resource(src, family)
         yield Wait(nic.acquire())
+        occupied = engine.now
         yield Timeout(fabric.p2p_occupancy(src, dst, nbytes))
         nic.release()
+        if tracing:
+            trace.record(
+                src, "nic", f"nic-tx:{tag}", occupied, engine.now, nbytes,
+                dst=dst, family=family.value,
+                src_node=fabric.topology.device(src).node_global,
+                dst_node=fabric.topology.device(dst).node_global,
+            )
         engine.process(
             _deliver(
                 fabric, channels, src, dst, tag, nbytes,
-                transport.latency, payload,
+                transport.latency, payload, trace if tracing else None,
             ),
             name=f"deliver[{src}->{dst}:{tag}]",
         )
-    if trace is not None:
+    if tracing:
         trace.record(src, "p2p", f"send:{tag}", start, engine.now, nbytes, dst=dst)
 
 
 def recv(
-    channels: ChannelRegistry, src: int, dst: int, tag: str
+    channels: ChannelRegistry,
+    src: int,
+    dst: int,
+    tag: str,
+    trace: Optional[TraceRecorder] = None,
 ) -> Generator:
     """Process body: block until a message arrives on (src, dst, tag).
 
     Returns the :class:`Message` as the generator's value, so callers can
-    ``msg = yield from recv(...)`` inside their own process bodies.
+    ``msg = yield from recv(...)`` inside their own process bodies.  With a
+    recorder attached, the wait is recorded as an ``idle`` span (a
+    receive-side pipeline bubble) — also the anchor the Chrome-trace
+    exporter hangs p2p flow arrows on.
     """
     chan = channels.channel(src, dst, tag)
+    tracing = trace is not None and trace.enabled
+    start = chan.store.engine.now if tracing else 0.0
     msg = yield Wait(chan.store.get())
+    if tracing:
+        engine = chan.store.engine
+        trace.record(
+            dst, "idle", f"recv-wait:{tag}", start, engine.now, msg.nbytes,
+            src=src,
+        )
     return msg

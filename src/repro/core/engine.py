@@ -36,6 +36,8 @@ from repro.model.memory import activation_message_bytes, tp_allreduce_bytes
 from repro.network.contention import concurrent_groups_per_nic
 from repro.network.costmodel import CostModelConfig
 from repro.network.fabric import Fabric
+from repro.obs.attribution import AttributionReport, Category, attribute_iteration
+from repro.obs.registry import MetricsRegistry
 from repro.schedule.gpipe import gpipe
 from repro.schedule.interleaved import interleaved_1f1b
 from repro.schedule.microbatch import OpKind, PipelineOp, validate_schedule
@@ -82,6 +84,14 @@ class IterationResult:
     faults: Optional[FaultReport] = None
     #: True when a node crash aborted the iteration before completion
     aborted: bool = False
+    #: virtual-time end of the iteration before the fixed framework
+    #: overhead (``iteration_time = makespan + overhead``)
+    makespan: float = 0.0
+    overhead: float = 0.0
+    #: critical-path time-loss budget (None when tracing was disabled)
+    attribution: Optional[AttributionReport] = None
+    #: observability registry the fabric/injector/engine published into
+    registry: Optional[MetricsRegistry] = None
 
     @property
     def iteration_time(self) -> float:
@@ -125,6 +135,7 @@ class TrainingSimulation:
         stragglers: Optional[Dict[int, float]] = None,
         tie_embeddings: bool = False,
         fault_plan: Optional[FaultPlan] = None,
+        metrics_registry: Optional[MetricsRegistry] = None,
     ) -> None:
         """``blocking_p2p`` mirrors Megatron's synchronous
         ``batch_isend_irecv`` semantics: a rank waits for its inter-stage
@@ -161,6 +172,9 @@ class TrainingSimulation:
         self.fault_plan = fault_plan
         if fault_plan is not None:
             fault_plan.validate_against(plan.topology)
+        #: shared observability registry; a private one is created per run
+        #: when the caller does not supply one.
+        self.metrics_registry = metrics_registry
         self.stragglers: Dict[int, float] = dict(stragglers or {})
         for rank, factor in self.stragglers.items():
             if factor < 1.0:
@@ -337,10 +351,13 @@ class TrainingSimulation:
         parallel = plan.parallel
         topo = plan.topology
         engine = SimEngine()
+        registry = self.metrics_registry or MetricsRegistry()
         fabric = Fabric(
-            topo, self.cost_config, engine=engine, force_ethernet=self.force_ethernet
+            topo, self.cost_config, engine=engine,
+            force_ethernet=self.force_ethernet, metrics=registry,
         )
         trace = TraceRecorder(enabled=self.trace_enabled)
+        tracing = trace.enabled
         channels = ChannelRegistry(engine)
         schedule = self._build_schedule()
         work = self._chunk_work(fabric)
@@ -438,20 +455,24 @@ class TrainingSimulation:
                     if prev is not None:
                         src = pp_group_phys[prev[0]]
                         yield from recv(
-                            channels, src, phys, f"act:{chunk}:{tag_mb}"
+                            channels, src, phys, f"act:{chunk}:{tag_mb}",
+                            trace=trace if tracing else None,
                         )
                     start = engine.now
-                    yield Timeout(work[stage][chunk].forward_time * _slowdown(phys))
-                    trace.record(
-                        phys, "compute", "forward", start, engine.now,
-                        mb=tag_mb, chunk=chunk, stage=stage,
-                    )
+                    factor = _slowdown(phys)
+                    yield Timeout(work[stage][chunk].forward_time * factor)
+                    if tracing:
+                        trace.record(
+                            phys, "compute", "forward", start, engine.now,
+                            mb=tag_mb, chunk=chunk, stage=stage, slow=factor,
+                        )
                     nxt = self._next_virtual(stage, chunk)
                     if nxt is not None:
                         dst = pp_group_phys[nxt[0]]
                         sender = send(
                             fabric, channels, phys, dst,
-                            f"act:{nxt[1]}:{tag_mb}", act_bytes, trace,
+                            f"act:{nxt[1]}:{tag_mb}", act_bytes,
+                            trace if tracing else None,
                         )
                         if self.blocking_p2p:
                             yield from sender
@@ -464,22 +485,26 @@ class TrainingSimulation:
                     if nxt is not None:
                         src = pp_group_phys[nxt[0]]
                         yield from recv(
-                            channels, src, phys, f"grad:{chunk}:{tag_mb}"
+                            channels, src, phys, f"grad:{chunk}:{tag_mb}",
+                            trace=trace if tracing else None,
                         )
                     start = engine.now
-                    backward = work[stage][chunk].backward_time * _slowdown(phys)
+                    factor = _slowdown(phys)
+                    backward = work[stage][chunk].backward_time * factor
                     yield Timeout(backward)
                     bwd_window += backward
-                    trace.record(
-                        phys, "compute", "backward", start, engine.now,
-                        mb=tag_mb, chunk=chunk, stage=stage,
-                    )
+                    if tracing:
+                        trace.record(
+                            phys, "compute", "backward", start, engine.now,
+                            mb=tag_mb, chunk=chunk, stage=stage, slow=factor,
+                        )
                     prev = self._prev_virtual(stage, chunk)
                     if prev is not None:
                         dst = pp_group_phys[prev[0]]
                         sender = send(
                             fabric, channels, phys, dst,
-                            f"grad:{prev[1]}:{tag_mb}", act_bytes, trace,
+                            f"grad:{prev[1]}:{tag_mb}", act_bytes,
+                            trace if tracing else None,
                         )
                         if self.blocking_p2p:
                             yield from sender
@@ -506,10 +531,11 @@ class TrainingSimulation:
                 )
                 start = engine.now
                 yield Timeout(duration)
-                trace.record(
-                    phys, "collective", "embedding-grads-allreduce",
-                    start, engine.now, nbytes,
-                )
+                if tracing:
+                    trace.record(
+                        phys, "collective", "embedding-grads-allreduce",
+                        start, engine.now, nbytes,
+                    )
 
             # Pipeline flush reached: gradient synchronisation.
             backward_windows[phys] = bwd_window
@@ -519,7 +545,8 @@ class TrainingSimulation:
             barrier = _dp_barrier(group_index)
             start = engine.now
             yield Wait(barrier.arrive())
-            trace.record(phys, "collective", "dp-sync", start, engine.now)
+            if tracing:
+                trace.record(phys, "collective", "dp-sync", start, engine.now)
             finish_times[phys] = engine.now
 
         procs = [
@@ -557,6 +584,26 @@ class TrainingSimulation:
         fault_report: Optional[FaultReport] = None
         if injector is not None:
             fault_report = injector.report()
+        audit = audit_parallel_groups(fabric, groups)
+        # Record the canonical reduce-scatter spans for Figure 3 (synthetic
+        # rank -1 spans, excluded from critical-path attribution).
+        if tracing:
+            for stage, times in enumerate(sync_times):
+                for key, duration in times.items():
+                    if key == "exposed":
+                        continue
+                    trace.record(
+                        -1, "collective", f"grads-{key.replace('_', '-')}",
+                        0.0, duration, stage=stage,
+                    )
+
+        # Critical-path attribution: partition the makespan into the
+        # time-loss budget and fold its headline fractions into the metrics.
+        attribution: Optional[AttributionReport] = None
+        if tracing:
+            attribution = attribute_iteration(
+                trace, end_time, overhead=self.iteration_overhead, topology=topo
+            )
         metrics = compute_metrics(
             self.model,
             parallel.global_batch_size,
@@ -564,17 +611,10 @@ class TrainingSimulation:
             topo.world_size,
             retry_time=fabric.fault_stats.retry_time,
             rebuild_time=fabric.fault_stats.rebuild_time,
+            bubble_time=attribution.bubble_time if attribution else 0.0,
+            comm_time=attribution.comm_time if attribution else 0.0,
         )
-        audit = audit_parallel_groups(fabric, groups)
-        # Record the canonical reduce-scatter spans for Figure 3.
-        for stage, times in enumerate(sync_times):
-            for key, duration in times.items():
-                if key == "exposed":
-                    continue
-                trace.record(
-                    -1, "collective", f"grads-{key.replace('_', '-')}",
-                    0.0, duration, stage=stage,
-                )
+        self._publish_metrics(registry, metrics, end_time, attribution)
         return IterationResult(
             plan=plan,
             model=self.model,
@@ -585,4 +625,47 @@ class TrainingSimulation:
             optimizer_name=self.optimizer.name,
             faults=fault_report,
             aborted=aborted,
+            makespan=end_time,
+            overhead=self.iteration_overhead,
+            attribution=attribution,
+            registry=registry,
         )
+
+    def _publish_metrics(
+        self,
+        registry: MetricsRegistry,
+        metrics: IterationMetrics,
+        makespan: float,
+        attribution: Optional[AttributionReport],
+    ) -> None:
+        """Publish iteration-level gauges into the observability registry."""
+        gauge = registry.gauge
+        gauge("sim_iteration_seconds", "wall time of the iteration").set(
+            metrics.iteration_time
+        )
+        gauge("sim_makespan_seconds", "virtual-time makespan pre-overhead").set(
+            makespan
+        )
+        gauge("sim_tflops_per_gpu", "achieved teraFLOP/s per GPU").set(
+            metrics.tflops_per_gpu
+        )
+        gauge("sim_throughput_samples_per_s", "training throughput").set(
+            metrics.throughput
+        )
+        if attribution is None:
+            return
+        budget_gauge = gauge(
+            "attribution_seconds", "critical-path time-loss budget by category"
+        )
+        for category in Category:
+            budget_gauge.set(
+                attribution.budget.get(category, 0.0), category=str(category)
+            )
+        busy_gauge = gauge(
+            "rank_busy_seconds", "non-bubble seconds per rank over the makespan"
+        )
+        idle_gauge = gauge("rank_bubble_seconds", "bubble seconds per rank")
+        for rank, cats in attribution.per_rank.items():
+            bubble = cats.get(Category.BUBBLE, 0.0)
+            busy_gauge.set(makespan - bubble, rank=rank)
+            idle_gauge.set(bubble, rank=rank)

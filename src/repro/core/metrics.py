@@ -35,11 +35,26 @@ class IterationMetrics:
     throughput: float  # samples / second
     retry_time: float = 0.0  # seconds lost to transport retries
     rebuild_time: float = 0.0  # seconds lost to communicator rebuilds
+    #: critical-path attribution (repro.obs): seconds of the iteration the
+    #: critical rank spent idle in pipeline bubbles / moving bytes.  Zero
+    #: when the simulation ran without tracing.
+    bubble_time: float = 0.0
+    comm_time: float = 0.0
 
     @property
     def degraded_time(self) -> float:
         """Total time attributable to fault handling."""
         return self.retry_time + self.rebuild_time
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Fraction of the iteration lost to pipeline bubbles."""
+        return self.bubble_time / self.iteration_time if self.iteration_time else 0.0
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of the iteration spent in exposed communication."""
+        return self.comm_time / self.iteration_time if self.iteration_time else 0.0
 
     def __str__(self) -> str:
         text = (
@@ -47,6 +62,11 @@ class IterationMetrics:
             f"TFLOPS={self.tflops_per_gpu:.0f}  "
             f"throughput={self.throughput:.2f} samples/s"
         )
+        if self.bubble_time or self.comm_time:
+            text += (
+                f"  bubble={self.bubble_fraction * 100:.0f}%"
+                f"  comm={self.comm_fraction * 100:.0f}%"
+            )
         if self.degraded_time:
             text += f"  degraded={self.degraded_time:.3f}s"
         return text
@@ -59,6 +79,8 @@ def compute_metrics(
     num_gpus: int,
     retry_time: float = 0.0,
     rebuild_time: float = 0.0,
+    bubble_time: float = 0.0,
+    comm_time: float = 0.0,
 ) -> IterationMetrics:
     """Assemble :class:`IterationMetrics` from a simulated iteration."""
     return IterationMetrics(
@@ -72,4 +94,6 @@ def compute_metrics(
         throughput=throughput_samples_per_second(global_batch_size, iteration_time),
         retry_time=retry_time,
         rebuild_time=rebuild_time,
+        bubble_time=bubble_time,
+        comm_time=comm_time,
     )

@@ -135,12 +135,16 @@ class FaultInjector:
         engine = self.fabric.engine
         assert engine is not None
         self.records.append(FaultRecord(engine.now, action, event))
-        if self.trace is not None:
+        if self.trace is not None and self.trace.enabled:
             self.trace.record(
-                -1, "fault", f"{action}:{event.kind}", engine.now, engine.now,
+                -1, "fault", f"{action}:{event.kind.value}", engine.now, engine.now,
                 target_node=event.node if event.node is not None else -1,
                 target_rank=event.rank if event.rank is not None else -1,
             )
+        if self.fabric.metrics is not None:
+            self.fabric.metrics.counter(
+                "fault_events_total", "fault events applied/recovered"
+            ).inc(action=action, kind=event.kind.value)
 
     def _rdma_family(self, node: int) -> NICType:
         rank = self.fabric.topology.ranks_of_node(node)[0]

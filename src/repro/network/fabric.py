@@ -33,6 +33,7 @@ from repro.network.transport import (
     nic_family_for,
     resolve_transport,
 )
+from repro.obs.registry import MetricsRegistry
 from repro.simcore.engine import SimEngine
 from repro.simcore.resource import Resource
 
@@ -52,17 +53,40 @@ class Fabric:
         config: Optional[CostModelConfig] = None,
         engine: Optional[SimEngine] = None,
         force_ethernet: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         """``force_ethernet=True`` reproduces the behaviour of NIC-oblivious
         frameworks in heterogeneous environments (paper §3.2): NCCL cannot
         negotiate RDMA consistently, so *all* inter-node traffic rides TCP
-        over the Ethernet NICs."""
+        over the Ethernet NICs.  ``metrics`` (optional) is the observability
+        registry every priced communication publishes into."""
         self.topology = topology
         self.cost_model = CollectiveCostModel(config)
         self.engine = engine
         self.force_ethernet = force_ethernet
         self.health = FabricHealth()
         self.fault_stats = FaultStats()
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_bytes = metrics.counter(
+                "comm_bytes_total", "bytes priced per transport kind and scope"
+            )
+            self._m_seconds = metrics.counter(
+                "comm_seconds_total", "communication seconds per kind and scope"
+            )
+            self._m_retry = metrics.counter(
+                "comm_retry_seconds_total",
+                "expected retransmission seconds on lossy links",
+            )
+            self._m_rebuilds = metrics.counter(
+                "comm_rebuilds_total", "communicator re-initialisations paid"
+            )
+            self._m_rebuild_s = metrics.counter(
+                "comm_rebuild_seconds_total", "communicator rebuild seconds"
+            )
+            self._m_p2p_hist = metrics.histogram(
+                "p2p_occupancy_seconds", "sender NIC occupancy per transfer"
+            )
         self._pair_cache: Dict[Tuple[int, int], Tuple[int, Transport]] = {}
         self._group_cache: Dict[Tuple[int, ...], Tuple[int, Transport]] = {}
         #: last transport family observed per pair / group, for rebuild charges
@@ -203,6 +227,9 @@ class Fabric:
         charge = self.cost_model.config.comm_rebuild_time
         self.fault_stats.rebuild_count += 1
         self.fault_stats.rebuild_time += charge
+        if self.metrics is not None:
+            self._m_rebuilds.inc(kind=str(kind))
+            self._m_rebuild_s.inc(charge, kind=str(kind))
         return charge
 
     def pair_rebuild_time(self, src: int, dst: int) -> float:
@@ -265,16 +292,25 @@ class Fabric:
                 node_span=span,
             )
             self.fault_stats.retry_time += duration - clean
+            if self.metrics is not None:
+                self._m_retry.inc(duration - clean, scope="collective")
+        if self.metrics is not None:
+            kind = str(edge.kind)
+            self._m_bytes.inc(nbytes, kind=kind, scope="collective", op=op)
+            self._m_seconds.inc(duration, kind=kind, scope="collective", op=op)
         return duration + rebuild
 
     def p2p_time(self, src: int, dst: int, nbytes: int, concurrent: int = 1) -> float:
         """End-to-end duration of one point-to-point transfer."""
-        return self.cost_model.p2p(
-            nbytes,
-            self.transport(src, dst),
-            concurrent,
+        edge = self.transport(src, dst)
+        duration = self.cost_model.p2p(
+            nbytes, edge, concurrent,
             cross_cluster=not self.topology.same_cluster(src, dst),
         )
+        if self.metrics is not None:
+            self._m_bytes.inc(nbytes, kind=str(edge.kind), scope="p2p")
+            self._m_seconds.inc(duration, kind=str(edge.kind), scope="p2p")
+        return duration
 
     def p2p_occupancy(self, src: int, dst: int, nbytes: int) -> float:
         """Sender NIC busy time for one transfer (DES serialization),
@@ -291,6 +327,13 @@ class Fabric:
                 cross_cluster=cross,
             )
             self.fault_stats.retry_time += occupancy - clean
+            if self.metrics is not None:
+                self._m_retry.inc(occupancy - clean, scope="p2p")
+        if self.metrics is not None:
+            kind = str(edge.kind)
+            self._m_bytes.inc(nbytes, kind=kind, scope="p2p")
+            self._m_seconds.inc(occupancy, kind=kind, scope="p2p")
+            self._m_p2p_hist.observe(occupancy, kind=kind)
         return occupancy
 
     # ------------------------------------------------------------------ #

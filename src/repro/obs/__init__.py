@@ -1,0 +1,53 @@
+"""Observability: metrics, critical-path attribution, network timelines.
+
+The simulator can tell you *how long* an iteration took; this package tells
+you *why*.  Three pillars:
+
+- :mod:`repro.obs.registry` — a structured metrics registry (counters,
+  gauges, histograms with labels) the fabric, engine, and fault injector
+  publish into, with JSON and Prometheus-text exporters;
+- :mod:`repro.obs.attribution` — critical-path analysis over the executed
+  span timeline, producing a time-loss budget that attributes the makespan
+  to compute / p2p / collective / pipeline-bubble / straggler / fault
+  categories (and names the slowest links);
+- :mod:`repro.obs.timeline` — per-link and per-NIC utilization over virtual
+  time, exportable as Chrome-trace counter tracks.
+
+:mod:`repro.obs.report` assembles all three into the self-contained profile
+report emitted by ``repro profile`` and ``benchmarks/emit_bench.py``.
+"""
+
+from repro.obs.attribution import (
+    Category,
+    AttributionReport,
+    EdgeCost,
+    attribute_iteration,
+    attribute_result,
+)
+from repro.obs.registry import Counter, Gauge, HistogramMetric, MetricsRegistry
+from repro.obs.report import build_report, render_report, validate_report
+from repro.obs.timeline import (
+    UtilizationSeries,
+    link_utilization,
+    nic_utilization,
+    utilization_counter_events,
+)
+
+__all__ = [
+    "Category",
+    "AttributionReport",
+    "EdgeCost",
+    "attribute_iteration",
+    "attribute_result",
+    "Counter",
+    "Gauge",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "build_report",
+    "render_report",
+    "validate_report",
+    "UtilizationSeries",
+    "link_utilization",
+    "nic_utilization",
+    "utilization_counter_events",
+]

@@ -1,0 +1,379 @@
+"""Critical-path attribution: where did the iteration time go?
+
+The trace records what every rank did; this module converts it into a
+*time-loss budget*.  The rank that finishes last (the **critical rank**)
+determines the makespan, so its timeline — swept from iteration end back to
+time zero — *is* the critical path of the executed event DAG: every second
+of the makespan is a second that rank spent computing, moving bytes,
+waiting in a collective, paying fault overhead, or idling in a pipeline
+bubble.
+
+The sweep partitions ``[0, makespan]`` into elementary intervals at span
+boundaries and assigns each interval to exactly one category, so the budget
+is **conservative and complete by construction**: categories sum to the
+makespan (plus the fixed framework overhead, reported as its own category)
+to float precision.  Overlapping spans are resolved by a fixed priority —
+e.g. a communicator rebuild inside a blocking send counts as fault time,
+compute shadows an asynchronous background send.
+
+Per-rank and per-stage budgets use the same sweep, and point-to-point spans
+are aggregated into per-edge costs (with the transport and NIC family
+responsible) so the slowest links can be named, Holmes-style.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.simcore.trace import Span, TraceRecorder
+
+
+class Category(enum.Enum):
+    """Where one slice of the makespan went."""
+
+    COMPUTE = "compute"
+    P2P = "p2p"
+    COLLECTIVE = "collective"
+    BUBBLE = "pipeline-bubble"
+    STRAGGLER = "straggler"
+    FAULT = "fault-retry"
+    OVERHEAD = "overhead"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Higher value wins when spans overlap on one rank's timeline.  Fault
+#: overhead (communicator rebuilds) is never hidden; compute shadows an
+#: asynchronous send (the rank wasn't *waiting* on the network); explicit
+#: waits (recv-wait, idle) outrank only the gap default.
+_PRIORITY = {
+    Category.FAULT: 5,
+    Category.COMPUTE: 4,
+    Category.COLLECTIVE: 3,
+    Category.P2P: 2,
+    Category.BUBBLE: 1,
+}
+
+#: span kind -> budget category ("nic"/"uplink" spans are transfer-side
+#: detail of p2p sends; "idle" covers recv-wait and explicit bubbles)
+_KIND_TO_CATEGORY = {
+    "compute": Category.COMPUTE,
+    "p2p": Category.P2P,
+    "nic": Category.P2P,
+    "uplink": Category.P2P,
+    "collective": Category.COLLECTIVE,
+    "fault": Category.FAULT,
+    "optimizer": Category.COMPUTE,
+    "idle": Category.BUBBLE,
+}
+
+
+@dataclass(frozen=True)
+class EdgeCost:
+    """Aggregate cost of one directed p2p edge (src rank -> dst rank)."""
+
+    src: int
+    dst: int
+    total_time: float
+    bytes: int
+    transfers: int
+    transport: str = ""  # transport kind (rdma-ib, tcp, ...) when resolvable
+    nic: str = ""  # NIC family the sender used
+
+    def describe(self) -> str:
+        via = f" via {self.transport}" if self.transport else ""
+        return (
+            f"rank{self.src}->rank{self.dst}{via}: "
+            f"{self.total_time:.3f}s over {self.transfers} transfers "
+            f"({self.bytes / 1e6:.1f} MB)"
+        )
+
+
+@dataclass
+class AttributionReport:
+    """The per-category time-loss budget of one simulated iteration."""
+
+    #: virtual-time makespan (pre-overhead) the budget partitions
+    makespan: float
+    #: fixed framework overhead added on top of the makespan
+    overhead: float
+    #: rank whose timeline determined the makespan
+    critical_rank: int
+    #: overall budget over the critical rank: category -> seconds
+    budget: Dict[Category, float]
+    #: same sweep per rank
+    per_rank: Dict[int, Dict[Category, float]] = field(default_factory=dict)
+    #: per-rank budgets folded by pipeline stage (from compute-span meta)
+    per_stage: Dict[int, Dict[Category, float]] = field(default_factory=dict)
+    #: slowest p2p edges, descending by total time
+    top_edges: List[EdgeCost] = field(default_factory=list)
+
+    @property
+    def iteration_time(self) -> float:
+        return self.makespan + self.overhead
+
+    @property
+    def total(self) -> float:
+        """Budget sum including overhead; equals iteration_time to 1e-6."""
+        return sum(self.budget.values())
+
+    def fraction(self, category: Category) -> float:
+        if self.iteration_time <= 0:
+            return 0.0
+        return self.budget.get(category, 0.0) / self.iteration_time
+
+    @property
+    def bubble_time(self) -> float:
+        return self.budget.get(Category.BUBBLE, 0.0)
+
+    @property
+    def comm_time(self) -> float:
+        return self.budget.get(Category.P2P, 0.0) + self.budget.get(
+            Category.COLLECTIVE, 0.0
+        )
+
+    def dominant(self) -> Category:
+        """The category that claims the most time (ties -> declared order)."""
+        return max(Category, key=lambda c: self.budget.get(c, 0.0))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "makespan": self.makespan,
+            "overhead": self.overhead,
+            "iteration_time": self.iteration_time,
+            "critical_rank": self.critical_rank,
+            "budget": {str(c): self.budget.get(c, 0.0) for c in Category},
+            "per_stage": {
+                str(stage): {str(c): t for c, t in cats.items()}
+                for stage, cats in sorted(self.per_stage.items())
+            },
+            "top_edges": [
+                {
+                    "src": e.src,
+                    "dst": e.dst,
+                    "seconds": e.total_time,
+                    "bytes": e.bytes,
+                    "transfers": e.transfers,
+                    "transport": e.transport,
+                    "nic": e.nic,
+                }
+                for e in self.top_edges
+            ],
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"time-loss budget over {self.iteration_time:.3f}s "
+            f"(critical rank {self.critical_rank}):"
+        ]
+        for category in Category:
+            seconds = self.budget.get(category, 0.0)
+            if seconds <= 0:
+                continue
+            lines.append(
+                f"  {str(category):16s} {seconds:8.3f}s  "
+                f"({self.fraction(category) * 100:5.1f}%)"
+            )
+        for edge in self.top_edges[:3]:
+            lines.append(f"  slow edge: {edge.describe()}")
+        return "\n".join(lines)
+
+
+def _sweep_rank(spans: Sequence[Span], horizon: float) -> Dict[Category, float]:
+    """Partition ``[0, horizon]`` of one rank into category seconds.
+
+    Elementary intervals between span boundaries are assigned to the
+    highest-priority category active there; uncovered intervals are
+    pipeline bubble.  Straggler excess is carved out of compute afterwards:
+    a span recorded with ``slow=f`` ran ``f``x slower than the healthy op,
+    so ``duration * (1 - 1/f)`` of it is straggler-induced loss.
+    """
+    budget: Dict[Category, float] = {}
+    events: List[Tuple[float, int, int]] = []  # (time, +1/-1, priority)
+    straggler_excess = 0.0
+    for span in spans:
+        category = _KIND_TO_CATEGORY.get(span.kind)
+        if category is None or span.duration <= 0:
+            continue
+        start = min(span.start, horizon)
+        end = min(span.end, horizon)
+        if end <= start:
+            continue
+        priority = _PRIORITY[category]
+        events.append((start, +1, priority))
+        events.append((end, -1, priority))
+        if category is Category.COMPUTE:
+            meta = dict(span.meta)
+            slow = float(meta.get("slow", 1.0))
+            if slow > 1.0:
+                straggler_excess += (end - start) * (1.0 - 1.0 / slow)
+    events.sort()
+
+    by_priority = {category: priority for category, priority in _PRIORITY.items()}
+    active = {priority: 0 for priority in by_priority.values()}
+    cursor = 0.0
+    index = 0
+    n = len(events)
+    while index < n:
+        time = events[index][0]
+        if time > cursor:
+            budget_cat = _active_category(active)
+            budget[budget_cat] = budget.get(budget_cat, 0.0) + (time - cursor)
+            cursor = time
+        while index < n and events[index][0] == time:
+            _, delta, priority = events[index]
+            active[priority] += delta
+            index += 1
+    if cursor < horizon:
+        budget[Category.BUBBLE] = budget.get(Category.BUBBLE, 0.0) + (
+            horizon - cursor
+        )
+
+    compute = budget.get(Category.COMPUTE, 0.0)
+    carve = min(straggler_excess, compute)
+    if carve > 0.0:
+        budget[Category.COMPUTE] = compute - carve
+        budget[Category.STRAGGLER] = budget.get(Category.STRAGGLER, 0.0) + carve
+    return budget
+
+
+def _active_category(active: Dict[int, int]) -> Category:
+    best = 0
+    for priority, count in active.items():
+        if count > 0 and priority > best:
+            best = priority
+    if best == 0:
+        return Category.BUBBLE
+    for category, priority in _PRIORITY.items():
+        if priority == best:
+            return category
+    return Category.BUBBLE  # pragma: no cover
+
+
+def _edge_costs(spans: Sequence[Span], topology=None) -> List[EdgeCost]:
+    """Aggregate p2p send spans into per-(src, dst) edge costs."""
+    agg: Dict[Tuple[int, int], List[float]] = {}
+    for span in spans:
+        if span.kind != "p2p" or not span.label.startswith("send:"):
+            continue
+        meta = dict(span.meta)
+        dst = meta.get("dst")
+        if dst is None:
+            continue
+        entry = agg.setdefault((span.rank, int(dst)), [0.0, 0, 0])
+        entry[0] += span.duration
+        entry[1] += span.bytes
+        entry[2] += 1
+    edges = []
+    for (src, dst), (seconds, nbytes, count) in agg.items():
+        transport = nic = ""
+        if topology is not None:
+            try:
+                from repro.network.transport import resolve_transport
+
+                resolved = resolve_transport(topology, src, dst)
+                transport = str(resolved.kind)
+                if not resolved.kind.is_intra_node:
+                    from repro.network.transport import nic_family_for
+
+                    nic = nic_family_for(resolved.kind).value
+            except Exception:
+                pass  # unresolvable pairs (synthetic traces) stay unnamed
+        edges.append(
+            EdgeCost(
+                src=src, dst=dst, total_time=seconds, bytes=int(nbytes),
+                transfers=int(count), transport=transport, nic=nic,
+            )
+        )
+    edges.sort(key=lambda e: (-e.total_time, e.src, e.dst))
+    return edges
+
+
+def attribute_iteration(
+    trace: TraceRecorder,
+    makespan: float,
+    overhead: float = 0.0,
+    topology=None,
+    top_k: int = 10,
+) -> AttributionReport:
+    """Build the time-loss budget of one simulated iteration.
+
+    ``makespan`` is the virtual-time end of the iteration (pre-overhead);
+    ``overhead`` the fixed framework cost added on top.  ``topology``
+    (optional) names the transport/NIC of the slowest edges.
+    """
+    real_spans = [s for s in trace.spans if s.rank >= 0]
+    by_rank: Dict[int, List[Span]] = {}
+    for span in real_spans:
+        by_rank.setdefault(span.rank, []).append(span)
+
+    per_rank = {
+        rank: _sweep_rank(spans, makespan)
+        for rank, spans in sorted(by_rank.items())
+    }
+
+    # Critical rank: the one whose recorded activity ends last (ties break
+    # toward the lowest rank for determinism).  With no spans at all the
+    # whole makespan is bubble on a synthetic rank 0.
+    critical_rank = 0
+    latest = -1.0
+    for rank, spans in sorted(by_rank.items()):
+        end = max(s.end for s in spans)
+        if end > latest + 1e-12:
+            latest = end
+            critical_rank = rank
+    budget = dict(per_rank.get(critical_rank, {Category.BUBBLE: makespan}))
+    if overhead > 0.0:
+        budget[Category.OVERHEAD] = overhead
+
+    # Fold rank budgets by pipeline stage, read from compute-span meta.
+    stage_of: Dict[int, int] = {}
+    for span in real_spans:
+        if span.kind == "compute" and span.rank not in stage_of:
+            stage = dict(span.meta).get("stage")
+            if stage is not None:
+                stage_of[span.rank] = int(stage)
+    per_stage: Dict[int, Dict[Category, float]] = {}
+    for rank, cats in per_rank.items():
+        stage = stage_of.get(rank)
+        if stage is None:
+            continue
+        fold = per_stage.setdefault(stage, {})
+        for category, seconds in cats.items():
+            fold[category] = fold.get(category, 0.0) + seconds
+
+    return AttributionReport(
+        makespan=makespan,
+        overhead=overhead,
+        critical_rank=critical_rank,
+        budget=budget,
+        per_rank=per_rank,
+        per_stage=per_stage,
+        top_edges=_edge_costs(real_spans, topology)[:top_k],
+    )
+
+
+def attribute_result(result, top_k: int = 10) -> AttributionReport:
+    """Attribution for an :class:`~repro.core.engine.IterationResult`.
+
+    Uses the result's recorded makespan/overhead split and its plan's
+    topology for edge naming; falls back to the metrics' iteration time for
+    traces produced before the split was recorded.
+    """
+    if result.attribution is not None:
+        return result.attribution
+    makespan = result.makespan
+    overhead = result.overhead
+    if makespan <= 0.0:
+        makespan = result.metrics.iteration_time
+        overhead = 0.0
+    return attribute_iteration(
+        result.trace,
+        makespan,
+        overhead=overhead,
+        topology=result.plan.topology,
+        top_k=top_k,
+    )

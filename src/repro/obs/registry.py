@@ -1,0 +1,298 @@
+"""A structured metrics registry for the simulator.
+
+Modelled on the Prometheus client-library surface (Megatron's timers and
+NCCL's proxy counters fill the same role in real stacks): named metrics with
+label sets, three instrument types, and text/JSON exporters.
+
+- :class:`Counter` — monotonically increasing totals (bytes moved per link,
+  retries paid, communicator rebuilds);
+- :class:`Gauge` — point-in-time values (iteration seconds, per-rank busy
+  fraction, achieved TFLOPS);
+- :class:`HistogramMetric` — fixed-bucket distributions (p2p occupancy
+  durations) with cumulative-bucket Prometheus semantics.
+
+Everything is plain Python and deterministic: label sets are sorted tuples,
+exporters emit series in sorted order, so two identical simulations produce
+byte-identical exports.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: (sorted) label key/value pairs identifying one series of a metric
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets (seconds): spans micro-collectives to slow
+#: cross-cluster transfers.
+DEFAULT_BUCKETS = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared naming/help plumbing for all instrument types."""
+
+    type_name = "untyped"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        if not name or not name.replace("_", "").replace(":", "").isalnum():
+            raise ConfigurationError(f"bad metric name: {name!r}")
+        self.name = name
+        self.help_text = help_text
+
+    def series(self) -> List[Tuple[LabelKey, float]]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing per-label totals."""
+
+    type_name = "counter"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (inc {amount})"
+            )
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across all label sets."""
+        return sum(self._values.values())
+
+    def series(self) -> List[Tuple[LabelKey, float]]:
+        return sorted(self._values.items())
+
+
+class Gauge(_Metric):
+    """Point-in-time per-label values (last write wins)."""
+
+    type_name = "gauge"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def add(self, amount: float, **labels: object) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def series(self) -> List[Tuple[LabelKey, float]]:
+        return sorted(self._values.items())
+
+
+class HistogramMetric(_Metric):
+    """Fixed upper-bound buckets with Prometheus cumulative semantics."""
+
+    type_name = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text)
+        bounds = sorted(buckets)
+        if not bounds:
+            raise ConfigurationError(f"histogram {name} needs >= 1 bucket")
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        #: label key -> per-bucket counts (+inf bucket last), sum, count
+        self._counts: Dict[LabelKey, List[int]] = {}
+        self._sums: Dict[LabelKey, float] = {}
+        self._totals: Dict[LabelKey, int] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(labels)
+        counts = self._counts.get(key)
+        if counts is None:
+            counts = [0] * (len(self.bounds) + 1)
+            self._counts[key] = counts
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+        self._sums[key] = self._sums.get(key, 0.0) + value
+        self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels: object) -> int:
+        return self._totals.get(_label_key(labels), 0)
+
+    def sum(self, **labels: object) -> float:
+        return self._sums.get(_label_key(labels), 0.0)
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """Approximate quantile from bucket upper bounds."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0,1]: {q}")
+        key = _label_key(labels)
+        counts = self._counts.get(key)
+        total = self._totals.get(key, 0)
+        if not counts or total == 0:
+            return 0.0
+        target = q * total
+        cumulative = 0
+        for i, c in enumerate(counts[:-1]):
+            cumulative += c
+            if cumulative >= target:
+                return self.bounds[i]
+        return math.inf
+
+    def series(self) -> List[Tuple[LabelKey, float]]:
+        return sorted(self._sums.items())
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        out: Dict[str, Dict[str, object]] = {}
+        for key in sorted(self._counts):
+            out[_format_labels(key) or "{}"] = {
+                "count": self._totals[key],
+                "sum": self._sums[key],
+                "buckets": dict(
+                    zip([str(b) for b in self.bounds] + ["+Inf"], self._counts[key])
+                ),
+            }
+        return out
+
+
+class MetricsRegistry:
+    """Creates, deduplicates, and exports metrics.
+
+    ``counter()`` / ``gauge()`` / ``histogram()`` are get-or-create: asking
+    for an existing name returns the existing instrument (and rejects a
+    type clash), so independent publishers can share series safely.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help_text: str, **kwargs) -> _Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as {existing.type_name}"
+                )
+            return existing
+        metric = cls(name, help_text, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> HistogramMetric:
+        return self._get_or_create(
+            HistogramMetric, name, help_text, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterable[_Metric]:
+        return iter(self._metrics[n] for n in self.names())
+
+    # ------------------------------------------------------------------ #
+    # exporters
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-able view: name -> {type, help, series{label_string: value}}."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, HistogramMetric):
+                out[name] = {
+                    "type": metric.type_name,
+                    "help": metric.help_text,
+                    "series": metric.snapshot(),
+                }
+            else:
+                out[name] = {
+                    "type": metric.type_name,
+                    "help": metric.help_text,
+                    "series": {
+                        _format_labels(key) or "{}": value
+                        for key, value in metric.series()
+                    },
+                }
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (one block per metric)."""
+        lines: List[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if metric.help_text:
+                lines.append(f"# HELP {name} {metric.help_text}")
+            lines.append(f"# TYPE {name} {metric.type_name}")
+            if isinstance(metric, HistogramMetric):
+                for key in sorted(metric._counts):
+                    cumulative = 0
+                    for bound, count in zip(
+                        [str(b) for b in metric.bounds] + ["+Inf"],
+                        metric._counts[key],
+                    ):
+                        cumulative += count
+                        le_key = key + (("le", bound),)
+                        lines.append(
+                            f"{name}_bucket{_format_labels(le_key)} {cumulative}"
+                        )
+                    lines.append(
+                        f"{name}_sum{_format_labels(key)} {metric._sums[key]:.9g}"
+                    )
+                    lines.append(
+                        f"{name}_count{_format_labels(key)} {metric._totals[key]}"
+                    )
+            else:
+                for key, value in metric.series():
+                    lines.append(f"{name}{_format_labels(key)} {value:.9g}")
+        return "\n".join(lines) + ("\n" if lines else "")

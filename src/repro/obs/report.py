@@ -1,0 +1,196 @@
+"""The self-contained profile report behind ``repro profile``.
+
+One JSON document holding everything needed to audit a simulated iteration:
+the metrics snapshot, the critical-path time-loss budget, per-link/NIC
+utilization, and (optionally) the path of the exported Chrome trace.
+:func:`validate_report` is the schema gate both the CLI and the CI bench
+harness run before trusting a report; it is hand-rolled so the repository
+keeps zero dependencies beyond NumPy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.attribution import AttributionReport, Category, attribute_result
+from repro.obs.timeline import link_utilization, nic_utilization
+
+#: Schema identifier embedded in (and required of) every report.
+REPORT_SCHEMA = "repro.obs.profile/v1"
+
+#: Tolerance for the completeness invariant: budget sums to iteration time.
+BUDGET_TOLERANCE = 1e-6
+
+
+def build_report(
+    result,
+    scenario: Optional[Dict[str, object]] = None,
+    trace_path: Optional[str] = None,
+    bins: int = 50,
+) -> Dict[str, object]:
+    """Assemble the profile report for one IterationResult."""
+    attribution: AttributionReport = attribute_result(result)
+    metrics = result.metrics
+    horizon = attribution.makespan
+    nic_util = nic_utilization(result.trace, horizon, bins=bins)
+    link_util = link_utilization(result.trace, horizon, bins=bins)
+    report: Dict[str, object] = {
+        "schema": REPORT_SCHEMA,
+        "scenario": dict(scenario or {}),
+        "metrics": {
+            "iteration_seconds": metrics.iteration_time,
+            "tflops_per_gpu": metrics.tflops_per_gpu,
+            "throughput_samples_per_s": metrics.throughput,
+            "num_gpus": metrics.num_gpus,
+            "global_batch_size": metrics.global_batch_size,
+            "retry_seconds": metrics.retry_time,
+            "rebuild_seconds": metrics.rebuild_time,
+            "bubble_fraction": metrics.bubble_fraction,
+            "comm_fraction": metrics.comm_fraction,
+            "aborted": bool(result.aborted),
+        },
+        "attribution": attribution.to_dict(),
+        "utilization": {
+            "nic": {key: s.to_dict() for key, s in nic_util.items()},
+            "links": {key: s.to_dict() for key, s in link_util.items()},
+        },
+        "registry": result.registry.snapshot() if result.registry else {},
+        "trace_path": trace_path,
+    }
+    if result.faults is not None:
+        report["faults"] = {
+            "degraded": result.faults.degraded,
+            "retry_seconds": result.faults.retry_time,
+            "rebuild_seconds": result.faults.rebuild_time,
+            "rebuild_count": result.faults.rebuild_count,
+            "aborted": result.faults.aborted,
+            "events": [r.describe() for r in result.faults.records],
+        }
+    return report
+
+
+def validate_report(report: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``report`` is a well-formed profile.
+
+    Checks structure, numeric sanity, and the completeness invariant: the
+    attribution budget must sum to the iteration time within 1e-6 s.
+    """
+    if not isinstance(report, dict):
+        raise ValueError(f"report must be a dict, got {type(report).__name__}")
+    if report.get("schema") != REPORT_SCHEMA:
+        raise ValueError(
+            f"unknown report schema: {report.get('schema')!r} "
+            f"(expected {REPORT_SCHEMA})"
+        )
+    for section in ("metrics", "attribution", "utilization"):
+        if not isinstance(report.get(section), dict):
+            raise ValueError(f"report is missing the {section!r} section")
+
+    metrics = report["metrics"]
+    for key in (
+        "iteration_seconds", "tflops_per_gpu", "throughput_samples_per_s",
+        "bubble_fraction", "comm_fraction",
+    ):
+        value = metrics.get(key)
+        if not isinstance(value, (int, float)):
+            raise ValueError(f"metrics.{key} must be numeric, got {value!r}")
+    if metrics["iteration_seconds"] <= 0:
+        raise ValueError("metrics.iteration_seconds must be positive")
+
+    attribution = report["attribution"]
+    budget = attribution.get("budget")
+    if not isinstance(budget, dict) or not budget:
+        raise ValueError("attribution.budget must be a non-empty mapping")
+    known = {str(c) for c in Category}
+    unknown = set(budget) - known
+    if unknown:
+        raise ValueError(f"unknown attribution categories: {sorted(unknown)}")
+    for category, seconds in budget.items():
+        if not isinstance(seconds, (int, float)) or seconds < -BUDGET_TOLERANCE:
+            raise ValueError(f"budget[{category}] must be >= 0, got {seconds!r}")
+    total = sum(budget.values())
+    iteration = attribution.get("iteration_time", metrics["iteration_seconds"])
+    if abs(total - iteration) > BUDGET_TOLERANCE:
+        raise ValueError(
+            f"attribution budget ({total:.9f}s) does not sum to the "
+            f"iteration time ({iteration:.9f}s)"
+        )
+
+    utilization = report["utilization"]
+    for group in ("nic", "links"):
+        entries = utilization.get(group)
+        if not isinstance(entries, dict):
+            raise ValueError(f"utilization.{group} must be a mapping")
+        for key, entry in entries.items():
+            u = entry.get("utilization")
+            if not isinstance(u, (int, float)) or not -1e-9 <= u <= 1.0 + 1e-9:
+                raise ValueError(
+                    f"utilization.{group}[{key!r}] must be in [0, 1], got {u!r}"
+                )
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Human-readable tables for one validated report."""
+    lines: List[str] = []
+    scenario = report.get("scenario") or {}
+    if scenario:
+        pairs = "  ".join(f"{k}={v}" for k, v in scenario.items())
+        lines.append(f"scenario: {pairs}")
+    metrics = report["metrics"]
+    lines.append(
+        f"iteration {metrics['iteration_seconds']:.3f}s  "
+        f"TFLOPS/GPU {metrics['tflops_per_gpu']:.1f}  "
+        f"throughput {metrics['throughput_samples_per_s']:.2f}/s"
+        + ("  [ABORTED]" if metrics.get("aborted") else "")
+    )
+
+    attribution = report["attribution"]
+    iteration = attribution["iteration_time"]
+    lines.append("")
+    lines.append(f"time-loss budget (critical rank {attribution['critical_rank']}):")
+    for category in Category:
+        seconds = attribution["budget"].get(str(category), 0.0)
+        if seconds <= 0:
+            continue
+        bar = "#" * int(round(40 * seconds / iteration)) if iteration else ""
+        lines.append(
+            f"  {str(category):16s} {seconds:8.3f}s "
+            f"{100 * seconds / iteration:5.1f}%  {bar}"
+        )
+    edges = attribution.get("top_edges") or []
+    if edges:
+        lines.append("")
+        lines.append("slowest p2p edges:")
+        for edge in edges[:5]:
+            via = f" via {edge['transport']}" if edge.get("transport") else ""
+            lines.append(
+                f"  rank{edge['src']}->rank{edge['dst']}{via}: "
+                f"{edge['seconds']:.3f}s, {edge['bytes'] / 1e6:.1f} MB "
+                f"in {edge['transfers']} transfers"
+            )
+
+    nic = report["utilization"]["nic"]
+    if nic:
+        lines.append("")
+        lines.append("NIC transmit utilization (mean / peak):")
+        for key, entry in nic.items():
+            lines.append(
+                f"  {key:24s} {entry['utilization'] * 100:5.1f}% / "
+                f"{entry['peak_utilization'] * 100:5.1f}%  "
+                f"({entry['bytes'] / 1e9:.2f} GB)"
+            )
+    faults = report.get("faults")
+    if faults:
+        lines.append("")
+        lines.append(
+            f"faults: retry {faults['retry_seconds']:.3f}s, "
+            f"{faults['rebuild_count']} rebuilds "
+            f"({faults['rebuild_seconds']:.3f}s)"
+            + ("  ABORTED" if faults.get("aborted") else "")
+        )
+        for event in faults.get("events", []):
+            lines.append(f"  {event}")
+    if report.get("trace_path"):
+        lines.append("")
+        lines.append(f"chrome trace: {report['trace_path']} (open in Perfetto)")
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Per-link and per-NIC utilization over virtual time.
+
+The p2p layer records a ``nic`` span for every interval a transfer occupies
+a node's NIC transmit side and an ``uplink`` span while it holds the shared
+inter-cluster pipe (see :func:`repro.collectives.p2p.send`).  This module
+bins those busy intervals over the iteration's horizon into utilization
+series — contention-aware by construction, because NIC spans only cover the
+time the capacity-1 resource was actually held — and renders them as
+Chrome-trace counter events so brownouts and flaps are visible as dips in
+Perfetto next to the fault markers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.simcore.trace import Span, TraceRecorder
+
+#: Default sample count for utilization series.
+DEFAULT_BINS = 50
+
+
+@dataclass
+class UtilizationSeries:
+    """Utilization of one link/NIC sampled over ``[0, horizon]``."""
+
+    key: str
+    horizon: float
+    #: (bin start time, utilization in [0, 1]) samples
+    samples: List[Tuple[float, float]] = field(default_factory=list)
+    busy_time: float = 0.0
+    total_bytes: int = 0
+    transfers: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Mean utilization over the whole horizon."""
+        return self.busy_time / self.horizon if self.horizon > 0 else 0.0
+
+    @property
+    def peak(self) -> float:
+        return max((u for _, u in self.samples), default=0.0)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "busy_seconds": self.busy_time,
+            "utilization": self.utilization,
+            "peak_utilization": self.peak,
+            "bytes": self.total_bytes,
+            "transfers": self.transfers,
+        }
+
+
+def _binned_series(
+    key: str,
+    intervals: Sequence[Tuple[float, float, int]],
+    horizon: float,
+    bins: int,
+) -> UtilizationSeries:
+    """Fold (start, end, bytes) busy intervals into a binned series."""
+    series = UtilizationSeries(key=key, horizon=horizon)
+    if horizon <= 0 or bins < 1:
+        return series
+    width = horizon / bins
+    busy = [0.0] * bins
+    for start, end, nbytes in intervals:
+        start = max(0.0, min(start, horizon))
+        end = max(0.0, min(end, horizon))
+        if end <= start:
+            continue
+        series.busy_time += end - start
+        series.total_bytes += nbytes
+        series.transfers += 1
+        first = min(int(start / width), bins - 1)
+        last = min(int(end / width), bins - 1)
+        for b in range(first, last + 1):
+            lo = b * width
+            hi = lo + width
+            overlap = min(end, hi) - max(start, lo)
+            if overlap > 0:
+                busy[b] += overlap
+    series.samples = [(b * width, min(1.0, busy[b] / width)) for b in range(bins)]
+    return series
+
+
+def nic_utilization(
+    trace: TraceRecorder, horizon: float, bins: int = DEFAULT_BINS
+) -> Dict[str, UtilizationSeries]:
+    """Per-(node, NIC family) transmit utilization from ``nic`` spans."""
+    groups: Dict[str, List[Tuple[float, float, int]]] = {}
+    for span in trace.spans:
+        if span.kind != "nic":
+            continue
+        meta = dict(span.meta)
+        key = f"n{meta.get('src_node', span.rank)} {meta.get('family', 'nic')}"
+        groups.setdefault(key, []).append((span.start, span.end, span.bytes))
+    return {
+        key: _binned_series(key, intervals, horizon, bins)
+        for key, intervals in sorted(groups.items())
+    }
+
+
+def link_utilization(
+    trace: TraceRecorder, horizon: float, bins: int = DEFAULT_BINS
+) -> Dict[str, UtilizationSeries]:
+    """Per directed node-pair link utilization from ``nic`` spans, plus the
+    shared inter-cluster uplinks from ``uplink`` spans."""
+    groups: Dict[str, List[Tuple[float, float, int]]] = {}
+    for span in trace.spans:
+        meta = dict(span.meta)
+        if span.kind == "nic":
+            src = meta.get("src_node")
+            dst = meta.get("dst_node")
+            if src is None or dst is None:
+                continue
+            key = f"n{src}->n{dst}"
+        elif span.kind == "uplink":
+            key = f"uplink c{meta.get('src_cluster', '?')}<->c{meta.get('dst_cluster', '?')}"
+        else:
+            continue
+        groups.setdefault(key, []).append((span.start, span.end, span.bytes))
+    return {
+        key: _binned_series(key, intervals, horizon, bins)
+        for key, intervals in sorted(groups.items())
+    }
+
+
+def utilization_counter_events(
+    series_by_key: Dict[str, UtilizationSeries],
+    time_scale: float = 1e6,
+    prefix: str = "util",
+) -> List[dict]:
+    """Chrome-trace counter ('C') events for Perfetto counter tracks.
+
+    One track per series; samples are percentages so the tracks share a
+    0-100 scale alongside the slice rows.
+    """
+    events: List[dict] = []
+    for key, series in series_by_key.items():
+        name = f"{prefix}:{key}"
+        for t, utilization in series.samples:
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "ts": t * time_scale,
+                    "pid": 0,
+                    "args": {"percent": round(utilization * 100.0, 3)},
+                }
+            )
+    return events

@@ -3,12 +3,23 @@
 Load the output in ``chrome://tracing`` or https://ui.perfetto.dev to see
 every simulated rank's forward/backward/communication timeline — the
 fastest way to understand why an iteration takes as long as it does.
+
+Beyond the basic complete ('X') slices the exporter emits:
+
+- **instant events** ('i') for zero-duration fault markers (NIC flap,
+  brownout, crash, recovery), globally scoped so they draw as full-height
+  lines next to the work they perturb;
+- **flow events** ('s'/'f') linking each p2p send to its receive, so
+  sender→receiver arrows render in Perfetto;
+- optional **counter events** ('C') — pass utilization samples from
+  :func:`repro.obs.timeline.utilization_counter_events` via
+  ``extra_events`` to get per-NIC/per-link utilization tracks.
 """
 
 from __future__ import annotations
 
 import json
-from typing import IO, Dict, Optional
+from typing import IO, Dict, Iterable, List, Optional
 
 from repro.simcore.trace import Span, TraceRecorder
 
@@ -16,15 +27,21 @@ from repro.simcore.trace import Span, TraceRecorder
 _COLOR_BY_KIND = {
     "compute": "thread_state_running",
     "p2p": "thread_state_iowait",
+    "nic": "thread_state_iowait",
+    "uplink": "thread_state_iowait",
     "collective": "rail_response",
     "optimizer": "rail_animation",
     "idle": "grey",
+    "fault": "terrible",
 }
+
+#: tid used for rank-less (synthetic) spans such as fault markers.
+_GLOBAL_TID = 0
 
 
 def span_to_event(span: Span, time_scale: float = 1e6) -> Dict:
     """One complete ('X') trace event; times are microseconds."""
-    args = dict(span.meta)
+    args = {k: v for k, v in span.meta if not (k == "slow" and v == 1.0)}
     if span.bytes:
         args["bytes"] = span.bytes
     event = {
@@ -34,7 +51,7 @@ def span_to_event(span: Span, time_scale: float = 1e6) -> Dict:
         "ts": span.start * time_scale,
         "dur": span.duration * time_scale,
         "pid": 0,
-        "tid": span.rank,
+        "tid": span.rank if span.rank >= 0 else _GLOBAL_TID,
         "args": args,
     }
     color = _COLOR_BY_KIND.get(span.kind)
@@ -43,17 +60,88 @@ def span_to_event(span: Span, time_scale: float = 1e6) -> Dict:
     return event
 
 
+def fault_span_to_instant(span: Span, time_scale: float = 1e6) -> Dict:
+    """A zero-duration fault marker as a globally-scoped instant event."""
+    args = dict(span.meta)
+    return {
+        "name": span.label,
+        "cat": "fault",
+        "ph": "i",
+        "s": "g",  # global scope: full-height marker line in Perfetto
+        "ts": span.start * time_scale,
+        "pid": 0,
+        "tid": _GLOBAL_TID,
+        "args": args,
+        "cname": "terrible",
+    }
+
+
+def _flow_events(spans: Iterable[Span], time_scale: float = 1e6) -> List[Dict]:
+    """Flow start/finish pairs connecting p2p sends to their receives.
+
+    A send span ``send:<tag>`` on the source rank is matched to the
+    ``recv-wait:<tag>`` span on the destination rank (tags include the
+    chunk and microbatch, so each (src, dst, tag) triple is unique within
+    an iteration).  The arrow starts when bytes leave the sender and lands
+    when the receiver's wait completes (delivery).
+    """
+    recv_by_key: Dict[tuple, Span] = {}
+    for span in spans:
+        if span.kind == "idle" and span.label.startswith("recv-wait:"):
+            src = dict(span.meta).get("src")
+            if src is not None:
+                recv_by_key[(int(src), span.rank, span.label[10:])] = span
+
+    events: List[Dict] = []
+    flow_id = 0
+    for span in spans:
+        if span.kind != "p2p" or not span.label.startswith("send:"):
+            continue
+        dst = dict(span.meta).get("dst")
+        if dst is None:
+            continue
+        tag = span.label[5:]
+        recv = recv_by_key.get((span.rank, int(dst), tag))
+        if recv is None:
+            continue
+        flow_id += 1
+        common = {"cat": "p2p", "name": f"p2p:{tag}", "id": flow_id, "pid": 0}
+        events.append(
+            {**common, "ph": "s", "ts": span.end * time_scale, "tid": span.rank}
+        )
+        events.append(
+            {
+                **common,
+                "ph": "f",
+                "bp": "e",  # bind to the enclosing slice's end
+                "ts": recv.end * time_scale,
+                "tid": recv.rank,
+            }
+        )
+    return events
+
+
 def export_chrome_trace(
     trace: TraceRecorder,
     fileobj: Optional[IO[str]] = None,
     rank_names: Optional[Dict[int, str]] = None,
+    extra_events: Optional[List[Dict]] = None,
+    flow_events: bool = True,
 ) -> str:
     """Serialise a trace to Chrome trace JSON; returns the JSON string.
 
     ``rank_names`` optionally labels simulated ranks (e.g. with their
-    stage/cluster) via thread-name metadata events.
+    stage/cluster) via thread-name metadata events; ``extra_events`` are
+    appended verbatim (counter tracks, custom markers).
     """
-    events = [span_to_event(s) for s in trace.spans]
+    events: List[Dict] = []
+    for span in trace.spans:
+        if span.kind == "fault" and span.duration == 0.0:
+            events.append(fault_span_to_instant(span))
+        else:
+            events.append(span_to_event(span))
+    if flow_events:
+        events.extend(_flow_events(trace.spans))
     for rank, name in (rank_names or {}).items():
         events.append(
             {
@@ -64,6 +152,8 @@ def export_chrome_trace(
                 "args": {"name": name},
             }
         )
+    if extra_events:
+        events.extend(extra_events)
     payload = json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
     if fileobj is not None:
         fileobj.write(payload)

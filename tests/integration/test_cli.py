@@ -70,6 +70,54 @@ class TestCommands:
         assert "compute" in kinds
 
 
+class TestProfileCommand:
+    def test_healthy_report_written_and_valid(self, tmp_path, capsys):
+        from repro.obs.report import validate_report
+
+        out_path = tmp_path / "report.json"
+        assert main([
+            "profile", "--nodes", "2", "--env", "hybrid", "--group", "1",
+            "--out", str(out_path),
+        ]) == 0
+        report = json.loads(out_path.read_text())
+        validate_report(report)
+        assert report["scenario"]["env"] == "hybrid"
+        assert report["scenario"]["faulted"] is False
+        text = capsys.readouterr().out
+        assert "time-loss budget" in text
+        assert "NIC transmit utilization" in text
+
+    def test_faulted_report_valid_and_straggler_dominates(self, tmp_path):
+        from repro.obs.report import validate_report
+
+        out_path = tmp_path / "report.json"
+        assert main([
+            "profile", "--nodes", "2", "--env", "hybrid", "--group", "1",
+            "--event", "straggler:rank=0,factor=3",
+            "--out", str(out_path),
+        ]) == 0
+        report = json.loads(out_path.read_text())
+        validate_report(report)
+        budget = report["attribution"]["budget"]
+        assert budget["straggler"] == max(budget.values())
+        assert report["faults"]["degraded"] is True
+
+    def test_trace_export_with_counters_and_flows(self, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "profile", "--nodes", "2", "--env", "hybrid", "--group", "1",
+            "--trace", str(trace_path),
+        ]) == 0
+        payload = json.loads(trace_path.read_text())
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert {"X", "C", "s", "f", "M"} <= phases
+
+    def test_bad_fault_event_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--nodes", "2", "--env", "hybrid",
+                  "--event", "gremlins:rank=0"])
+
+
 class TestCheckCommand:
     def test_check_passes_on_feasible_config(self, capsys):
         from repro.cli import main

@@ -1,0 +1,60 @@
+"""Shared simulated-iteration fixtures for the observability tests.
+
+Simulations are session-scoped: the healthy, straggler, and brownout runs
+are each executed once and shared across every test that inspects them.
+"""
+
+import pytest
+
+from repro.bench.paramgroups import PARAM_GROUPS
+from repro.bench.scenarios import ethernet_env, hybrid2_env
+from repro.core.engine import TrainingSimulation
+from repro.core.scheduler import HolmesScheduler
+from repro.faults import FaultEvent, FaultKind, FaultPlan
+
+GROUP = PARAM_GROUPS[1]
+
+
+def _simulate(build=hybrid2_env, fault_plan=None):
+    topology = build(2)
+    plan = HolmesScheduler().plan(
+        topology, GROUP.parallel_for(topology.world_size), GROUP.model
+    )
+    return TrainingSimulation(plan, GROUP.model, fault_plan=fault_plan).run()
+
+
+@pytest.fixture(scope="session")
+def healthy_result():
+    return _simulate()
+
+
+@pytest.fixture(scope="session")
+def straggler_result():
+    plan = FaultPlan(
+        events=(
+            FaultEvent(time=0.0, kind=FaultKind.STRAGGLER, rank=0, factor=3.0),
+        )
+    )
+    return _simulate(fault_plan=plan)
+
+
+@pytest.fixture(scope="session")
+def ethernet_healthy_result():
+    return _simulate(build=ethernet_env)
+
+
+@pytest.fixture(scope="session")
+def brownout_result():
+    # On the all-Ethernet machine every inter-node byte rides the degraded
+    # family, so the brownout must show up squarely in the p2p/collective
+    # budget.  (On hybrid2_env(2) a node's RDMA NIC carries no traffic —
+    # both clusters hold one node — and degrading it would be a no-op.)
+    plan = FaultPlan(
+        events=(
+            FaultEvent(
+                time=0.0, kind=FaultKind.LINK_DEGRADE, node=0,
+                factor=0.1, duration=float("inf"),
+            ),
+        )
+    )
+    return _simulate(build=ethernet_env, fault_plan=plan)

@@ -1,0 +1,180 @@
+"""Unit tests for the metrics registry and its exporters."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    HistogramMetric,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value_per_label_set(self):
+        c = Counter("bytes_total")
+        c.inc(100, link="a")
+        c.inc(50, link="a")
+        c.inc(7, link="b")
+        assert c.value(link="a") == pytest.approx(150)
+        assert c.value(link="b") == pytest.approx(7)
+        assert c.value(link="missing") == 0.0
+        assert c.total() == pytest.approx(157)
+
+    def test_label_order_does_not_matter(self):
+        c = Counter("ops_total")
+        c.inc(1, kind="p2p", scope="send")
+        c.inc(2, scope="send", kind="p2p")
+        assert c.value(kind="p2p", scope="send") == pytest.approx(3)
+
+    def test_negative_increment_rejected(self):
+        c = Counter("ops_total")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Counter("bad name!")
+
+
+class TestGauge:
+    def test_set_overwrites_and_add_accumulates(self):
+        g = Gauge("tflops")
+        g.set(100.0, rank=0)
+        g.set(120.0, rank=0)
+        assert g.value(rank=0) == pytest.approx(120.0)
+        g.add(-20.0, rank=0)
+        assert g.value(rank=0) == pytest.approx(100.0)
+
+
+class TestHistogram:
+    def test_observe_count_sum(self):
+        h = HistogramMetric("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count() == 5
+        assert h.sum() == pytest.approx(56.05)
+
+    def test_quantile_returns_bucket_bound(self):
+        h = HistogramMetric("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        assert h.quantile(0.25) == pytest.approx(0.1)
+        assert h.quantile(0.75) == pytest.approx(1.0)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+        assert h.quantile(0.5, missing="labels") == 0.0
+
+    def test_overflow_goes_to_inf_bucket(self):
+        h = HistogramMetric("lat", buckets=(1.0,))
+        h.observe(100.0)
+        assert h.quantile(1.0) == math.inf
+
+    def test_bad_quantile_rejected(self):
+        h = HistogramMetric("lat")
+        with pytest.raises(ConfigurationError):
+            h.quantile(1.5)
+
+    def test_snapshot_buckets(self):
+        h = HistogramMetric("lat", buckets=(0.1, 1.0))
+        h.observe(0.05, op="send")
+        h.observe(0.5, op="send")
+        snap = h.snapshot()
+        buckets = snap['{op="send"}']["buckets"]
+        assert buckets == {"0.1": 1, "1.0": 1, "+Inf": 0}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help")
+        b = reg.counter("x_total")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_type_clash_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x_total")
+
+    def test_names_sorted_and_get(self):
+        reg = MetricsRegistry()
+        reg.gauge("zeta")
+        reg.counter("alpha_total")
+        assert reg.names() == ["alpha_total", "zeta"]
+        assert reg.get("zeta") is not None
+        assert reg.get("missing") is None
+
+    def test_snapshot_and_json_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("bytes_total", "bytes moved").inc(42, link="a")
+        reg.gauge("iter_seconds").set(1.5)
+        snap = json.loads(reg.to_json())
+        assert snap["bytes_total"]["type"] == "counter"
+        assert snap["bytes_total"]["series"]['{link="a"}'] == 42
+        assert snap["iter_seconds"]["series"]["{}"] == 1.5
+
+    def test_snapshot_is_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("b_total").inc(1, x="1")
+            reg.counter("a_total").inc(2, z="2", a="0")
+            reg.histogram("h", buckets=(1.0,)).observe(0.5, op="p")
+            return reg.to_json()
+
+        assert build() == build()
+
+
+class TestPrometheusExport:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("bytes_total", "bytes moved").inc(42, link="a")
+        reg.gauge("iter_seconds").set(1.5)
+        text = reg.to_prometheus()
+        assert "# HELP bytes_total bytes moved" in text
+        assert "# TYPE bytes_total counter" in text
+        assert 'bytes_total{link="a"} 42' in text
+        assert "# TYPE iter_seconds gauge" in text
+        assert "iter_seconds 1.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "latency", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        text = reg.to_prometheus()
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1.0"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 5.55" in text
+        assert "lat_count 3" in text
+
+    def test_empty_registry_exports_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestSimulationPublishesMetrics:
+    def test_engine_populates_registry(self, healthy_result):
+        reg = healthy_result.registry
+        assert reg is not None
+        names = reg.names()
+        assert "comm_bytes_total" in names
+        assert "comm_seconds_total" in names
+        assert "sim_iteration_seconds" in names
+        assert "sim_tflops_per_gpu" in names
+        assert "attribution_seconds" in names
+        assert reg.counter("comm_bytes_total").total() > 0
+        # the exporters run end-to-end on a real registry
+        assert json.loads(reg.to_json())
+        assert "# TYPE comm_bytes_total counter" in reg.to_prometheus()
+
+    def test_fault_events_counted(self, straggler_result):
+        reg = straggler_result.registry
+        c = reg.counter("fault_events_total")
+        assert c.value(action="inject", kind="straggler") == 1

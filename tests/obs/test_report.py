@@ -1,0 +1,110 @@
+"""The profile report: build, validate, render — healthy and faulted."""
+
+import json
+
+import pytest
+
+from repro.obs.report import (
+    REPORT_SCHEMA,
+    build_report,
+    render_report,
+    validate_report,
+)
+
+
+@pytest.fixture(scope="module")
+def healthy_report(healthy_result):
+    report = build_report(
+        healthy_result,
+        scenario={"env": "hybrid", "nodes": 2, "group": 1},
+        trace_path="trace.json",
+    )
+    validate_report(report)
+    return report
+
+
+class TestBuildReport:
+    def test_schema_and_sections(self, healthy_report):
+        assert healthy_report["schema"] == REPORT_SCHEMA
+        for section in ("scenario", "metrics", "attribution", "utilization",
+                        "registry"):
+            assert section in healthy_report
+
+    def test_metrics_section(self, healthy_report):
+        metrics = healthy_report["metrics"]
+        assert metrics["iteration_seconds"] > 0
+        assert metrics["tflops_per_gpu"] > 0
+        assert metrics["num_gpus"] == 16
+        assert metrics["aborted"] is False
+
+    def test_report_is_json_serialisable(self, healthy_report):
+        round_tripped = json.loads(json.dumps(healthy_report))
+        validate_report(round_tripped)
+
+    def test_faulted_report_validates(self, straggler_result):
+        report = build_report(straggler_result, scenario={"faulted": True})
+        validate_report(report)
+        assert report["faults"]["degraded"] is True
+        assert report["faults"]["events"]
+
+    def test_brownout_report_validates(self, brownout_result):
+        report = build_report(brownout_result)
+        validate_report(report)
+
+
+class TestValidateReport:
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError, match="must be a dict"):
+            validate_report([])
+
+    def test_rejects_wrong_schema(self, healthy_report):
+        bad = dict(healthy_report, schema="something/else")
+        with pytest.raises(ValueError, match="unknown report schema"):
+            validate_report(bad)
+
+    def test_rejects_missing_section(self, healthy_report):
+        bad = {k: v for k, v in healthy_report.items() if k != "attribution"}
+        with pytest.raises(ValueError, match="attribution"):
+            validate_report(bad)
+
+    def test_rejects_non_numeric_metric(self, healthy_report):
+        bad = json.loads(json.dumps(healthy_report))
+        bad["metrics"]["tflops_per_gpu"] = "fast"
+        with pytest.raises(ValueError, match="tflops_per_gpu"):
+            validate_report(bad)
+
+    def test_rejects_unknown_category(self, healthy_report):
+        bad = json.loads(json.dumps(healthy_report))
+        bad["attribution"]["budget"]["gremlins"] = 1.0
+        with pytest.raises(ValueError, match="unknown attribution categories"):
+            validate_report(bad)
+
+    def test_rejects_incomplete_budget(self, healthy_report):
+        bad = json.loads(json.dumps(healthy_report))
+        bad["attribution"]["budget"]["compute"] += 1.0
+        with pytest.raises(ValueError, match="does not sum"):
+            validate_report(bad)
+
+    def test_rejects_out_of_range_utilization(self, healthy_report):
+        bad = json.loads(json.dumps(healthy_report))
+        key = next(iter(bad["utilization"]["nic"]))
+        bad["utilization"]["nic"][key]["utilization"] = 1.7
+        with pytest.raises(ValueError, match="must be in \\[0, 1\\]"):
+            validate_report(bad)
+
+
+class TestRenderReport:
+    def test_human_tables(self, healthy_report):
+        text = render_report(healthy_report)
+        assert "time-loss budget" in text
+        assert "compute" in text
+        assert "NIC transmit utilization" in text
+        assert "slowest p2p edges" in text
+        assert "chrome trace: trace.json" in text
+
+    def test_faulted_render_lists_events(self, straggler_result):
+        report = build_report(straggler_result)
+        validate_report(report)
+        text = render_report(report)
+        assert "faults:" in text
+        assert "straggler" in text

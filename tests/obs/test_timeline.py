@@ -1,0 +1,98 @@
+"""Per-NIC and per-link utilization series and their counter-event export."""
+
+import pytest
+
+from repro.obs.timeline import (
+    link_utilization,
+    nic_utilization,
+    utilization_counter_events,
+)
+from repro.simcore.trace import TraceRecorder
+
+
+def _nic_trace():
+    trace = TraceRecorder()
+    # node 0 busy for 5s of a 10s horizon
+    trace.record(0, "nic", "nic-tx:a", 0.0, 5.0, 1000,
+                 dst=8, family="infiniband", src_node=0, dst_node=1)
+    # node 1 busy for 1s
+    trace.record(8, "nic", "nic-tx:b", 2.0, 3.0, 500,
+                 dst=0, family="infiniband", src_node=1, dst_node=0)
+    return trace
+
+
+class TestNicUtilization:
+    def test_busy_time_and_mean(self):
+        series = nic_utilization(_nic_trace(), horizon=10.0, bins=10)
+        assert set(series) == {"n0 infiniband", "n1 infiniband"}
+        n0 = series["n0 infiniband"]
+        assert n0.busy_time == pytest.approx(5.0)
+        assert n0.utilization == pytest.approx(0.5)
+        assert n0.total_bytes == 1000
+        assert n0.transfers == 1
+
+    def test_peak_reflects_busiest_bin(self):
+        series = nic_utilization(_nic_trace(), horizon=10.0, bins=10)
+        n0 = series["n0 infiniband"]
+        # bins 0..4 fully busy, rest idle
+        assert n0.peak == pytest.approx(1.0)
+        busy_bins = [u for _, u in n0.samples if u > 0]
+        assert len(busy_bins) == 5
+
+    def test_spans_clamped_to_horizon(self):
+        trace = TraceRecorder()
+        trace.record(0, "nic", "nic-tx:x", 8.0, 20.0, 100,
+                     dst=1, family="roce", src_node=0, dst_node=1)
+        series = nic_utilization(trace, horizon=10.0, bins=10)
+        assert series["n0 roce"].busy_time == pytest.approx(2.0)
+        assert series["n0 roce"].utilization <= 1.0
+
+    def test_zero_horizon_is_empty(self):
+        series = nic_utilization(_nic_trace(), horizon=0.0)
+        assert all(s.utilization == 0.0 for s in series.values())
+        assert all(s.samples == [] for s in series.values())
+
+
+class TestLinkUtilization:
+    def test_directed_node_pairs(self):
+        series = link_utilization(_nic_trace(), horizon=10.0, bins=10)
+        assert set(series) == {"n0->n1", "n1->n0"}
+        assert series["n0->n1"].busy_time == pytest.approx(5.0)
+
+    def test_uplink_spans_form_their_own_keys(self):
+        trace = TraceRecorder()
+        trace.record(0, "uplink", "uplink:x", 0.0, 4.0, 100,
+                     src_cluster=0, dst_cluster=1)
+        series = link_utilization(trace, horizon=8.0, bins=8)
+        assert list(series) == ["uplink c0<->c1"]
+        assert series["uplink c0<->c1"].utilization == pytest.approx(0.5)
+
+
+class TestCounterEvents:
+    def test_counter_event_shape(self):
+        series = nic_utilization(_nic_trace(), horizon=10.0, bins=10)
+        events = utilization_counter_events(series, prefix="nic")
+        assert len(events) == 20  # 2 series x 10 bins
+        first = events[0]
+        assert first["ph"] == "C"
+        assert first["name"].startswith("nic:")
+        assert 0.0 <= first["args"]["percent"] <= 100.0
+
+    def test_timestamps_scaled_to_microseconds(self):
+        series = nic_utilization(_nic_trace(), horizon=10.0, bins=10)
+        events = utilization_counter_events(series)
+        n0 = [e for e in events if e["name"].endswith("n0 infiniband")]
+        assert n0[1]["ts"] == pytest.approx(1.0e6)
+
+
+class TestEndToEnd:
+    def test_simulated_run_has_nic_and_link_series(self, healthy_result):
+        horizon = healthy_result.makespan
+        nic = nic_utilization(healthy_result.trace, horizon)
+        links = link_utilization(healthy_result.trace, horizon)
+        assert nic and links
+        for s in list(nic.values()) + list(links.values()):
+            assert 0.0 <= s.utilization <= 1.0
+            assert 0.0 <= s.peak <= 1.0
+        # pipeline sends cross the two nodes in both directions
+        assert any("->" in key for key in links)

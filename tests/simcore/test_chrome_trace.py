@@ -2,15 +2,19 @@
 
 import io
 import json
+import os
 
 import pytest
 
 from repro.simcore.chrome_trace import (
     default_rank_names,
     export_chrome_trace,
+    fault_span_to_instant,
     span_to_event,
 )
 from repro.simcore.trace import Span, TraceRecorder
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "golden_trace.json")
 
 
 class TestSpanToEvent:
@@ -27,6 +31,130 @@ class TestSpanToEvent:
     def test_bytes_in_args(self):
         span = Span(0, "p2p", "send:act", 0.0, 0.1, bytes=1024)
         assert span_to_event(span)["args"]["bytes"] == 1024
+
+    def test_round_trip_preserves_meta_and_bytes(self):
+        span = Span(2, "nic", "nic-tx:act", 0.5, 0.9, bytes=4096,
+                    meta=(("dst", 5), ("family", "roce")))
+        event = json.loads(json.dumps(span_to_event(span)))
+        assert event["args"] == {"dst": 5, "family": "roce", "bytes": 4096}
+        assert event["cat"] == "nic"
+        assert event["ts"] + event["dur"] == pytest.approx(0.9e6)
+
+    def test_healthy_slow_factor_dropped_from_args(self):
+        span = Span(0, "compute", "forward", 0.0, 1.0, meta=(("slow", 1.0),))
+        assert "slow" not in span_to_event(span)["args"]
+        slowed = Span(0, "compute", "forward", 0.0, 1.0, meta=(("slow", 3.0),))
+        assert span_to_event(slowed)["args"]["slow"] == 3.0
+
+    def test_synthetic_rank_maps_to_global_tid(self):
+        span = Span(-1, "collective", "grads-sync", 0.0, 1.0)
+        assert span_to_event(span)["tid"] == 0
+
+
+class TestFaultInstants:
+    def test_zero_duration_fault_becomes_instant(self):
+        trace = TraceRecorder()
+        trace.record(-1, "fault", "inject:nic-flap", 1.0, 1.0, target_node=2)
+        payload = json.loads(export_chrome_trace(trace))
+        [event] = payload["traceEvents"]
+        assert event["ph"] == "i"
+        assert event["s"] == "g"
+        assert event["args"]["target_node"] == 2
+        assert "dur" not in event
+
+    def test_timed_fault_stays_a_slice(self):
+        # communicator rebuilds have real duration: keep them as slices
+        trace = TraceRecorder()
+        trace.record(3, "fault", "comm-rebuild", 1.0, 1.5, dst=7)
+        [event] = json.loads(export_chrome_trace(trace))["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["tid"] == 3
+
+    def test_instant_shape_direct(self):
+        span = Span(-1, "fault", "recover:link-degrade", 2.0, 2.0,
+                    meta=(("target_node", 0),))
+        event = fault_span_to_instant(span)
+        assert event["ts"] == pytest.approx(2.0e6)
+        assert event["cat"] == "fault"
+
+
+class TestFlowEvents:
+    def _paired_trace(self):
+        trace = TraceRecorder()
+        trace.record(0, "p2p", "send:act.mb0", 1.0, 1.2, 1024, dst=1)
+        trace.record(1, "idle", "recv-wait:act.mb0", 0.5, 1.3, 1024, src=0)
+        return trace
+
+    def test_send_recv_pair_produces_flow_arrow(self):
+        payload = json.loads(export_chrome_trace(self._paired_trace()))
+        flows = [e for e in payload["traceEvents"] if e["ph"] in ("s", "f")]
+        assert len(flows) == 2
+        start = next(e for e in flows if e["ph"] == "s")
+        finish = next(e for e in flows if e["ph"] == "f")
+        assert start["id"] == finish["id"]
+        assert start["tid"] == 0 and finish["tid"] == 1
+        assert start["ts"] == pytest.approx(1.2e6)  # bytes left the sender
+        assert finish["ts"] == pytest.approx(1.3e6)  # delivery at receiver
+        assert finish["bp"] == "e"
+
+    def test_unmatched_send_has_no_flow(self):
+        trace = TraceRecorder()
+        trace.record(0, "p2p", "send:act.mb0", 1.0, 1.2, 1024, dst=1)
+        payload = json.loads(export_chrome_trace(trace))
+        assert not [e for e in payload["traceEvents"] if e["ph"] in ("s", "f")]
+
+    def test_flow_events_can_be_disabled(self):
+        payload = json.loads(
+            export_chrome_trace(self._paired_trace(), flow_events=False)
+        )
+        assert not [e for e in payload["traceEvents"] if e["ph"] in ("s", "f")]
+
+
+class TestExtraEvents:
+    def test_extra_events_appended_verbatim(self):
+        trace = TraceRecorder()
+        trace.record(0, "compute", "forward", 0.0, 1.0)
+        counter = {"name": "nic:n0", "ph": "C", "ts": 0.0, "pid": 0,
+                   "args": {"percent": 50.0}}
+        payload = json.loads(export_chrome_trace(trace, extra_events=[counter]))
+        assert counter in payload["traceEvents"]
+
+
+class TestGoldenSnapshot:
+    def _golden_trace(self):
+        trace = TraceRecorder()
+        trace.record(0, "compute", "forward", 0.0, 1.0, mb=0, stage=0)
+        trace.record(0, "p2p", "send:act.mb0", 1.0, 1.2, 1024, dst=1)
+        trace.record(0, "nic", "nic-tx:act.mb0", 1.0, 1.15, 1024,
+                     dst=1, family="ethernet", src_node=0, dst_node=1)
+        trace.record(1, "idle", "recv-wait:act.mb0", 0.0, 1.3, 1024, src=0)
+        trace.record(-1, "fault", "inject:nic-flap", 1.1, 1.1,
+                     target_node=1, target_rank=-1)
+        trace.record(1, "compute", "forward", 1.3, 2.3, mb=0, stage=1)
+        trace.record(1, "collective", "dp-sync", 2.3, 2.5, 2048)
+        return trace
+
+    def test_two_rank_run_matches_committed_golden(self):
+        """Exporter output for a fixed 2-rank span set is frozen.
+
+        A diff here means the Chrome-trace format changed: update
+        ``data/golden_trace.json`` deliberately, never silently.
+        """
+        payload = export_chrome_trace(
+            self._golden_trace(),
+            rank_names={0: "rank0 s0", 1: "rank1 s1"},
+            extra_events=[{"name": "nic:n0 ethernet", "ph": "C", "ts": 0.0,
+                           "pid": 0, "args": {"percent": 12.5}}],
+        )
+        with open(GOLDEN_PATH) as fh:
+            golden = json.load(fh)
+        assert json.loads(payload) == golden
+
+    def test_golden_covers_every_phase_kind(self):
+        with open(GOLDEN_PATH) as fh:
+            golden = json.load(fh)
+        phases = {e["ph"] for e in golden["traceEvents"]}
+        assert phases == {"X", "M", "i", "s", "f", "C"}
 
 
 class TestExport:
