@@ -1,10 +1,17 @@
 """Point-to-point transfers as discrete-event processes.
 
 Pipeline parallelism exchanges activations (forward) and activation
-gradients (backward) between adjacent stages.  Unlike collectives — which we
-price analytically and execute as barriers — p2p transfers are simulated
-through per-node NIC transmit resources so concurrent sends from the many
-pipeline groups sharing a node's NIC queue up realistically.
+gradients (backward) between adjacent stages; executed collectives
+(:mod:`repro.collectives.executor`) move their per-step chunks over the
+very same path.  Every transfer is simulated through per-node NIC transmit
+resources, so concurrent sends — pipeline p2p and collective steps alike —
+queue up realistically through the NIC a node actually has.
+
+:func:`send` carries both traffic classes: with ``collective=True`` the
+occupancy is priced by the collective step model (per-bucket software
+overhead, ring-step latency pipelining) instead of the p2p message model,
+but resource acquisition, fault-driven transport re-resolution, rebuild
+charges, uplink sharing, tracing, and delivery are one shared code path.
 
 The generator returned by :func:`send` is meant to be spawned as (or yielded
 from) a :class:`~repro.simcore.process.Process`; the matching receiver calls
@@ -32,7 +39,7 @@ class Message:
     src: int
     dst: int
     tag: str
-    nbytes: int
+    nbytes: float
     payload: Any = None
 
 
@@ -68,7 +75,7 @@ def _deliver(
     src: int,
     dst: int,
     tag: str,
-    nbytes: int,
+    nbytes: float,
     latency: float,
     payload: Any = None,
     trace: Optional[TraceRecorder] = None,
@@ -101,9 +108,11 @@ def send(
     src: int,
     dst: int,
     tag: str,
-    nbytes: int,
+    nbytes: float,
     trace: Optional[TraceRecorder] = None,
     payload: Any = None,
+    collective: bool = False,
+    messages: int = 1,
 ) -> Generator:
     """Process body: transmit ``nbytes`` from ``src`` to ``dst``.
 
@@ -113,6 +122,13 @@ def send(
     semantics; switch forwarding, uplink sharing, and propagation continue
     asynchronously via :func:`_deliver`.  Intra-node transfers skip the NIC
     entirely.
+
+    With ``collective=True`` this is one *step* of an executed collective:
+    the payload is one ring/tree chunk fused into ``messages`` buckets, and
+    occupancy comes from the collective step model so that steps chained by
+    :mod:`repro.collectives.executor` reproduce the closed-form alpha-beta
+    costs on an uncontended fabric.  Everything else — NIC FIFO, fault
+    re-resolution, rebuild charges, uplinks, tracing — is shared with p2p.
     """
     engine = fabric.engine
     if engine is None:
@@ -123,7 +139,11 @@ def send(
     transport = fabric.transport(src, dst)
     start = engine.now
     if transport.kind.is_intra_node:
-        yield Timeout(fabric.p2p_time(src, dst, nbytes))
+        if collective:
+            duration = fabric.collective_step_time(src, dst, nbytes, messages)
+        else:
+            duration = fabric.p2p_time(src, dst, nbytes)
+        yield Timeout(duration)
         channels.channel(src, dst, tag).store.put(
             Message(src=src, dst=dst, tag=tag, nbytes=nbytes, payload=payload)
         )
@@ -146,7 +166,11 @@ def send(
         nic = fabric.nic_tx_resource(src, family)
         yield Wait(nic.acquire())
         occupied = engine.now
-        yield Timeout(fabric.p2p_occupancy(src, dst, nbytes))
+        if collective:
+            occupancy = fabric.collective_step_occupancy(src, dst, nbytes, messages)
+        else:
+            occupancy = fabric.p2p_occupancy(src, dst, nbytes)
+        yield Timeout(occupancy)
         nic.release()
         if tracing:
             trace.record(
@@ -163,7 +187,13 @@ def send(
             name=f"deliver[{src}->{dst}:{tag}]",
         )
     if tracing:
-        trace.record(src, "p2p", f"send:{tag}", start, engine.now, nbytes, dst=dst)
+        if collective:
+            trace.record(
+                src, "p2p", f"send:{tag}", start, engine.now, nbytes,
+                dst=dst, coll=1,
+            )
+        else:
+            trace.record(src, "p2p", f"send:{tag}", start, engine.now, nbytes, dst=dst)
 
 
 def recv(

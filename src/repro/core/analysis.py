@@ -5,6 +5,12 @@ quantities papers talk about: per-rank utilization, pipeline bubble
 fraction, communication exposure, and a stage-by-stage time breakdown.
 Used by the reporting example and tested against analytic expectations
 (e.g. the 1F1B bubble ``(p-1)/m`` on balanced homogeneous pipelines).
+
+Executed collectives record *nested* spans — an outer ``collective`` span
+per op over its per-step ``p2p``/``nic``/``idle`` detail — so a naive
+per-kind duration sum would double-count.  The breakdown therefore reuses
+the attribution priority sweep (:func:`repro.obs.attribution.sweep_rank`),
+which assigns every instant of a rank's timeline to exactly one category.
 """
 
 from __future__ import annotations
@@ -14,6 +20,20 @@ from typing import Dict, List
 
 from repro.core.engine import IterationResult
 from repro.errors import ConfigurationError
+from repro.obs.attribution import Category, sweep_rank
+
+#: attribution category -> analysis bucket.  Straggler excess is still
+#: time the GPU spent computing (just slowly); fault overhead and the
+#: fixed framework overhead are stall time from the rank's point of view.
+_CATEGORY_TO_BUCKET = {
+    Category.COMPUTE: "compute",
+    Category.STRAGGLER: "compute",
+    Category.P2P: "p2p",
+    Category.COLLECTIVE: "collective",
+    Category.BUBBLE: "idle",
+    Category.FAULT: "idle",
+    Category.OVERHEAD: "idle",
+}
 
 
 @dataclass(frozen=True)
@@ -59,7 +79,7 @@ class IterationAnalysis:
     @property
     def comm_exposure(self) -> float:
         """Mean fraction of the iteration spent in exposed communication
-        (p2p waits + collective barriers)."""
+        (p2p waits + executed collectives)."""
         return sum(
             (r.p2p + r.collective) / r.total for r in self.ranks if r.total > 0
         ) / len(self.ranks)
@@ -96,21 +116,16 @@ def analyze(result: IterationResult) -> IterationAnalysis:
     horizon = result.iteration_time
     plan = result.plan
     breakdowns: List[RankBreakdown] = []
-    per_rank: Dict[int, Dict[str, float]] = {}
+    spans_by_rank: Dict[int, List] = {}
     for span in result.trace.spans:
         if span.rank < 0:
             continue  # synthetic summary spans
-        acc = per_rank.setdefault(
-            span.rank, {"compute": 0.0, "p2p": 0.0, "collective": 0.0}
-        )
-        if span.kind in acc:
-            acc[span.kind] += span.duration
+        spans_by_rank.setdefault(span.rank, []).append(span)
     for phys in range(plan.topology.world_size):
-        acc = per_rank.get(
-            phys, {"compute": 0.0, "p2p": 0.0, "collective": 0.0}
-        )
-        busy = acc["compute"] + acc["p2p"] + acc["collective"]
-        idle = max(0.0, horizon - busy)
+        budget = sweep_rank(spans_by_rank.get(phys, []), horizon)
+        acc = {"compute": 0.0, "p2p": 0.0, "collective": 0.0, "idle": 0.0}
+        for category, seconds in budget.items():
+            acc[_CATEGORY_TO_BUCKET[category]] += seconds
         logical = plan.placement.logical(phys)
         breakdowns.append(
             RankBreakdown(
@@ -119,7 +134,7 @@ def analyze(result: IterationResult) -> IterationAnalysis:
                 compute=acc["compute"],
                 p2p=acc["p2p"],
                 collective=acc["collective"],
-                idle=idle,
+                idle=acc["idle"],
             )
         )
     return IterationAnalysis(

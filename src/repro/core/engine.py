@@ -8,9 +8,13 @@ configuration as a discrete-event simulation:
   point-to-point transfers through shared per-node NIC resources);
 - tensor-parallel communication is priced into each op's duration (NVLink
   ring all-reduces per layer);
-- at the pipeline flush, every data-parallel group synchronises gradients
-  through a rendezvous barrier whose duration comes from the collective cost
-  model and the active optimizer strategy (including overlap hiding);
+- gradient synchronisation is *executed*: each data-parallel group runs
+  its strategy's bucket plan as per-step ring collectives on the same
+  event fabric (:mod:`repro.collectives.executor`) — overlappable ops are
+  issued in the background as backward compute produces gradient buckets,
+  the rest run at the pipeline flush — so slowest-link dominance,
+  DP-vs-pipeline NIC contention, fault effects, and the hidden/exposed
+  split are all *measured* outcomes of the event kernel;
 - the iteration time is the makespan, from which the paper's TFLOPS and
   throughput metrics follow.
 
@@ -22,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Tuple
 
+from repro.collectives.executor import CollectiveExecutor
 from repro.collectives.p2p import ChannelRegistry, recv, send
 from repro.core.metrics import IterationMetrics, compute_metrics
 from repro.faults.injector import FaultInjector, FaultReport
@@ -33,7 +38,6 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.model.config import GPTConfig
 from repro.model.layers import LayerKind, LayerSpec, build_layer_stack
 from repro.model.memory import activation_message_bytes, tp_allreduce_bytes
-from repro.network.contention import concurrent_groups_per_nic
 from repro.network.costmodel import CostModelConfig
 from repro.network.fabric import Fabric
 from repro.obs.attribution import AttributionReport, Category, attribute_iteration
@@ -43,8 +47,7 @@ from repro.schedule.interleaved import interleaved_1f1b
 from repro.schedule.microbatch import OpKind, PipelineOp, validate_schedule
 from repro.schedule.pipeline import one_f_one_b
 from repro.simcore.engine import SimEngine
-from repro.simcore.process import Timeout, Wait
-from repro.simcore.resource import Barrier
+from repro.simcore.process import AllOf, Timeout
 from repro.simcore.trace import TraceRecorder
 
 #: TP all-reduce count per transformer layer: 2 in forward, 4 in backward
@@ -57,6 +60,41 @@ TP_ALLREDUCES_BACKWARD = 4
 #: Megatron iteration pays that is neither GEMM compute nor communication.
 #: Calibrated against the paper's Table 1 anchors.
 ITERATION_OVERHEAD = 0.45
+
+#: Cap on the number of background gradient buckets an overlapped strategy
+#: issues per DP group.  Real Megatron-LLaMA fuses gradients into large
+#: buckets precisely to bound per-bucket launch overhead; for the DES the
+#: cap bounds event count while leaving enough granularity for buckets to
+#: interleave with (and hide behind) the backward pass.
+OVERLAP_MAX_BUCKETS = 8
+
+
+def _union_duration(intervals: List[tuple]) -> float:
+    """Total length of the union of ``(start, end)`` intervals."""
+    total = 0.0
+    cur_start = cur_end = None
+    for start, end in sorted(intervals):
+        if cur_end is None or start > cur_end:
+            if cur_end is not None:
+                total += cur_end - cur_start
+            cur_start, cur_end = start, end
+        else:
+            cur_end = max(cur_end, end)
+    if cur_end is not None:
+        total += cur_end - cur_start
+    return total
+
+
+@dataclass(frozen=True)
+class _DPGroupMeta:
+    """Precomputed per-DP-group execution parameters."""
+
+    stage: int
+    ring: Tuple[int, ...]
+    shard_params: int
+    #: per-bucket parameter counts for background (overlappable) ops;
+    #: empty when the strategy has no overlappable ops or no comm happens.
+    bucket_params: Tuple[int, ...]
 
 
 @dataclass(frozen=True)
@@ -92,6 +130,10 @@ class IterationResult:
     attribution: Optional[AttributionReport] = None
     #: observability registry the fabric/injector/engine published into
     registry: Optional[MetricsRegistry] = None
+    #: the strategy's gradient-reducing collective, resolved structurally
+    #: from its sync ops (``reduce_scatter`` for sharded strategies,
+    #: ``allreduce`` otherwise)
+    primary_sync_op: str = ""
 
     @property
     def iteration_time(self) -> float:
@@ -106,11 +148,16 @@ class IterationResult:
         return self.metrics.throughput
 
     def reduce_scatter_time(self) -> float:
-        """Mean grads-reduce-scatter duration across stages (Figure 3's
-        quantity); falls back to allreduce time for non-sharded strategies."""
-        key = "reduce_scatter" if any(
-            "reduce_scatter" in s for s in self.sync_times
-        ) else "allreduce"
+        """Mean measured grads-reduce-scatter duration across stages
+        (Figure 3's quantity); for non-sharded strategies this is the
+        gradient all-reduce.  The op is resolved structurally from the
+        active strategy (:attr:`primary_sync_op`), not by substring
+        matching on the result keys."""
+        key = self.primary_sync_op
+        if not key:  # defensive: results built without a strategy
+            key = "reduce_scatter" if any(
+                "reduce_scatter" in s for s in self.sync_times
+            ) else "allreduce"
         values = [s[key] for s in self.sync_times if key in s]
         return sum(values) / len(values) if values else 0.0
 
@@ -379,54 +426,62 @@ class TrainingSimulation:
         )
 
         dp_groups = groups["data"]
-        dp_factors = concurrent_groups_per_nic(topo, dp_groups)
 
-        # One rendezvous barrier per DP group; durations filled below.
-        sync_times: List[Dict[str, float]] = [dict() for _ in range(parallel.pipeline)]
-        barriers: Dict[int, Barrier] = {}
-        backward_windows: Dict[int, float] = {}  # physical rank -> seconds
+        # Executed collectives: every DP group's gradient sync runs as
+        # per-step ring transfers through the shared p2p path.
+        executor = CollectiveExecutor(
+            fabric, channels, trace=trace if tracing else None
+        )
+        bucket_plan = self.optimizer.bucket_plan()
 
-        def _dp_barrier(group_index: int) -> Barrier:
-            barrier = barriers.get(group_index)
-            if barrier is not None:
-                return barrier
-            group = dp_groups[group_index]
+        group_meta: List[_DPGroupMeta] = []
+        for group in dp_groups:
             logical0 = plan.placement.logical(group[0])
-            stage = plan.layout.stage_of(logical0)
+            g_stage = plan.layout.stage_of(logical0)
             shard_params = sum(
-                work[stage][c].params_per_rank for c in range(self.num_chunks)
+                work[g_stage][c].params_per_rank for c in range(self.num_chunks)
             )
-            op_times: Dict[str, float] = {}
-            for op in self.optimizer.ops:
-                op_times[op.op] = op.repeat * fabric.collective_time(
-                    op.op,
-                    group,
-                    shard_params * op.bytes_per_param,
-                    concurrent=dp_factors[group_index],
+            ring = tuple(executor.ring_order(group))
+            bucket_params: Tuple[int, ...] = ()
+            if len(ring) > 1 and shard_params > 0 and bucket_plan.has_overlap:
+                # Issuance granularity: how many background syncs get a
+                # chance to interleave with backward compute.  Independent
+                # of the wire-level 128 MB fusion (the executor folds that
+                # into per-step ``messages``) — a bucket is a *readiness*
+                # unit here, and even a small model produces its gradients
+                # progressively.
+                n = min(OVERLAP_MAX_BUCKETS, shard_params)
+                base, rem = divmod(shard_params, n)
+                bucket_params = tuple(
+                    base + (1 if b < rem else 0) for b in range(n)
                 )
-            sync_times[stage] = dict(op_times)
-            over_tcp = (
-                len(group) > 1
-                and not fabric.group_transport(group).kind.is_rdma
-                and not fabric.group_transport(group).kind.is_intra_node
-            )
+            group_meta.append(_DPGroupMeta(
+                stage=g_stage, ring=ring, shard_params=shard_params,
+                bucket_params=bucket_params,
+            ))
 
-            def duration_fn(arrivals: List[float]) -> float:
-                window = min(backward_windows.get(r, 0.0) for r in group)
-                exposed = self.optimizer.exposed_time(
-                    op_times, window, over_tcp=over_tcp
-                )
-                sync_times[stage]["exposed"] = exposed
-                return exposed
+        backward_ops_per_stage = [
+            sum(1 for op in schedule[s] if op.kind == OpKind.BACKWARD)
+            for s in range(parallel.pipeline)
+        ]
 
-            barrier = Barrier(
-                engine,
-                parties=len(group),
-                duration_fn=duration_fn,
-                name=f"dp-sync[{group_index}]",
-            )
-            barriers[group_index] = barrier
-            return barrier
+        sync_times: List[Dict[str, float]] = [dict() for _ in range(parallel.pipeline)]
+        backward_windows: Dict[int, float] = {}  # physical rank -> seconds
+        #: per group: max over members of (flush completion - flush start),
+        #: i.e. the wall time gradient sync added beyond the pipeline.
+        group_exposed: Dict[int, float] = {}
+
+        def _bucket_body(gi: int, meta: _DPGroupMeta, phys: int, b: int) -> Generator:
+            """Background sync of gradient bucket ``b`` (all overlappable
+            ops, in strategy order) — spawned as backward ops complete."""
+            params = meta.bucket_params[b]
+            for op in bucket_plan.overlapped:
+                for rep in range(op.repeat):
+                    yield from executor.run_op(
+                        op.op, meta.ring, phys,
+                        params * op.bytes_per_param,
+                        tag=f"dp{gi}:{op.op}{rep}:b{b}",
+                    )
 
         placement = plan.placement
         layout = plan.layout
@@ -446,6 +501,14 @@ class TrainingSimulation:
             pp_group_logical = layout.pp_group_of(logical)
             pp_group_phys = [placement.physical(r) for r in pp_group_logical]
             bwd_window = 0.0
+            group_index = next(
+                gi for gi, g in enumerate(dp_groups) if phys in g
+            )
+            meta = group_meta[group_index]
+            total_bwd = backward_ops_per_stage[stage]
+            bucket_procs = []
+            issued = 0
+            done_bwd = 0
 
             for op in schedule[stage]:
                 chunk = op.chunk
@@ -498,6 +561,21 @@ class TrainingSimulation:
                             phys, "compute", "backward", start, engine.now,
                             mb=tag_mb, chunk=chunk, stage=stage, slow=factor,
                         )
+                    # Overlapped optimizer: gradient buckets become ready
+                    # as the backward pass progresses; issue their
+                    # background syncs proportionally to backward ops done
+                    # (Megatron-LLaMA's bucketed reduce-scatter).
+                    if meta.bucket_params:
+                        done_bwd += 1
+                        target = (
+                            len(meta.bucket_params) * done_bwd // total_bwd
+                        )
+                        while issued < target:
+                            bucket_procs.append(engine.process(
+                                _bucket_body(group_index, meta, phys, issued),
+                                name=f"dp{group_index}-b{issued}-r{phys}",
+                            ))
+                            issued += 1
                     prev = self._prev_virtual(stage, chunk)
                     if prev is not None:
                         dst = pp_group_phys[prev[0]]
@@ -516,6 +594,9 @@ class TrainingSimulation:
             # Tied embeddings: the first and last stages all-reduce the
             # embedding gradients over the pipeline transport before the
             # data-parallel sync (Megatron's allreduce_embedding_grads).
+            # Executed as a two-rank ring on the event fabric, so the
+            # transfer pays the real (possibly inter-cluster) edge and
+            # contends with every other pipeline group doing the same.
             if (
                 self.tie_embeddings
                 and parallel.pipeline > 1
@@ -525,28 +606,51 @@ class TrainingSimulation:
                 nbytes = (
                     self.model.vocab_size * self.model.hidden_size * 4
                 ) // parallel.tensor  # fp32 grads of the vocab embedding
-                duration = fabric.collective_time(
-                    "allreduce", [phys, peer], nbytes,
-                    concurrent=max(1, topo.gpus_per_node // parallel.tensor),
+                pair = (min(phys, peer), max(phys, peer))
+                yield from executor.run_op(
+                    "allreduce", [phys, peer], phys, nbytes,
+                    tag=f"emb:{pair[0]}-{pair[1]}",
+                    label="embedding-grads-allreduce",
                 )
-                start = engine.now
-                yield Timeout(duration)
-                if tracing:
-                    trace.record(
-                        phys, "collective", "embedding-grads-allreduce",
-                        start, engine.now, nbytes,
-                    )
 
-            # Pipeline flush reached: gradient synchronisation.
+            # Pipeline flush reached: gradient synchronisation.  Background
+            # buckets must complete, then the strategy's flush ops execute
+            # step-by-step; the wall time from here to completion is the
+            # *measured* exposed sync.
             backward_windows[phys] = bwd_window
-            group_index = next(
-                gi for gi, g in enumerate(dp_groups) if phys in g
-            )
-            barrier = _dp_barrier(group_index)
-            start = engine.now
-            yield Wait(barrier.arrive())
+            sync_start = engine.now
+            if len(meta.ring) > 1 and meta.shard_params > 0:
+                # A fault may have re-resolved the group's transport family
+                # since its last sync; the first sync after that pays the
+                # communicator rebuild (NCCL re-init).
+                rebuild = fabric.group_rebuild_time(meta.ring)
+                if rebuild > 0.0:
+                    rb_start = engine.now
+                    yield Timeout(rebuild)
+                    if tracing:
+                        trace.record(
+                            phys, "fault", "comm-rebuild", rb_start,
+                            engine.now, group=group_index,
+                        )
+                if bucket_procs:
+                    yield AllOf([p.done for p in bucket_procs])
+                for op in bucket_plan.flush:
+                    for rep in range(op.repeat):
+                        yield from executor.run_op(
+                            op.op, meta.ring, phys,
+                            meta.shard_params * op.bytes_per_param,
+                            tag=f"dp{group_index}:{op.op}{rep}",
+                        )
+            if self.optimizer.step_overhead > 0.0:
+                yield Timeout(self.optimizer.step_overhead)
+            exposed = engine.now - sync_start
+            if exposed > group_exposed.get(group_index, 0.0):
+                group_exposed[group_index] = exposed
             if tracing:
-                trace.record(phys, "collective", "dp-sync", start, engine.now)
+                trace.record(
+                    phys, "collective", "dp-sync", sync_start, engine.now,
+                    group=group_index,
+                )
             finish_times[phys] = engine.now
 
         procs = [
@@ -570,8 +674,8 @@ class TrainingSimulation:
                 f"{stuck.name} deadlocked before finishing its schedule"
             )
 
-        # Strategy step_overhead is already charged inside each barrier's
-        # exposed time; the fixed framework overhead is added here.  With an
+        # Strategy step_overhead is already charged inside each rank's
+        # flush; the fixed framework overhead is added here.  With an
         # injector installed, pending fault-recovery timers may outlive the
         # ranks, so the makespan is the last rank completion, not engine.now.
         if aborted:
@@ -585,12 +689,48 @@ class TrainingSimulation:
         if injector is not None:
             fault_report = injector.report()
         audit = audit_parallel_groups(fabric, groups)
+
+        # Measured gradient-sync times: each op's duration is its executed
+        # window (latest member start to latest member end, summed over
+        # buckets and repeats); ``exposed`` is the wall time the flush
+        # actually added beyond the pipeline.  ``hidden`` is the comm that
+        # disappeared behind backward compute, measured as the wall-clock
+        # *union* of the group's in-flight intervals minus the exposed
+        # tail — a sum of window durations would double-count buckets that
+        # queue behind each other on one NIC.  All of these are *outputs*
+        # of the simulation, not inputs.
+        group_hidden: Dict[int, float] = {}
+        for gi, meta in enumerate(group_meta):
+            times: Dict[str, float] = {}
+            in_flight: List[tuple] = []
+            for op in self.optimizer.ops:
+                op_total = 0.0
+                if len(meta.ring) > 1 and meta.shard_params > 0:
+                    for rep in range(op.repeat):
+                        prefix = f"dp{gi}:{op.op}{rep}"
+                        op_total += executor.total_duration(prefix)
+                        in_flight.extend(executor.intervals(prefix))
+                times[op.op] = op_total
+            exposed = group_exposed.get(gi, 0.0)
+            times["exposed"] = exposed
+            wall_comm = _union_duration(in_flight)
+            times["hidden"] = max(0.0, wall_comm - exposed)
+            group_hidden[gi] = times["hidden"]
+            sync_times[meta.stage] = times
+
+        exposed_sync = 0.0
+        hidden_sync = 0.0
+        if group_exposed:
+            crit_gi = max(group_exposed, key=lambda g: group_exposed[g])
+            exposed_sync = group_exposed[crit_gi]
+            hidden_sync = group_hidden.get(crit_gi, 0.0)
+
         # Record the canonical reduce-scatter spans for Figure 3 (synthetic
         # rank -1 spans, excluded from critical-path attribution).
         if tracing:
             for stage, times in enumerate(sync_times):
                 for key, duration in times.items():
-                    if key == "exposed":
+                    if key in ("exposed", "hidden"):
                         continue
                     trace.record(
                         -1, "collective", f"grads-{key.replace('_', '-')}",
@@ -613,6 +753,8 @@ class TrainingSimulation:
             rebuild_time=fabric.fault_stats.rebuild_time,
             bubble_time=attribution.bubble_time if attribution else 0.0,
             comm_time=attribution.comm_time if attribution else 0.0,
+            exposed_sync_time=exposed_sync,
+            hidden_sync_time=hidden_sync,
         )
         self._publish_metrics(registry, metrics, end_time, attribution)
         return IterationResult(
@@ -629,6 +771,7 @@ class TrainingSimulation:
             overhead=self.iteration_overhead,
             attribution=attribution,
             registry=registry,
+            primary_sync_op=self.optimizer.primary_sync_op(),
         )
 
     def _publish_metrics(
@@ -652,6 +795,14 @@ class TrainingSimulation:
         gauge("sim_throughput_samples_per_s", "training throughput").set(
             metrics.throughput
         )
+        gauge(
+            "sim_sync_exposed_seconds",
+            "measured gradient-sync wall time beyond the pipeline",
+        ).set(metrics.exposed_sync_time)
+        gauge(
+            "sim_sync_hidden_seconds",
+            "measured gradient-sync time hidden behind backward compute",
+        ).set(metrics.hidden_sync_time)
         if attribution is None:
             return
         budget_gauge = gauge(

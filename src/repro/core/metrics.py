@@ -40,11 +40,24 @@ class IterationMetrics:
     #: when the simulation ran without tracing.
     bubble_time: float = 0.0
     comm_time: float = 0.0
+    #: measured gradient-sync split of the critical DP group: wall seconds
+    #: the sync added beyond the pipeline (``exposed``) vs. collective
+    #: seconds that executed behind backward compute (``hidden``).  These
+    #: are outputs of the executed bucket plan, not calibrated inputs.
+    exposed_sync_time: float = 0.0
+    hidden_sync_time: float = 0.0
 
     @property
     def degraded_time(self) -> float:
         """Total time attributable to fault handling."""
         return self.retry_time + self.rebuild_time
+
+    @property
+    def hidden_sync_fraction(self) -> float:
+        """Measured fraction of gradient-sync communication that hid
+        behind backward compute (0.0 when there was no sync traffic)."""
+        total = self.exposed_sync_time + self.hidden_sync_time
+        return self.hidden_sync_time / total if total > 0.0 else 0.0
 
     @property
     def bubble_fraction(self) -> float:
@@ -81,6 +94,8 @@ def compute_metrics(
     rebuild_time: float = 0.0,
     bubble_time: float = 0.0,
     comm_time: float = 0.0,
+    exposed_sync_time: float = 0.0,
+    hidden_sync_time: float = 0.0,
 ) -> IterationMetrics:
     """Assemble :class:`IterationMetrics` from a simulated iteration."""
     return IterationMetrics(
@@ -96,4 +111,6 @@ def compute_metrics(
         rebuild_time=rebuild_time,
         bubble_time=bubble_time,
         comm_time=comm_time,
+        exposed_sync_time=exposed_sync_time,
+        hidden_sync_time=hidden_sync_time,
     )

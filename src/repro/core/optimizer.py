@@ -13,9 +13,15 @@ the pipeline flush and *how much* of it hides under backward computation:
 - ``overlapped`` (Megatron-LLaMA's *OverlappedDistributedOptimizer*,
   adopted by Holmes): same sharded pattern, but buckets are reduce-scattered
   as the backward pass produces them, hiding part of the communication.
-  ``overlap_efficiency`` is the calibrated fraction of the reduce-scatter
-  that actually disappears behind compute (bounded by the backward window);
-  the parameter all-gather remains exposed at the step boundary.
+
+In the executed engine path a strategy is consumed as a *bucket plan*
+(:meth:`OptimizerStrategy.bucket_plan`): overlappable ops are issued
+per-bucket in the background as backward ops complete, non-overlappable
+ops run at the pipeline flush, and how much communication actually hides
+is **measured** by the event simulation.  ``overlap_efficiency`` survives
+only as the calibrated scalar of the analytic oracle
+(:meth:`OptimizerStrategy.exposed_time`), used by closed-form planning
+tools — it is no longer an input to the engine.
 """
 
 from __future__ import annotations
@@ -39,6 +45,23 @@ class SyncOp:
     bytes_per_param: int
     overlappable: bool  # may hide under backward compute
     repeat: int = 1
+
+
+@dataclass(frozen=True)
+class BucketPlan:
+    """How the engine executes a strategy's collectives.
+
+    ``overlapped`` ops are bucketed and issued in the background as the
+    backward pass produces gradients; ``flush`` ops run synchronously at
+    the pipeline flush (after all background buckets complete).
+    """
+
+    overlapped: Tuple[SyncOp, ...]
+    flush: Tuple[SyncOp, ...]
+
+    @property
+    def has_overlap(self) -> bool:
+        return bool(self.overlapped)
 
 
 @dataclass(frozen=True)
@@ -92,14 +115,38 @@ class OptimizerStrategy:
             )
         return volumes
 
+    def bucket_plan(self) -> BucketPlan:
+        """Split the sync ops into background (bucketed, overlappable) and
+        flush phases for the executed engine path."""
+        return BucketPlan(
+            overlapped=tuple(op for op in self.ops if op.overlappable),
+            flush=tuple(op for op in self.ops if not op.overlappable),
+        )
+
+    def primary_sync_op(self) -> str:
+        """The op name whose measured time stands in for the paper's
+        ``grads-reduce-scatter`` — the gradient-reducing collective
+        (``reduce_scatter`` if the strategy shards, else ``allreduce``).
+        Resolved structurally from the strategy's ops, not by substring
+        matching on result dictionaries."""
+        for op in self.ops:
+            if op.op == "reduce_scatter":
+                return op.op
+        for op in self.ops:
+            if op.op == "allreduce":
+                return op.op
+        return self.ops[0].op if self.ops else ""
+
     def exposed_time(
         self,
         op_times: Dict[str, float],
         backward_window: float,
         over_tcp: bool = False,
     ) -> float:
-        """Wall time the sync adds beyond the pipeline, given per-op
-        durations and the rank's backward compute window.
+        """Analytic *oracle* for the wall time the sync adds beyond the
+        pipeline, given per-op durations and the rank's backward compute
+        window.  The engine no longer consumes this (it measures exposure
+        by executing the bucket plan); planning tools and tests still do.
 
         Overlappable ops hide ``overlap_efficiency`` of their duration
         (scaled down by :attr:`tcp_overlap_scale` when the group runs over

@@ -138,6 +138,10 @@ class CollectiveCostModel:
     def _num_buckets(self, nbytes: int) -> int:
         return max(1, math.ceil(nbytes / self.config.bucket_bytes))
 
+    def num_buckets(self, nbytes: float) -> int:
+        """Number of fused gradient buckets a payload is split into."""
+        return max(1, math.ceil(nbytes / self.config.bucket_bytes))
+
     def _reliability_overhead(
         self, edge: Transport, msg_time: float, num_messages: float
     ) -> float:
@@ -234,6 +238,49 @@ class CollectiveCostModel:
         if op not in table:
             raise ConfigurationError(f"unknown collective op: {op!r}")
         return table[op](nbytes, group_size, edge, concurrent, node_span)
+
+    # ------------------------------------------------------------------ #
+    # executed collective steps (DES primitives)
+    # ------------------------------------------------------------------ #
+    #
+    # The executed collectives in :mod:`repro.collectives.executor` price
+    # one ring/tree step at a time instead of a whole lump-sum op.  The
+    # decomposition is exact: a chunk of ``chunk_bytes`` split into
+    # ``messages`` fused buckets costs
+    #
+    #     occupancy = messages * step_overhead
+    #               + (messages - 1) * latency
+    #               + chunk_bytes / bandwidth  (+ retries)
+    #
+    # on the sender's NIC, and delivery pays one more ``edge.latency`` in
+    # flight — so occupancy + delivery = messages * (latency + overhead)
+    # + wire + retries, and ``steps`` such steps reproduce the closed-form
+    # ring formulas above exactly on an uncontended edge.  Contention and
+    # fair sharing are NOT priced here: they emerge from the DES resources
+    # (per-node NIC FIFO, cluster uplinks) the steps flow through.
+
+    def collective_step_occupancy(
+        self, chunk_bytes: float, edge: Transport, messages: int = 1
+    ) -> float:
+        """Sender-side NIC busy time for one executed collective step."""
+        if chunk_bytes < 0:
+            raise ConfigurationError(f"negative chunk size: {chunk_bytes}")
+        if messages < 1:
+            raise ConfigurationError(f"messages must be >= 1: {messages}")
+        wire = chunk_bytes / edge.bandwidth
+        busy = (
+            messages * self.config.step_overhead[edge.kind]
+            + (messages - 1) * edge.latency
+            + wire
+        )
+        return busy + self._reliability_overhead(edge, wire / messages, messages)
+
+    def collective_step_time(
+        self, chunk_bytes: float, edge: Transport, messages: int = 1
+    ) -> float:
+        """Full duration of one executed collective step (occupancy plus
+        the single in-flight propagation latency the receiver observes)."""
+        return self.collective_step_occupancy(chunk_bytes, edge, messages) + edge.latency
 
     # ------------------------------------------------------------------ #
     # point-to-point

@@ -336,6 +336,65 @@ class Fabric:
             self._m_p2p_hist.observe(occupancy, kind=kind)
         return occupancy
 
+    def collective_step_occupancy(
+        self, src: int, dst: int, nbytes: float, messages: int = 1
+    ) -> float:
+        """Sender NIC busy time for one executed collective step from
+        ``src`` to ``dst`` (health-aware edge resolution, expected
+        retransmissions included — mirrors :meth:`p2p_occupancy`)."""
+        edge = self.transport(src, dst)
+        occupancy = self.cost_model.collective_step_occupancy(nbytes, edge, messages)
+        if edge.loss_rate > 0.0:
+            clean = self.cost_model.collective_step_occupancy(
+                nbytes, Transport(edge.kind, edge.bandwidth, edge.latency), messages
+            )
+            self.fault_stats.retry_time += occupancy - clean
+            if self.metrics is not None:
+                self._m_retry.inc(occupancy - clean, scope="collective")
+        if self.metrics is not None:
+            kind = str(edge.kind)
+            self._m_bytes.inc(nbytes, kind=kind, scope="collective")
+            self._m_seconds.inc(occupancy, kind=kind, scope="collective")
+        return occupancy
+
+    def collective_step_time(
+        self, src: int, dst: int, nbytes: float, messages: int = 1
+    ) -> float:
+        """End-to-end duration of one executed collective step (used on
+        intra-node edges, which bypass the NIC resource)."""
+        edge = self.transport(src, dst)
+        duration = self.cost_model.collective_step_time(nbytes, edge, messages)
+        if edge.loss_rate > 0.0:
+            clean = self.cost_model.collective_step_time(
+                nbytes, Transport(edge.kind, edge.bandwidth, edge.latency), messages
+            )
+            self.fault_stats.retry_time += duration - clean
+            if self.metrics is not None:
+                self._m_retry.inc(duration - clean, scope="collective")
+        if self.metrics is not None:
+            kind = str(edge.kind)
+            self._m_bytes.inc(nbytes, kind=kind, scope="collective")
+            self._m_seconds.inc(duration, kind=kind, scope="collective")
+        return duration
+
+    def group_rebuild_time(self, ranks: Sequence[int]) -> float:
+        """Communicator rebuild charge for a group whose transport family
+        changed since its last sync (executed-collective counterpart of the
+        bookkeeping :meth:`collective_time` performs inline).  Also tracks
+        the RDMA -> TCP fallback set for fault reports."""
+        key = tuple(sorted(set(ranks)))
+        if len(key) < 2:
+            return 0.0
+        edge = self.group_transport(key)
+        prev_kind = self._group_kind.get(key)
+        rebuild = self._rebuild_charge(self._group_kind, key, edge.kind)
+        if prev_kind is not None and prev_kind != edge.kind:
+            if prev_kind.is_rdma and not edge.kind.is_rdma:
+                self.fault_stats.fallback_groups.add(key)
+            elif edge.kind.is_rdma:
+                self.fault_stats.fallback_groups.discard(key)
+        return rebuild
+
     # ------------------------------------------------------------------ #
     # DES resources
     # ------------------------------------------------------------------ #

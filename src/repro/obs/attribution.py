@@ -240,6 +240,14 @@ def _sweep_rank(spans: Sequence[Span], horizon: float) -> Dict[Category, float]:
     return budget
 
 
+#: Public entry point for the per-rank priority sweep — other modules
+#: (e.g. :mod:`repro.core.analysis`) reuse it so nested spans (an executed
+#: collective's outer span over its per-step p2p/nic/idle detail) are never
+#: double-counted: every instant belongs to exactly one category.
+def sweep_rank(spans: Sequence[Span], horizon: float) -> Dict[Category, float]:
+    return _sweep_rank(spans, horizon)
+
+
 def _active_category(active: Dict[int, int]) -> Category:
     best = 0
     for priority, count in active.items():

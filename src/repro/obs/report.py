@@ -47,6 +47,9 @@ def build_report(
             "rebuild_seconds": metrics.rebuild_time,
             "bubble_fraction": metrics.bubble_fraction,
             "comm_fraction": metrics.comm_fraction,
+            "sync_exposed_seconds": metrics.exposed_sync_time,
+            "sync_hidden_seconds": metrics.hidden_sync_time,
+            "sync_hidden_fraction": metrics.hidden_sync_fraction,
             "aborted": bool(result.aborted),
         },
         "attribution": attribution.to_dict(),
@@ -143,6 +146,14 @@ def render_report(report: Dict[str, object]) -> str:
         f"throughput {metrics['throughput_samples_per_s']:.2f}/s"
         + ("  [ABORTED]" if metrics.get("aborted") else "")
     )
+    hidden = metrics.get("sync_hidden_seconds", 0.0)
+    exposed = metrics.get("sync_exposed_seconds", 0.0)
+    if hidden or exposed:
+        lines.append(
+            f"grad sync: exposed {exposed:.3f}s  hidden {hidden:.3f}s  "
+            f"({100 * metrics.get('sync_hidden_fraction', 0.0):.0f}% "
+            f"measured overlap)"
+        )
 
     attribution = report["attribution"]
     iteration = attribution["iteration_time"]

@@ -5,9 +5,10 @@ Python generators that ``yield`` commands (:class:`Timeout`, :class:`Wait`,
 :class:`AllOf`, ...) to the :class:`SimEngine`, which advances virtual time.
 
 The Holmes training engine (:mod:`repro.core.engine`) runs one process per
-simulated GPU rank; compute kernels become :class:`Timeout` commands, pipeline
-point-to-point transfers become channel puts/gets, and collectives become
-rendezvous barriers whose duration comes from the network cost model.
+simulated GPU rank; compute kernels become :class:`Timeout` commands, and both
+pipeline point-to-point transfers and the per-step sends of executed
+collectives (:mod:`repro.collectives.executor`) become channel puts/gets
+through per-node NIC :class:`Resource` queues.
 """
 
 from repro.simcore.event import SimEvent

@@ -55,6 +55,11 @@ def span_to_event(span: Span, time_scale: float = 1e6) -> Dict:
         "args": args,
     }
     color = _COLOR_BY_KIND.get(span.kind)
+    # Executed collective steps travel the shared p2p path but are tagged
+    # ``coll=1`` by the sender; color them as collective traffic so ring
+    # steps stand out from pipeline activations in the timeline.
+    if span.kind == "p2p" and args.get("coll"):
+        color = _COLOR_BY_KIND["collective"]
     if color:
         event["cname"] = color
     return event

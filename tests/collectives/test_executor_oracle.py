@@ -1,0 +1,157 @@
+"""Executed collectives vs. the closed-form cost-model oracle.
+
+The per-step price of an executed collective was chosen so that chaining
+steps on an *uncontended* fabric reproduces the alpha-beta closed forms in
+:mod:`repro.network.costmodel` — these property tests pin that contract
+within 1% across group sizes, message sizes (single- and multi-bucket),
+and NIC families, for ring reduce-scatter/all-gather/all-reduce, binomial
+tree broadcast, and the hierarchical two-level all-reduce.  Heterogeneous
+groups (one degraded edge) must match the slowest-link bound the paper's
+Table 1 describes.
+"""
+
+import pytest
+
+from repro.collectives.executor import CollectiveExecutor, OpWindow
+from repro.collectives.hierarchical import hierarchical_allreduce_time
+from repro.collectives.p2p import ChannelRegistry
+from repro.hardware.nic import NICType
+from repro.hardware.presets import homogeneous_topology
+from repro.network.fabric import Fabric
+from repro.simcore.engine import SimEngine
+from repro.units import MB
+
+FAMILIES = [NICType.INFINIBAND, NICType.ROCE, NICType.ETHERNET]
+
+
+def run_collective(topo, op, ranks, nbytes, degrade=None):
+    """Execute one collective standalone; returns (makespan, fabric, executor)."""
+    engine = SimEngine()
+    fabric = Fabric(topo, None, engine=engine)
+    if degrade is not None:
+        node, family, factor = degrade
+        fabric.health.set_bandwidth_factor(node, family, factor)
+    channels = ChannelRegistry(engine)
+    executor = CollectiveExecutor(fabric, channels)
+    for r in ranks:
+        engine.process(
+            executor.run_op(op, ranks, r, float(nbytes), tag="op"),
+            name=f"rank{r}",
+        )
+    engine.run()
+    return engine.now, fabric, executor
+
+
+class TestRingMatchesOracle:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("group_size", [2, 4, 8])
+    @pytest.mark.parametrize("nbytes", [16 * MB, 512 * MB])
+    @pytest.mark.parametrize("op", ["reduce_scatter", "allgather", "allreduce"])
+    def test_inter_node_ring(self, family, group_size, nbytes, op):
+        """One rank per node: every ring edge crosses a NIC.  512 MB spans
+        multiple 128 MB fusion buckets, exercising the per-step
+        ``messages`` latency multiplier."""
+        topo = homogeneous_topology(group_size, family, gpus_per_node=1)
+        ranks = list(range(group_size))
+        makespan, fabric, _ = run_collective(topo, op, ranks, nbytes)
+        oracle = fabric.collective_time(op, ranks, nbytes)
+        assert makespan == pytest.approx(oracle, rel=0.01)
+
+    @pytest.mark.parametrize("group_size", [2, 4, 8])
+    def test_intra_node_nvlink_ring(self, group_size):
+        topo = homogeneous_topology(1, NICType.INFINIBAND, gpus_per_node=8)
+        ranks = list(range(group_size))
+        makespan, fabric, _ = run_collective(topo, "allreduce", ranks, 256 * MB)
+        oracle = fabric.collective_time("allreduce", ranks, 256 * MB)
+        assert makespan == pytest.approx(oracle, rel=0.01)
+
+    def test_mixed_intra_inter_ring(self):
+        """Multi-GPU nodes: most edges are NVLink, two cross the NIC.  The
+        node-contiguous ring makes the slowest (NIC) edge dominate, which
+        is exactly what the closed form assumes."""
+        topo = homogeneous_topology(2, NICType.INFINIBAND, gpus_per_node=4)
+        ranks = list(range(8))
+        makespan, fabric, _ = run_collective(topo, "reduce_scatter", ranks, 512 * MB)
+        oracle = fabric.collective_time("reduce_scatter", ranks, 512 * MB)
+        assert makespan == pytest.approx(oracle, rel=0.01)
+
+    @pytest.mark.parametrize("factor", [0.5, 0.25])
+    def test_heterogeneous_ring_matches_slowest_link(self, factor):
+        """One browned-out NIC throttles the whole ring to its pace — the
+        emergent version of the paper's slowest-link degradation.  The
+        oracle's group transport already resolves to the degraded edge, so
+        executed and closed form agree; executed must never beat the
+        slowest-link lower bound."""
+        topo = homogeneous_topology(4, NICType.INFINIBAND, gpus_per_node=1)
+        ranks = list(range(4))
+        slow, fabric, _ = run_collective(
+            topo, "reduce_scatter", ranks, 256 * MB,
+            degrade=(2, NICType.INFINIBAND, factor),
+        )
+        bound = fabric.collective_time("reduce_scatter", ranks, 256 * MB)
+        assert slow == pytest.approx(bound, rel=0.01)
+        assert slow >= bound * 0.99
+        healthy, fabric2, _ = run_collective(topo, "reduce_scatter", ranks, 256 * MB)
+        assert slow > healthy / factor * 0.9  # throttled roughly by 1/factor
+
+
+class TestTreeMatchesOracle:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("group_size", [2, 4, 8])
+    def test_binomial_broadcast(self, family, group_size):
+        topo = homogeneous_topology(group_size, family, gpus_per_node=1)
+        ranks = list(range(group_size))
+        makespan, fabric, _ = run_collective(topo, "broadcast", ranks, 64 * MB)
+        oracle = fabric.collective_time("broadcast", ranks, 64 * MB)
+        assert makespan == pytest.approx(oracle, rel=0.01)
+
+
+class TestHierarchicalMatchesOracle:
+    @pytest.mark.parametrize("nodes,gpn", [(2, 4), (4, 4), (4, 2)])
+    def test_two_level_allreduce(self, nodes, gpn):
+        topo = homogeneous_topology(nodes, NICType.INFINIBAND, gpus_per_node=gpn)
+        ranks = list(range(nodes * gpn))
+        makespan, fabric, _ = run_collective(
+            topo, "hierarchical_allreduce", ranks, 512 * MB
+        )
+        oracle = hierarchical_allreduce_time(fabric, ranks, 512 * MB)
+        assert makespan == pytest.approx(oracle, rel=0.01)
+
+    def test_single_node_falls_back_to_flat_ring(self):
+        topo = homogeneous_topology(1, NICType.INFINIBAND, gpus_per_node=4)
+        ranks = list(range(4))
+        makespan, fabric, _ = run_collective(
+            topo, "hierarchical_allreduce", ranks, 128 * MB
+        )
+        oracle = hierarchical_allreduce_time(fabric, ranks, 128 * MB)
+        assert makespan == pytest.approx(oracle, rel=0.01)
+
+
+class TestExecutorBookkeeping:
+    def test_windows_record_every_member(self):
+        topo = homogeneous_topology(4, NICType.ROCE, gpus_per_node=1)
+        ranks = list(range(4))
+        _, _, executor = run_collective(topo, "allreduce", ranks, 64 * MB)
+        window = executor.windows["op"]
+        assert window.complete
+        assert window.duration > 0
+        assert set(window.starts) == set(ranks)
+
+    def test_determinism(self):
+        topo = homogeneous_topology(4, NICType.ROCE, gpus_per_node=2)
+        ranks = list(range(8))
+        t1, _, _ = run_collective(topo, "allreduce", ranks, 128 * MB)
+        t2, _, _ = run_collective(topo, "allreduce", ranks, 128 * MB)
+        assert t1 == t2
+
+    def test_trivial_groups_are_free(self):
+        topo = homogeneous_topology(2, NICType.INFINIBAND, gpus_per_node=1)
+        makespan, _, executor = run_collective(topo, "allreduce", [0], 64 * MB)
+        assert makespan == 0.0
+        assert executor.windows == {}
+
+    def test_incomplete_window_clamps_duration(self):
+        window = OpWindow(tag="t", op="allreduce", group_size=2)
+        assert window.duration == 0.0
+        window.starts[0] = 5.0
+        assert window.duration == 0.0  # no ends recorded yet
