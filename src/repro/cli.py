@@ -400,6 +400,56 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Metamorphic conformance sweep: sample N seeded scenarios, check every
+    selected relation (with the invariant sanitizer armed inside each run),
+    and emit a ``repro.validate.report/v1`` document.  Exit 0 iff every
+    relation held on every scenario."""
+    import json
+
+    from repro.validate import ValidationHooks, run_validation
+    from repro.validate.metamorphic import RELATIONS
+    from repro.validate.report import (
+        build_validation_report,
+        render_validation_report,
+        validate_validation_report,
+    )
+    from repro.validate.scenarios import sample_scenarios
+
+    relations = args.relation or None
+    if relations:
+        unknown = sorted(set(relations) - set(RELATIONS))
+        if unknown:
+            raise SystemExit(
+                f"unknown relations: {', '.join(unknown)}; "
+                f"have {', '.join(sorted(RELATIONS))}"
+            )
+    results = run_validation(args.scenarios, seed=args.seed, relations=relations)
+
+    # One sanitizer-armed pass over the raw scenarios so the report carries
+    # the invariant tallies of this exact sweep (the relation runs arm their
+    # own private hooks).
+    sanitizer = ValidationHooks()
+    for spec in sample_scenarios(args.scenarios, args.seed):
+        spec.run(validation=sanitizer)
+
+    report = build_validation_report(
+        results,
+        num_scenarios=args.scenarios,
+        seed=args.seed,
+        relations=relations or sorted(RELATIONS),
+        sanitizer=sanitizer.summary(),
+    )
+    validate_validation_report(report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+    print(render_validation_report(report))
+    if args.out:
+        print(f"\nwrote report to {args.out}")
+    return 0 if not report["summary"]["failed"] else 1
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -497,6 +547,21 @@ def make_parser() -> argparse.ArgumentParser:
                    help="also export a Chrome trace with utilization "
                         "counter tracks and fault markers")
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "validate",
+        help="metamorphic conformance sweep over seeded random scenarios",
+    )
+    p.add_argument("--scenarios", type=int, default=25, metavar="N",
+                   help="number of seeded random scenarios (default 25)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="scenario-sampling seed (default 0)")
+    p.add_argument("--relation", action="append", metavar="NAME",
+                   help="check only this relation (repeatable; default all); "
+                        "e.g. bandwidth_monotonic, seed_replay")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the JSON conformance report here")
+    p.set_defaults(fn=cmd_validate)
     return parser
 
 

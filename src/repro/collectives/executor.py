@@ -102,6 +102,8 @@ class CollectiveExecutor:
         self.channels = channels
         self.trace = trace
         self.windows: Dict[str, OpWindow] = {}
+        #: sanitizer shared with the fabric (byte-conservation auditing)
+        self.hooks = getattr(fabric, "hooks", None)
 
     # ------------------------------------------------------------------ #
     # ring construction
@@ -148,6 +150,12 @@ class CollectiveExecutor:
             self.windows[tag] = window
         window.starts[rank] = engine.now
         start = engine.now
+        if self.hooks is not None:
+            topo = self.fabric.topology
+            self.hooks.begin_collective(
+                tag, op, rank, ring, nbytes,
+                [topo.device(r).node_global for r in ring],
+            )
         d = len(ring)
         messages = self.fabric.cost_model.num_buckets(nbytes)
         if op == "reduce_scatter":
@@ -162,6 +170,8 @@ class CollectiveExecutor:
         else:  # hierarchical_allreduce
             yield from self._hierarchical(ring, rank, nbytes, tag)
         window.ends[rank] = engine.now
+        if self.hooks is not None:
+            self.hooks.end_collective_member(tag, rank, start, engine.now)
         if self.trace is not None and self.trace.enabled:
             self.trace.record(
                 rank, "collective", label or f"coll:{tag}", start, engine.now,
@@ -188,6 +198,8 @@ class CollectiveExecutor:
         prev = ring[(i - 1) % d]
         for s in range(d - 1):
             step_tag = f"{tag}:{phase}{s}"
+            if self.hooks is not None:
+                self.hooks.on_collective_step(tag, rank, chunk)
             yield from send(
                 self.fabric, self.channels, rank, nxt, step_tag, chunk,
                 self.trace, collective=True, messages=messages,
@@ -214,6 +226,8 @@ class CollectiveExecutor:
         for r in range(joined + 1, depth):
             target = rel + (1 << r)
             if target < d:
+                if self.hooks is not None:
+                    self.hooks.on_collective_step(tag, rank, nbytes)
                 yield from send(
                     self.fabric, self.channels, rank, ring[target],
                     f"{tag}:r{r}", nbytes, self.trace,

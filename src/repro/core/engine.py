@@ -183,6 +183,7 @@ class TrainingSimulation:
         tie_embeddings: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         metrics_registry: Optional[MetricsRegistry] = None,
+        validation: Optional[object] = None,
     ) -> None:
         """``blocking_p2p`` mirrors Megatron's synchronous
         ``batch_isend_irecv`` semantics: a rank waits for its inter-stage
@@ -222,6 +223,12 @@ class TrainingSimulation:
         #: shared observability registry; a private one is created per run
         #: when the caller does not supply one.
         self.metrics_registry = metrics_registry
+        #: opt-in invariant sanitizer (:class:`repro.validate.ValidationHooks`);
+        #: threaded through engine, fabric, and trace when set, checking
+        #: causality, resource capacity, byte conservation, and span
+        #: well-formedness as events execute.  ``None`` (the default) keeps
+        #: the hot path free of any per-event hook dispatch.
+        self.validation = validation
         self.stragglers: Dict[int, float] = dict(stragglers or {})
         for rank, factor in self.stragglers.items():
             if factor < 1.0:
@@ -397,13 +404,14 @@ class TrainingSimulation:
         plan = self.plan
         parallel = plan.parallel
         topo = plan.topology
-        engine = SimEngine()
+        engine = SimEngine(hooks=self.validation)
         registry = self.metrics_registry or MetricsRegistry()
         fabric = Fabric(
             topo, self.cost_config, engine=engine,
             force_ethernet=self.force_ethernet, metrics=registry,
+            hooks=self.validation,
         )
-        trace = TraceRecorder(enabled=self.trace_enabled)
+        trace = TraceRecorder(enabled=self.trace_enabled, hooks=self.validation)
         tracing = trace.enabled
         channels = ChannelRegistry(engine)
         schedule = self._build_schedule()
@@ -756,6 +764,9 @@ class TrainingSimulation:
             exposed_sync_time=exposed_sync,
             hidden_sync_time=hidden_sync,
         )
+        if self.validation is not None:
+            self.validation.finalize(trace, end_time, topo.world_size)
+            self.validation.publish(registry)
         self._publish_metrics(registry, metrics, end_time, attribution)
         return IterationResult(
             plan=plan,

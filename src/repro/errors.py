@@ -40,6 +40,24 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class InvariantViolation(SimulationError):
+    """A runtime invariant of the simulation was violated.
+
+    Raised by the opt-in :class:`repro.validate.ValidationHooks` sanitizer.
+    Carries the machine-readable ``invariant`` name and the offending event
+    ``context`` (ranks, tags, values, virtual times) so a violation points
+    straight at the event that broke the property, not just at a stack trace.
+    """
+
+    def __init__(self, invariant: str, message: str, **context: object) -> None:
+        self.invariant = invariant
+        self.context = dict(context)
+        detail = ", ".join(f"{k}={v!r}" for k, v in sorted(self.context.items()))
+        super().__init__(
+            f"[{invariant}] {message}" + (f" ({detail})" if detail else "")
+        )
+
+
 class SchedulingError(ReproError):
     """The Holmes scheduler could not produce a valid placement."""
 

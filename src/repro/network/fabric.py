@@ -54,12 +54,16 @@ class Fabric:
         engine: Optional[SimEngine] = None,
         force_ethernet: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        hooks: Optional[object] = None,
     ) -> None:
         """``force_ethernet=True`` reproduces the behaviour of NIC-oblivious
         frameworks in heterogeneous environments (paper §3.2): NCCL cannot
         negotiate RDMA consistently, so *all* inter-node traffic rides TCP
         over the Ethernet NICs.  ``metrics`` (optional) is the observability
-        registry every priced communication publishes into."""
+        registry every priced communication publishes into.  ``hooks``
+        (optional) is a :class:`repro.validate.ValidationHooks` sanitizer;
+        when set, every priced duration is audited for sanity at the event
+        that consumes it."""
         self.topology = topology
         self.cost_model = CollectiveCostModel(config)
         self.engine = engine
@@ -67,6 +71,7 @@ class Fabric:
         self.health = FabricHealth()
         self.fault_stats = FaultStats()
         self.metrics = metrics
+        self.hooks = hooks
         if metrics is not None:
             self._m_bytes = metrics.counter(
                 "comm_bytes_total", "bytes priced per transport kind and scope"
@@ -259,6 +264,13 @@ class Fabric:
     # analytic timing
     # ------------------------------------------------------------------ #
 
+    def _audit(self, seconds: float, what: str, **context: object) -> float:
+        """Pass a priced duration through the sanitizer (identity when no
+        hooks are attached)."""
+        if self.hooks is not None:
+            return self.hooks.check_duration(seconds, what, **context)
+        return seconds
+
     def collective_time(
         self, op: str, ranks: Sequence[int], nbytes: int, concurrent: int = 1
     ) -> float:
@@ -279,8 +291,14 @@ class Fabric:
             elif edge.kind.is_rdma:
                 self.fault_stats.fallback_groups.discard(key)
         span = group_node_span(self.topology, ranks)
-        duration = self.cost_model.collective(
-            op, nbytes, len(ranks), edge, concurrent=concurrent, node_span=span
+        duration = self._audit(
+            self.cost_model.collective(
+                op, nbytes, len(ranks), edge, concurrent=concurrent, node_span=span
+            ),
+            "collective",
+            op=op,
+            nbytes=nbytes,
+            ranks=len(ranks),
         )
         if edge.loss_rate > 0.0:
             clean = self.cost_model.collective(
@@ -303,9 +321,15 @@ class Fabric:
     def p2p_time(self, src: int, dst: int, nbytes: int, concurrent: int = 1) -> float:
         """End-to-end duration of one point-to-point transfer."""
         edge = self.transport(src, dst)
-        duration = self.cost_model.p2p(
-            nbytes, edge, concurrent,
-            cross_cluster=not self.topology.same_cluster(src, dst),
+        duration = self._audit(
+            self.cost_model.p2p(
+                nbytes, edge, concurrent,
+                cross_cluster=not self.topology.same_cluster(src, dst),
+            ),
+            "p2p",
+            src=src,
+            dst=dst,
+            nbytes=nbytes,
         )
         if self.metrics is not None:
             self._m_bytes.inc(nbytes, kind=str(edge.kind), scope="p2p")
@@ -317,8 +341,12 @@ class Fabric:
         including the expected retransmissions on a lossy link."""
         edge = self.transport(src, dst)
         cross = not self.topology.same_cluster(src, dst)
-        occupancy = self.cost_model.p2p_nic_occupancy(
-            nbytes, edge, cross_cluster=cross
+        occupancy = self._audit(
+            self.cost_model.p2p_nic_occupancy(nbytes, edge, cross_cluster=cross),
+            "p2p_occupancy",
+            src=src,
+            dst=dst,
+            nbytes=nbytes,
         )
         if edge.loss_rate > 0.0:
             clean = self.cost_model.p2p_nic_occupancy(
@@ -343,7 +371,13 @@ class Fabric:
         ``src`` to ``dst`` (health-aware edge resolution, expected
         retransmissions included — mirrors :meth:`p2p_occupancy`)."""
         edge = self.transport(src, dst)
-        occupancy = self.cost_model.collective_step_occupancy(nbytes, edge, messages)
+        occupancy = self._audit(
+            self.cost_model.collective_step_occupancy(nbytes, edge, messages),
+            "collective_step_occupancy",
+            src=src,
+            dst=dst,
+            nbytes=nbytes,
+        )
         if edge.loss_rate > 0.0:
             clean = self.cost_model.collective_step_occupancy(
                 nbytes, Transport(edge.kind, edge.bandwidth, edge.latency), messages
@@ -363,7 +397,13 @@ class Fabric:
         """End-to-end duration of one executed collective step (used on
         intra-node edges, which bypass the NIC resource)."""
         edge = self.transport(src, dst)
-        duration = self.cost_model.collective_step_time(nbytes, edge, messages)
+        duration = self._audit(
+            self.cost_model.collective_step_time(nbytes, edge, messages),
+            "collective_step_time",
+            src=src,
+            dst=dst,
+            nbytes=nbytes,
+        )
         if edge.loss_rate > 0.0:
             clean = self.cost_model.collective_step_time(
                 nbytes, Transport(edge.kind, edge.bandwidth, edge.latency), messages
@@ -393,7 +433,7 @@ class Fabric:
                 self.fault_stats.fallback_groups.add(key)
             elif edge.kind.is_rdma:
                 self.fault_stats.fallback_groups.discard(key)
-        return rebuild
+        return self._audit(rebuild, "group_rebuild", ranks=len(key))
 
     # ------------------------------------------------------------------ #
     # DES resources
@@ -438,7 +478,11 @@ class Fabric:
 
     def uplink_occupancy(self, nbytes: int) -> float:
         """Time one transfer holds the inter-cluster uplink."""
-        return nbytes / self.cost_model.config.inter_cluster_uplink
+        return self._audit(
+            nbytes / self.cost_model.config.inter_cluster_uplink,
+            "uplink_occupancy",
+            nbytes=nbytes,
+        )
 
     def send_transport(self, src: int, dst: int) -> Transport:
         """Alias of :meth:`transport` kept for readability at call sites."""

@@ -18,14 +18,22 @@ from repro.simcore.process import Process
 
 
 class SimEngine:
-    """Owns the event queue and virtual clock for one simulation run."""
+    """Owns the event queue and virtual clock for one simulation run.
 
-    def __init__(self) -> None:
+    ``hooks`` is an optional :class:`repro.validate.ValidationHooks` — when
+    set, the run loop reports every dispatched event so the sanitizer can
+    assert that virtual time never moves backwards.  Primitives built on the
+    engine (:class:`~repro.simcore.resource.Resource`) pick the same object
+    up via ``engine.hooks``.
+    """
+
+    def __init__(self, hooks: Optional[Any] = None) -> None:
         self._now = 0.0
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._sequence = count()
         self._running = False
         self._steps = 0
+        self.hooks = hooks
 
     @property
     def now(self) -> float:
@@ -76,6 +84,8 @@ class SimEngine:
                     self._now = until
                     break
                 heapq.heappop(self._queue)
+                if self.hooks is not None:
+                    self.hooks.on_engine_step(when, self._now)
                 self._now = when
                 self._steps += 1
                 if self._steps > max_steps:

@@ -43,6 +43,9 @@ class Resource:
         ev = self.engine.event(name=f"{self.name}.acquire")
         if self._in_use < self.capacity:
             self._in_use += 1
+            hooks = getattr(self.engine, "hooks", None)
+            if hooks is not None:
+                hooks.on_resource_grant(self, self.engine.now)
             ev.succeed(self)
         else:
             self._waiters.append(ev)
@@ -52,8 +55,13 @@ class Resource:
         """Return a slot; hands it to the oldest waiter if any."""
         if self._in_use <= 0:
             raise SimulationError(f"release() on idle resource {self.name!r}")
+        hooks = getattr(self.engine, "hooks", None)
+        if hooks is not None:
+            hooks.on_resource_release(self, self.engine.now)
         if self._waiters:
             waiter = self._waiters.popleft()
+            if hooks is not None:
+                hooks.on_resource_grant(self, self.engine.now)
             waiter.succeed(self)
         else:
             self._in_use -= 1

@@ -37,9 +37,12 @@ class Span:
 class TraceRecorder:
     """Accumulates spans; offers simple aggregation queries."""
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, hooks: Optional[object] = None) -> None:
         self.enabled = enabled
         self.spans: List[Span] = []
+        #: optional :class:`repro.validate.ValidationHooks` sanitizer; when
+        #: set, every recorded span is checked for well-formedness.
+        self.hooks = hooks
 
     def record(
         self,
@@ -54,11 +57,12 @@ class TraceRecorder:
         """Append one span (no-op when tracing is disabled)."""
         if not self.enabled:
             return
+        span = Span(rank, kind, label, start, end, nbytes, tuple(sorted(meta.items())))
+        if self.hooks is not None:
+            self.hooks.on_span(span)
         if end < start:
             raise ValueError(f"span ends before it starts: {label} {start}..{end}")
-        self.spans.append(
-            Span(rank, kind, label, start, end, nbytes, tuple(sorted(meta.items())))
-        )
+        self.spans.append(span)
 
     def by_label(self, label: str) -> List[Span]:
         """All spans whose label matches exactly."""

@@ -1,0 +1,92 @@
+"""Closed-form byte accounting for executed collectives.
+
+The sanitizer's conservation check needs an *independent* statement of how
+many bytes each member of a collective must push through its send path —
+independent of :mod:`repro.collectives.executor`, whose per-step programs
+are exactly what the check is auditing.  These formulas are the telescoped
+step schedules of the algorithms (the same arithmetic
+``CollectiveCostModel.collective_step_occupancy`` prices one step of):
+
+==========================  =============================================
+op                          bytes sent per member
+==========================  =============================================
+ring reduce-scatter         ``(d - 1) / d * n``
+ring all-gather             ``(d - 1) / d * n``
+ring all-reduce             ``2 (d - 1) / d * n``
+binomial-tree broadcast     ``children(rank) * n`` (group total
+                            ``(d - 1) * n``: every non-root receives once)
+hierarchical all-reduce     intra ``2 (G - 1) / G * n`` plus, when the
+                            group spans ``k > 1`` nodes, inter
+                            ``2 (k - 1) / (G k) * n``
+==========================  =============================================
+
+where ``d`` is the group size, ``n`` the payload, and ``G`` the (equal)
+number of member ranks per node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import CommunicatorError
+
+
+def broadcast_children(ring: Sequence[int], rank: int) -> int:
+    """Number of relays ``rank`` performs in a binomial-tree broadcast
+    rooted at ``ring[0]``: a member at relative position ``rel`` joins in
+    round ``floor(log2(rel))`` and relays to ``rel + 2**r`` in every later
+    round ``r`` whose target exists."""
+    d = len(ring)
+    rel = list(ring).index(rank)
+    depth = max(1, (d - 1).bit_length())
+    joined = rel.bit_length() - 1 if rel > 0 else -1
+    return sum(1 for r in range(joined + 1, depth) if rel + (1 << r) < d)
+
+
+def expected_member_step_bytes(
+    op: str,
+    ring: Sequence[int],
+    rank: int,
+    nbytes: float,
+    node_ids: Sequence[int],
+) -> float:
+    """Bytes ``rank`` must send across all steps of one executed ``op``.
+
+    ``node_ids`` is aligned with ``ring`` (the node each member lives on);
+    only the hierarchical all-reduce consults it.
+    """
+    d = len(ring)
+    if d < 2 or nbytes <= 0:
+        return 0.0
+    if op in ("reduce_scatter", "allgather"):
+        return (d - 1) * nbytes / d
+    if op == "allreduce":
+        return 2.0 * (d - 1) * nbytes / d
+    if op == "broadcast":
+        return broadcast_children(ring, rank) * nbytes
+    if op == "hierarchical_allreduce":
+        by_node: Dict[int, List[int]] = {}
+        for member, node in zip(ring, node_ids):
+            by_node.setdefault(node, []).append(member)
+        sizes = {len(members) for members in by_node.values()}
+        if len(sizes) != 1:
+            raise CommunicatorError(
+                f"hierarchical accounting needs equal ranks per node, "
+                f"got group sizes {sorted(sizes)}"
+            )
+        G = sizes.pop()
+        k = len(by_node)
+        intra = 2.0 * (G - 1) * nbytes / G if G > 1 else 0.0
+        inter = 2.0 * (k - 1) * nbytes / (G * k) if k > 1 else 0.0
+        return intra + inter
+    raise CommunicatorError(f"no byte accounting for collective op {op!r}")
+
+
+def expected_group_step_bytes(
+    op: str, ring: Sequence[int], nbytes: float, node_ids: Sequence[int]
+) -> float:
+    """Total bytes the whole group must send across all steps of ``op``."""
+    return sum(
+        expected_member_step_bytes(op, ring, rank, nbytes, node_ids)
+        for rank in ring
+    )

@@ -1,0 +1,149 @@
+"""Deterministic-replay differ: canonical digests and first-divergence diff.
+
+The simulator promises bit-identical replays: the event kernel is seeded and
+single-threaded, fault plans are deterministic data, and nothing consults
+wall-clock time.  This module turns that promise into a checked property.
+
+- :func:`trace_digest` / :func:`metrics_digest` — stable SHA-256 digests of
+  an executed trace (every span, in record order) and of an
+  :class:`~repro.core.metrics.IterationMetrics`.  Floats are canonicalised
+  with :func:`repr`, which in Python is the exact shortest round-trip
+  representation, so two digests agree iff the underlying values are
+  bit-identical.
+- :func:`fingerprint` — both digests plus the makespan for one
+  :class:`~repro.core.engine.IterationResult`.
+- :func:`diff_runs` — build-and-run a scenario twice from a factory and
+  report the first divergent span, if any.  Used by the metamorphic
+  relation ``seed_replay`` and by the CI determinism tests, including under
+  ``FaultPlan.random`` seeds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import IterationResult
+    from repro.core.metrics import IterationMetrics
+    from repro.simcore.trace import Span, TraceRecorder
+
+
+def span_token(span: "Span") -> str:
+    """Canonical one-line encoding of a span (exact: floats via ``repr``)."""
+    meta = ",".join(f"{k}={v!r}" for k, v in span.meta)
+    return (
+        f"{span.rank}|{span.kind}|{span.label}|{span.start!r}|{span.end!r}"
+        f"|{span.bytes}|{meta}"
+    )
+
+
+def trace_digest(trace: "TraceRecorder") -> str:
+    """SHA-256 over every recorded span, in record order."""
+    h = hashlib.sha256()
+    for span in trace.spans:
+        h.update(span_token(span).encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def metrics_digest(metrics: "IterationMetrics") -> str:
+    """SHA-256 over every :class:`IterationMetrics` field, by field name."""
+    h = hashlib.sha256()
+    for f in fields(metrics):
+        h.update(f"{f.name}={getattr(metrics, f.name)!r}\n".encode())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class RunFingerprint:
+    """Identity of one executed run: equal fingerprints == identical runs."""
+
+    trace: str
+    metrics: str
+    makespan: float
+    num_spans: int
+
+
+def fingerprint(result: "IterationResult") -> RunFingerprint:
+    """Fingerprint one :class:`IterationResult`."""
+    return RunFingerprint(
+        trace=trace_digest(result.trace),
+        metrics=metrics_digest(result.metrics),
+        makespan=result.makespan,
+        num_spans=len(result.trace.spans),
+    )
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of replaying a scenario against its original run."""
+
+    identical: bool
+    first: RunFingerprint
+    second: RunFingerprint
+    #: index of the first divergent span, or ``None`` when traces agree
+    divergence_index: Optional[int] = None
+    #: canonical tokens of the divergent span pair (``None`` if one trace
+    #: simply ended early)
+    first_span: Optional[str] = None
+    second_span: Optional[str] = None
+
+    def describe(self) -> str:
+        """Human-readable one-paragraph verdict."""
+        if self.identical:
+            return (
+                f"replay identical: {self.first.num_spans} spans, "
+                f"makespan {self.first.makespan!r}, trace {self.first.trace[:12]}"
+            )
+        if self.divergence_index is None:
+            return (
+                "replay diverged outside the trace: metrics digests differ "
+                f"({self.first.metrics[:12]} vs {self.second.metrics[:12]})"
+            )
+        return (
+            f"replay diverged at span {self.divergence_index}: "
+            f"{self.first_span!r} vs {self.second_span!r}"
+        )
+
+
+def compare_traces(
+    a: "TraceRecorder", b: "TraceRecorder"
+) -> Tuple[Optional[int], Optional[str], Optional[str]]:
+    """First index where two traces disagree (``None`` if identical)."""
+    tokens_a: List[str] = [span_token(s) for s in a.spans]
+    tokens_b: List[str] = [span_token(s) for s in b.spans]
+    for i, (ta, tb) in enumerate(zip(tokens_a, tokens_b)):
+        if ta != tb:
+            return i, ta, tb
+    if len(tokens_a) != len(tokens_b):
+        i = min(len(tokens_a), len(tokens_b))
+        longer = tokens_a if len(tokens_a) > len(tokens_b) else tokens_b
+        return (
+            i,
+            tokens_a[i] if longer is tokens_a else None,
+            tokens_b[i] if longer is tokens_b else None,
+        )
+    return None, None, None
+
+
+def diff_runs(factory: Callable[[], "IterationResult"]) -> ReplayReport:
+    """Run ``factory`` twice and report the first divergence.
+
+    ``factory`` must build a *fresh* simulation each call (engines and
+    fabrics are single-use); any seeding — including ``FaultPlan.random``
+    seeds — must happen inside it so both runs see identical inputs.
+    """
+    first = factory()
+    second = factory()
+    fp_a, fp_b = fingerprint(first), fingerprint(second)
+    index, tok_a, tok_b = compare_traces(first.trace, second.trace)
+    return ReplayReport(
+        identical=fp_a == fp_b and index is None,
+        first=fp_a,
+        second=fp_b,
+        divergence_index=index,
+        first_span=tok_a,
+        second_span=tok_b,
+    )

@@ -1,0 +1,131 @@
+"""The schema-versioned conformance report behind ``repro validate``.
+
+One JSON document summarising a metamorphic validation sweep: the seed and
+scenario count (which fully determine the sweep), every relation checked,
+each (relation, scenario) result, and the sanitizer's check tallies.
+:func:`validate_validation_report` is the schema gate the CLI smoke tests
+and CI run before trusting a report; hand-rolled, zero dependencies beyond
+the stdlib, mirroring :mod:`repro.obs.report`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.validate.metamorphic import RELATIONS, RelationResult
+
+#: Schema identifier embedded in (and required of) every report.
+VALIDATION_SCHEMA = "repro.validate.report/v1"
+
+
+def build_validation_report(
+    results: Sequence[RelationResult],
+    num_scenarios: int,
+    seed: int,
+    relations: Optional[Sequence[str]] = None,
+    sanitizer: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble the conformance report for one validation sweep."""
+    names = sorted(relations) if relations else sorted(RELATIONS)
+    failed = [r for r in results if not r.passed]
+    return {
+        "schema": VALIDATION_SCHEMA,
+        "seed": seed,
+        "num_scenarios": num_scenarios,
+        "relations": {
+            name: RELATIONS[name].description for name in names if name in RELATIONS
+        },
+        "results": [
+            {
+                "relation": r.relation,
+                "scenario": r.scenario,
+                "passed": r.passed,
+                "details": dict(r.details),
+                "error": r.error,
+            }
+            for r in results
+        ],
+        "summary": {
+            "checks": len(results),
+            "passed": len(results) - len(failed),
+            "failed": len(failed),
+        },
+        "sanitizer": dict(sanitizer or {}),
+    }
+
+
+def validate_validation_report(report: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``report`` is a well-formed conformance
+    report: schema tag, section structure, and a summary that actually
+    tallies the results."""
+    if not isinstance(report, dict):
+        raise ValueError(f"report must be a dict, got {type(report).__name__}")
+    if report.get("schema") != VALIDATION_SCHEMA:
+        raise ValueError(
+            f"unknown report schema: {report.get('schema')!r} "
+            f"(expected {VALIDATION_SCHEMA})"
+        )
+    for key in ("seed", "num_scenarios"):
+        if not isinstance(report.get(key), int):
+            raise ValueError(f"report.{key} must be an integer")
+    if not isinstance(report.get("relations"), dict) or not report["relations"]:
+        raise ValueError("report.relations must be a non-empty mapping")
+
+    results = report.get("results")
+    if not isinstance(results, list):
+        raise ValueError("report.results must be a list")
+    failed = 0
+    for i, entry in enumerate(results):
+        if not isinstance(entry, dict):
+            raise ValueError(f"results[{i}] must be a dict")
+        for key in ("relation", "scenario"):
+            if not isinstance(entry.get(key), str):
+                raise ValueError(f"results[{i}].{key} must be a string")
+        if not isinstance(entry.get("passed"), bool):
+            raise ValueError(f"results[{i}].passed must be a bool")
+        if not entry["passed"]:
+            failed += 1
+
+    summary = report.get("summary")
+    if not isinstance(summary, dict):
+        raise ValueError("report is missing the summary section")
+    if summary.get("checks") != len(results):
+        raise ValueError(
+            f"summary.checks={summary.get('checks')!r} disagrees with "
+            f"{len(results)} results"
+        )
+    if summary.get("failed") != failed:
+        raise ValueError(
+            f"summary.failed={summary.get('failed')!r} disagrees with "
+            f"{failed} failing results"
+        )
+    if summary.get("passed") != len(results) - failed:
+        raise ValueError("summary.passed does not tally")
+    if not isinstance(report.get("sanitizer"), dict):
+        raise ValueError("report.sanitizer must be a mapping")
+
+
+def render_validation_report(report: Dict[str, object]) -> str:
+    """Human-readable summary of one conformance report."""
+    summary = report["summary"]
+    lines: List[str] = [
+        f"repro validate: seed={report['seed']} "
+        f"scenarios={report['num_scenarios']} "
+        f"relations={len(report['relations'])}",
+        f"  checks: {summary['checks']}  passed: {summary['passed']}  "
+        f"failed: {summary['failed']}",
+    ]
+    sanitizer = report.get("sanitizer") or {}
+    if sanitizer:
+        lines.append(
+            f"  sanitizer: {sanitizer.get('checks', 0)} checks, "
+            f"{sanitizer.get('violations', 0)} violations"
+        )
+    for entry in report["results"]:
+        if not entry["passed"]:
+            reason = entry.get("error") or entry.get("details")
+            lines.append(f"  FAIL {entry['relation']} on {entry['scenario']}")
+            lines.append(f"       {reason}")
+    if not summary["failed"]:
+        lines.append("  all relations hold")
+    return "\n".join(lines)

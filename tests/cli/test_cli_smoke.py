@@ -1,0 +1,91 @@
+"""End-to-end CLI smoke tests: ``python -m repro`` on tiny presets.
+
+Each subcommand is invoked in a real subprocess (fresh interpreter, the
+same entry point users hit), must exit 0, and any ``--out`` JSON artifact
+must pass the corresponding schema gate.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs.report import validate_report
+from repro.validate.report import VALIDATION_SCHEMA, validate_validation_report
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def run_cli(*argv, timeout=180):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(REPO_SRC)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+
+
+class TestFaults:
+    def test_random_fault_sweep_exits_zero(self):
+        proc = run_cli(
+            "faults", "--nodes", "2", "--group", "1",
+            "--random", "2", "--seed", "3",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "slowdown:" in proc.stdout
+
+    def test_no_faults_is_a_usage_error(self):
+        proc = run_cli("faults", "--nodes", "2", "--group", "1")
+        assert proc.returncode != 0
+        assert "no faults given" in proc.stderr
+
+
+class TestProfile:
+    def test_report_artifact_schema_validates(self, tmp_path):
+        out = tmp_path / "profile.json"
+        proc = run_cli(
+            "profile", "--nodes", "2", "--group", "1", "--out", str(out)
+        )
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(out.read_text())
+        validate_report(report)  # must not raise
+        assert report["scenario"]["nodes"] == 2
+
+
+class TestValidate:
+    def test_sweep_exits_zero_and_artifact_validates(self, tmp_path):
+        out = tmp_path / "validate.json"
+        proc = run_cli(
+            "validate", "--scenarios", "2", "--seed", "0",
+            "--relation", "seed_replay", "--out", str(out),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "all relations hold" in proc.stdout
+        report = json.loads(out.read_text())
+        validate_validation_report(report)  # must not raise
+        assert report["schema"] == VALIDATION_SCHEMA
+        assert report["sanitizer"]["violations"] == 0
+
+    def test_unknown_relation_is_rejected(self):
+        proc = run_cli(
+            "validate", "--scenarios", "1", "--relation", "no_such_relation"
+        )
+        assert proc.returncode != 0
+
+
+@pytest.mark.slow
+class TestValidateFullRegistry:
+    def test_default_relation_set(self, tmp_path):
+        out = tmp_path / "validate_full.json"
+        proc = run_cli(
+            "validate", "--scenarios", "3", "--seed", "0", "--out", str(out),
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(out.read_text())
+        assert len(report["relations"]) == 6

@@ -1,0 +1,167 @@
+"""Schedule invariants as properties over a (stages, microbatches, chunks)
+sweep.
+
+Beyond per-stage completeness (``validate_schedule``), the load-bearing
+property is *deadlock freedom*: executed in local order with cross-stage
+data dependencies — a forward needs the upstream virtual stage's forward,
+a backward needs the downstream virtual stage's backward — every schedule
+must drain without a cycle.  The abstract executor below mirrors the
+engine's virtual-stage neighbourhood (``_prev_virtual``/``_next_virtual``
+in :mod:`repro.core.engine`): chunk ``c`` of stage ``p-1`` feeds chunk
+``c+1`` of stage ``0``.
+"""
+
+import pytest
+
+from repro.schedule import (
+    OpKind,
+    gpipe,
+    interleaved_1f1b,
+    one_f_one_b,
+    validate_schedule,
+)
+
+pytestmark = pytest.mark.property
+
+SWEEP = [
+    (stages, microbatches)
+    for stages in (1, 2, 3, 4, 6)
+    for microbatches in (1, 2, 4, 6, 8, 12)
+]
+
+INTERLEAVED_SWEEP = [
+    (stages, microbatches, chunks)
+    for stages in (2, 3, 4)
+    for chunks in (2, 3)
+    for microbatches in (stages, 2 * stages, 4 * stages)
+]
+
+
+def _prev_virtual(stage, chunk, num_stages):
+    if stage > 0:
+        return (stage - 1, chunk)
+    if chunk > 0:
+        return (num_stages - 1, chunk - 1)
+    return None
+
+
+def _next_virtual(stage, chunk, num_stages, num_chunks):
+    if stage < num_stages - 1:
+        return (stage + 1, chunk)
+    if chunk < num_chunks - 1:
+        return (0, chunk + 1)
+    return None
+
+
+def drain(schedule, num_stages, num_chunks):
+    """Execute the schedule abstractly; return ops drained per stage.
+
+    Each stage consumes its op list strictly in order (that is what the
+    engine's rank processes do); an op is runnable once its cross-stage
+    dependency has already executed.  Raises AssertionError on deadlock.
+    """
+    pointers = [0] * num_stages
+    done = set()  # (kind, microbatch, stage, chunk)
+    total = sum(len(ops) for ops in schedule)
+    drained = 0
+    progress = True
+    while progress:
+        progress = False
+        for stage, ops in enumerate(schedule):
+            while pointers[stage] < len(ops):
+                op = ops[pointers[stage]]
+                if op.kind == OpKind.FORWARD:
+                    dep = _prev_virtual(stage, op.chunk, num_stages)
+                    need = (
+                        (OpKind.FORWARD, op.microbatch, *dep) if dep else None
+                    )
+                else:
+                    dep = _next_virtual(stage, op.chunk, num_stages, num_chunks)
+                    need = (
+                        (OpKind.BACKWARD, op.microbatch, *dep) if dep else None
+                    )
+                    own_fwd = (OpKind.FORWARD, op.microbatch, stage, op.chunk)
+                    if own_fwd not in done:
+                        break
+                if need is not None and need not in done:
+                    break
+                done.add((op.kind, op.microbatch, stage, op.chunk))
+                pointers[stage] += 1
+                drained += 1
+                progress = True
+    assert drained == total, (
+        f"deadlock: drained {drained}/{total} ops, "
+        f"stuck at pointers {pointers}"
+    )
+    return drained
+
+
+@pytest.mark.parametrize(("stages", "microbatches"), SWEEP)
+class TestFlatSchedules:
+    def test_1f1b_complete_and_deadlock_free(self, stages, microbatches):
+        schedule = one_f_one_b(stages, microbatches)
+        validate_schedule(schedule, microbatches)  # one F + one B per mb
+        drain(schedule, stages, num_chunks=1)
+
+    def test_gpipe_complete_and_deadlock_free(self, stages, microbatches):
+        schedule = gpipe(stages, microbatches)
+        validate_schedule(schedule, microbatches)
+        drain(schedule, stages, num_chunks=1)
+
+    def test_op_counts_match_exactly(self, stages, microbatches):
+        for schedule in (
+            one_f_one_b(stages, microbatches),
+            gpipe(stages, microbatches),
+        ):
+            for ops in schedule:
+                fwd = [o for o in ops if o.kind == OpKind.FORWARD]
+                bwd = [o for o in ops if o.kind == OpKind.BACKWARD]
+                assert len(ops) == 2 * microbatches  # no intra-rank overlap
+                assert sorted(o.microbatch for o in fwd) == list(
+                    range(microbatches)
+                )
+                assert sorted(o.microbatch for o in bwd) == list(
+                    range(microbatches)
+                )
+
+
+@pytest.mark.parametrize(
+    ("stages", "microbatches", "chunks"), INTERLEAVED_SWEEP
+)
+class TestInterleavedSchedules:
+    def test_complete_and_deadlock_free(self, stages, microbatches, chunks):
+        schedule = interleaved_1f1b(stages, microbatches, chunks)
+        validate_schedule(schedule, microbatches, num_chunks=chunks)
+        drain(schedule, stages, chunks)
+
+    def test_every_chunk_fully_covered(self, stages, microbatches, chunks):
+        schedule = interleaved_1f1b(stages, microbatches, chunks)
+        for ops in schedule:
+            assert len(ops) == 2 * microbatches * chunks
+            for kind in (OpKind.FORWARD, OpKind.BACKWARD):
+                seen = {
+                    (o.microbatch, o.chunk) for o in ops if o.kind == kind
+                }
+                assert seen == {
+                    (mb, ck)
+                    for mb in range(microbatches)
+                    for ck in range(chunks)
+                }
+
+
+class TestDrainCatchesBrokenSchedules:
+    def test_circular_dependency_deadlocks(self):
+        """Swap two stages' op lists: stage 0 then waits on itself."""
+        schedule = one_f_one_b(2, 2)
+        broken = [schedule[1], schedule[0]]
+        with pytest.raises(AssertionError, match="deadlock"):
+            drain(broken, 2, num_chunks=1)
+
+    def test_backward_first_deadlocks(self):
+        from repro.schedule import PipelineOp
+
+        broken = [
+            [PipelineOp(OpKind.BACKWARD, 0), PipelineOp(OpKind.FORWARD, 0)]
+        ]
+        with pytest.raises(AssertionError, match="deadlock"):
+            drain(broken, 1, num_chunks=1)

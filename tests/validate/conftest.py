@@ -1,0 +1,37 @@
+"""Shared fixtures for the conformance-subsystem tests.
+
+One tiny hybrid scenario (2 nodes x 4 GPUs, toy GPT) is enough to exercise
+every sanitizer code path — DP sync collectives, pipeline p2p over the
+inter-cluster Ethernet, NIC queueing — in ~20 ms per run.
+"""
+
+import pytest
+
+from repro.validate.scenarios import ScenarioSpec
+
+
+@pytest.fixture(scope="session")
+def tiny_spec():
+    """Fault-free hybrid scenario with DP sync and pipeline traffic."""
+    return ScenarioSpec(
+        name="tiny",
+        env="hybrid",
+        nodes=2,
+        gpus_per_node=4,
+        num_layers=4,
+        hidden=256,
+        heads=4,
+        tensor=2,
+        pipeline=2,
+        data=2,
+        micro_batch_size=1,
+        num_microbatches=4,
+    )
+
+
+@pytest.fixture(scope="session")
+def faulted_spec(tiny_spec):
+    """The same scenario with a seeded random fault plan."""
+    import dataclasses
+
+    return dataclasses.replace(tiny_spec, name="tiny-faulted", fault_seed=11)

@@ -1,0 +1,105 @@
+"""The ``repro.validate.report/v1`` payload: build, gate, render."""
+
+import pytest
+
+from repro.validate import ValidationHooks
+from repro.validate.metamorphic import run_validation
+from repro.validate.report import (
+    VALIDATION_SCHEMA,
+    build_validation_report,
+    render_validation_report,
+    validate_validation_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    results = run_validation(2, seed=0, relations=["seed_replay"])
+    return build_validation_report(results, num_scenarios=2, seed=0)
+
+
+class TestBuild:
+    def test_schema_tag_and_tallies(self, report):
+        assert report["schema"] == VALIDATION_SCHEMA
+        assert report["seed"] == 0
+        assert report["num_scenarios"] == 2
+        summary = report["summary"]
+        assert summary["checks"] == len(report["results"])
+        assert summary["passed"] + summary["failed"] == summary["checks"]
+
+    def test_round_trips_through_gate(self, report):
+        validate_validation_report(report)  # must not raise
+
+    def test_json_serialisable(self, report):
+        import json
+
+        parsed = json.loads(json.dumps(report))
+        validate_validation_report(parsed)
+
+    def test_sanitizer_tallies_included_when_given(self):
+        hooks = ValidationHooks()
+        hooks._check("causality.time_monotonic")
+        results = run_validation(1, seed=0, relations=["seed_replay"])
+        report = build_validation_report(
+            results, num_scenarios=1, seed=0, sanitizer=hooks.summary()
+        )
+        assert report["sanitizer"]["checks"] == 1
+        assert report["sanitizer"]["violations"] == 0
+        validate_validation_report(report)
+
+
+class TestGateRejectsTampering:
+    def test_wrong_schema_tag(self, report):
+        bad = dict(report, schema="repro.validate.report/v0")
+        with pytest.raises(ValueError):
+            validate_validation_report(bad)
+
+    def test_missing_results(self, report):
+        bad = {k: v for k, v in report.items() if k != "results"}
+        with pytest.raises(ValueError):
+            validate_validation_report(bad)
+
+    def test_inconsistent_summary(self, report):
+        bad = dict(report, summary=dict(report["summary"], passed=999))
+        with pytest.raises(ValueError):
+            validate_validation_report(bad)
+
+    def test_malformed_result_row(self, report):
+        bad = dict(report, results=[{"relation": "x"}])
+        with pytest.raises(ValueError):
+            validate_validation_report(bad)
+
+    def test_non_integer_seed(self, report):
+        bad = dict(report, seed="zero")
+        with pytest.raises(ValueError):
+            validate_validation_report(bad)
+
+
+class TestRender:
+    def test_render_mentions_outcome(self, report):
+        out = render_validation_report(report)
+        assert "seed" in out
+        assert "passed" in out
+        assert "all relations hold" in out
+
+    def test_render_lists_failures(self, report):
+        failing = dict(
+            report,
+            results=report["results"]
+            + [
+                {
+                    "relation": "seed_replay",
+                    "scenario": "broken",
+                    "passed": False,
+                    "details": {},
+                    "error": "boom",
+                }
+            ],
+        )
+        failing["summary"] = {
+            "checks": len(failing["results"]),
+            "passed": len(report["results"]),
+            "failed": 1,
+        }
+        out = render_validation_report(failing)
+        assert "FAIL" in out and "broken" in out and "boom" in out

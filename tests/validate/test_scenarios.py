@@ -1,0 +1,102 @@
+"""The seeded scenario sampler: deterministic, valid, and scalable."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ReproError
+from repro.validate.scenarios import (
+    ENV_BUILDERS,
+    sample_scenarios,
+    scaled_topology,
+)
+
+
+class TestSampler:
+    def test_same_seed_same_specs(self):
+        assert sample_scenarios(10, seed=3) == sample_scenarios(10, seed=3)
+
+    def test_different_seed_differs(self):
+        assert sample_scenarios(10, seed=3) != sample_scenarios(10, seed=4)
+
+    def test_names_are_unique(self):
+        specs = sample_scenarios(20, seed=0)
+        assert len({s.name for s in specs}) == len(specs)
+
+    def test_specs_are_internally_consistent(self):
+        for spec in sample_scenarios(30, seed=5):
+            assert spec.world_size == spec.nodes * spec.gpus_per_node
+            assert spec.world_size % (spec.tensor * spec.pipeline) == 0
+            assert spec.env in ENV_BUILDERS
+            if spec.schedule == "interleaved":
+                assert spec.pipeline >= 2
+                assert spec.num_chunks >= 2
+                assert spec.num_microbatches % spec.pipeline == 0
+            # every sampled spec must survive plan construction
+            spec.build(with_faults=False)
+
+    def test_sampled_specs_actually_run(self):
+        for spec in sample_scenarios(3, seed=9):
+            result = spec.run()
+            assert result.makespan > 0
+
+
+class TestScenarioSpec:
+    def test_model_and_parallel_derivation(self, tiny_spec):
+        model = tiny_spec.model
+        assert model.num_layers == tiny_spec.num_layers
+        assert model.hidden_size == tiny_spec.hidden
+        par = tiny_spec.parallel
+        assert par.tensor == tiny_spec.tensor
+        assert par.global_batch_size == (
+            tiny_spec.data
+            * tiny_spec.micro_batch_size
+            * tiny_spec.num_microbatches
+        )
+
+    def test_fault_plan_requires_seed(self, tiny_spec, faulted_spec):
+        topo = tiny_spec.topology()
+        assert tiny_spec.fault_plan(topo) is None
+        plan = faulted_spec.fault_plan(topo)
+        assert plan is not None and plan.events
+
+    def test_invalid_parallelism_raises(self, tiny_spec):
+        bad = dataclasses.replace(tiny_spec, tensor=16)
+        with pytest.raises(ReproError):
+            bad.build()
+
+    def test_describe_mentions_layout(self, tiny_spec):
+        text = tiny_spec.describe()
+        assert "t2" in text and "p2" in text and "d2" in text
+
+
+def _all_nodes(topo):
+    return [node for cluster in topo.clusters for node in cluster.nodes]
+
+
+class TestScaledTopology:
+    def test_scaling_multiplies_all_link_bandwidths(self, tiny_spec):
+        base = tiny_spec.topology()
+        doubled = scaled_topology(base, 2.0)
+        for node, scaled_node in zip(_all_nodes(base), _all_nodes(doubled)):
+            assert (
+                scaled_node.ethernet_nic.bandwidth
+                == 2.0 * node.ethernet_nic.bandwidth
+            )
+            if node.intra_link is not None:
+                assert (
+                    scaled_node.intra_link.bandwidth
+                    == 2.0 * node.intra_link.bandwidth
+                )
+            if node.rdma_nic is not None:
+                assert (
+                    scaled_node.rdma_nic.bandwidth
+                    == 2.0 * node.rdma_nic.bandwidth
+                )
+
+    def test_identity_scale_preserves_topology(self, tiny_spec):
+        base = tiny_spec.topology()
+        same = scaled_topology(base, 1.0)
+        assert same.world_size == base.world_size
+        for node, copy in zip(_all_nodes(base), _all_nodes(same)):
+            assert copy.ethernet_nic.bandwidth == node.ethernet_nic.bandwidth
