@@ -3,45 +3,47 @@
 The paper's main result table (48 cells).  The bench regenerates every cell,
 prints paper-vs-measured, asserts the qualitative shapes hold per row block,
 and pins the aggregate residual.
+
+Cells run through the batch executor (:func:`repro.bench.runner.run_batch`
+over :class:`repro.api.Scenario` values), so ``REPRO_BENCH_JOBS=8`` fans
+the grid out over worker processes and ``REPRO_BENCH_CACHE=<dir>`` serves
+unchanged cells from the content-addressed result cache — with results
+identical to a serial, uncached run in every case.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from benchmarks.conftest import run_once
 from repro.bench.paper_data import TABLE3, shapes_hold
 from repro.bench.paramgroups import PARAM_GROUPS
-from repro.bench.runner import run_holmes_case
-from repro.bench.scenarios import ethernet_env, homogeneous_env, hybrid2_env
+from repro.bench.runner import case_scenario, run_batch
 from repro.bench.tables import format_table
-from repro.hardware.nic import NICType
 
 GROUPS = (1, 2, 3, 4)
 NODE_COUNTS = (4, 6, 8)
 ENVIRONMENTS = ("InfiniBand", "RoCE", "Ethernet", "Hybrid")
 
 
-def make_env(name, nodes):
-    if name == "InfiniBand":
-        return homogeneous_env(nodes, NICType.INFINIBAND)
-    if name == "RoCE":
-        return homogeneous_env(nodes, NICType.ROCE)
-    if name == "Ethernet":
-        return ethernet_env(nodes)
-    return hybrid2_env(nodes)
-
-
 def build_table3():
-    cells = {}
-    for gid in GROUPS:
-        group = PARAM_GROUPS[gid]
-        for nodes in NODE_COUNTS:
-            for env in ENVIRONMENTS:
-                cells[(gid, nodes, env)] = run_holmes_case(
-                    make_env(env, nodes), group, scenario=env
-                )
-    return cells
+    keys = [
+        (gid, nodes, env)
+        for gid in GROUPS
+        for nodes in NODE_COUNTS
+        for env in ENVIRONMENTS
+    ]
+    scenarios = [
+        case_scenario(env, nodes, PARAM_GROUPS[gid]) for gid, nodes, env in keys
+    ]
+    results = run_batch(
+        scenarios,
+        jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+        cache=os.environ.get("REPRO_BENCH_CACHE") or None,
+    )
+    return dict(zip(keys, results))
 
 
 @pytest.mark.benchmark(group="table3")

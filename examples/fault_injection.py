@@ -9,48 +9,38 @@ after crash detection instead of deadlocking).  Then runs a seeded elastic
 campaign under per-node churn and checks the realised goodput against the
 first-order analytic prediction.
 
+Faulted runs are ordinary :class:`repro.api.Scenario` values — the fault
+plan is part of the scenario's identity, so a faulted run replays (and
+caches) byte-identically like any other.
+
 Run:  python examples/fault_injection.py
 """
 
+import dataclasses
+
+from repro.api import Scenario, simulate
 from repro.bench.tables import format_table
-from repro.core.engine import TrainingSimulation
 from repro.core.faults import CheckpointPolicy
 from repro.core.longrun import (
     ElasticPolicy,
     elastic_goodput_analytic,
     simulate_elastic_campaign,
 )
-from repro.core.scheduler import HolmesScheduler
-from repro.faults import FaultEvent, FaultKind, FaultPlan
-from repro.hardware.nic import NICType
-from repro.hardware.presets import make_topology
-from repro.model.config import GPTConfig
-from repro.parallel.degrees import ParallelConfig
+from repro.faults import FaultEvent, FaultKind
 
-MODEL = GPTConfig(
+# Two clusters of two nodes each, so data-parallel groups span nodes
+# *within* a cluster (over RDMA) and the pipeline crosses clusters.
+BASE = Scenario(
+    env="hybrid", nodes=4, gpus_per_node=2,
     num_layers=8, hidden_size=1024, num_attention_heads=8,
     seq_length=512, vocab_size=8192,
+    tensor=1, pipeline=2, micro_batch_size=2, global_batch_size=32,
+    label="fault-demo",
 )
 
 
 def main() -> None:
-    # Two clusters of two nodes each, so data-parallel groups span nodes
-    # *within* a cluster (over RDMA) and the pipeline crosses clusters.
-    topology = make_topology(
-        [(2, NICType.ROCE), (2, NICType.INFINIBAND)],
-        inter_cluster_rdma=False, gpus_per_node=2,
-    )
-    parallel = ParallelConfig(
-        tensor=1, pipeline=2, data=4, micro_batch_size=2, global_batch_size=32
-    )
-    plan = HolmesScheduler().plan(topology, parallel, MODEL)
-
-    def run(fault_plan=None):
-        return TrainingSimulation(
-            plan, MODEL, fault_plan=fault_plan, iteration_overhead=0.0
-        ).run()
-
-    healthy = run()
+    healthy = simulate(BASE)
     print(f"Healthy iteration: {healthy.metrics}\n")
 
     scenarios = [
@@ -82,8 +72,9 @@ def main() -> None:
 
     rows = []
     for label, event in scenarios:
-        result = run(FaultPlan(events=(event,)))
-        replay = run(FaultPlan(events=(event,)))
+        faulted = dataclasses.replace(BASE, fault_events=(event,))
+        result = simulate(faulted)
+        replay = simulate(faulted)
         assert result.iteration_time == replay.iteration_time, "not deterministic!"
         report = result.faults
         rows.append([
@@ -102,16 +93,20 @@ def main() -> None:
         rows,
     ))
 
-    # A seeded random plan: churn you can replay and bisect.
-    random_plan = FaultPlan.random(
-        topology, horizon=healthy.iteration_time, seed=7, num_events=4
+    # A seeded random plan: churn you can replay and bisect.  The seed,
+    # event count, and horizon live on the Scenario, so the plan is part
+    # of its digest.
+    churned = dataclasses.replace(
+        BASE, fault_seed=7, fault_count=4,
+        fault_horizon=healthy.iteration_time,
     )
-    print(f"\n{random_plan.describe()}")
-    result = run(random_plan)
+    print(f"\n{churned.fault_plan(churned.topology()).describe()}")
+    result = simulate(churned)
     print(f"under that plan: {result.metrics}")
 
     # Long-run elastic campaign: per-node MTBF, correlated cluster outages,
     # degraded throughput while repairs are pending.
+    topology = BASE.topology()
     policy = ElasticPolicy(
         num_nodes=topology.num_nodes,
         node_mtbf=150_000.0,

@@ -4,32 +4,33 @@
 Runs Holmes against Megatron-LM, Megatron-DeepSpeed, and Megatron-LLaMA on
 the same machine — 8 nodes, half RoCE, half InfiniBand, Ethernet between the
 clusters — plus the Table 5 ablation that attributes Holmes's win to its
-components.
+components.  Each cell is a :class:`repro.api.Scenario` differing only in
+its ``framework`` preset, and the whole grid runs through one
+:func:`repro.api.sweep` call.
 
 Run:  python examples/framework_comparison.py
 """
 
-from repro.bench.paramgroups import PARAM_GROUPS
-from repro.bench.runner import run_framework_case
-from repro.bench.scenarios import hybrid2_env
+import dataclasses
+
+from repro.api import Scenario, sweep
 from repro.bench.tables import format_table
 from repro.frameworks import FRAMEWORKS
-from repro.frameworks.holmes import holmes_ablation
 
 
 def main() -> None:
-    group = PARAM_GROUPS[3]  # 7.5B GPT
-    topology = hybrid2_env(8)
+    base = Scenario.from_group("hybrid", 8, 3)  # 7.5B GPT
+    print(f"{base.model.describe()} on 8 nodes (4 RoCE + 4 IB)\n")
 
-    print(f"{group.model.describe()} on 8 nodes (4 RoCE + 4 IB)\n")
-
-    rows = []
-    for name, spec in FRAMEWORKS.items():
-        result = run_framework_case(spec, topology, group, scenario="hybrid")
-        rows.append(
-            [name, round(result.tflops), round(result.throughput, 2),
-             f"{result.dp_rdma_fraction * 100:.0f}%"]
-        )
+    frameworks = sorted(FRAMEWORKS)
+    results = sweep(
+        [dataclasses.replace(base, framework=name) for name in frameworks]
+    )
+    rows = [
+        [name, round(r.tflops), round(r.throughput, 2),
+         f"{r.dp_rdma_fraction * 100:.0f}%"]
+        for name, r in zip(frameworks, results)
+    ]
     rows.sort(key=lambda r: -r[1])
     print("Framework comparison:")
     print(format_table(["Framework", "TFLOPS", "samples/s", "DP on RDMA"], rows))
@@ -41,18 +42,19 @@ def main() -> None:
     )
 
     # Table 5's ablation: which Holmes component buys what.
-    variants = {
-        "full Holmes": holmes_ablation(),
-        "w/o Self-Adapting Partition": holmes_ablation(
-            self_adapting_partition=False
-        ),
-        "w/o Overlapped Optimizer": holmes_ablation(overlapped_optimizer=False),
-        "w/o both": holmes_ablation(False, False),
-    }
-    rows = []
-    for label, spec in variants.items():
-        result = run_framework_case(spec, topology, group, scenario="hybrid")
-        rows.append([label, round(result.tflops), round(result.throughput, 2)])
+    variants = [
+        ("full Holmes", "holmes-full"),
+        ("w/o Self-Adapting Partition", "holmes-no-sap"),
+        ("w/o Overlapped Optimizer", "holmes-no-overlap"),
+        ("w/o both", "holmes-base"),
+    ]
+    results = sweep(
+        [dataclasses.replace(base, framework=preset) for _, preset in variants]
+    )
+    rows = [
+        [label, round(r.tflops), round(r.throughput, 2)]
+        for (label, _), r in zip(variants, results)
+    ]
     print("\nComponent ablation (all variants keep Cross-Cluster Pipeline")
     print("Parallelism and Automatic NIC Selection):")
     print(format_table(["Variant", "TFLOPS", "samples/s"], rows))

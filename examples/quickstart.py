@@ -6,27 +6,35 @@ two GPU clusters (one RoCE, one InfiniBand) joined only by Ethernet — and
 prints the metrics the paper reports (TFLOPS per GPU, samples/second),
 plus where every byte of communication went.
 
+Everything goes through :mod:`repro.api`: describe the experiment as a
+frozen :class:`~repro.api.Scenario`, then :func:`~repro.api.run` it for a
+compact summary or :func:`~repro.api.simulate` it for the full
+event-by-event result.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import quick_simulate
-from repro.bench.paramgroups import PARAM_GROUPS
-from repro.bench.scenarios import hybrid2_env
+from repro.api import Scenario, run, simulate
 
 
 def main() -> None:
     # 4 nodes x 8 A100s: two 2-node clusters (RoCE + InfiniBand),
     # no high-speed interconnect between them (the paper's Case 2).
-    topology = hybrid2_env(num_nodes=4)
-    print(topology.describe())
-
     # Parameter group 1 from the paper's Table 2: 3.6B GPT,
     # tensor parallel 1, pipeline parallel 2, global batch 768.
-    group = PARAM_GROUPS[1]
-    print(f"\nModel: {group.model.describe()}")
+    scenario = Scenario.from_group("hybrid", 4, 1, framework="holmes-full")
+    print(scenario.topology().describe())
+    print(f"\nModel: {scenario.model.describe()}")
 
-    result = quick_simulate(topology, group, full=True)
+    # run() gives the cacheable summary row; every run with the same
+    # Scenario digest reproduces it byte-for-byte.
+    summary = run(scenario)
+    print(f"\nTFLOPS/GPU: {summary.tflops:.1f}   "
+          f"throughput: {summary.throughput:.2f} samples/s   "
+          f"(scenario {summary.scenario_digest[:12]})")
 
+    # simulate() keeps the full IterationResult for inspection.
+    result = simulate(scenario)
     print(f"\n{result.metrics}")
     print(f"\nPipeline stages got layers: {list(result.plan.stage_layers)}")
     print(f"Stage sync NICs: {[n.value for n in result.plan.stage_nics]}")

@@ -8,21 +8,23 @@ scale, so per-GPU TFLOPS falls while throughput rises — plus the punchline:
 the hybrid environment scales almost as well as homogeneous RDMA, far
 better than Ethernet.
 
+The sixteen cells are :class:`repro.api.Scenario` values run through the
+batch executor; pass ``jobs=4`` (or a :class:`repro.exec.ResultCache`) to
+:func:`repro.bench.sweep.sweep_scenarios` and the numbers do not change.
+
 Run:  python examples/scaling_study.py
 """
 
 from repro.bench.paramgroups import PARAM_GROUPS
-from repro.bench.runner import HOLMES_FULL
-from repro.bench.scenarios import ethernet_env, homogeneous_env, hybrid2_env
 from repro.bench.sweep import (
-    node_scaling_points,
+    node_scaling_scenarios,
     scaling_efficiency,
-    sweep_machines,
+    sweep_scenarios,
 )
 from repro.bench.tables import format_table
-from repro.hardware.nic import NICType
 
 NODE_COUNTS = (4, 6, 8, 12)
+ENVIRONMENTS = ("InfiniBand", "RoCE", "Hybrid", "Ethernet")
 
 
 def main() -> None:
@@ -30,25 +32,20 @@ def main() -> None:
     print(f"Scaling {group.model.describe()}, global batch "
           f"{group.global_batch_size}\n")
 
-    environments = {
-        "InfiniBand": lambda n: homogeneous_env(n, NICType.INFINIBAND),
-        "RoCE": lambda n: homogeneous_env(n, NICType.ROCE),
-        "Hybrid": hybrid2_env,
-        "Ethernet": ethernet_env,
-    }
-
     rows = []
     efficiency_at_12 = {}
-    for env_name, make_env in environments.items():
-        points = node_scaling_points(make_env, NODE_COUNTS)
-        results = sweep_machines(HOLMES_FULL, points, group)
+    for env_name in ENVIRONMENTS:
+        scenarios = node_scaling_scenarios(
+            env_name, NODE_COUNTS, group, full=True
+        )
+        results = sweep_scenarios(scenarios)
         efficiencies = scaling_efficiency(results)
         efficiency_at_12[env_name] = efficiencies[-1]
         for result, eff in zip(results, efficiencies):
             rows.append(
                 [
                     env_name,
-                    result.num_gpus,
+                    result.world_size,
                     round(result.tflops),
                     round(result.throughput, 2),
                     f"{eff * 100:.0f}%",

@@ -1,0 +1,154 @@
+"""``BENCH_<date>.json``: measured executor performance, committed and gated.
+
+:func:`collect_bench` produces one self-contained document per run:
+
+- **sweep timings** — the Table 3 cell grid executed three ways through
+  :func:`repro.api.sweep`: serial (``jobs=1``), parallel (``jobs=N``), and
+  warm-cache; with the digest-equality verdict that proves all three
+  returned byte-identical results.
+- **microbenchmarks** — the :mod:`repro.exec.microbench` suite, each with
+  raw ns/op and a machine-normalized ratio.
+
+:func:`check_bench` is the CI regression gate: it compares the normalized
+numbers of a fresh document against a committed reference
+(``results/bench_reference.json``) and reports anything that slowed by
+more than the tolerance (default 10%).  Normalization divides by the
+in-process ``calibration`` benchmark, so the gate tracks the simulator's
+code, not the CI runner's hardware generation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.bench.paramgroups import PARAM_GROUPS
+from repro.bench.runner import case_scenario
+from repro.exec.microbench import check_regression, run_microbenches
+
+#: document schema tag
+SCHEMA = "repro.bench/v1"
+
+#: the Table 3 grid: parameter groups x node counts x NIC environments
+TABLE3_GROUPS = (1, 2, 3, 4)
+TABLE3_NODES = (4, 6, 8)
+TABLE3_ENVS = ("InfiniBand", "RoCE", "Ethernet", "Hybrid")
+
+
+def table3_scenarios(fast: bool = False) -> List[object]:
+    """The Table 3 sweep as scenarios (48 cells; ``fast`` trims to the
+    4-cell group-1/4-node row for quick CI gates)."""
+    groups: Sequence[int] = (1,) if fast else TABLE3_GROUPS
+    nodes: Sequence[int] = (4,) if fast else TABLE3_NODES
+    return [
+        case_scenario(env, n, PARAM_GROUPS[gid])
+        for gid in groups
+        for n in nodes
+        for env in TABLE3_ENVS
+    ]
+
+
+def _timed_sweep(scenarios, jobs, cache=None):
+    from repro.api import sweep
+
+    t0 = time.perf_counter()
+    results = sweep(scenarios, jobs=jobs, cache=cache)
+    return time.perf_counter() - t0, results
+
+
+def collect_bench(
+    jobs: int = 8,
+    repeats: int = 3,
+    fast: bool = False,
+    micro_only: bool = False,
+    date: Optional[str] = None,
+) -> Dict[str, object]:
+    """Measure and assemble one benchmark document."""
+    doc: Dict[str, object] = {
+        "schema": SCHEMA,
+        "date": date or time.strftime("%Y-%m-%d"),
+        "host": {"cpus": os.cpu_count() or 1},
+        "microbench": run_microbenches(repeats=repeats),
+    }
+    if micro_only:
+        return doc
+
+    scenarios = table3_scenarios(fast=fast)
+    serial_s, serial = _timed_sweep(scenarios, jobs=1)
+    parallel_s, parallel = _timed_sweep(scenarios, jobs=jobs)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        from repro.exec import ResultCache
+
+        cache = ResultCache(tmp)
+        _timed_sweep(scenarios, jobs=1, cache=cache)  # populate
+        cached_s, cached = _timed_sweep(scenarios, jobs=1, cache=cache)
+
+    digests = [r.trace_digest for r in serial]
+    identical = (
+        digests == [r.trace_digest for r in parallel]
+        and serial == parallel
+        and serial == cached
+    )
+    cells = len(scenarios)
+    doc["sweep"] = {
+        "name": "table3" + ("-fast" if fast else ""),
+        "cells": cells,
+        "serial_seconds": serial_s,
+        "serial_seconds_per_cell": serial_s / cells,
+        "parallel_jobs": jobs,
+        "parallel_seconds": parallel_s,
+        "parallel_speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+        "cached_seconds": cached_s,
+        "cache_speedup": serial_s / cached_s if cached_s > 0 else 0.0,
+        "digests_identical": identical,
+        # per-cell serial cost in calibration units: the machine-neutral
+        # number the regression gate compares
+        "normalized_cell_cost": (
+            serial_s
+            * 1e9
+            / cells
+            / doc["microbench"]["benchmarks"]["calibration"]["ns_per_op"]  # type: ignore[index]
+        ),
+    }
+    return doc
+
+
+def write_bench(doc: Mapping[str, object], path: str) -> str:
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True, allow_nan=False)
+        fh.write("\n")
+    return path
+
+
+def check_bench(
+    doc: Mapping[str, object],
+    reference: Mapping[str, object],
+    tolerance: float = 0.10,
+) -> List[str]:
+    """Regression-gate a fresh document against a committed reference;
+    returns human-readable failure lines (empty == gate passes)."""
+    failures = [
+        f"microbench {r.describe()}"
+        for r in check_regression(
+            doc["microbench"], reference.get("microbench", {}), tolerance  # type: ignore[arg-type]
+        )
+    ]
+    sweep_doc = doc.get("sweep")
+    sweep_ref = reference.get("sweep")
+    if isinstance(sweep_doc, Mapping) and isinstance(sweep_ref, Mapping):
+        if not sweep_doc.get("digests_identical", False):
+            failures.append(
+                "sweep: serial/parallel/cached results are NOT identical"
+            )
+        ref_cost = float(sweep_ref.get("normalized_cell_cost", 0.0))
+        got_cost = float(sweep_doc.get("normalized_cell_cost", 0.0))
+        if ref_cost > 0 and got_cost > ref_cost * (1.0 + tolerance):
+            failures.append(
+                f"sweep: normalized per-cell cost {got_cost:.0f} vs "
+                f"reference {ref_cost:.0f} "
+                f"({got_cost / ref_cost:.2f}x, tolerance {tolerance:.0%})"
+            )
+    return failures

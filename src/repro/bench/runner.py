@@ -12,7 +12,7 @@ optimizer, as stated in §4.1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 from repro.core.engine import IterationResult
 from repro.frameworks.base import FrameworkSpec, simulate_framework
@@ -20,6 +20,18 @@ from repro.frameworks.holmes import HOLMES, holmes_ablation
 from repro.bench.paramgroups import ParameterGroup
 from repro.hardware.topology import ClusterTopology
 from repro.network.costmodel import CostModelConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api import RunResult, Scenario
+    from repro.exec.cache import ResultCache
+
+#: display spellings used by the paper tables -> canonical ``Scenario.env``
+ENV_ALIASES: Dict[str, str] = {
+    "InfiniBand": "ib",
+    "RoCE": "roce",
+    "Ethernet": "ethernet",
+    "Hybrid": "hybrid",
+}
 
 #: Base Holmes (Tables 1/3/4, Figures 3/4): NIC selection + cross-cluster
 #: pipeline only.
@@ -84,6 +96,48 @@ def run_holmes_case(
         spec, topology, group, scenario=scenario,
         cost_config=cost_config, trace_enabled=trace_enabled,
     )
+
+
+def case_scenario(
+    env: str,
+    nodes: int,
+    group: Union[int, ParameterGroup],
+    full: bool = False,
+    gpus_per_node: int = 8,
+    **overrides: object,
+) -> "Scenario":
+    """The :class:`repro.api.Scenario` for one paper table cell.
+
+    ``env`` accepts both the canonical short names (``ib``, ``hybrid``,
+    ...) and the tables' display spellings (``InfiniBand``, ``Hybrid``).
+    Tracing defaults off, matching :func:`run_holmes_case`.
+    """
+    from repro.api import Scenario
+
+    framework = "holmes-full" if full else "holmes-base"
+    overrides.setdefault("trace_enabled", False)
+    return Scenario.from_group(
+        ENV_ALIASES.get(env, env),
+        nodes,
+        group,
+        gpus_per_node=gpus_per_node,
+        framework=framework,
+        **overrides,
+    )
+
+
+def run_batch(
+    scenarios: Sequence["Scenario"],
+    jobs: int = 1,
+    cache: Union["ResultCache", str, None] = None,
+) -> List["RunResult"]:
+    """Run experiment cells through the batch executor
+    (:func:`repro.api.sweep`): parallel workers and the result cache with
+    serial-identical results.  This is the path the paper-table benchmarks
+    and ``repro bench`` use."""
+    from repro.api import sweep
+
+    return sweep(scenarios, jobs=jobs, cache=cache)
 
 
 def summarize(

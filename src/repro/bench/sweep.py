@@ -2,20 +2,27 @@
 or models and collect comparable rows.
 
 Backs the scaling-study example and gives downstream users a one-call way
-to produce Table-3-style grids for their own models.
+to produce Table-3-style grids for their own models.  Scenario-based
+sweeps (:func:`sweep_scenarios`) ride the batch executor — parallel
+workers and the result cache — while :func:`sweep_machines` remains the
+direct path for ad-hoc topologies the named environments cannot express.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Union
 
-from repro.bench.runner import CaseResult, run_framework_case
+from repro.bench.runner import CaseResult, case_scenario, run_framework_case
 from repro.errors import ConfigurationError
 from repro.frameworks.base import FrameworkSpec
 from repro.bench.paramgroups import ParameterGroup
 from repro.hardware.topology import ClusterTopology
 from repro.network.costmodel import CostModelConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api import RunResult, Scenario
+    from repro.exec.cache import ResultCache
 
 
 @dataclass(frozen=True)
@@ -56,20 +63,58 @@ def node_scaling_points(
     ]
 
 
-def scaling_efficiency(results: Sequence[CaseResult]) -> List[float]:
+def node_scaling_scenarios(
+    env: str,
+    node_counts: Sequence[int],
+    group: Union[int, ParameterGroup],
+    full: bool = False,
+    gpus_per_node: int = 8,
+) -> List["Scenario"]:
+    """Scenario-based node-scaling axis for one named environment (the
+    cacheable counterpart of :func:`node_scaling_points`)."""
+    if not node_counts:
+        raise ConfigurationError("need at least one node count")
+    return [
+        case_scenario(env, n, group, full=full, gpus_per_node=gpus_per_node)
+        for n in node_counts
+    ]
+
+
+def sweep_scenarios(
+    scenarios: Sequence["Scenario"],
+    jobs: int = 1,
+    cache: Union["ResultCache", str, None] = None,
+) -> List["RunResult"]:
+    """Run a scenario axis through the batch executor; results in input
+    order, identical for any (jobs, cache) combination."""
+    if not scenarios:
+        raise ConfigurationError("sweep needs at least one scenario")
+    from repro.api import sweep as api_sweep
+
+    return api_sweep(scenarios, jobs=jobs, cache=cache)
+
+
+def _gpus_of(result) -> int:
+    """GPU count of either result flavour (``CaseResult.num_gpus`` /
+    ``RunResult.world_size``)."""
+    return getattr(result, "num_gpus", None) or result.world_size
+
+
+def scaling_efficiency(results: Sequence) -> List[float]:
     """Throughput scaling efficiency relative to the first point.
 
     efficiency[i] = (throughput_i / throughput_0) / (gpus_i / gpus_0);
-    1.0 is perfect linear scaling.
+    1.0 is perfect linear scaling.  Accepts :class:`CaseResult` and
+    :class:`repro.api.RunResult` rows alike.
     """
     if not results:
         raise ConfigurationError("no results to analyse")
     base = results[0]
-    if base.throughput <= 0 or base.num_gpus <= 0:
+    if base.throughput <= 0 or _gpus_of(base) <= 0:
         raise ConfigurationError("degenerate base point")
     out = []
     for r in results:
         speedup = r.throughput / base.throughput
-        scale = r.num_gpus / base.num_gpus
+        scale = _gpus_of(r) / _gpus_of(base)
         out.append(speedup / scale)
     return out

@@ -1,21 +1,18 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Commands
---------
-``simulate``  one training iteration of a Table 2 parameter group
-``compare``   Holmes vs the Megatron baselines on one machine
-``plan``      auto-parallelism search for a custom model
-``topology``  describe a machine
-``trace``     export a simulated iteration as Chrome trace JSON
-``faults``    inject NIC/link/node faults and report the degraded iteration
-``profile``   full telemetry: time-loss budget, utilization, JSON report
+Named-environment runs construct :class:`repro.api.Scenario` values and go
+through the unified run surface (:func:`repro.api.run` /
+:func:`repro.api.sweep`); ``--machine FILE`` runs use the direct engine
+path, since ad-hoc machines have no canonical scenario name.  The full
+command list with one-line descriptions is in :data:`COMMANDS` (and in
+``python -m repro --help``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.bench.paramgroups import PARAM_GROUPS
 from repro.bench.runner import run_framework_case, run_holmes_case
@@ -30,6 +27,22 @@ from repro.errors import ConfigurationError
 from repro.hardware.nic import NICType
 
 ENV_CHOICES = ("ib", "roce", "ethernet", "hybrid", "split-ib", "split-roce")
+
+#: every subcommand with its one-line description — the single source for
+#: ``--help`` and for the unknown-command hint
+COMMANDS: Dict[str, str] = {
+    "simulate": "simulate one training iteration of a Table 2 group",
+    "compare": "compare frameworks on one machine",
+    "plan": "auto-parallelism search for a custom model",
+    "topology": "describe a machine (or save it as JSON)",
+    "reproduce": "regenerate the paper's tables and figures",
+    "check": "preflight a configuration (memory, NIC audit)",
+    "trace": "export a simulated iteration as a Chrome trace",
+    "faults": "inject NIC/link/node faults, report the degraded iteration",
+    "profile": "full telemetry report for one simulated iteration",
+    "validate": "metamorphic conformance sweep over seeded scenarios",
+    "bench": "executor benchmarks: sweep timings, microbench, CI gate",
+}
 
 
 def build_environment(name: str, nodes: int):
@@ -68,12 +81,20 @@ def resolve_machine(args: argparse.Namespace):
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    topology = resolve_machine(args)
     group = PARAM_GROUPS[args.group]
-    result = run_holmes_case(
-        topology, group, scenario=args.env, full=not args.base
-    )
-    print(topology.describe())
+    if args.machine:
+        topology = resolve_machine(args)
+        result = run_holmes_case(
+            topology, group, scenario=args.env, full=not args.base
+        )
+        print(topology.describe())
+    else:
+        from repro.api import run
+        from repro.bench.runner import case_scenario
+
+        scenario = case_scenario(args.env, args.nodes, group, full=not args.base)
+        print(scenario.topology().describe())
+        result = run(scenario)
     print(f"model: {group.model.describe()}")
     print(f"TFLOPS/GPU:  {result.tflops:.1f}")
     print(f"throughput:  {result.throughput:.2f} samples/s")
@@ -85,12 +106,25 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     from repro.frameworks import FRAMEWORKS
 
-    topology = resolve_machine(args)
     group = PARAM_GROUPS[args.group]
     rows = []
-    for name, spec in FRAMEWORKS.items():
-        result = run_framework_case(spec, topology, group, scenario=args.env)
-        rows.append([name, round(result.tflops), round(result.throughput, 2)])
+    if args.machine:
+        topology = resolve_machine(args)
+        for name, spec in FRAMEWORKS.items():
+            result = run_framework_case(spec, topology, group, scenario=args.env)
+            rows.append([name, round(result.tflops), round(result.throughput, 2)])
+    else:
+        from repro.api import Scenario, sweep
+
+        names = sorted(FRAMEWORKS)
+        scenarios = [
+            Scenario.from_group(
+                args.env, args.nodes, group, framework=name, trace_enabled=False
+            )
+            for name in names
+        ]
+        for name, result in zip(names, sweep(scenarios, jobs=args.jobs)):
+            rows.append([name, round(result.tflops), round(result.throughput, 2)])
     rows.sort(key=lambda r: -r[1])
     print(format_table(["Framework", "TFLOPS", "samples/s"], rows))
     return 0
@@ -253,36 +287,68 @@ def _parse_fault_event(spec: str):
 
 def cmd_faults(args: argparse.Namespace) -> int:
     """Simulate one iteration healthy, then again under a fault plan."""
-    from repro.core.engine import TrainingSimulation
-    from repro.core.scheduler import HolmesScheduler
     from repro.faults import FaultPlan
 
-    topology = resolve_machine(args)
     group = PARAM_GROUPS[args.group]
-    parallel = group.parallel_for(topology.world_size)
-    plan = HolmesScheduler().plan(topology, parallel, group.model)
-    healthy = TrainingSimulation(plan, group.model).run()
-
     events = tuple(_parse_fault_event(s) for s in args.event or ())
-    if args.random_events:
-        horizon = args.horizon if args.horizon else healthy.iteration_time
-        fault_plan = FaultPlan.random(
-            topology, horizon=horizon, seed=args.seed,
-            num_events=args.random_events,
-        ).extended(events)
-    else:
-        fault_plan = FaultPlan(events=events)
-    if len(fault_plan) == 0:
+    if not events and not args.random_events:
         raise SystemExit("no faults given: use --event and/or --random N")
-    try:
-        fault_plan.validate_against(topology)
-    except ConfigurationError as exc:
-        raise SystemExit(f"fault plan does not fit this machine: {exc}")
 
-    print(topology.describe())
-    print(f"model: {group.model.describe()}\n")
-    print(fault_plan.describe())
-    result = TrainingSimulation(plan, group.model, fault_plan=fault_plan).run()
+    if args.machine:
+        # ad-hoc machine: direct engine path
+        from repro.core.engine import TrainingSimulation
+        from repro.core.scheduler import HolmesScheduler
+
+        topology = resolve_machine(args)
+        parallel = group.parallel_for(topology.world_size)
+        plan = HolmesScheduler().plan(topology, parallel, group.model)
+        healthy = TrainingSimulation(plan, group.model).run()
+        if args.random_events:
+            horizon = args.horizon if args.horizon else healthy.iteration_time
+            fault_plan = FaultPlan.random(
+                topology, horizon=horizon, seed=args.seed,
+                num_events=args.random_events,
+            ).extended(events)
+        else:
+            fault_plan = FaultPlan(events=events)
+        try:
+            fault_plan.validate_against(topology)
+        except ConfigurationError as exc:
+            raise SystemExit(f"fault plan does not fit this machine: {exc}")
+        print(topology.describe())
+        print(f"model: {group.model.describe()}\n")
+        print(fault_plan.describe())
+        result = TrainingSimulation(plan, group.model, fault_plan=fault_plan).run()
+    else:
+        import dataclasses
+
+        from repro import api
+        from repro.bench.runner import ENV_ALIASES
+
+        base = api.Scenario.from_group(
+            ENV_ALIASES.get(args.env, args.env), args.nodes, group,
+            framework="holmes-no-overlap",
+        )
+        topology = base.topology()
+        healthy = api.simulate(base)
+        faulted = dataclasses.replace(
+            base,
+            fault_events=events,
+            fault_seed=args.seed if args.random_events else None,
+            fault_count=args.random_events,
+            fault_horizon=(
+                args.horizon if args.horizon else healthy.iteration_time
+            ),
+        )
+        try:
+            fault_plan = faulted.fault_plan(topology)
+            fault_plan.validate_against(topology)
+        except ConfigurationError as exc:
+            raise SystemExit(f"fault plan does not fit this machine: {exc}")
+        print(topology.describe())
+        print(f"model: {group.model.describe()}\n")
+        print(fault_plan.describe())
+        result = api.simulate(faulted)
     print(f"\nhealthy: {healthy.metrics}")
     print(f"faulted: {result.metrics}")
     slowdown = result.iteration_time / healthy.iteration_time
@@ -337,29 +403,46 @@ def cmd_profile(args: argparse.Namespace) -> int:
     counter tracks and fault markers."""
     import json
 
-    from repro.core.engine import TrainingSimulation
-    from repro.core.scheduler import HolmesScheduler
-    from repro.faults import FaultPlan
     from repro.obs.report import build_report, render_report, validate_report
     from repro.obs.timeline import utilization_counter_events
 
-    topology = resolve_machine(args)
     group = PARAM_GROUPS[args.group]
-    parallel = group.parallel_for(topology.world_size)
-    plan = HolmesScheduler().plan(topology, parallel, group.model)
-
-    fault_plan = None
     events = tuple(_parse_fault_event(s) for s in args.event or ())
-    if events:
-        fault_plan = FaultPlan(events=events)
-        try:
-            fault_plan.validate_against(topology)
-        except ConfigurationError as exc:
-            raise SystemExit(f"fault plan does not fit this machine: {exc}")
 
-    result = TrainingSimulation(
-        plan, group.model, fault_plan=fault_plan
-    ).run()
+    if args.machine:
+        from repro.core.engine import TrainingSimulation
+        from repro.core.scheduler import HolmesScheduler
+        from repro.faults import FaultPlan
+
+        topology = resolve_machine(args)
+        parallel = group.parallel_for(topology.world_size)
+        plan = HolmesScheduler().plan(topology, parallel, group.model)
+        fault_plan = None
+        if events:
+            fault_plan = FaultPlan(events=events)
+            try:
+                fault_plan.validate_against(topology)
+            except ConfigurationError as exc:
+                raise SystemExit(f"fault plan does not fit this machine: {exc}")
+        result = TrainingSimulation(
+            plan, group.model, fault_plan=fault_plan
+        ).run()
+    else:
+        from repro import api
+        from repro.bench.runner import ENV_ALIASES
+
+        scenario = api.Scenario.from_group(
+            ENV_ALIASES.get(args.env, args.env), args.nodes, group,
+            framework="holmes-no-overlap", fault_events=events,
+        )
+        topology = scenario.topology()
+        if events:
+            try:
+                scenario.fault_plan(topology).validate_against(topology)
+            except ConfigurationError as exc:
+                raise SystemExit(f"fault plan does not fit this machine: {exc}")
+        result = api.simulate(scenario)
+    plan = result.plan
 
     trace_path = args.trace
     if trace_path:
@@ -424,7 +507,9 @@ def cmd_validate(args: argparse.Namespace) -> int:
                 f"unknown relations: {', '.join(unknown)}; "
                 f"have {', '.join(sorted(RELATIONS))}"
             )
-    results = run_validation(args.scenarios, seed=args.seed, relations=relations)
+    results = run_validation(
+        args.scenarios, seed=args.seed, relations=relations, jobs=args.jobs
+    )
 
     # One sanitizer-armed pass over the raw scenarios so the report carries
     # the invariant tallies of this exact sweep (the relation runs arm their
@@ -450,14 +535,73 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0 if not report["summary"]["failed"] else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Measure the batch executor (serial / parallel / cached sweep and the
+    DES microbenchmarks), optionally writing a ``BENCH_<date>.json``
+    document and gating against a committed reference."""
+    import json
+
+    from repro.bench.benchfile import check_bench, collect_bench, write_bench
+
+    doc = collect_bench(
+        jobs=args.jobs,
+        repeats=args.repeats,
+        fast=args.fast,
+        micro_only=args.micro_only,
+    )
+
+    micro = doc["microbench"]["benchmarks"]
+    rows = [
+        [name, f"{b['ns_per_op']:.0f}", f"{b['normalized']:.2f}"]
+        for name, b in sorted(micro.items())
+    ]
+    print(format_table(["microbench", "ns/op", "normalized"], rows))
+    sweep_doc = doc.get("sweep")
+    if sweep_doc:
+        print(
+            f"\nsweep {sweep_doc['name']} ({sweep_doc['cells']} cells): "
+            f"serial {sweep_doc['serial_seconds']:.2f}s, "
+            f"-j{sweep_doc['parallel_jobs']} {sweep_doc['parallel_seconds']:.2f}s "
+            f"({sweep_doc['parallel_speedup']:.2f}x), "
+            f"warm cache {sweep_doc['cached_seconds']:.3f}s "
+            f"({sweep_doc['cache_speedup']:.1f}x)"
+        )
+        print(
+            "results identical across serial/parallel/cached: "
+            + ("yes" if sweep_doc["digests_identical"] else "NO")
+        )
+
+    out = args.out
+    if out is None and not args.check:
+        out = f"BENCH_{doc['date']}.json"
+    if out:
+        write_bench(doc, out)
+        print(f"\nwrote benchmark document to {out}")
+
+    if args.check:
+        with open(args.check) as fh:
+            reference = json.load(fh)
+        failures = check_bench(doc, reference, tolerance=args.tolerance)
+        if failures:
+            print(f"\nregression gate vs {args.check}: FAIL", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"\nregression gate vs {args.check}: pass")
+    if sweep_doc and not sweep_doc["digests_identical"]:
+        return 1
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Holmes: heterogeneous-NIC distributed training simulator",
+        epilog="run 'python -m repro COMMAND --help' for per-command options",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="command", required=True, metavar="COMMAND")
 
-    p = sub.add_parser("simulate", help="simulate one training iteration")
+    p = sub.add_parser("simulate", help=COMMANDS["simulate"])
     _add_machine_args(p)
     p.add_argument("--group", type=int, choices=sorted(PARAM_GROUPS), default=1,
                    help="Table 2 parameter group (default 1)")
@@ -465,12 +609,14 @@ def make_parser() -> argparse.ArgumentParser:
                    help="disable Eq. 2 partition and overlapped optimizer")
     p.set_defaults(fn=cmd_simulate)
 
-    p = sub.add_parser("compare", help="compare frameworks on one machine")
+    p = sub.add_parser("compare", help=COMMANDS["compare"])
     _add_machine_args(p)
     p.add_argument("--group", type=int, choices=sorted(PARAM_GROUPS), default=3)
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="parallel worker processes (0 = one per CPU)")
     p.set_defaults(fn=cmd_compare)
 
-    p = sub.add_parser("plan", help="auto-parallelism search")
+    p = sub.add_parser("plan", help=COMMANDS["plan"])
     _add_machine_args(p)
     p.add_argument("--layers", type=int, default=36)
     p.add_argument("--hidden", type=int, default=4096)
@@ -480,29 +626,29 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=5)
     p.set_defaults(fn=cmd_plan)
 
-    p = sub.add_parser("topology", help="describe a machine")
+    p = sub.add_parser("topology", help=COMMANDS["topology"])
     _add_machine_args(p)
     p.add_argument("--save", metavar="FILE", default=None,
                    help="also write the machine as a JSON file")
     p.set_defaults(fn=cmd_topology)
 
-    p = sub.add_parser("reproduce", help="regenerate paper tables/figures")
+    p = sub.add_parser("reproduce", help=COMMANDS["reproduce"])
     p.add_argument("--only", default=None, metavar="NAME",
                    help="one experiment, e.g. table3_env_sweep or fig6_frameworks")
     p.set_defaults(fn=cmd_reproduce)
 
-    p = sub.add_parser("check", help="preflight a configuration")
+    p = sub.add_parser("check", help=COMMANDS["check"])
     _add_machine_args(p)
     p.add_argument("--group", type=int, choices=sorted(PARAM_GROUPS), default=1)
     p.set_defaults(fn=cmd_check)
 
-    p = sub.add_parser("trace", help="export a Chrome trace")
+    p = sub.add_parser("trace", help=COMMANDS["trace"])
     _add_machine_args(p)
     p.add_argument("--group", type=int, choices=sorted(PARAM_GROUPS), default=1)
     p.add_argument("-o", "--output", default="holmes_trace.json")
     p.set_defaults(fn=cmd_trace)
 
-    p = sub.add_parser("faults", help="simulate an iteration under faults")
+    p = sub.add_parser("faults", help=COMMANDS["faults"])
     _add_machine_args(p)
     p.add_argument("--group", type=int, choices=sorted(PARAM_GROUPS), default=1)
     p.add_argument("--event", action="append", metavar="KIND:k=v,...",
@@ -532,10 +678,7 @@ def make_parser() -> argparse.ArgumentParser:
                    help="nodes lost in a correlated outage (default 2)")
     p.set_defaults(fn=cmd_faults)
 
-    p = sub.add_parser(
-        "profile",
-        help="full telemetry report for one simulated iteration",
-    )
+    p = sub.add_parser("profile", help=COMMANDS["profile"])
     _add_machine_args(p)
     p.add_argument("--group", type=int, choices=sorted(PARAM_GROUPS), default=1)
     p.add_argument("--event", action="append", metavar="KIND:k=v,...",
@@ -548,10 +691,7 @@ def make_parser() -> argparse.ArgumentParser:
                         "counter tracks and fault markers")
     p.set_defaults(fn=cmd_profile)
 
-    p = sub.add_parser(
-        "validate",
-        help="metamorphic conformance sweep over seeded random scenarios",
-    )
+    p = sub.add_parser("validate", help=COMMANDS["validate"])
     p.add_argument("--scenarios", type=int, default=25, metavar="N",
                    help="number of seeded random scenarios (default 25)")
     p.add_argument("--seed", type=int, default=0,
@@ -559,13 +699,50 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--relation", action="append", metavar="NAME",
                    help="check only this relation (repeatable; default all); "
                         "e.g. bandwidth_monotonic, seed_replay")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="parallel worker processes for the relation sweep "
+                        "(0 = one per CPU; results identical to serial)")
     p.add_argument("--out", metavar="FILE", default=None,
                    help="write the JSON conformance report here")
     p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser("bench", help=COMMANDS["bench"])
+    p.add_argument("-j", "--jobs", type=int, default=8,
+                   help="worker processes for the parallel sweep leg "
+                        "(default 8; 0 = one per CPU)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="microbenchmark repeats, best-of (default 3)")
+    p.add_argument("--fast", action="store_true",
+                   help="4-cell sweep instead of the 48-cell Table 3 grid "
+                        "(the CI bench-fast configuration)")
+    p.add_argument("--micro-only", action="store_true",
+                   help="run only the microbenchmark suite")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the JSON document here "
+                        "(default BENCH_<date>.json unless --check)")
+    p.add_argument("--check", metavar="REF", default=None,
+                   help="gate against a reference document; exit 1 on "
+                        "regression beyond --tolerance")
+    p.add_argument("--tolerance", type=float, default=0.10,
+                   help="allowed normalized slowdown vs reference "
+                        "(default 0.10)")
+    p.set_defaults(fn=cmd_bench)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    first = next((a for a in argv if not a.startswith("-")), None)
+    if first is not None and first not in COMMANDS:
+        # a friendlier exit-2 than argparse's: name the close matches
+        import difflib
+
+        close = difflib.get_close_matches(first, sorted(COMMANDS), n=3)
+        hint = f" — did you mean: {', '.join(close)}?" if close else ""
+        print(f"repro: unknown command {first!r}{hint}", file=sys.stderr)
+        print("run 'python -m repro --help' for the command list",
+              file=sys.stderr)
+        return 2
     args = make_parser().parse_args(argv)
     return args.fn(args)
 

@@ -25,6 +25,7 @@ from typing import Any, Dict, Generator, Optional, Tuple
 
 from repro.errors import TransportError
 from repro.network.fabric import Fabric
+from repro.network.transport import nic_family_for
 from repro.simcore.engine import SimEngine
 from repro.simcore.process import Timeout, Wait
 from repro.simcore.resource import Store
@@ -148,8 +149,6 @@ def send(
             Message(src=src, dst=dst, tag=tag, nbytes=nbytes, payload=payload)
         )
     else:
-        from repro.network.transport import nic_family_for
-
         # A NIC fault may have re-resolved this pair to a different
         # transport family since it last communicated; the first transfer
         # over the new channel pays the communicator rebuild.

@@ -1,0 +1,35 @@
+"""Scenario-batch execution: parallel workers, result cache, microbench.
+
+The execution layer sits between :mod:`repro.api` (which defines *what* a
+run is) and the simulator (which defines what a run *does*):
+
+- :mod:`repro.exec.digest` — canonical scenario digests, salted with the
+  code version (:data:`~repro.exec.digest.CODE_VERSION_SALT`);
+- :mod:`repro.exec.cache` — content-addressed :class:`ResultCache`;
+- :mod:`repro.exec.engine` — :func:`run_sweep`, the deterministic
+  serial/parallel batch executor;
+- :mod:`repro.exec.microbench` — the DES hot-path benchmark suite and its
+  CI regression gate.
+"""
+
+from repro.exec.cache import ResultCache
+from repro.exec.digest import CODE_VERSION_SALT, scenario_digest
+from repro.exec.engine import partition, pmap, resolve_jobs, run_sweep
+from repro.exec.microbench import (
+    MICROBENCHES,
+    check_regression,
+    run_microbenches,
+)
+
+__all__ = [
+    "CODE_VERSION_SALT",
+    "MICROBENCHES",
+    "ResultCache",
+    "check_regression",
+    "partition",
+    "pmap",
+    "resolve_jobs",
+    "run_microbenches",
+    "run_sweep",
+    "scenario_digest",
+]

@@ -1,0 +1,147 @@
+"""Content-addressed result cache for executed scenarios.
+
+One JSON file per scenario digest, laid out git-object style
+(``<root>/<aa>/<digest>.json``) so a long sweep does not pile thousands of
+entries into one directory.  Each entry stores the full
+:class:`~repro.api.RunResult` payload plus provenance: the canonical
+scenario it answers for, the salt it was computed under, and a schema tag.
+
+Correctness contract (enforced by ``tests/exec/test_cache.py``):
+
+- a cache hit returns a ``RunResult`` *equal* to a fresh run's, replay
+  digests included;
+- any change to any ``Scenario`` field — and any
+  :data:`~repro.exec.digest.CODE_VERSION_SALT` bump — misses;
+- writes are atomic (temp file + ``os.replace``), so a sweep killed
+  mid-write never leaves a truncated entry behind;
+- corrupt or schema-mismatched entries read as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Optional, Union
+
+from repro.exec.digest import canonical_json, scenario_digest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api import RunResult, Scenario
+
+#: Entry format tag; bump on layout changes (old entries become misses).
+SCHEMA = "repro.exec.cache/v1"
+
+#: Default cache location (overridable per-instance and via
+#: ``REPRO_CACHE_DIR``).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+class ResultCache:
+    """Directory-backed scenario-result store, keyed by content digest."""
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # layout
+    # ------------------------------------------------------------------ #
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    # ------------------------------------------------------------------ #
+    # read / write
+    # ------------------------------------------------------------------ #
+
+    def get(self, scenario: "Scenario") -> Optional["RunResult"]:
+        """The cached result for ``scenario``, or ``None`` on a miss."""
+        from repro.api import RunResult
+
+        digest = scenario_digest(scenario)
+        path = self.path_for(digest)
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema") != SCHEMA
+            or entry.get("digest") != digest
+        ):
+            self.misses += 1
+            return None
+        try:
+            result = RunResult.from_dict(entry["result"])
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, scenario: "Scenario", result: "RunResult") -> Path:
+        """Store ``result`` under the scenario's digest (atomic)."""
+        digest = scenario_digest(scenario)
+        if result.scenario_digest != digest:
+            # the result was computed under a different salt/scenario; a
+            # cache that stored it would serve wrong answers silently
+            raise ValueError(
+                f"result digest {result.scenario_digest[:12]} does not match "
+                f"scenario digest {digest[:12]} (stale CODE_VERSION_SALT?)"
+            )
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": SCHEMA,
+            "digest": digest,
+            "scenario": json.loads(canonical_json(scenario)),
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{digest[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh, sort_keys=True, allow_nan=False)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}

@@ -1,0 +1,183 @@
+"""Parallel scenario-batch execution with deterministic results.
+
+:func:`run_sweep` is the one batch executor behind
+:func:`repro.api.sweep`, the benchmark harness, the metamorphic nightly
+sweep, and the ``repro bench`` CLI.  Its contract:
+
+- **Input order is output order.**  Results come back positionally,
+  regardless of worker count or completion order.
+- **Parallel equals serial, byte for byte.**  Every scenario is seeded
+  data (:class:`repro.api.Scenario`), every simulation builds its own
+  engine, and :func:`_isolate_seeds` re-seeds the process-global RNGs from
+  the scenario digest before *every* run — serial and parallel alike — so
+  no result can depend on which worker ran it, what ran before it, or the
+  interleaving of the pool.  ``tests/exec/test_parallel.py`` asserts
+  replay-digest equality between ``jobs=1`` and ``jobs=4`` sweeps.
+- **Deterministic partitioning.**  Work is dealt round-robin by input
+  index (worker ``w`` gets indices ``w, w+jobs, w+2*jobs, ...``), computed
+  before the pool starts.  The partition is a pure function of
+  ``(len(scenarios), jobs)`` — never of timing.
+- **Cache transparency.**  With a :class:`~repro.exec.cache.ResultCache`,
+  hits are served without simulating and misses are stored after the
+  sweep; a cached sweep returns results equal to an uncached one.
+
+Workers are separate processes (``ProcessPoolExecutor``), so the GIL never
+serializes simulation; each worker imports the package fresh and receives
+pickled ``Scenario`` values, returning pickled ``RunResult`` values.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from pathlib import Path
+
+    from repro.api import RunResult, Scenario
+    from repro.exec.cache import ResultCache
+
+
+def _isolate_seeds(digest: str) -> None:
+    """Pin the process-global RNGs to a function of the scenario digest.
+
+    The simulator itself never draws from global RNG state (fault plans
+    carry their own seeds), but user hooks or future code might; deriving
+    the global seeds from the scenario — not from the worker — makes any
+    such draw identical under serial, parallel, and re-ordered execution.
+    """
+    seed = int(digest[:16], 16)
+    random.seed(seed)
+    try:
+        import numpy as _np
+
+        _np.random.seed(seed % (2**32))
+    except ImportError:  # pragma: no cover - numpy is a hard dep today
+        pass
+
+
+def _run_one(scenario: "Scenario") -> "RunResult":
+    from repro.api import run
+
+    _isolate_seeds(scenario.digest())
+    return run(scenario)
+
+
+def _run_chunk(
+    chunk: Sequence[Tuple[int, "Scenario"]],
+) -> List[Tuple[int, "RunResult"]]:
+    """Worker entry point: run one deterministic partition, in order."""
+    return [(index, _run_one(scenario)) for index, scenario in chunk]
+
+
+def partition(count: int, jobs: int) -> List[List[int]]:
+    """Round-robin index partition: worker ``w`` owns ``w, w+jobs, ...``.
+
+    A pure function of ``(count, jobs)`` — the same sweep always deals the
+    same hands, so a parallel run is replayable even if per-scenario
+    results were not already order-independent.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1: {jobs}")
+    return [
+        [i for i in range(count) if i % jobs == w]
+        for w in range(min(jobs, count))
+    ]
+
+
+def resolve_jobs(jobs: int) -> int:
+    """``jobs=0`` means "one per CPU"."""
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0: {jobs}")
+    return jobs
+
+
+def _apply_chunk(payload) -> List[Tuple[int, object]]:
+    fn, chunk = payload
+    return [(index, fn(item)) for index, item in chunk]
+
+
+def pmap(fn, items: Sequence[object], jobs: int = 1) -> List[object]:
+    """Order-preserving process map with the same deterministic round-robin
+    partitioning as :func:`run_sweep`.
+
+    ``fn`` must be picklable (a module-level function); items and results
+    cross process boundaries by pickle.  Used by the metamorphic harness to
+    fan relation checks out across workers.
+    """
+    jobs = resolve_jobs(jobs)
+    indexed = list(enumerate(items))
+    if jobs == 1 or len(indexed) <= 1:
+        return [fn(item) for _, item in indexed]
+    chunks = [
+        (fn, [indexed[i] for i in owned])
+        for owned in partition(len(indexed), jobs)
+    ]
+    results: List[object] = [None] * len(indexed)
+    with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+        for chunk_result in pool.map(_apply_chunk, chunks):
+            for index, value in chunk_result:
+                results[index] = value
+    return results
+
+
+def _as_cache(cache: Union["ResultCache", str, "Path", None]):
+    if cache is None:
+        return None
+    from repro.exec.cache import ResultCache
+
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def run_sweep(
+    scenarios: Sequence["Scenario"],
+    jobs: int = 1,
+    cache: Union["ResultCache", str, "Path", None] = None,
+) -> List["RunResult"]:
+    """Execute a scenario batch; results in input order.
+
+    ``jobs=1`` runs inline (no pool, no pickling); ``jobs=0`` uses one
+    worker per CPU.  ``cache`` may be a :class:`ResultCache` or a
+    directory path; hits skip simulation entirely and misses are written
+    back after computing.
+    """
+    store = _as_cache(cache)
+    jobs = resolve_jobs(jobs)
+
+    results: List[Optional["RunResult"]] = [None] * len(scenarios)
+    pending: List[Tuple[int, "Scenario"]] = []
+    for index, scenario in enumerate(scenarios):
+        hit = store.get(scenario) if store is not None else None
+        if hit is not None:
+            results[index] = hit
+        else:
+            pending.append((index, scenario))
+
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            computed = _run_chunk(pending)
+        else:
+            chunks = [
+                [pending[i] for i in owned]
+                for owned in partition(len(pending), jobs)
+            ]
+            computed = []
+            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+                # map() preserves chunk order; within a chunk the worker
+                # preserves index order, so `computed` is deterministic.
+                for chunk_result in pool.map(_run_chunk, chunks):
+                    computed.extend(chunk_result)
+        for index, result in computed:
+            results[index] = result
+            if store is not None:
+                store.put(scenarios[index], result)
+
+    return results  # type: ignore[return-value]

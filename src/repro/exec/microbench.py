@@ -1,0 +1,315 @@
+"""Microbenchmark suite for the discrete-event hot paths.
+
+Each benchmark exercises one layer the profiler shows on the simulator's
+critical path — the engine's heap loop, p2p sends through NIC resources,
+an executed ring collective, memoized cost-model pricing, bound-label
+metrics, and span recording — and reports nanoseconds per operation
+(best-of-``repeats``, which discards scheduler noise).
+
+Wall-clock numbers are machine-dependent, so every result also carries a
+``normalized`` value: its ns/op divided by the ``calibration`` benchmark's
+(a pure-Python arithmetic loop run on the same machine in the same
+process).  The CI regression gate (:func:`check_regression`) compares
+*normalized* values against a committed reference, which makes it a test
+of the simulator's code, not of the runner's hardware.
+
+Run via ``repro bench --micro`` or programmatically through
+:func:`run_microbenches`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: results-document schema tag
+SCHEMA = "repro.exec.microbench/v1"
+
+
+@dataclass(frozen=True)
+class Microbench:
+    """One named benchmark: ``fn()`` performs the work once and returns
+    (elapsed seconds, operations performed)."""
+
+    name: str
+    description: str
+    fn: Callable[[], Tuple[float, int]]
+
+
+def _timed(fn: Callable[[], int]) -> Tuple[float, int]:
+    t0 = time.perf_counter()
+    ops = fn()
+    return time.perf_counter() - t0, ops
+
+
+# --------------------------------------------------------------------- #
+# the benchmarks
+# --------------------------------------------------------------------- #
+
+
+def _bench_calibration() -> Tuple[float, int]:
+    """Machine-speed yardstick: pure-Python arithmetic, no simulator code."""
+
+    def work() -> int:
+        acc = 0
+        for i in range(200_000):
+            acc += i * 3 // 2
+        return 200_000 if acc else 0
+
+    return _timed(work)
+
+
+def _bench_engine_timeouts() -> Tuple[float, int]:
+    """Heap loop + process dispatch: many interleaved Timeout events."""
+    from repro.simcore.engine import SimEngine
+    from repro.simcore.process import Timeout
+
+    engine = SimEngine()
+    procs, steps = 64, 400
+
+    def body(offset: float):
+        for _ in range(steps):
+            yield Timeout(1e-6 + offset)
+
+    def work() -> int:
+        for p in range(procs):
+            engine.process(body(p * 1e-9), name=f"mb{p}")
+        engine.run()
+        return procs * steps
+
+    return _timed(work)
+
+
+def _bench_p2p_sends() -> Tuple[float, int]:
+    """Inter-node p2p through NIC transmit resources and delivery."""
+    from repro.collectives.p2p import ChannelRegistry, recv, send
+    from repro.hardware.nic import NICType
+    from repro.hardware.presets import homogeneous_topology
+    from repro.network.fabric import Fabric
+    from repro.simcore.engine import SimEngine
+
+    topo = homogeneous_topology(2, NICType.INFINIBAND, gpus_per_node=2)
+    engine = SimEngine()
+    fabric = Fabric(topo, engine=engine)
+    channels = ChannelRegistry(engine)
+    pairs = 200
+
+    def work() -> int:
+        for i in range(pairs):
+            tag = f"mb{i}"
+            engine.process(
+                send(fabric, channels, 0, 2, tag, 1 << 16), name=f"s{i}"
+            )
+            engine.process(recv(channels, 0, 2, tag), name=f"r{i}")
+        engine.run()
+        return pairs
+
+    return _timed(work)
+
+
+def _bench_allreduce() -> Tuple[float, int]:
+    """One executed ring all-reduce, step events included."""
+    from repro.collectives.executor import CollectiveExecutor
+    from repro.collectives.p2p import ChannelRegistry
+    from repro.hardware.nic import NICType
+    from repro.hardware.presets import homogeneous_topology
+    from repro.network.fabric import Fabric
+    from repro.simcore.engine import SimEngine
+
+    topo = homogeneous_topology(4, NICType.INFINIBAND, gpus_per_node=2)
+    ranks = [0, 2, 4, 6]
+    rounds = 20
+
+    def work() -> int:
+        engine = SimEngine()
+        fabric = Fabric(topo, engine=engine)
+        channels = ChannelRegistry(engine)
+        executor = CollectiveExecutor(fabric, channels)
+        for r in range(rounds):
+            for rank in ranks:
+                engine.process(
+                    executor.run_op(
+                        "allreduce", ranks, rank, 1 << 20, tag=f"mb{r}"
+                    ),
+                    name=f"ar{r}.{rank}",
+                )
+        engine.run()
+        return rounds * len(ranks)
+
+    return _timed(work)
+
+
+def _bench_costmodel() -> Tuple[float, int]:
+    """Memoized p2p/collective pricing on a realistic size mix."""
+    from repro.hardware.nic import NICType
+    from repro.hardware.presets import homogeneous_topology
+    from repro.network.fabric import Fabric
+
+    topo = homogeneous_topology(2, NICType.INFINIBAND, gpus_per_node=2)
+    fabric = Fabric(topo)
+    sizes = [1 << s for s in range(10, 26)]
+    calls = 20_000
+
+    def work() -> int:
+        n = len(sizes)
+        for i in range(calls):
+            fabric.p2p_time(0, 2, sizes[i % n])
+        return calls
+
+    return _timed(work)
+
+
+def _bench_metrics() -> Tuple[float, int]:
+    """Bound-label counter increments (the fabric's per-transfer path)."""
+    from repro.obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    bound = registry.counter("microbench_total").labels(kind="rdma", scope="p2p")
+    calls = 100_000
+
+    def work() -> int:
+        for _ in range(calls):
+            bound.inc(1.0)
+        return calls
+
+    return _timed(work)
+
+
+def _bench_trace() -> Tuple[float, int]:
+    """Span recording (one span per simulated transfer/kernel)."""
+    from repro.simcore.trace import TraceRecorder
+
+    trace = TraceRecorder(enabled=True)
+    calls = 50_000
+
+    def work() -> int:
+        for i in range(calls):
+            trace.record(0, "compute", "forward", float(i), float(i) + 0.5, 1024)
+        return calls
+
+    return _timed(work)
+
+
+MICROBENCHES: Dict[str, Microbench] = {
+    b.name: b
+    for b in (
+        Microbench("calibration", "pure-Python yardstick loop", _bench_calibration),
+        Microbench(
+            "engine-timeouts",
+            "SimEngine heap loop over interleaved Timeout events",
+            _bench_engine_timeouts,
+        ),
+        Microbench(
+            "p2p-sends",
+            "inter-node sends through NIC transmit resources",
+            _bench_p2p_sends,
+        ),
+        Microbench(
+            "allreduce",
+            "executed ring all-reduce, per-step events included",
+            _bench_allreduce,
+        ),
+        Microbench(
+            "costmodel",
+            "memoized p2p pricing over a size mix",
+            _bench_costmodel,
+        ),
+        Microbench(
+            "metrics-bound",
+            "bound-label counter increments",
+            _bench_metrics,
+        ),
+        Microbench("trace-record", "span recording", _bench_trace),
+    )
+}
+
+
+# --------------------------------------------------------------------- #
+# harness
+# --------------------------------------------------------------------- #
+
+
+def run_microbenches(
+    names: Optional[Sequence[str]] = None,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Run the suite; returns a JSON-able document.
+
+    ``repeats`` runs of each benchmark; the *best* time is reported (the
+    only repeat free of scheduler preemption).  ``calibration`` always
+    runs, since normalization needs it.
+    """
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1: {repeats}")
+    selected = list(names) if names else sorted(MICROBENCHES)
+    unknown = sorted(set(selected) - set(MICROBENCHES))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown microbenchmarks: {unknown}; have {sorted(MICROBENCHES)}"
+        )
+    if "calibration" not in selected:
+        selected.insert(0, "calibration")
+
+    raw: Dict[str, Dict[str, float]] = {}
+    for name in selected:
+        bench = MICROBENCHES[name]
+        best_ns = float("inf")
+        ops = 0
+        for _ in range(repeats):
+            seconds, ops = bench.fn()
+            best_ns = min(best_ns, seconds * 1e9 / max(ops, 1))
+        raw[name] = {"ns_per_op": best_ns, "ops": float(ops)}
+
+    unit = raw["calibration"]["ns_per_op"]
+    benchmarks = {}
+    for name in selected:
+        benchmarks[name] = {
+            "description": MICROBENCHES[name].description,
+            "ns_per_op": raw[name]["ns_per_op"],
+            "ops": int(raw[name]["ops"]),
+            "normalized": raw[name]["ns_per_op"] / unit,
+        }
+    return {"schema": SCHEMA, "repeats": repeats, "benchmarks": benchmarks}
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One benchmark that slowed beyond tolerance vs the reference."""
+
+    name: str
+    reference: float
+    measured: float
+
+    @property
+    def slowdown(self) -> float:
+        return self.measured / self.reference
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: normalized {self.measured:.3f} vs reference "
+            f"{self.reference:.3f} ({self.slowdown:.2f}x)"
+        )
+
+
+def check_regression(
+    results: Mapping[str, object],
+    reference: Mapping[str, object],
+    tolerance: float = 0.10,
+) -> List[Regression]:
+    """Benchmarks whose *normalized* cost grew more than ``tolerance``
+    over the reference document.  Benchmarks absent from the reference are
+    skipped (new benchmarks cannot fail the gate on their first commit);
+    ``calibration`` is the yardstick and never gates itself."""
+    failures: List[Regression] = []
+    measured = results["benchmarks"]
+    for name, ref in reference.get("benchmarks", {}).items():  # type: ignore[union-attr]
+        if name == "calibration" or name not in measured:  # type: ignore[operator]
+            continue
+        ref_norm = float(ref["normalized"])
+        got_norm = float(measured[name]["normalized"])  # type: ignore[index]
+        if got_norm > ref_norm * (1.0 + tolerance):
+            failures.append(Regression(name, ref_norm, got_norm))
+    return failures

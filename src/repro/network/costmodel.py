@@ -113,6 +113,17 @@ class CollectiveCostModel:
 
     def __init__(self, config: CostModelConfig | None = None) -> None:
         self.config = config or CostModelConfig()
+        # Price memoization.  All pricing functions are pure in (transport,
+        # size, step shape) given a fixed config, and the DES re-prices the
+        # same (channel, chunk size, messages) key tens of thousands of
+        # times per iteration; Transport is a frozen dataclass, so the keys
+        # hash on exact field values and a health change (new bandwidth /
+        # loss rate) naturally misses.  Values are the exact floats the
+        # uncached computation returns — replay digests are unaffected.
+        self._step_occupancy_cache: Dict[tuple, float] = {}
+        self._step_time_cache: Dict[tuple, float] = {}
+        self._p2p_cache: Dict[tuple, float] = {}
+        self._p2p_occupancy_cache: Dict[tuple, float] = {}
 
     # ------------------------------------------------------------------ #
     # helpers
@@ -263,6 +274,10 @@ class CollectiveCostModel:
         self, chunk_bytes: float, edge: Transport, messages: int = 1
     ) -> float:
         """Sender-side NIC busy time for one executed collective step."""
+        key = (edge, chunk_bytes, messages)
+        cached = self._step_occupancy_cache.get(key)
+        if cached is not None:
+            return cached
         if chunk_bytes < 0:
             raise ConfigurationError(f"negative chunk size: {chunk_bytes}")
         if messages < 1:
@@ -273,14 +288,25 @@ class CollectiveCostModel:
             + (messages - 1) * edge.latency
             + wire
         )
-        return busy + self._reliability_overhead(edge, wire / messages, messages)
+        result = busy + self._reliability_overhead(edge, wire / messages, messages)
+        self._step_occupancy_cache[key] = result
+        return result
 
     def collective_step_time(
         self, chunk_bytes: float, edge: Transport, messages: int = 1
     ) -> float:
         """Full duration of one executed collective step (occupancy plus
         the single in-flight propagation latency the receiver observes)."""
-        return self.collective_step_occupancy(chunk_bytes, edge, messages) + edge.latency
+        key = (edge, chunk_bytes, messages)
+        cached = self._step_time_cache.get(key)
+        if cached is not None:
+            return cached
+        result = (
+            self.collective_step_occupancy(chunk_bytes, edge, messages)
+            + edge.latency
+        )
+        self._step_time_cache[key] = result
+        return result
 
     # ------------------------------------------------------------------ #
     # point-to-point
@@ -291,6 +317,10 @@ class CollectiveCostModel:
         cross_cluster: bool = False,
     ) -> float:
         """One point-to-point transfer (pipeline activation / gradient)."""
+        key = (edge, nbytes, concurrent, cross_cluster)
+        cached = self._p2p_cache.get(key)
+        if cached is not None:
+            return cached
         if nbytes < 0:
             raise ConfigurationError(f"negative transfer size: {nbytes}")
         overhead = self.config.p2p_overhead[edge.kind]
@@ -298,13 +328,19 @@ class CollectiveCostModel:
         if cross_cluster:
             bw *= self.config.inter_cluster_p2p_factor
         attempt = edge.latency + overhead + nbytes / bw
-        return attempt + self._reliability_overhead(edge, attempt, 1)
+        result = attempt + self._reliability_overhead(edge, attempt, 1)
+        self._p2p_cache[key] = result
+        return result
 
     def p2p_nic_occupancy(
         self, nbytes: int, edge: Transport, cross_cluster: bool = False
     ) -> float:
         """Sender-side NIC busy time for one p2p transfer (no propagation
         latency; used for FIFO NIC serialization in the DES)."""
+        key = (edge, nbytes, cross_cluster)
+        cached = self._p2p_occupancy_cache.get(key)
+        if cached is not None:
+            return cached
         if nbytes < 0:
             raise ConfigurationError(f"negative transfer size: {nbytes}")
         bw = edge.bandwidth
@@ -312,6 +348,8 @@ class CollectiveCostModel:
             bw *= self.config.inter_cluster_p2p_factor
         attempt = self.config.p2p_overhead[edge.kind] + nbytes / bw
         # Retransmissions re-occupy the sender's NIC for a full attempt.
-        return attempt * expected_attempts(
+        result = attempt * expected_attempts(
             edge.loss_rate, self.config.retry_policy.max_retries
         )
+        self._p2p_occupancy_cache[key] = result
+        return result

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro._compat import positional_shim, renamed_kwarg
 from repro.errors import CommunicatorError, TransportError
 from repro.hardware.nic import NICType
 from repro.hardware.topology import ClusterTopology
@@ -43,29 +44,52 @@ from repro.simcore.resource import Resource
 #: finite, so the simulation cannot deadlock on a corpse.
 DEAD_LINK_LOSS = 0.99
 
+#: str(TransportKind) per enum member, computed once — the hot pricing
+#: paths label every published sample with the transport kind.
+_KIND_STR = {kind: str(kind) for kind in TransportKind}
+
 
 class Fabric:
-    """Communication oracle over one cluster topology."""
+    """Communication oracle over one cluster topology.
+
+    Everything beyond ``topology`` is keyword-only; positional use and the
+    legacy ``config``/``metrics`` spellings are deprecated (one release of
+    :class:`DeprecationWarning`, see :mod:`repro._compat`).
+    """
+
+    #: historical positional parameter order (deprecation shim)
+    _LEGACY_POSITIONAL = (
+        "cost_config", "engine", "force_ethernet", "metrics_registry", "hooks"
+    )
 
     def __init__(
+        self, topology: ClusterTopology, *args: object, **kwargs: object
+    ) -> None:
+        positional_shim("Fabric", self._LEGACY_POSITIONAL, args, kwargs)
+        renamed_kwarg("Fabric", kwargs, "config", "cost_config")
+        renamed_kwarg("Fabric", kwargs, "metrics", "metrics_registry")
+        self._init(topology, **kwargs)  # type: ignore[arg-type]
+
+    def _init(
         self,
         topology: ClusterTopology,
-        config: Optional[CostModelConfig] = None,
+        cost_config: Optional[CostModelConfig] = None,
         engine: Optional[SimEngine] = None,
         force_ethernet: bool = False,
-        metrics: Optional[MetricsRegistry] = None,
+        metrics_registry: Optional[MetricsRegistry] = None,
         hooks: Optional[object] = None,
     ) -> None:
         """``force_ethernet=True`` reproduces the behaviour of NIC-oblivious
         frameworks in heterogeneous environments (paper §3.2): NCCL cannot
         negotiate RDMA consistently, so *all* inter-node traffic rides TCP
-        over the Ethernet NICs.  ``metrics`` (optional) is the observability
-        registry every priced communication publishes into.  ``hooks``
-        (optional) is a :class:`repro.validate.ValidationHooks` sanitizer;
-        when set, every priced duration is audited for sanity at the event
-        that consumes it."""
+        over the Ethernet NICs.  ``metrics_registry`` (optional) is the
+        observability registry every priced communication publishes into.
+        ``hooks`` (optional) is a :class:`repro.validate.ValidationHooks`
+        sanitizer; when set, every priced duration is audited for sanity at
+        the event that consumes it."""
+        metrics = metrics_registry
         self.topology = topology
-        self.cost_model = CollectiveCostModel(config)
+        self.cost_model = CollectiveCostModel(cost_config)
         self.engine = engine
         self.force_ethernet = force_ethernet
         self.health = FabricHealth()
@@ -92,6 +116,15 @@ class Fabric:
             self._m_p2p_hist = metrics.histogram(
                 "p2p_occupancy_seconds", "sender NIC occupancy per transfer"
             )
+            # Pre-bound children for the hot pricing paths: binding pays the
+            # label-key construction once per (kind, scope) instead of once
+            # per priced transfer.
+            self._bound_comm: Dict[tuple, tuple] = {}
+            self._bound_hist: Dict[str, object] = {}
+            self._bound_retry = {
+                scope: self._m_retry.labels(scope=scope)
+                for scope in ("collective", "p2p")
+            }
         self._pair_cache: Dict[Tuple[int, int], Tuple[int, Transport]] = {}
         self._group_cache: Dict[Tuple[int, ...], Tuple[int, Transport]] = {}
         #: last transport family observed per pair / group, for rebuild charges
@@ -264,6 +297,25 @@ class Fabric:
     # analytic timing
     # ------------------------------------------------------------------ #
 
+    def _comm_counters(self, kind: str, scope: str) -> tuple:
+        """(bytes, seconds) bound counters for one (kind, scope) label set."""
+        key = (kind, scope)
+        pair = self._bound_comm.get(key)
+        if pair is None:
+            pair = (
+                self._m_bytes.labels(kind=kind, scope=scope),
+                self._m_seconds.labels(kind=kind, scope=scope),
+            )
+            self._bound_comm[key] = pair
+        return pair
+
+    def _occupancy_hist(self, kind: str):
+        hist = self._bound_hist.get(kind)
+        if hist is None:
+            hist = self._m_p2p_hist.labels(kind=kind)
+            self._bound_hist[kind] = hist
+        return hist
+
     def _audit(self, seconds: float, what: str, **context: object) -> float:
         """Pass a priced duration through the sanitizer (identity when no
         hooks are attached)."""
@@ -332,8 +384,9 @@ class Fabric:
             nbytes=nbytes,
         )
         if self.metrics is not None:
-            self._m_bytes.inc(nbytes, kind=str(edge.kind), scope="p2p")
-            self._m_seconds.inc(duration, kind=str(edge.kind), scope="p2p")
+            m_bytes, m_seconds = self._comm_counters(_KIND_STR[edge.kind], "p2p")
+            m_bytes.inc(nbytes)
+            m_seconds.inc(duration)
         return duration
 
     def p2p_occupancy(self, src: int, dst: int, nbytes: int) -> float:
@@ -356,12 +409,13 @@ class Fabric:
             )
             self.fault_stats.retry_time += occupancy - clean
             if self.metrics is not None:
-                self._m_retry.inc(occupancy - clean, scope="p2p")
+                self._bound_retry["p2p"].inc(occupancy - clean)
         if self.metrics is not None:
-            kind = str(edge.kind)
-            self._m_bytes.inc(nbytes, kind=kind, scope="p2p")
-            self._m_seconds.inc(occupancy, kind=kind, scope="p2p")
-            self._m_p2p_hist.observe(occupancy, kind=kind)
+            kind = _KIND_STR[edge.kind]
+            m_bytes, m_seconds = self._comm_counters(kind, "p2p")
+            m_bytes.inc(nbytes)
+            m_seconds.inc(occupancy)
+            self._occupancy_hist(kind).observe(occupancy)
         return occupancy
 
     def collective_step_occupancy(
@@ -384,11 +438,13 @@ class Fabric:
             )
             self.fault_stats.retry_time += occupancy - clean
             if self.metrics is not None:
-                self._m_retry.inc(occupancy - clean, scope="collective")
+                self._bound_retry["collective"].inc(occupancy - clean)
         if self.metrics is not None:
-            kind = str(edge.kind)
-            self._m_bytes.inc(nbytes, kind=kind, scope="collective")
-            self._m_seconds.inc(occupancy, kind=kind, scope="collective")
+            m_bytes, m_seconds = self._comm_counters(
+                _KIND_STR[edge.kind], "collective"
+            )
+            m_bytes.inc(nbytes)
+            m_seconds.inc(occupancy)
         return occupancy
 
     def collective_step_time(
@@ -410,11 +466,13 @@ class Fabric:
             )
             self.fault_stats.retry_time += duration - clean
             if self.metrics is not None:
-                self._m_retry.inc(duration - clean, scope="collective")
+                self._bound_retry["collective"].inc(duration - clean)
         if self.metrics is not None:
-            kind = str(edge.kind)
-            self._m_bytes.inc(nbytes, kind=kind, scope="collective")
-            self._m_seconds.inc(duration, kind=kind, scope="collective")
+            m_bytes, m_seconds = self._comm_counters(
+                _KIND_STR[edge.kind], "collective"
+            )
+            m_bytes.inc(nbytes)
+            m_seconds.inc(duration)
         return duration
 
     def group_rebuild_time(self, ranks: Sequence[int]) -> float:

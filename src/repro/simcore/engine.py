@@ -51,7 +51,7 @@ class SimEngine:
 
     def timeout_event(self, delay: float, value: Any = None, name: str = "") -> SimEvent:
         """Create an event that fires ``delay`` seconds from now."""
-        ev = SimEvent(self, name or f"timeout@{self._now + delay:.6f}")
+        ev = SimEvent(self, name or "timeout")
         self._schedule_at(self._now + delay, lambda: ev.succeed(value))
         return ev
 
@@ -77,23 +77,41 @@ class SimEngine:
         if self._running:
             raise SimulationError("engine is already running (re-entrant run())")
         self._running = True
+        queue = self._queue
+        heappop = heapq.heappop
+        hooks = self.hooks
         try:
-            while self._queue:
-                when, _, thunk = self._queue[0]
-                if until is not None and when > until:
-                    self._now = until
-                    break
-                heapq.heappop(self._queue)
-                if self.hooks is not None:
-                    self.hooks.on_engine_step(when, self._now)
-                self._now = when
-                self._steps += 1
-                if self._steps > max_steps:
-                    raise SimulationError(
-                        f"simulation exceeded {max_steps} steps; "
-                        "likely a livelock in process logic"
-                    )
-                thunk()
+            if until is None and hooks is None:
+                # Tight variant of the loop below for the common case (no
+                # deadline, no sanitizer): pop directly, skip the per-step
+                # peek and the dead branches.  Semantics are identical.
+                while queue:
+                    when, _, thunk = heappop(queue)
+                    self._now = when
+                    self._steps = steps = self._steps + 1
+                    if steps > max_steps:
+                        raise SimulationError(
+                            f"simulation exceeded {max_steps} steps; "
+                            "likely a livelock in process logic"
+                        )
+                    thunk()
+            else:
+                while queue:
+                    when, _, thunk = queue[0]
+                    if until is not None and when > until:
+                        self._now = until
+                        break
+                    heappop(queue)
+                    if hooks is not None:
+                        hooks.on_engine_step(when, self._now)
+                    self._now = when
+                    self._steps = steps = self._steps + 1
+                    if steps > max_steps:
+                        raise SimulationError(
+                            f"simulation exceeded {max_steps} steps; "
+                            "likely a livelock in process logic"
+                        )
+                    thunk()
         finally:
             self._running = False
         return self._now

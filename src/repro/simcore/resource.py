@@ -29,6 +29,7 @@ class Resource:
         self.capacity = capacity
         self._in_use = 0
         self._waiters: Deque[SimEvent] = deque()
+        self._acquire_name = f"{name}.acquire"
 
     @property
     def in_use(self) -> int:
@@ -40,7 +41,7 @@ class Resource:
 
     def acquire(self) -> SimEvent:
         """Request a slot.  The returned event fires when the slot is granted."""
-        ev = self.engine.event(name=f"{self.name}.acquire")
+        ev = self.engine.event(name=self._acquire_name)
         if self._in_use < self.capacity:
             self._in_use += 1
             hooks = getattr(self.engine, "hooks", None)
@@ -75,6 +76,7 @@ class Store:
         self.name = name
         self._items: Deque[Any] = deque()
         self._getters: Deque[SimEvent] = deque()
+        self._get_name = f"{name}.get"
 
     def __len__(self) -> int:
         return len(self._items)
@@ -89,7 +91,7 @@ class Store:
 
     def get(self) -> SimEvent:
         """Request an item; the event fires with the item when available."""
-        ev = self.engine.event(name=f"{self.name}.get")
+        ev = self.engine.event(name=self._get_name)
         if self._items:
             ev.succeed(self._items.popleft())
         else:

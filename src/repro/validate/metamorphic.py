@@ -159,7 +159,7 @@ def _executed_allreduce(
     spec's topology; returns (makespan, slowest-edge transport)."""
     topo = spec.topology()
     engine = SimEngine(hooks=None)
-    fabric = Fabric(topo, None, engine=engine)
+    fabric = Fabric(topo, engine=engine)
     channels = ChannelRegistry(engine)
     executor = CollectiveExecutor(fabric, channels)
     for rank in ranks:
@@ -262,16 +262,34 @@ def check_relation(name: str, spec: ScenarioSpec) -> RelationResult:
         )
 
 
+def _check_pair(pair: tuple) -> RelationResult:
+    """Picklable worker body for the parallel sweep."""
+    name, spec = pair
+    return check_relation(name, spec)
+
+
 def run_validation(
     num_scenarios: int,
     seed: int = 0,
     relations: Optional[Sequence[str]] = None,
+    jobs: int = 1,
 ) -> List[RelationResult]:
     """Check every selected relation against ``num_scenarios`` seeded random
-    scenarios; returns one result per (relation, scenario) pair."""
+    scenarios; returns one result per (relation, scenario) pair.
+
+    ``jobs > 1`` fans the (relation, scenario) checks out over worker
+    processes (:func:`repro.exec.pmap`); scenarios are seeded data and each
+    check builds its own simulations, so the result list is identical —
+    order included — for any worker count.
+    """
     names = list(relations) if relations else sorted(RELATIONS)
     unknown = [n for n in names if n not in RELATIONS]
     if unknown:
         raise KeyError(f"unknown relations: {unknown}; have {sorted(RELATIONS)}")
     specs = sample_scenarios(num_scenarios, seed)
-    return [check_relation(name, spec) for spec in specs for name in names]
+    pairs = [(name, spec) for spec in specs for name in names]
+    if jobs == 1:
+        return [check_relation(name, spec) for name, spec in pairs]
+    from repro.exec import pmap
+
+    return pmap(_check_pair, pairs, jobs=jobs)  # type: ignore[return-value]

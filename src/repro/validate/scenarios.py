@@ -181,6 +181,39 @@ class ScenarioSpec:
         """Build and execute; keyword arguments as :meth:`build`."""
         return self.build(**kwargs).run()  # type: ignore[arg-type]
 
+    def to_scenario(self):
+        """This spec as a :class:`repro.api.Scenario`.
+
+        :meth:`build` plans with the default scheduler (Holmes placement,
+        Eq. 2 partition) and the engine's default distributed optimizer —
+        exactly the ``holmes-no-overlap`` framework preset — so the bridge
+        is behaviour-preserving: ``spec.to_scenario()`` and ``spec.run()``
+        produce byte-identical replays.  This is what lets the metamorphic
+        harness ride the parallel executor and the result cache.
+        """
+        from repro.api import Scenario
+
+        return Scenario(
+            env=self.env,
+            nodes=self.nodes,
+            gpus_per_node=self.gpus_per_node,
+            num_layers=self.num_layers,
+            hidden_size=self.hidden,
+            num_attention_heads=self.heads,
+            tensor=self.tensor,
+            pipeline=self.pipeline,
+            data=self.data,
+            micro_batch_size=self.micro_batch_size,
+            num_microbatches=self.num_microbatches,
+            schedule=self.schedule,
+            num_chunks=self.num_chunks,
+            framework="holmes-no-overlap",
+            fault_seed=self.fault_seed,
+            fault_count=self.fault_events,
+            fault_horizon=FAULT_HORIZON,
+            label=self.name,
+        )
+
     def describe(self) -> str:
         faults = f", faults(seed={self.fault_seed})" if self.fault_seed is not None else ""
         return (

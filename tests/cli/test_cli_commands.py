@@ -1,0 +1,71 @@
+"""CLI contract tests: help enumeration, unknown-command hints, bench."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.cli import COMMANDS
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def run_cli(*argv, timeout=180):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(REPO_SRC)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+
+
+def test_help_enumerates_every_command():
+    proc = run_cli("--help")
+    assert proc.returncode == 0
+    for name, description in COMMANDS.items():
+        assert name in proc.stdout
+        assert description in proc.stdout
+
+
+def test_every_command_has_its_own_help():
+    for name in COMMANDS:
+        proc = run_cli(name, "--help")
+        assert proc.returncode == 0, (name, proc.stderr)
+        assert f"repro {name}" in proc.stdout
+
+
+def test_unknown_command_exits_2_with_hint():
+    proc = run_cli("benhc")
+    assert proc.returncode == 2
+    assert "Traceback" not in proc.stderr
+    assert "unknown command 'benhc'" in proc.stderr
+    assert "bench" in proc.stderr  # the close-match hint
+    assert "--help" in proc.stderr
+
+
+def test_unknown_command_without_close_match_still_hints_help():
+    proc = run_cli("zzzzzz")
+    assert proc.returncode == 2
+    assert "Traceback" not in proc.stderr
+    assert "--help" in proc.stderr
+
+
+def test_bench_micro_only_writes_gateable_document(tmp_path):
+    out = tmp_path / "bench.json"
+    proc = run_cli("bench", "--micro-only", "--repeats", "1",
+                   "--out", str(out))
+    assert proc.returncode == 0, proc.stderr
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro.bench/v1"
+    assert "calibration" in doc["microbench"]["benchmarks"]
+
+    # the gate passes against the document it just wrote; the huge
+    # tolerance keeps this a plumbing test, immune to timing noise on
+    # loaded CI runners
+    check = run_cli("bench", "--micro-only", "--repeats", "1",
+                    "--check", str(out), "--tolerance", "25.0")
+    assert check.returncode == 0, check.stderr
+    assert "pass" in check.stdout

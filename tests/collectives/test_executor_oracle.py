@@ -27,7 +27,7 @@ FAMILIES = [NICType.INFINIBAND, NICType.ROCE, NICType.ETHERNET]
 def run_collective(topo, op, ranks, nbytes, degrade=None):
     """Execute one collective standalone; returns (makespan, fabric, executor)."""
     engine = SimEngine()
-    fabric = Fabric(topo, None, engine=engine)
+    fabric = Fabric(topo, engine=engine)
     if degrade is not None:
         node, family, factor = degrade
         fabric.health.set_bandwidth_factor(node, family, factor)

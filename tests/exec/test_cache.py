@@ -1,0 +1,107 @@
+"""Cache correctness: byte-identity, invalidation, salt discipline."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import Scenario, run, sweep
+from repro.exec import ResultCache
+import repro.exec.digest as digest_mod
+from repro.faults import FaultEvent, FaultKind
+
+
+def tiny(**overrides):
+    kw = dict(
+        env="hybrid", nodes=2, gpus_per_node=2,
+        num_layers=4, hidden_size=256, num_attention_heads=4,
+        seq_length=128, vocab_size=1024,
+        pipeline=2, micro_batch_size=1, num_microbatches=2,
+    )
+    kw.update(overrides)
+    return Scenario(**kw)
+
+
+FAULTED = tiny(fault_events=(
+    FaultEvent(time=0.001, kind=FaultKind.NIC_FLAP, node=0, duration=10.0),
+    FaultEvent(time=0.0, kind=FaultKind.STRAGGLER, rank=1, factor=1.5),
+))
+
+
+@pytest.mark.parametrize("scenario", [tiny(), FAULTED],
+                         ids=["fault-free", "faulted"])
+def test_cached_result_is_byte_identical(tmp_path, scenario):
+    cache = ResultCache(tmp_path)
+    fresh = run(scenario)
+    cache.put(scenario, fresh)
+    cached = cache.get(scenario)
+    assert cached == fresh  # full dataclass equality, every field
+    # and the on-disk JSON round-trips the floats exactly
+    raw = json.loads(cache.path_for(scenario.digest()).read_text())
+    assert raw["result"]["iteration_time"] == fresh.iteration_time
+
+
+def test_sweep_populates_and_reuses_cache(tmp_path):
+    cache = ResultCache(tmp_path)
+    scenarios = [tiny(), tiny(env="ib"), FAULTED]
+    first = sweep(scenarios, cache=cache)
+    assert cache.misses == len(scenarios)
+    warm = sweep(scenarios, cache=cache)
+    assert cache.hits == len(scenarios)
+    assert warm == first
+
+
+def test_any_field_change_is_a_cache_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    base = tiny()
+    cache.put(base, run(base))
+    for changed in (
+        tiny(env="ib"),
+        tiny(hidden_size=512),
+        tiny(schedule="gpipe"),
+        tiny(framework="holmes-full"),
+        tiny(fault_seed=1),
+        dataclasses.replace(FAULTED),
+        tiny(bandwidth_scale=0.75),
+        tiny(trace_enabled=False),
+    ):
+        assert cache.get(changed) is None, changed.describe()
+
+
+def test_salt_bump_invalidates_everything(tmp_path, monkeypatch):
+    cache = ResultCache(tmp_path)
+    scenario = tiny()
+    cache.put(scenario, run(scenario))
+    assert cache.get(scenario) is not None
+    monkeypatch.setattr(digest_mod, "CODE_VERSION_SALT", "holmes-sim.test")
+    assert cache.get(scenario) is None
+
+
+def test_put_refuses_stale_digest(tmp_path, monkeypatch):
+    cache = ResultCache(tmp_path)
+    scenario = tiny()
+    result = run(scenario)
+    monkeypatch.setattr(digest_mod, "CODE_VERSION_SALT", "holmes-sim.test")
+    # result.scenario_digest was minted under the old salt
+    with pytest.raises(ValueError):
+        cache.put(scenario, result)
+
+
+def test_corrupt_entry_is_a_miss_not_a_crash(tmp_path):
+    cache = ResultCache(tmp_path)
+    scenario = tiny()
+    cache.put(scenario, run(scenario))
+    cache.path_for(scenario.digest()).write_text("{not json")
+    assert cache.get(scenario) is None
+
+
+def test_cache_stats_and_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    scenario = tiny()
+    cache.put(scenario, run(scenario))
+    assert len(cache) == 1
+    stats = cache.stats()
+    assert stats["entries"] == 1
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get(scenario) is None

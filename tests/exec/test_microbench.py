@@ -1,0 +1,58 @@
+"""Microbenchmark suite: schema, normalization, regression gate."""
+
+import copy
+
+from repro.exec import MICROBENCHES, check_regression, run_microbenches
+from repro.exec.microbench import SCHEMA
+
+
+def small_doc():
+    # the cheap benches only, single repeat, to keep the test fast
+    return run_microbenches(
+        names=["costmodel", "metrics-bound"], repeats=1
+    )
+
+
+def test_document_schema_and_normalization():
+    doc = small_doc()
+    assert doc["schema"] == SCHEMA
+    benches = doc["benchmarks"]
+    # calibration is always measured: it is the normalization divisor
+    assert "calibration" in benches
+    assert benches["calibration"]["normalized"] == 1.0
+    for name in ("costmodel", "metrics-bound"):
+        entry = benches[name]
+        assert entry["ns_per_op"] > 0
+        assert entry["ops"] > 0
+        assert entry["normalized"] > 0
+
+
+def test_registry_names_are_runnable():
+    assert "calibration" in MICROBENCHES
+    assert set(run_microbenches(repeats=1)["benchmarks"]) == set(MICROBENCHES)
+
+
+def test_gate_passes_against_itself():
+    doc = small_doc()
+    assert check_regression(doc, doc, tolerance=0.10) == []
+
+
+def test_gate_flags_normalized_slowdown():
+    doc = small_doc()
+    reference = copy.deepcopy(doc)
+    # pretend the reference ran 2x faster (normalized)
+    ref_entry = reference["benchmarks"]["costmodel"]
+    ref_entry["normalized"] = doc["benchmarks"]["costmodel"]["normalized"] / 2
+    regressions = check_regression(doc, reference, tolerance=0.10)
+    assert [r.name for r in regressions] == ["costmodel"]
+    assert "costmodel" in regressions[0].describe()
+
+
+def test_gate_ignores_calibration_and_new_benches():
+    doc = small_doc()
+    reference = copy.deepcopy(doc)
+    # calibration is the divisor, never gated
+    reference["benchmarks"]["calibration"]["normalized"] = 1e-9
+    # benches absent from the reference are skipped, not failed
+    del reference["benchmarks"]["metrics-bound"]
+    assert check_regression(doc, reference, tolerance=0.10) == []

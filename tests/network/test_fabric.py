@@ -77,7 +77,7 @@ class TestCollectiveTime:
         from repro.network.costmodel import CostModelConfig
 
         fabric = Fabric(
-            hybrid_topo, CostModelConfig(inter_cluster_p2p_factor=0.5)
+            hybrid_topo, cost_config=CostModelConfig(inter_cluster_p2p_factor=0.5)
         )
         # 0-8: same cluster over RoCE; 0-16: cross-cluster over Ethernet.
         occ_intra = fabric.p2p_occupancy(0, 8, 1 << 24)

@@ -162,7 +162,7 @@ class TestMicrobatching:
         full-batch step — the invariant behind every pipeline schedule."""
         tokens, targets = batch
         full = SingleTrainer(CONFIG, seed=21)
-        micro = SingleTrainer(CONFIG, seed=21, micro_batches=m)
+        micro = SingleTrainer(CONFIG, seed=21, num_microbatches=m)
         for _ in range(3):
             loss_full = full.step(tokens, targets)
             loss_micro = micro.step(tokens, targets)
@@ -175,13 +175,13 @@ class TestMicrobatching:
 
     def test_indivisible_batch_rejected(self, batch):
         tokens, targets = batch
-        trainer = SingleTrainer(CONFIG, micro_batches=3)
+        trainer = SingleTrainer(CONFIG, num_microbatches=3)
         with pytest.raises(ConfigurationError):
             trainer.step(tokens, targets)
 
     def test_invalid_count_rejected(self):
         with pytest.raises(ConfigurationError):
-            SingleTrainer(CONFIG, micro_batches=0)
+            SingleTrainer(CONFIG, num_microbatches=0)
 
 
 class TestComposedParallelism:

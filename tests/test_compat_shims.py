@@ -1,0 +1,148 @@
+"""The keyword-only constructor migration: shims warn, canonical forms don't."""
+
+import warnings
+
+import pytest
+
+from repro.core.engine import TrainingSimulation
+from repro.core.optimizer import STRATEGIES
+from repro.core.scheduler import HolmesScheduler
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.hardware.nic import NICType
+from repro.hardware.presets import homogeneous_topology
+from repro.model.config import GPTConfig
+from repro.network.costmodel import CostModelConfig
+from repro.network.fabric import Fabric
+from repro.nn.parallel_train import SingleTrainer
+from repro.nn.model import TinyGPTConfig
+from repro.parallel.degrees import ParallelConfig
+from repro.simcore.engine import SimEngine
+
+TOPO = homogeneous_topology(2, NICType.INFINIBAND, gpus_per_node=2)
+MODEL = GPTConfig(num_layers=8, hidden_size=512, num_attention_heads=8,
+                  seq_length=256, vocab_size=4096)
+NN_CONFIG = TinyGPTConfig(vocab_size=17, seq_length=4, hidden_size=8,
+                          num_blocks=1, num_heads=2)
+
+
+def small_plan():
+    parallel = ParallelConfig(tensor=1, pipeline=2, data=2,
+                              micro_batch_size=2, global_batch_size=16)
+    return HolmesScheduler().plan(TOPO, parallel, MODEL)
+
+
+class TestFabricShims:
+    def test_canonical_keywords_are_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            Fabric(TOPO, cost_config=CostModelConfig(), engine=SimEngine())
+
+    def test_positional_use_warns_and_still_works(self):
+        cfg = CostModelConfig(comm_rebuild_time=1.25)
+        with pytest.warns(DeprecationWarning, match="cost_config"):
+            fabric = Fabric(TOPO, cfg)
+        assert fabric.cost_model.config.comm_rebuild_time == 1.25
+
+    def test_legacy_config_spelling_warns(self):
+        cfg = CostModelConfig(comm_rebuild_time=2.5)
+        with pytest.warns(DeprecationWarning, match="cost_config"):
+            fabric = Fabric(TOPO, config=cfg)
+        assert fabric.cost_model.config.comm_rebuild_time == 2.5
+
+    def test_legacy_metrics_spelling_warns(self):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        with pytest.warns(DeprecationWarning, match="metrics_registry"):
+            fabric = Fabric(TOPO, metrics=registry)
+        assert fabric.metrics is registry
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(TypeError, match="both"):
+            Fabric(TOPO, config=CostModelConfig(), cost_config=CostModelConfig())
+
+    def test_positional_overflow_rejected(self):
+        with pytest.raises(TypeError, match="positional"):
+            Fabric(TOPO, None, None, False, None, None, "extra")
+
+    def test_positional_keyword_collision_rejected(self):
+        with pytest.raises(TypeError, match="multiple values"), warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            Fabric(TOPO, CostModelConfig(), cost_config=CostModelConfig())
+
+
+class TestTrainingSimulationShims:
+    def test_canonical_keywords_are_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            TrainingSimulation(small_plan(), MODEL, schedule="gpipe")
+
+    def test_positional_use_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="optimizer, schedule"):
+            sim = TrainingSimulation(
+                small_plan(), MODEL, STRATEGIES["allreduce"], "gpipe"
+            )
+        assert sim.schedule_kind == "gpipe"
+        assert sim.optimizer is STRATEGIES["allreduce"]
+
+    def test_positional_matches_keyword_result(self):
+        plan = small_plan()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            positional = TrainingSimulation(
+                plan, MODEL, STRATEGIES["distributed"], "gpipe"
+            ).run()
+        keyword = TrainingSimulation(
+            plan, MODEL, optimizer=STRATEGIES["distributed"], schedule="gpipe"
+        ).run()
+        assert positional.iteration_time == keyword.iteration_time
+
+
+class TestFaultInjectorShims:
+    def _fabric(self):
+        return Fabric(TOPO, engine=SimEngine())
+
+    def _plan(self):
+        return FaultPlan(
+            events=(FaultEvent(time=0.1, kind=FaultKind.NIC_FLAP, node=0, duration=0.2),)
+        )
+
+    def test_canonical_keywords_are_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            FaultInjector(self._plan(), self._fabric(), trace=None)
+
+    def test_positional_trace_warns(self):
+        from repro.simcore.trace import TraceRecorder
+
+        trace = TraceRecorder(enabled=True)
+        with pytest.warns(DeprecationWarning, match="trace"):
+            injector = FaultInjector(self._plan(), self._fabric(), trace)
+        assert injector.trace is trace
+
+
+class TestKnobRenames:
+    def test_num_microbatches_is_canonical(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            trainer = SingleTrainer(NN_CONFIG, num_microbatches=2)
+        assert trainer.num_microbatches == 2
+
+    def test_legacy_micro_batches_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="num_microbatches"):
+            trainer = SingleTrainer(NN_CONFIG, micro_batches=2)
+        assert trainer.num_microbatches == 2
+
+    def test_micro_batches_attribute_alias_warns(self):
+        trainer = SingleTrainer(NN_CONFIG, num_microbatches=3)
+        with pytest.warns(DeprecationWarning, match="num_microbatches"):
+            assert trainer.micro_batches == 3
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(TypeError, match="both"):
+            SingleTrainer(NN_CONFIG, num_microbatches=2, micro_batches=2)
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError, match="unexpected"):
+            SingleTrainer(NN_CONFIG, microbatches=2)
