@@ -605,17 +605,44 @@ def sweep(
     scenarios: Sequence[Scenario],
     jobs: int = 1,
     cache: Optional[object] = None,
+    *,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff: float = 0.05,
+    on_error: str = "raise",
+    resume: bool = False,
+    journal: Optional[object] = None,
 ) -> List[RunResult]:
     """Run a batch of scenarios; results come back in input order.
 
-    ``jobs > 1`` fans work out over processes with deterministic
-    partitioning (:func:`repro.exec.run_sweep`); ``cache`` is a
+    ``jobs > 1`` fans work out over a supervised worker pool
+    (:func:`repro.exec.run_sweep`); ``cache`` is a
     :class:`repro.exec.ResultCache` (or a path-like to open one at).  Any
-    combination of (jobs, cache, serial) produces identical results.
+    combination of (jobs, cache, serial, resumed) produces identical
+    results.
+
+    Fault handling: ``timeout`` bounds each scenario's wall clock (hung
+    workers are killed and respawned), ``retries``/``backoff`` re-execute
+    transient failures deterministically, and ``on_error="collect"``
+    returns a :class:`repro.exec.SweepOutcome` — partial results plus a
+    structured failure manifest — instead of raising
+    :class:`repro.exec.SweepError` on the first exhausted scenario.
+    ``resume=True`` journals completed scenarios durably and, after a
+    crash or Ctrl-C, re-executes only unjournaled work.
     """
     from repro.exec import run_sweep
 
-    return run_sweep(scenarios, jobs=jobs, cache=cache)
+    return run_sweep(
+        scenarios,
+        jobs=jobs,
+        cache=cache,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        on_error=on_error,
+        resume=resume,
+        journal=journal,
+    )
 
 
 __all__ = [

@@ -51,12 +51,22 @@ def table3_scenarios(fast: bool = False) -> List[object]:
     ]
 
 
-def _timed_sweep(scenarios, jobs, cache=None):
+def _timed_sweep(scenarios, jobs, cache=None, timeout=None, resume=False,
+                 journal=None):
     from repro.api import sweep
 
     t0 = time.perf_counter()
-    results = sweep(scenarios, jobs=jobs, cache=cache)
+    results = sweep(
+        scenarios, jobs=jobs, cache=cache,
+        timeout=timeout, resume=resume, journal=journal,
+    )
     return time.perf_counter() - t0, results
+
+
+def _bench_journal_root():
+    from repro.exec.cache import default_cache_dir
+
+    return default_cache_dir() / "bench-journal"
 
 
 def collect_bench(
@@ -65,8 +75,20 @@ def collect_bench(
     fast: bool = False,
     micro_only: bool = False,
     date: Optional[str] = None,
+    timeout: Optional[float] = None,
+    resume: bool = False,
 ) -> Dict[str, object]:
-    """Measure and assemble one benchmark document."""
+    """Measure and assemble one benchmark document.
+
+    ``timeout`` bounds each cell's wall clock (a hung cell is killed and
+    retried rather than stalling the whole bench); ``resume=True`` journals
+    the serial and parallel legs under ``<cache-dir>/bench-journal`` so a
+    crashed/interrupted bench re-executes only unfinished cells on the
+    next ``--resume`` run.  Journals are cleared once the bench completes
+    (a resumed leg's wall time only measures the remaining cells, so a
+    clean finish must not leave journals that would hollow out the *next*
+    run's timings).
+    """
     doc: Dict[str, object] = {
         "schema": SCHEMA,
         "date": date or time.strftime("%Y-%m-%d"),
@@ -76,15 +98,27 @@ def collect_bench(
     if micro_only:
         return doc
 
+    journal_root = _bench_journal_root() if resume else None
     scenarios = table3_scenarios(fast=fast)
-    serial_s, serial = _timed_sweep(scenarios, jobs=1)
-    parallel_s, parallel = _timed_sweep(scenarios, jobs=jobs)
+    serial_s, serial = _timed_sweep(
+        scenarios, jobs=1, timeout=timeout, resume=resume,
+        journal=journal_root / "serial" if journal_root else None,
+    )
+    parallel_s, parallel = _timed_sweep(
+        scenarios, jobs=jobs, timeout=timeout, resume=resume,
+        journal=journal_root / "parallel" if journal_root else None,
+    )
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
         from repro.exec import ResultCache
 
         cache = ResultCache(tmp)
-        _timed_sweep(scenarios, jobs=1, cache=cache)  # populate
-        cached_s, cached = _timed_sweep(scenarios, jobs=1, cache=cache)
+        _timed_sweep(scenarios, jobs=1, cache=cache, timeout=timeout)  # populate
+        cached_s, cached = _timed_sweep(scenarios, jobs=1, cache=cache,
+                                        timeout=timeout)
+    if journal_root is not None:
+        import shutil
+
+        shutil.rmtree(journal_root, ignore_errors=True)
 
     digests = [r.trace_digest for r in serial]
     identical = (
@@ -113,6 +147,11 @@ def collect_bench(
             / doc["microbench"]["benchmarks"]["calibration"]["ns_per_op"]  # type: ignore[index]
         ),
     }
+    from repro.exec import resilience_summary
+
+    # process-lifetime executor recovery counters: all zeros on a healthy
+    # bench; nonzero values explain a slow or partially resumed run
+    doc["sweep"]["resilience"] = resilience_summary()  # type: ignore[index]
     return doc
 
 

@@ -130,14 +130,31 @@ def run_batch(
     scenarios: Sequence["Scenario"],
     jobs: int = 1,
     cache: Union["ResultCache", str, None] = None,
+    *,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    on_error: str = "raise",
+    resume: bool = False,
+    journal: Union[str, None] = None,
 ) -> List["RunResult"]:
     """Run experiment cells through the batch executor
     (:func:`repro.api.sweep`): parallel workers and the result cache with
     serial-identical results.  This is the path the paper-table benchmarks
-    and ``repro bench`` use."""
+    and ``repro bench`` use.  The resilience knobs (per-cell ``timeout``,
+    bounded ``retries``, ``on_error="collect"`` quarantine, journal-backed
+    ``resume``) pass straight through to the executor."""
     from repro.api import sweep
 
-    return sweep(scenarios, jobs=jobs, cache=cache)
+    return sweep(
+        scenarios,
+        jobs=jobs,
+        cache=cache,
+        timeout=timeout,
+        retries=retries,
+        on_error=on_error,
+        resume=resume,
+        journal=journal,
+    )
 
 
 def summarize(

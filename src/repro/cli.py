@@ -508,7 +508,8 @@ def cmd_validate(args: argparse.Namespace) -> int:
                 f"have {', '.join(sorted(RELATIONS))}"
             )
     results = run_validation(
-        args.scenarios, seed=args.seed, relations=relations, jobs=args.jobs
+        args.scenarios, seed=args.seed, relations=relations, jobs=args.jobs,
+        timeout=args.timeout,
     )
 
     # One sanitizer-armed pass over the raw scenarios so the report carries
@@ -530,6 +531,10 @@ def cmd_validate(args: argparse.Namespace) -> int:
         with open(args.out, "w") as fh:
             json.dump(report, fh, indent=2)
     print(render_validation_report(report))
+    if args.jobs != 1:
+        from repro.exec import format_resilience_summary
+
+        print(format_resilience_summary())
     if args.out:
         print(f"\nwrote report to {args.out}")
     return 0 if not report["summary"]["failed"] else 1
@@ -548,6 +553,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         fast=args.fast,
         micro_only=args.micro_only,
+        timeout=args.timeout,
+        resume=args.resume,
     )
 
     micro = doc["microbench"]["benchmarks"]
@@ -570,6 +577,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "results identical across serial/parallel/cached: "
             + ("yes" if sweep_doc["digests_identical"] else "NO")
         )
+        from repro.exec import format_resilience_summary
+
+        print(format_resilience_summary())
 
     out = args.out
     if out is None and not args.check:
@@ -702,6 +712,10 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("-j", "--jobs", type=int, default=1,
                    help="parallel worker processes for the relation sweep "
                         "(0 = one per CPU; results identical to serial)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-check wall-clock timeout for the parallel "
+                        "relation sweep (hung workers are killed and the "
+                        "check retried once)")
     p.add_argument("--out", metavar="FILE", default=None,
                    help="write the JSON conformance report here")
     p.set_defaults(fn=cmd_validate)
@@ -717,6 +731,13 @@ def make_parser() -> argparse.ArgumentParser:
                         "(the CI bench-fast configuration)")
     p.add_argument("--micro-only", action="store_true",
                    help="run only the microbenchmark suite")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-cell wall-clock timeout: a hung cell is "
+                        "killed, retried, and at worst quarantined instead "
+                        "of stalling the bench")
+    p.add_argument("--resume", action="store_true",
+                   help="journal sweep progress durably and, after a crash "
+                        "or Ctrl-C, re-execute only unfinished cells")
     p.add_argument("--out", metavar="FILE", default=None,
                    help="write the JSON document here "
                         "(default BENCH_<date>.json unless --check)")

@@ -1,13 +1,22 @@
-"""Scenario-batch execution: parallel workers, result cache, microbench.
+"""Scenario-batch execution: resilient workers, result cache, microbench.
 
 The execution layer sits between :mod:`repro.api` (which defines *what* a
 run is) and the simulator (which defines what a run *does*):
 
 - :mod:`repro.exec.digest` — canonical scenario digests, salted with the
   code version (:data:`~repro.exec.digest.CODE_VERSION_SALT`);
-- :mod:`repro.exec.cache` — content-addressed :class:`ResultCache`;
-- :mod:`repro.exec.engine` — :func:`run_sweep`, the deterministic
-  serial/parallel batch executor;
+- :mod:`repro.exec.cache` — content-addressed :class:`ResultCache` with
+  corrupt-entry quarantine and temp-debris pruning;
+- :mod:`repro.exec.engine` — :func:`run_sweep` and :func:`pmap`, the
+  deterministic serial/parallel batch executors;
+- :mod:`repro.exec.resilience` — the supervised worker pool beneath them:
+  per-scenario timeouts with hung-worker kill/respawn, bounded retries
+  with deterministic backoff, and quarantine into
+  :class:`SweepOutcome`/:class:`ScenarioFailure` manifests;
+- :mod:`repro.exec.journal` — the durable append-only
+  :class:`SweepJournal` behind ``sweep(..., resume=True)``;
+- :mod:`repro.exec.chaos` — seeded executor fault injection (worker
+  crashes, hangs, poison scenarios, supervisor interrupts) for tests;
 - :mod:`repro.exec.microbench` — the DES hot-path benchmark suite and its
   CI regression gate.
 """
@@ -15,21 +24,40 @@ run is) and the simulator (which defines what a run *does*):
 from repro.exec.cache import ResultCache
 from repro.exec.digest import CODE_VERSION_SALT, scenario_digest
 from repro.exec.engine import partition, pmap, resolve_jobs, run_sweep
+from repro.exec.journal import SweepJournal, sweep_digest
 from repro.exec.microbench import (
     MICROBENCHES,
     check_regression,
     run_microbenches,
+)
+from repro.exec.resilience import (
+    ScenarioFailure,
+    SweepError,
+    SweepOutcome,
+    SweepPolicy,
+    exec_metrics,
+    format_resilience_summary,
+    resilience_summary,
 )
 
 __all__ = [
     "CODE_VERSION_SALT",
     "MICROBENCHES",
     "ResultCache",
+    "ScenarioFailure",
+    "SweepError",
+    "SweepJournal",
+    "SweepOutcome",
+    "SweepPolicy",
     "check_regression",
+    "exec_metrics",
+    "format_resilience_summary",
     "partition",
     "pmap",
+    "resilience_summary",
     "resolve_jobs",
     "run_microbenches",
     "run_sweep",
     "scenario_digest",
+    "sweep_digest",
 ]

@@ -14,7 +14,11 @@ Correctness contract (enforced by ``tests/exec/test_cache.py``):
   :data:`~repro.exec.digest.CODE_VERSION_SALT` bump — misses;
 - writes are atomic (temp file + ``os.replace``), so a sweep killed
   mid-write never leaves a truncated entry behind;
-- corrupt or schema-mismatched entries read as misses, never as errors.
+- corrupt or schema-mismatched entries read as misses, never as errors —
+  and are *quarantined* on first detection (renamed to ``*.corrupt``) so
+  the damaged file is never re-parsed on every lookup;
+- crash debris is reclaimable: :meth:`ResultCache.prune` removes stale
+  ``.tmp`` files orphaned by a killed writer (sweep startup calls it).
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Optional, Union
 
@@ -45,10 +50,15 @@ def default_cache_dir() -> Path:
 class ResultCache:
     """Directory-backed scenario-result store, keyed by content digest."""
 
+    #: Stale-temp-file age floor for :meth:`prune` (seconds): young enough
+    #: temp files may belong to a live concurrent writer and are kept.
+    PRUNE_TTL = 3600.0
+
     def __init__(self, root: Union[str, Path, None] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     # ------------------------------------------------------------------ #
     # layout
@@ -62,7 +72,13 @@ class ResultCache:
     # ------------------------------------------------------------------ #
 
     def get(self, scenario: "Scenario") -> Optional["RunResult"]:
-        """The cached result for ``scenario``, or ``None`` on a miss."""
+        """The cached result for ``scenario``, or ``None`` on a miss.
+
+        A corrupt or schema/digest-mismatched entry is quarantined on first
+        detection — renamed to ``<entry>.corrupt`` and counted in
+        ``stats()["corrupt"]`` — so subsequent lookups are clean misses
+        instead of re-parsing the damaged file forever.
+        """
         from repro.api import RunResult
 
         digest = scenario_digest(scenario)
@@ -70,7 +86,11 @@ class ResultCache:
         try:
             with open(path) as fh:
                 entry = json.load(fh)
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            self.misses += 1
+            return None
+        except json.JSONDecodeError:
+            self._quarantine(path)
             self.misses += 1
             return None
         if (
@@ -78,15 +98,24 @@ class ResultCache:
             or entry.get("schema") != SCHEMA
             or entry.get("digest") != digest
         ):
+            self._quarantine(path)
             self.misses += 1
             return None
         try:
             result = RunResult.from_dict(entry["result"])
         except (KeyError, TypeError):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return result
+
+    def _quarantine(self, path: Path) -> None:
+        self.corrupt += 1
+        try:
+            os.replace(path, str(path) + ".corrupt")
+        except OSError:  # pragma: no cover - raced or read-only store
+            pass
 
     def put(self, scenario: "Scenario", result: "RunResult") -> Path:
         """Store ``result`` under the scenario's digest (atomic)."""
@@ -131,7 +160,8 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (plus quarantined/temp debris); returns the
+        number of *entries* removed."""
         removed = 0
         if not self.root.is_dir():
             return 0
@@ -141,7 +171,44 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        for pattern in ("*/*.corrupt", "*/*.tmp"):
+            for path in self.root.glob(pattern):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return removed
+
+    def prune(self, ttl: Optional[float] = None) -> int:
+        """Remove stale ``.tmp`` debris orphaned by killed writers.
+
+        Writers stage entries as ``.<digest8>.<random>.tmp`` next to their
+        destination and ``os.replace`` into place; a writer killed between
+        the two leaves the temp file behind forever.  Files older than
+        ``ttl`` seconds (default :data:`PRUNE_TTL`; ``0`` removes all) are
+        deleted; younger ones may belong to a live concurrent writer and
+        are kept.  Returns the number removed.  ``run_sweep`` calls this at
+        startup for any cache it is handed.
+        """
+        if ttl is None:
+            ttl = self.PRUNE_TTL
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        cutoff = time.time() - ttl
+        for path in self.root.glob("*/*.tmp"):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                pass
         return removed
 
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "entries": len(self),
+        }

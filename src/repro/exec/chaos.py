@@ -1,0 +1,233 @@
+"""Deterministic chaos harness for the batch executor.
+
+PR 1 gave the *simulated* cluster seeded fault injection; this module
+dogfoods the same philosophy on the machinery that runs the simulations.  A
+:class:`ChaosPlan` names, by scenario digest, exactly which executor faults
+to inject:
+
+- ``crash_once`` — the worker running that scenario SIGKILLs itself on the
+  scenario's *first* attempt (a marker file in ``state_dir`` makes the
+  retry succeed), reproducing an OOM-killed worker;
+- ``hang`` — the worker sleeps that many seconds before running the
+  scenario, on *every* attempt, reproducing a wedged scenario that only a
+  wall-clock timeout can clear;
+- ``poison`` — the scenario raises :class:`ChaosError` on every attempt,
+  reproducing a deterministically bad input that must be quarantined;
+- ``interrupt_after`` — the *supervisor* raises ``KeyboardInterrupt`` after
+  that many newly completed scenarios, reproducing Ctrl-C mid-sweep (for
+  resume tests, without subprocess choreography).
+
+Plans travel to worker processes via the ``REPRO_CHAOS_PLAN`` environment
+variable (install with :meth:`ChaosPlan.installed`), and process-killing
+injections only fire inside pool workers (``REPRO_EXEC_WORKER`` is set by
+the worker loop) so inline execution never kills the caller.  Everything is
+seeded and digest-addressed: the same plan over the same scenarios injects
+the same faults, every run.
+
+:func:`corrupt_cache_entry` rounds out the fault set by damaging a
+:class:`~repro.exec.cache.ResultCache` entry on disk, for exercising the
+cache's quarantine path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api import Scenario
+    from repro.exec.cache import ResultCache
+
+#: Environment variable carrying the installed plan (JSON) to workers.
+ENV_PLAN = "REPRO_CHAOS_PLAN"
+
+
+class ChaosError(ReproError):
+    """Raised by a poisoned scenario (a deterministic injected failure)."""
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded, digest-addressed executor fault script."""
+
+    crash_once: Tuple[str, ...] = ()
+    hang: Tuple[Tuple[str, float], ...] = ()
+    poison: Tuple[str, ...] = ()
+    interrupt_after: Optional[int] = None
+    state_dir: str = ""
+
+    def __post_init__(self) -> None:
+        if self.crash_once and not self.state_dir:
+            raise ConfigurationError(
+                "crash_once injection needs a state_dir for its "
+                "crashed-already markers"
+            )
+        if self.interrupt_after is not None and self.interrupt_after < 1:
+            raise ConfigurationError(
+                f"interrupt_after must be >= 1: {self.interrupt_after}"
+            )
+        for digest, seconds in self.hang:
+            if seconds <= 0:
+                raise ConfigurationError(
+                    f"hang seconds must be positive: {digest[:12]} x{seconds}"
+                )
+
+    @classmethod
+    def random(
+        cls,
+        digests: Sequence[str],
+        seed: int,
+        state_dir: str,
+        crashes: int = 1,
+        hangs: int = 1,
+        poisons: int = 1,
+        hang_seconds: float = 60.0,
+        interrupt_after: Optional[int] = None,
+    ) -> "ChaosPlan":
+        """Sample disjoint victim sets from ``digests`` with a seeded RNG —
+        the same ``(digests, seed)`` always picks the same victims."""
+        total = crashes + hangs + poisons
+        if total > len(digests):
+            raise ConfigurationError(
+                f"cannot pick {total} victims from {len(digests)} scenarios"
+            )
+        rng = random.Random(seed)
+        picks = rng.sample(list(digests), total)
+        return cls(
+            crash_once=tuple(picks[:crashes]),
+            hang=tuple((d, hang_seconds) for d in picks[crashes:crashes + hangs]),
+            poison=tuple(picks[crashes + hangs:]),
+            interrupt_after=interrupt_after,
+            state_dir=state_dir,
+        )
+
+    # ------------------------------------------------------------------ #
+    # env transport
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "crash_once": list(self.crash_once),
+                "hang": [[d, s] for d, s in self.hang],
+                "poison": list(self.poison),
+                "interrupt_after": self.interrupt_after,
+                "state_dir": self.state_dir,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, raw: str) -> "ChaosPlan":
+        data = json.loads(raw)
+        return cls(
+            crash_once=tuple(data.get("crash_once", ())),
+            hang=tuple((d, float(s)) for d, s in data.get("hang", ())),
+            poison=tuple(data.get("poison", ())),
+            interrupt_after=data.get("interrupt_after"),
+            state_dir=data.get("state_dir", ""),
+        )
+
+    @contextmanager
+    def installed(self) -> Iterator["ChaosPlan"]:
+        """Install the plan in ``os.environ`` for the duration of a sweep —
+        forked pool workers inherit it."""
+        previous = os.environ.get(ENV_PLAN)
+        os.environ[ENV_PLAN] = self.to_json()
+        try:
+            yield self
+        finally:
+            if previous is None:
+                os.environ.pop(ENV_PLAN, None)
+            else:
+                os.environ[ENV_PLAN] = previous
+
+    def describe(self) -> str:
+        parts = [
+            f"crash_once={len(self.crash_once)}",
+            f"hang={len(self.hang)}",
+            f"poison={len(self.poison)}",
+        ]
+        if self.interrupt_after is not None:
+            parts.append(f"interrupt_after={self.interrupt_after}")
+        return "chaos(" + ", ".join(parts) + ")"
+
+
+def active_plan() -> Optional[ChaosPlan]:
+    """The installed plan, or ``None`` (the overwhelmingly common case)."""
+    raw = os.environ.get(ENV_PLAN)
+    if not raw:
+        return None
+    try:
+        return ChaosPlan.from_json(raw)
+    except (ValueError, ConfigurationError):  # a garbled plan injects nothing
+        return None
+
+
+def active_interrupt_after() -> Optional[int]:
+    plan = active_plan()
+    return plan.interrupt_after if plan is not None else None
+
+
+def maybe_inject(digest: str) -> None:
+    """Apply the installed plan's faults for one scenario, if any.
+
+    Called by the executor's per-scenario worker body.  Poison raises
+    everywhere; crash and hang only fire inside pool worker processes
+    (``REPRO_EXEC_WORKER``) so inline execution can never kill or stall the
+    caller's own process.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    if digest in plan.poison:
+        raise ChaosError(f"chaos: poisoned scenario {digest[:12]}")
+    from repro.exec.resilience import WORKER_ENV
+
+    if not os.environ.get(WORKER_ENV):
+        return
+    if digest in plan.crash_once:
+        marker = Path(plan.state_dir) / f"{digest}.crashed"
+        if not marker.exists():
+            marker.parent.mkdir(parents=True, exist_ok=True)
+            marker.touch()
+            os.kill(os.getpid(), signal.SIGKILL)
+    hang_seconds = dict(plan.hang).get(digest)
+    if hang_seconds:
+        time.sleep(hang_seconds)
+
+
+def corrupt_cache_entry(
+    cache: "ResultCache", scenario: "Scenario", mode: str = "truncate"
+) -> Path:
+    """Damage a cache entry on disk (``truncate`` cuts the JSON short;
+    ``garbage`` replaces it outright).  Returns the entry path."""
+    path = cache.path_for(scenario.digest())
+    if mode == "truncate":
+        raw = path.read_text()
+        path.write_text(raw[: max(1, len(raw) // 2)])
+    elif mode == "garbage":
+        path.write_text("{this is not json")
+    else:
+        raise ConfigurationError(f"unknown corruption mode {mode!r}")
+    return path
+
+
+__all__ = [
+    "ChaosError",
+    "ChaosPlan",
+    "ENV_PLAN",
+    "active_interrupt_after",
+    "active_plan",
+    "corrupt_cache_entry",
+    "maybe_inject",
+]

@@ -13,31 +13,48 @@ sweep, and the ``repro bench`` CLI.  Its contract:
   no result can depend on which worker ran it, what ran before it, or the
   interleaving of the pool.  ``tests/exec/test_parallel.py`` asserts
   replay-digest equality between ``jobs=1`` and ``jobs=4`` sweeps.
-- **Deterministic partitioning.**  Work is dealt round-robin by input
-  index (worker ``w`` gets indices ``w, w+jobs, w+2*jobs, ...``), computed
-  before the pool starts.  The partition is a pure function of
-  ``(len(scenarios), jobs)`` — never of timing.
+- **Fault tolerance.**  Work is dispatched one scenario at a time to a
+  supervised worker pool (:mod:`repro.exec.resilience`): a hung scenario is
+  killed at its wall-clock ``timeout`` and its worker respawned, a crashed
+  worker (SIGKILL, OOM) costs only the scenario it was running — which is
+  retried with deterministic backoff — and a scenario that exhausts its
+  retries is either raised (:class:`~repro.exec.resilience.SweepError`,
+  default) or quarantined into the failure manifest of a
+  :class:`~repro.exec.resilience.SweepOutcome` (``on_error="collect"``).
+  Because results are reassembled by input index and every run re-seeds
+  from the scenario digest, none of this machinery can change a result.
+- **Crash-safe resume.**  With ``resume=True`` (or an explicit ``journal``
+  root) every completed scenario is appended to a durable sweep journal
+  (:mod:`repro.exec.journal`); an interrupted sweep — Ctrl-C, SIGTERM, or a
+  dead supervisor — re-executes only unjournaled scenarios on the next
+  ``resume=True`` run, byte-identically.
 - **Cache transparency.**  With a :class:`~repro.exec.cache.ResultCache`,
-  hits are served without simulating and misses are stored after the
-  sweep; a cached sweep returns results equal to an uncached one.
+  hits are served without simulating and misses are stored as they
+  complete; a cached sweep returns results equal to an uncached one.
+  Sweep startup prunes the cache's stale temp-file debris.
 
-Workers are separate processes (``ProcessPoolExecutor``), so the GIL never
-serializes simulation; each worker imports the package fresh and receives
-pickled ``Scenario`` values, returning pickled ``RunResult`` values.
+Workers are separate processes, so the GIL never serializes simulation;
+each worker imports the package fresh and receives pickled ``Scenario``
+values, returning pickled ``RunResult`` values.
 """
 
 from __future__ import annotations
 
 import os
 import random
-from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
+from repro.exec.resilience import (
+    SweepOutcome,
+    SweepPolicy,
+    _inc,
+    new_stats,
+    resilient_map,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
-    from pathlib import Path
-
     from repro.api import RunResult, Scenario
     from repro.exec.cache import ResultCache
 
@@ -63,23 +80,22 @@ def _isolate_seeds(digest: str) -> None:
 def _run_one(scenario: "Scenario") -> "RunResult":
     from repro.api import run
 
-    _isolate_seeds(scenario.digest())
+    digest = scenario.digest()
+    if os.environ.get("REPRO_CHAOS_PLAN"):  # chaos harness (tests only)
+        from repro.exec.chaos import maybe_inject
+
+        maybe_inject(digest)
+    _isolate_seeds(digest)
     return run(scenario)
-
-
-def _run_chunk(
-    chunk: Sequence[Tuple[int, "Scenario"]],
-) -> List[Tuple[int, "RunResult"]]:
-    """Worker entry point: run one deterministic partition, in order."""
-    return [(index, _run_one(scenario)) for index, scenario in chunk]
 
 
 def partition(count: int, jobs: int) -> List[List[int]]:
     """Round-robin index partition: worker ``w`` owns ``w, w+jobs, ...``.
 
-    A pure function of ``(count, jobs)`` — the same sweep always deals the
-    same hands, so a parallel run is replayable even if per-scenario
-    results were not already order-independent.
+    A pure function of ``(count, jobs)``.  The resilient executor now
+    dispatches per scenario rather than per chunk (so a hung scenario
+    cannot hold a whole chunk hostage), but this remains the reference
+    spec for deterministic dealing and is kept as public API.
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1: {jobs}")
@@ -98,32 +114,40 @@ def resolve_jobs(jobs: int) -> int:
     return jobs
 
 
-def _apply_chunk(payload) -> List[Tuple[int, object]]:
-    fn, chunk = payload
-    return [(index, fn(item)) for index, item in chunk]
-
-
-def pmap(fn, items: Sequence[object], jobs: int = 1) -> List[object]:
-    """Order-preserving process map with the same deterministic round-robin
-    partitioning as :func:`run_sweep`.
+def pmap(
+    fn,
+    items: Sequence[object],
+    jobs: int = 1,
+    *,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.05,
+    on_error: str = "raise",
+) -> Union[List[object], SweepOutcome]:
+    """Order-preserving process map on the same resilient executor as
+    :func:`run_sweep` (per-item dispatch, wall-clock ``timeout`` with
+    hung-worker kill/respawn, bounded ``retries``, ``on_error`` quarantine).
 
     ``fn`` must be picklable (a module-level function); items and results
     cross process boundaries by pickle.  Used by the metamorphic harness to
-    fan relation checks out across workers.
+    fan relation checks out across workers.  Returns a plain list under the
+    default ``on_error="raise"``; with ``on_error="collect"`` returns a
+    :class:`~repro.exec.resilience.SweepOutcome` whose ``results`` holds
+    ``None`` at quarantined indices.
     """
     jobs = resolve_jobs(jobs)
-    indexed = list(enumerate(items))
-    if jobs == 1 or len(indexed) <= 1:
-        return [fn(item) for _, item in indexed]
-    chunks = [
-        (fn, [indexed[i] for i in owned])
-        for owned in partition(len(indexed), jobs)
+    policy = SweepPolicy(
+        timeout=timeout, retries=retries, backoff=backoff, on_error=on_error
+    )
+    tasks = [
+        (index, item, "", f"item[{index}]") for index, item in enumerate(items)
     ]
-    results: List[object] = [None] * len(indexed)
-    with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-        for chunk_result in pool.map(_apply_chunk, chunks):
-            for index, value in chunk_result:
-                results[index] = value
+    by_index, failures, stats = resilient_map(
+        fn, tasks, jobs=jobs, policy=policy
+    )
+    results = [by_index.get(index) for index in range(len(items))]
+    if on_error == "collect":
+        return SweepOutcome(results=results, failures=failures, stats=stats)
     return results
 
 
@@ -141,43 +165,126 @@ def run_sweep(
     scenarios: Sequence["Scenario"],
     jobs: int = 1,
     cache: Union["ResultCache", str, "Path", None] = None,
-) -> List["RunResult"]:
+    *,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff: float = 0.05,
+    on_error: str = "raise",
+    resume: bool = False,
+    journal: Union[str, "Path", None] = None,
+) -> Union[List["RunResult"], SweepOutcome]:
     """Execute a scenario batch; results in input order.
 
-    ``jobs=1`` runs inline (no pool, no pickling); ``jobs=0`` uses one
-    worker per CPU.  ``cache`` may be a :class:`ResultCache` or a
-    directory path; hits skip simulation entirely and misses are written
-    back after computing.
+    ``jobs=1`` runs inline (no pool, no pickling) unless a ``timeout`` is
+    set, which needs a killable worker process; ``jobs=0`` uses one worker
+    per CPU.  ``cache`` may be a :class:`ResultCache` or a directory path;
+    hits skip simulation entirely and misses are written back as they
+    complete.
+
+    Fault handling (see :class:`~repro.exec.resilience.SweepPolicy`):
+    ``timeout`` bounds each scenario's wall clock, ``retries``/``backoff``
+    govern transient-failure re-execution, and ``on_error="collect"``
+    returns a :class:`~repro.exec.resilience.SweepOutcome` (partial results
+    + failure manifest) instead of raising on the first exhausted scenario.
+
+    ``resume=True`` journals every completed scenario to
+    ``<journal or cache root>/journal/<sweep-digest>.jsonl`` and, on a
+    re-run after a crash or interrupt, replays journaled results instead of
+    re-executing them.  Passing ``journal`` alone (without ``resume``)
+    writes the journal but replays nothing.
     """
+    policy = SweepPolicy(
+        timeout=timeout, retries=retries, backoff=backoff, on_error=on_error
+    )
     store = _as_cache(cache)
+    corrupt_before = 0
+    if store is not None:
+        store.prune()
+        corrupt_before = store.corrupt
     jobs = resolve_jobs(jobs)
+    stats = new_stats()
+
+    digests = [scenario.digest() for scenario in scenarios]
+    jrnl = None
+    replayed = {}
+    if resume or journal is not None:
+        from repro.exec.journal import SweepJournal
+
+        root = (
+            Path(journal)
+            if journal is not None
+            else (store.root if store is not None else _default_journal_root())
+        )
+        jrnl = SweepJournal.for_sweep(root, digests)
+        if resume:
+            replayed = jrnl.replay()
 
     results: List[Optional["RunResult"]] = [None] * len(scenarios)
-    pending: List[Tuple[int, "Scenario"]] = []
-    for index, scenario in enumerate(scenarios):
+    pending: List[Tuple[int, "Scenario", str, str]] = []
+    for index, (scenario, digest) in enumerate(zip(scenarios, digests)):
         hit = store.get(scenario) if store is not None else None
         if hit is not None:
             results[index] = hit
-        else:
-            pending.append((index, scenario))
-
-    if pending:
-        if jobs == 1 or len(pending) == 1:
-            computed = _run_chunk(pending)
-        else:
-            chunks = [
-                [pending[i] for i in owned]
-                for owned in partition(len(pending), jobs)
-            ]
-            computed = []
-            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-                # map() preserves chunk order; within a chunk the worker
-                # preserves index order, so `computed` is deterministic.
-                for chunk_result in pool.map(_run_chunk, chunks):
-                    computed.extend(chunk_result)
-        for index, result in computed:
-            results[index] = result
+            stats["cache_hits"] += 1
+            continue
+        journaled = replayed.get(digest)
+        if journaled is not None:
+            results[index] = journaled
+            stats["journal_replayed"] += 1
+            _inc("exec_journal_replayed_total")
             if store is not None:
-                store.put(scenarios[index], result)
+                store.put(scenario, journaled)
+            continue
+        pending.append(
+            (index, scenario, digest, scenario.label or scenario.describe())
+        )
 
+    interrupt_after = None
+    if os.environ.get("REPRO_CHAOS_PLAN"):
+        from repro.exec.chaos import active_interrupt_after
+
+        interrupt_after = active_interrupt_after()
+    newly_completed = 0
+
+    def on_result(index: int, result: "RunResult") -> None:
+        nonlocal newly_completed
+        results[index] = result
+        if store is not None:
+            store.put(scenarios[index], result)
+        if jrnl is not None:
+            jrnl.append_ok(digests[index], result)
+        newly_completed += 1
+        if interrupt_after is not None and newly_completed >= interrupt_after:
+            raise KeyboardInterrupt("chaos: injected supervisor interrupt")
+
+    def on_failure(failure) -> None:
+        if jrnl is not None:
+            jrnl.append_failure(failure)
+
+    failures = []
+    try:
+        if pending:
+            _, failures, stats = resilient_map(
+                _run_one,
+                pending,
+                jobs=jobs,
+                policy=policy,
+                on_result=on_result,
+                on_failure=on_failure,
+                stats=stats,
+            )
+    finally:
+        if jrnl is not None:
+            jrnl.close()
+        if store is not None and store.corrupt > corrupt_before:
+            _inc("exec_cache_corrupt_total", store.corrupt - corrupt_before)
+
+    if on_error == "collect":
+        return SweepOutcome(results=results, failures=failures, stats=stats)
     return results  # type: ignore[return-value]
+
+
+def _default_journal_root() -> Path:
+    from repro.exec.cache import default_cache_dir
+
+    return default_cache_dir()

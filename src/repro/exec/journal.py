@@ -1,0 +1,180 @@
+"""Durable append-only sweep journal: crash-safe resume for batch runs.
+
+One JSONL file per sweep (``<root>/journal/<sweep-digest>.jsonl``), content
+addressed like the :class:`~repro.exec.cache.ResultCache`: the sweep digest
+hashes the *set* of scenario digests (each already salted with
+:data:`~repro.exec.digest.CODE_VERSION_SALT`), so re-running the same batch
+— in any order — finds the same journal, and any code-version bump or
+scenario edit silently starts a fresh one.
+
+Each line is one self-contained JSON record of a per-scenario outcome
+(``status: "ok"`` with the full ``RunResult`` payload, or ``status:
+"failed"`` with the quarantine record).  Appends are a single ``write`` of
+one ``\\n``-terminated line followed by flush+fsync, so a crash can lose at
+most the final, partially written line — and :meth:`SweepJournal.replay`
+skips any line that does not parse or fails its digest check rather than
+erroring.  Replay is last-record-wins, and only ``ok`` records short-circuit
+execution on resume: a journaled *failure* is retried, not skipped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api import RunResult
+    from repro.exec.resilience import ScenarioFailure
+
+#: Journal record format tag; bump on layout changes (old journals are
+#: then ignored by ``replay``).
+SCHEMA = "repro.exec.journal/v1"
+
+
+def sweep_digest(digests: Iterable[str]) -> str:
+    """Content address of a sweep: SHA-256 over the sorted unique scenario
+    digests.  Order-insensitive, so a reordered batch resumes the same
+    journal; scenario digests are already code-version salted."""
+    h = hashlib.sha256()
+    for digest in sorted(set(digests)):
+        h.update(digest.encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+class SweepJournal:
+    """Append-only per-sweep outcome log with atomic line appends."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh = None
+        #: lines skipped by the last :meth:`replay` (corrupt/truncated)
+        self.corrupt_lines = 0
+        #: ``failed`` records seen by the last :meth:`replay`
+        self.failed_records = 0
+
+    @classmethod
+    def for_sweep(
+        cls, root: Union[str, Path], digests: Iterable[str]
+    ) -> "SweepJournal":
+        """The journal for one scenario batch under ``root``
+        (``<root>/journal/<sweep-digest>.jsonl``)."""
+        return cls(Path(root) / "journal" / f"{sweep_digest(digests)}.jsonl")
+
+    # ------------------------------------------------------------------ #
+    # replay
+    # ------------------------------------------------------------------ #
+
+    def replay(self) -> Dict[str, "RunResult"]:
+        """Completed results by scenario digest (last record wins).
+
+        Tolerates a truncated final line (killed writer) and any malformed
+        or schema/digest-mismatched record: those are counted in
+        ``corrupt_lines`` and skipped, never raised.
+        """
+        from repro.api import RunResult
+
+        self.corrupt_lines = 0
+        self.failed_records = 0
+        replayed: Dict[str, RunResult] = {}
+        try:
+            raw = self.path.read_text()
+        except OSError:
+            return replayed
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                self.corrupt_lines += 1
+                continue
+            if (
+                not isinstance(record, dict)
+                or record.get("schema") != SCHEMA
+                or not isinstance(record.get("digest"), str)
+            ):
+                self.corrupt_lines += 1
+                continue
+            digest = record["digest"]
+            status = record.get("status")
+            if status == "failed":
+                self.failed_records += 1
+                # a journaled failure means "was attempted, must be retried":
+                # forget any earlier ok record only if none follows
+                continue
+            if status != "ok":
+                self.corrupt_lines += 1
+                continue
+            try:
+                result = RunResult.from_dict(record["result"])
+            except (KeyError, TypeError):
+                self.corrupt_lines += 1
+                continue
+            if result.scenario_digest != digest:
+                self.corrupt_lines += 1
+                continue
+            replayed[digest] = result
+        return replayed
+
+    # ------------------------------------------------------------------ #
+    # append
+    # ------------------------------------------------------------------ #
+
+    def append_ok(self, digest: str, result: "RunResult") -> None:
+        self._append(
+            {
+                "schema": SCHEMA,
+                "digest": digest,
+                "status": "ok",
+                "result": result.to_dict(),
+            }
+        )
+
+    def append_failure(self, failure: "ScenarioFailure") -> None:
+        self._append(
+            {
+                "schema": SCHEMA,
+                "digest": failure.digest,
+                "status": "failed",
+                "failure": failure.to_dict(),
+            }
+        )
+
+    def _append(self, record: Dict[str, object]) -> None:
+        line = json.dumps(record, sort_keys=True, allow_nan=False) + "\n"
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a")
+        self._fh.write(line)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def delete(self) -> None:
+        """Remove the journal file (after a fully completed sweep whose
+        results are durable elsewhere)."""
+        self.close()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> Optional[bool]:
+        self.close()
+        return None

@@ -273,14 +273,18 @@ def run_validation(
     seed: int = 0,
     relations: Optional[Sequence[str]] = None,
     jobs: int = 1,
+    timeout: Optional[float] = None,
 ) -> List[RelationResult]:
     """Check every selected relation against ``num_scenarios`` seeded random
     scenarios; returns one result per (relation, scenario) pair.
 
-    ``jobs > 1`` fans the (relation, scenario) checks out over worker
-    processes (:func:`repro.exec.pmap`); scenarios are seeded data and each
-    check builds its own simulations, so the result list is identical —
-    order included — for any worker count.
+    ``jobs > 1`` fans the (relation, scenario) checks out over the
+    resilient executor (:func:`repro.exec.pmap`): scenarios are seeded data
+    and each check builds its own simulations, so the result list is
+    identical — order included — for any worker count, and a worker killed
+    mid-check (OOM, nightly-CI eviction) is retried instead of aborting
+    the whole sweep.  ``timeout`` additionally bounds each check's wall
+    clock so one wedged check cannot stall a nightly run.
     """
     names = list(relations) if relations else sorted(RELATIONS)
     unknown = [n for n in names if n not in RELATIONS]
@@ -288,8 +292,10 @@ def run_validation(
         raise KeyError(f"unknown relations: {unknown}; have {sorted(RELATIONS)}")
     specs = sample_scenarios(num_scenarios, seed)
     pairs = [(name, spec) for spec in specs for name in names]
-    if jobs == 1:
+    if jobs == 1 and timeout is None:
         return [check_relation(name, spec) for name, spec in pairs]
     from repro.exec import pmap
 
-    return pmap(_check_pair, pairs, jobs=jobs)  # type: ignore[return-value]
+    return pmap(  # type: ignore[return-value]
+        _check_pair, pairs, jobs=jobs, timeout=timeout, retries=1
+    )

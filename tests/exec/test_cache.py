@@ -95,13 +95,60 @@ def test_corrupt_entry_is_a_miss_not_a_crash(tmp_path):
     assert cache.get(scenario) is None
 
 
-def test_cache_stats_and_clear(tmp_path):
+def test_corrupt_entry_is_quarantined_once(tmp_path):
+    cache = ResultCache(tmp_path)
+    scenario = tiny()
+    path = cache.put(scenario, run(scenario))
+    path.write_text("{not json")
+    assert cache.get(scenario) is None
+    # renamed aside, counted, and never re-parsed on later lookups
+    assert not path.exists()
+    quarantined = path.parent / (path.name + ".corrupt")
+    assert quarantined.exists()
+    assert cache.stats()["corrupt"] == 1
+    assert cache.get(scenario) is None  # clean miss now
+    assert cache.stats()["corrupt"] == 1
+
+
+def test_schema_mismatch_is_quarantined(tmp_path):
+    cache = ResultCache(tmp_path)
+    scenario = tiny()
+    path = cache.put(scenario, run(scenario))
+    entry = json.loads(path.read_text())
+    entry["schema"] = "something/else"
+    path.write_text(json.dumps(entry))
+    assert cache.get(scenario) is None
+    assert not path.exists()
+    assert cache.stats()["corrupt"] == 1
+
+
+def test_prune_removes_stale_tmp_debris_only(tmp_path):
     cache = ResultCache(tmp_path)
     scenario = tiny()
     cache.put(scenario, run(scenario))
+    debris = tmp_path / scenario.digest()[:2] / ".deadbeef.orphan.tmp"
+    debris.write_text("partial write from a killed sweep")
+    # default TTL keeps young temp files (may belong to a live writer)
+    assert cache.prune() == 0
+    assert debris.exists()
+    # ttl=0 reclaims everything stale-or-not; real entries are untouched
+    assert cache.prune(ttl=0) == 1
+    assert not debris.exists()
+    assert cache.get(scenario) is not None
+
+
+def test_cache_stats_and_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    scenario = tiny()
+    path = cache.put(scenario, run(scenario))
     assert len(cache) == 1
     stats = cache.stats()
     assert stats["entries"] == 1
+    # clear also sweeps quarantined and temp debris
+    (path.parent / "x.json.corrupt").write_text("junk")
+    (path.parent / ".junk.tmp").write_text("junk")
     cache.clear()
     assert len(cache) == 0
+    assert list(tmp_path.glob("*/*.corrupt")) == []
+    assert list(tmp_path.glob("*/*.tmp")) == []
     assert cache.get(scenario) is None

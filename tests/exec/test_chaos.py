@@ -1,0 +1,213 @@
+"""Chaos suite: the ISSUE acceptance scenarios, end to end.
+
+Every test here runs real sweeps through the supervised pool with seeded
+executor faults injected by :mod:`repro.exec.chaos` — worker SIGKILLs,
+hung scenarios cleared by wall-clock timeouts, corrupted cache entries,
+and supervisor interrupts with journaled resume.  The whole file carries
+the ``chaos`` marker so CI can run it as its own hard-timeout job.
+"""
+
+import pytest
+
+from repro.api import Scenario, sweep
+from repro.errors import ConfigurationError
+from repro.exec import ResultCache, SweepJournal, SweepOutcome, sweep_digest
+from repro.exec.chaos import ChaosError, ChaosPlan, corrupt_cache_entry, maybe_inject
+
+pytestmark = pytest.mark.chaos
+
+
+def tiny(**overrides):
+    kw = dict(
+        env="ib", nodes=2, gpus_per_node=2,
+        num_layers=4, hidden_size=256, num_attention_heads=4,
+        seq_length=128, vocab_size=1024,
+        pipeline=2, micro_batch_size=1, num_microbatches=2,
+    )
+    kw.update(overrides)
+    return Scenario(**kw)
+
+
+SCENARIOS = [tiny(label=f"s{i:02d}") for i in range(32)]
+DIGESTS = [s.digest() for s in SCENARIOS]
+
+
+@pytest.fixture(scope="module")
+def serial_baseline():
+    """The undisturbed jobs=1 sweep every chaos run must reproduce."""
+    return sweep(SCENARIOS, jobs=1)
+
+
+# --------------------------------------------------------------------- #
+# plan mechanics
+# --------------------------------------------------------------------- #
+
+
+def test_plan_validation():
+    with pytest.raises(ConfigurationError):
+        ChaosPlan(crash_once=("d" * 64,))  # no state_dir for markers
+    with pytest.raises(ConfigurationError):
+        ChaosPlan(hang=(("d" * 64, 0.0),))
+    with pytest.raises(ConfigurationError):
+        ChaosPlan(interrupt_after=0)
+
+
+def test_plan_json_roundtrip(tmp_path):
+    plan = ChaosPlan(
+        crash_once=(DIGESTS[0],),
+        hang=((DIGESTS[1], 30.0),),
+        poison=(DIGESTS[2],),
+        interrupt_after=5,
+        state_dir=str(tmp_path),
+    )
+    assert ChaosPlan.from_json(plan.to_json()) == plan
+    assert "crash_once=1" in plan.describe()
+
+
+def test_random_plan_is_seeded_and_disjoint(tmp_path):
+    plan = ChaosPlan.random(DIGESTS, seed=7, state_dir=str(tmp_path))
+    again = ChaosPlan.random(DIGESTS, seed=7, state_dir=str(tmp_path))
+    assert plan == again
+    assert ChaosPlan.random(DIGESTS, seed=8, state_dir=str(tmp_path)) != plan
+    victims = (
+        set(plan.crash_once)
+        | {d for d, _ in plan.hang}
+        | set(plan.poison)
+    )
+    assert len(victims) == 3  # disjoint picks
+    with pytest.raises(ConfigurationError):
+        ChaosPlan.random(DIGESTS[:2], seed=0, state_dir=str(tmp_path))
+
+
+def test_poison_raises_inline_but_crash_and_hang_do_not(tmp_path):
+    """Process-killing injections must never fire in the caller's own
+    process — only poison (a plain exception) applies inline."""
+    plan = ChaosPlan(
+        crash_once=(DIGESTS[0],),
+        hang=((DIGESTS[1], 30.0),),
+        poison=(DIGESTS[2],),
+        state_dir=str(tmp_path),
+    )
+    with plan.installed():
+        maybe_inject(DIGESTS[0])  # would SIGKILL a pool worker; no-op here
+        maybe_inject(DIGESTS[1])  # would sleep 30s in a pool worker
+        with pytest.raises(ChaosError):
+            maybe_inject(DIGESTS[2])
+    maybe_inject(DIGESTS[2])  # plan uninstalled: nothing injects
+
+
+# --------------------------------------------------------------------- #
+# the acceptance sweep: crash + hang + corrupt cache under jobs=4
+# --------------------------------------------------------------------- #
+
+
+def test_chaotic_sweep_quarantines_only_the_hung_scenario(
+    tmp_path, serial_baseline
+):
+    """ISSUE acceptance: 32 scenarios, jobs=4, one worker SIGKILL, one hang
+    past its timeout, one corrupted cache entry.  The sweep must return 31
+    results byte-identical to the serial baseline with exactly the hung
+    scenario quarantined, and the corrupt entry must be quarantined on disk
+    and transparently re-executed."""
+    crash_idx, hang_idx, corrupt_idx = 5, 11, 23
+    cache = ResultCache(tmp_path / "cache")
+    # pre-populate then damage one entry: the sweep must not trust it
+    cache.put(SCENARIOS[corrupt_idx], serial_baseline[corrupt_idx])
+    corrupt_cache_entry(cache, SCENARIOS[corrupt_idx], mode="truncate")
+
+    plan = ChaosPlan(
+        crash_once=(DIGESTS[crash_idx],),
+        hang=((DIGESTS[hang_idx], 30.0),),
+        state_dir=str(tmp_path / "chaos-state"),
+    )
+    with plan.installed():
+        outcome = sweep(
+            SCENARIOS, jobs=4, cache=cache,
+            timeout=2.0, retries=1, on_error="collect",
+        )
+
+    assert isinstance(outcome, SweepOutcome)
+    assert len(outcome) == 32
+    # exactly the hung scenario is quarantined...
+    assert outcome.failed_indices() == [hang_idx]
+    failure = outcome.failures[0]
+    assert failure.kind == "timeout"
+    assert failure.digest == DIGESTS[hang_idx]
+    assert failure.attempts == 2  # first try + 1 retry, both timed out
+    # ...and the other 31 results are byte-identical to the serial sweep
+    completed = outcome.completed()
+    assert len(completed) == 31
+    for index, result in enumerate(outcome.results):
+        if index == hang_idx:
+            assert result is None
+        else:
+            assert result == serial_baseline[index]
+            assert result.trace_digest == serial_baseline[index].trace_digest
+    # the SIGKILLed worker cost one retry, not the sweep
+    assert outcome.stats["worker_crashes"] == 1
+    assert outcome.stats["worker_respawns"] >= 1
+    # the damaged cache entry was quarantined on disk and re-executed
+    assert cache.stats()["corrupt"] == 1
+    entry = cache.path_for(DIGESTS[corrupt_idx])
+    assert (entry.parent / (entry.name + ".corrupt")).exists()
+    assert cache.get(SCENARIOS[corrupt_idx]) == serial_baseline[corrupt_idx]
+
+
+# --------------------------------------------------------------------- #
+# interrupt + resume: the journal picks up exactly where the sweep died
+# --------------------------------------------------------------------- #
+
+
+def test_interrupted_sweep_resumes_byte_identically(tmp_path, serial_baseline):
+    """ISSUE acceptance: an interrupted jobs=4 sweep resumed with
+    ``resume=True`` re-executes only unjournaled scenarios and matches the
+    uninterrupted serial digests."""
+    plan = ChaosPlan(interrupt_after=3)
+    with plan.installed():
+        with pytest.raises(KeyboardInterrupt):
+            sweep(SCENARIOS, jobs=4, resume=True, journal=tmp_path)
+
+    journal = SweepJournal.for_sweep(tmp_path, DIGESTS)
+    assert journal.path.exists()
+    survived = journal.replay()
+    assert len(survived) == 3  # everything completed before the interrupt
+    for digest, result in survived.items():
+        assert result == serial_baseline[DIGESTS.index(digest)]
+
+    # resume: replay the journaled 3, execute the remaining 29
+    outcome = sweep(
+        SCENARIOS, jobs=4, resume=True, journal=tmp_path, on_error="collect",
+    )
+    assert outcome.failures == []
+    assert outcome.stats["journal_replayed"] == 3
+    assert outcome.stats["executed"] == 29
+    assert list(outcome) == serial_baseline
+    assert [r.trace_digest for r in outcome] == [
+        r.trace_digest for r in serial_baseline
+    ]
+
+
+def test_resume_after_completion_is_pure_replay(tmp_path):
+    scenarios = SCENARIOS[:6]
+    first = sweep(scenarios, jobs=2, resume=True, journal=tmp_path)
+    again = sweep(
+        scenarios, jobs=2, resume=True, journal=tmp_path, on_error="collect",
+    )
+    assert again.stats["journal_replayed"] == 6
+    assert again.stats["executed"] == 0
+    assert list(again) == first
+
+
+def test_journal_is_order_insensitive(tmp_path):
+    scenarios = SCENARIOS[:6]
+    sweep(scenarios, jobs=1, resume=True, journal=tmp_path)
+    # the same batch, reordered, resumes the same journal (same sweep digest)
+    reordered = scenarios[::-1]
+    outcome = sweep(
+        reordered, jobs=1, resume=True, journal=tmp_path, on_error="collect",
+    )
+    assert outcome.stats["journal_replayed"] == 6
+    assert [r.scenario for r in outcome] == [s.label for s in reordered]
+    assert sweep_digest(s.digest() for s in scenarios) == sweep_digest(
+        s.digest() for s in reordered
+    )

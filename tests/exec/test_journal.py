@@ -1,0 +1,106 @@
+"""Sweep journal: content addressing, crash-tolerant replay, durability."""
+
+import json
+
+from repro.api import Scenario, run
+from repro.exec import ScenarioFailure, SweepJournal, sweep_digest
+from repro.exec.journal import SCHEMA
+
+
+def tiny(**overrides):
+    kw = dict(
+        env="ib", nodes=2, gpus_per_node=2,
+        num_layers=4, hidden_size=256, num_attention_heads=4,
+        seq_length=128, vocab_size=1024,
+        pipeline=2, micro_batch_size=1, num_microbatches=2,
+    )
+    kw.update(overrides)
+    return Scenario(**kw)
+
+
+def test_sweep_digest_is_order_insensitive_and_set_valued():
+    digests = ["a" * 64, "b" * 64, "c" * 64]
+    assert sweep_digest(digests) == sweep_digest(reversed(digests))
+    assert sweep_digest(digests) == sweep_digest(digests + digests)
+    assert sweep_digest(digests) != sweep_digest(digests[:2])
+
+
+def test_for_sweep_layout(tmp_path):
+    digests = ["a" * 64, "b" * 64]
+    journal = SweepJournal.for_sweep(tmp_path, digests)
+    assert journal.path == (
+        tmp_path / "journal" / f"{sweep_digest(digests)}.jsonl"
+    )
+
+
+def test_append_and_replay_roundtrip(tmp_path):
+    scenarios = [tiny(label="a"), tiny(env="roce", label="b")]
+    results = {s.digest(): run(s) for s in scenarios}
+    path = tmp_path / "sweep.jsonl"
+    with SweepJournal(path) as journal:
+        for digest, result in results.items():
+            journal.append_ok(digest, result)
+    replayed = SweepJournal(path).replay()
+    assert replayed == results
+
+
+def test_replay_tolerates_truncated_final_line(tmp_path):
+    scenario = tiny(label="a")
+    result = run(scenario)
+    path = tmp_path / "sweep.jsonl"
+    with SweepJournal(path) as journal:
+        journal.append_ok(scenario.digest(), result)
+        journal.append_ok(scenario.digest(), result)
+    raw = path.read_text()
+    path.write_text(raw[: len(raw) - len(raw.splitlines()[-1]) // 2 - 1])
+    journal = SweepJournal(path)
+    assert journal.replay() == {scenario.digest(): result}
+    assert journal.corrupt_lines == 1
+
+
+def test_replay_skips_garbage_and_mismatched_records(tmp_path):
+    scenario = tiny(label="a")
+    result = run(scenario)
+    path = tmp_path / "sweep.jsonl"
+    with SweepJournal(path) as journal:
+        journal.append_ok(scenario.digest(), result)
+        journal._append(  # digest does not match the embedded result
+            {
+                "schema": SCHEMA,
+                "digest": "f" * 64,
+                "status": "ok",
+                "result": result.to_dict(),
+            }
+        )
+        journal._append({"schema": "wrong/schema", "digest": "a" * 64})
+    with path.open("a") as fh:
+        fh.write("this is not json\n")
+    journal = SweepJournal(path)
+    assert journal.replay() == {scenario.digest(): result}
+    assert journal.corrupt_lines == 3
+
+
+def test_journaled_failure_is_retried_not_replayed(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    failure = ScenarioFailure(
+        index=3, scenario="s3", digest="d" * 64,
+        kind="timeout", error="exceeded 1s", attempts=2,
+    )
+    with SweepJournal(path) as journal:
+        journal.append_failure(failure)
+    journal = SweepJournal(path)
+    assert journal.replay() == {}  # failed records never short-circuit
+    assert journal.failed_records == 1
+    record = json.loads(path.read_text())
+    assert record["status"] == "failed"
+    assert ScenarioFailure.from_dict(record["failure"]) == failure
+
+
+def test_delete_removes_journal(tmp_path):
+    scenario = tiny(label="a")
+    path = tmp_path / "sweep.jsonl"
+    journal = SweepJournal(path)
+    journal.append_ok(scenario.digest(), run(scenario))
+    journal.delete()
+    assert not path.exists()
+    journal.delete()  # idempotent

@@ -1,0 +1,198 @@
+"""Supervised-pool fault handling: retries, timeouts, crashes, quarantine.
+
+Worker functions live at module level so they pickle by reference into pool
+workers.  Crash/flake functions coordinate "already failed once" through
+marker files in a directory passed alongside each item — the retried attempt
+may land on a different (respawned) worker process, so process-local state
+cannot carry that bit.
+"""
+
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import ScenarioFailure, SweepError, SweepOutcome, SweepPolicy, pmap
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_13(x):
+    if x == 13:
+        raise ValueError("unlucky")
+    return x * x
+
+
+def _fail_once(item):
+    value, marker_dir = item
+    marker = Path(marker_dir) / f"{value}.failed"
+    if value == 13 and not marker.exists():
+        marker.touch()
+        raise ValueError("transient")
+    return value * value
+
+
+def _kill_once(item):
+    value, marker_dir = item
+    marker = Path(marker_dir) / f"{value}.killed"
+    if value == 13 and not marker.exists():
+        marker.touch()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * value
+
+
+def _hang_on_13(x):
+    if x == 13:
+        time.sleep(30.0)
+    return x * x
+
+
+# --------------------------------------------------------------------- #
+# policy / dataclasses
+# --------------------------------------------------------------------- #
+
+
+def test_policy_validation():
+    with pytest.raises(ConfigurationError):
+        SweepPolicy(timeout=0.0)
+    with pytest.raises(ConfigurationError):
+        SweepPolicy(retries=-1)
+    with pytest.raises(ConfigurationError):
+        SweepPolicy(backoff=-0.1)
+    with pytest.raises(ConfigurationError):
+        SweepPolicy(on_error="ignore")
+
+
+def test_backoff_schedule_is_pure_exponential():
+    policy = SweepPolicy(backoff=0.05)
+    assert [policy.delay(a) for a in (1, 2, 3)] == [0.05, 0.1, 0.2]
+    assert SweepPolicy(backoff=0.0).delay(5) == 0.0
+
+
+def test_failure_roundtrip_and_outcome_helpers():
+    failure = ScenarioFailure(
+        index=2, scenario="s2", digest="d" * 64,
+        kind="error", error="boom", attempts=3,
+    )
+    assert ScenarioFailure.from_dict(failure.to_dict()) == failure
+    assert "boom" in failure.describe()
+    outcome = SweepOutcome(results=[1, None, 4], failures=[failure])
+    assert len(outcome) == 3
+    assert list(outcome) == [1, None, 4]
+    assert outcome[2] == 4
+    assert outcome.completed() == [1, 4]
+    assert outcome.failed_indices() == [2]
+    manifest = outcome.manifest()
+    assert manifest["failures"][0]["kind"] == "error"
+    assert manifest["stats"]["executed"] == 0
+
+
+# --------------------------------------------------------------------- #
+# quarantine semantics (inline and pool paths)
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("jobs", [1, 2], ids=["inline", "pool"])
+def test_poison_item_raises_by_default(jobs):
+    items = [1, 13, 2]
+    with pytest.raises(SweepError) as excinfo:
+        pmap(_fail_on_13, items, jobs=jobs, retries=1, backoff=0.0)
+    failure = excinfo.value.failure
+    assert failure.index == 1
+    assert failure.kind == "error"
+    assert failure.attempts == 2  # initial try + 1 retry
+
+
+@pytest.mark.parametrize("jobs", [1, 2], ids=["inline", "pool"])
+def test_poison_item_is_quarantined_under_collect(jobs):
+    items = [1, 13, 2, 3]
+    outcome = pmap(
+        _fail_on_13, items, jobs=jobs, retries=1, backoff=0.0,
+        on_error="collect",
+    )
+    assert isinstance(outcome, SweepOutcome)
+    assert outcome.results == [1, None, 4, 9]
+    assert outcome.failed_indices() == [1]
+    assert outcome.failures[0].kind == "error"
+    assert "ValueError" in outcome.failures[0].error
+    assert outcome.stats["quarantined"] == 1
+    assert outcome.stats["retries"] == 1
+    assert outcome.stats["executed"] == 3
+
+
+@pytest.mark.parametrize("jobs", [1, 2], ids=["inline", "pool"])
+def test_transient_failure_is_retried_to_success(jobs, tmp_path):
+    items = [(v, str(tmp_path)) for v in (1, 13, 2)]
+    outcome = pmap(
+        _fail_once, items, jobs=jobs, retries=1, backoff=0.0,
+        on_error="collect",
+    )
+    assert outcome.results == [1, 169, 4]
+    assert outcome.failures == []
+    assert outcome.stats["retries"] == 1
+
+
+# --------------------------------------------------------------------- #
+# worker death and hangs (pool path only)
+# --------------------------------------------------------------------- #
+
+
+def test_sigkilled_worker_costs_only_its_task(tmp_path):
+    """A worker SIGKILLed mid-task is respawned; completed results survive
+    and the killed task succeeds on retry."""
+    items = [(v, str(tmp_path)) for v in range(20)]
+    outcome = pmap(
+        _kill_once, items, jobs=2, retries=1, backoff=0.0, on_error="collect",
+    )
+    assert outcome.results == [v * v for v in range(20)]
+    assert outcome.failures == []
+    assert outcome.stats["worker_crashes"] == 1
+    assert outcome.stats["worker_respawns"] >= 1
+    assert outcome.stats["retries"] == 1
+
+
+def test_worker_crash_without_retries_is_quarantined(tmp_path):
+    items = [(v, str(tmp_path)) for v in (1, 13, 2)]
+    outcome = pmap(
+        _kill_once, items, jobs=2, retries=0, on_error="collect",
+    )
+    assert outcome.results == [1, None, 4]
+    assert outcome.failures[0].kind == "worker-crash"
+    assert outcome.stats["quarantined"] == 1
+
+
+def test_hung_task_is_killed_at_timeout_and_quarantined():
+    items = [1, 13, 2, 3]
+    t0 = time.perf_counter()
+    outcome = pmap(
+        _hang_on_13, items, jobs=2, timeout=0.75, retries=0,
+        on_error="collect",
+    )
+    elapsed = time.perf_counter() - t0
+    assert outcome.results == [1, None, 4, 9]
+    assert outcome.failures[0].kind == "timeout"
+    assert outcome.failures[0].index == 1
+    assert outcome.stats["timeouts"] == 1
+    assert elapsed < 15.0  # the 30s sleeper was killed, not awaited
+
+
+def test_timeout_forces_pool_even_for_jobs_1():
+    """timeout needs a killable worker process, so jobs=1 + timeout must
+    still clear a hung task instead of blocking the caller forever."""
+    outcome = pmap(
+        _hang_on_13, [1, 13, 2], jobs=1, timeout=0.75, retries=0,
+        on_error="collect",
+    )
+    assert outcome.results == [1, None, 4]
+    assert outcome.failures[0].kind == "timeout"
+
+
+def test_pmap_default_path_unchanged():
+    items = list(range(10))
+    assert pmap(_square, items, jobs=1) == [i * i for i in items]
+    assert pmap(_square, items, jobs=4) == [i * i for i in items]
