@@ -612,6 +612,10 @@ def sweep(
     on_error: str = "raise",
     resume: bool = False,
     journal: Optional[object] = None,
+    events: Optional[object] = None,
+    progress: bool = False,
+    textfile: Optional[object] = None,
+    ledger: Optional[object] = None,
 ) -> List[RunResult]:
     """Run a batch of scenarios; results come back in input order.
 
@@ -629,6 +633,13 @@ def sweep(
     :class:`repro.exec.SweepError` on the first exhausted scenario.
     ``resume=True`` journals completed scenarios durably and, after a
     crash or Ctrl-C, re-executes only unjournaled work.
+
+    Telemetry (none of it affects result bytes — see
+    :mod:`repro.obs.flight`): ``events`` controls the sweep event log
+    (``None`` records iff journaling, ``True``/``False``/path force it),
+    ``progress=True`` renders a live status line on stderr, ``textfile``
+    refreshes a Prometheus textfile mid-campaign, and ``ledger`` appends
+    the run to the cross-run ledger (``True`` or a path).
     """
     from repro.exec import run_sweep
 
@@ -642,6 +653,10 @@ def sweep(
         on_error=on_error,
         resume=resume,
         journal=journal,
+        events=events,
+        progress=progress,
+        textfile=textfile,
+        ledger=ledger,
     )
 
 

@@ -52,13 +52,14 @@ def table3_scenarios(fast: bool = False) -> List[object]:
 
 
 def _timed_sweep(scenarios, jobs, cache=None, timeout=None, resume=False,
-                 journal=None):
+                 journal=None, progress=False, textfile=None):
     from repro.api import sweep
 
     t0 = time.perf_counter()
     results = sweep(
         scenarios, jobs=jobs, cache=cache,
         timeout=timeout, resume=resume, journal=journal,
+        progress=progress, textfile=textfile,
     )
     return time.perf_counter() - t0, results
 
@@ -77,6 +78,8 @@ def collect_bench(
     date: Optional[str] = None,
     timeout: Optional[float] = None,
     resume: bool = False,
+    progress: bool = False,
+    textfile: Optional[str] = None,
 ) -> Dict[str, object]:
     """Measure and assemble one benchmark document.
 
@@ -87,7 +90,9 @@ def collect_bench(
     next ``--resume`` run.  Journals are cleared once the bench completes
     (a resumed leg's wall time only measures the remaining cells, so a
     clean finish must not leave journals that would hollow out the *next*
-    run's timings).
+    run's timings).  ``progress`` / ``textfile`` enable the flight
+    recorder's live surfaces (:mod:`repro.obs.flight`) on the sweep legs;
+    neither can change a result or a digest verdict.
     """
     doc: Dict[str, object] = {
         "schema": SCHEMA,
@@ -103,10 +108,12 @@ def collect_bench(
     serial_s, serial = _timed_sweep(
         scenarios, jobs=1, timeout=timeout, resume=resume,
         journal=journal_root / "serial" if journal_root else None,
+        progress=progress, textfile=textfile,
     )
     parallel_s, parallel = _timed_sweep(
         scenarios, jobs=jobs, timeout=timeout, resume=resume,
         journal=journal_root / "parallel" if journal_root else None,
+        progress=progress, textfile=textfile,
     )
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
         from repro.exec import ResultCache

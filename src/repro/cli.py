@@ -42,6 +42,9 @@ COMMANDS: Dict[str, str] = {
     "profile": "full telemetry report for one simulated iteration",
     "validate": "metamorphic conformance sweep over seeded scenarios",
     "bench": "executor benchmarks: sweep timings, microbench, CI gate",
+    "tail": "progress of a running or finished sweep (journal/event log)",
+    "runs": "list recorded sweep/bench/validate runs from the run ledger",
+    "report": "cross-run BENCH trend table with a regression soft gate",
 }
 
 
@@ -507,9 +510,15 @@ def cmd_validate(args: argparse.Namespace) -> int:
                 f"unknown relations: {', '.join(unknown)}; "
                 f"have {', '.join(sorted(RELATIONS))}"
             )
+    import time as _time
+
+    from repro.obs.ledger import now_iso, record_run
+
+    started_iso = now_iso()
+    started_clock = _time.monotonic()
     results = run_validation(
         args.scenarios, seed=args.seed, relations=relations, jobs=args.jobs,
-        timeout=args.timeout,
+        timeout=args.timeout, progress=args.progress,
     )
 
     # One sanitizer-armed pass over the raw scenarios so the report carries
@@ -537,7 +546,19 @@ def cmd_validate(args: argparse.Namespace) -> int:
         print(format_resilience_summary())
     if args.out:
         print(f"\nwrote report to {args.out}")
-    return 0 if not report["summary"]["failed"] else 1
+    failed = report["summary"]["failed"]
+    record_run(
+        "validate",
+        started=started_iso,
+        wall_seconds=_time.monotonic() - started_clock,
+        outcome="ok" if not failed else "partial",
+        counts={
+            "executed": report["summary"]["checks"],
+            "quarantined": failed,
+        },
+        summary={"scenarios": args.scenarios, "seed": args.seed},
+    )
+    return 0 if not failed else 1
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -545,9 +566,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
     DES microbenchmarks), optionally writing a ``BENCH_<date>.json``
     document and gating against a committed reference."""
     import json
+    import time as _time
 
     from repro.bench.benchfile import check_bench, collect_bench, write_bench
+    from repro.obs.ledger import now_iso, record_run
 
+    started_iso = now_iso()
+    started_clock = _time.monotonic()
     doc = collect_bench(
         jobs=args.jobs,
         repeats=args.repeats,
@@ -555,6 +580,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         micro_only=args.micro_only,
         timeout=args.timeout,
         resume=args.resume,
+        progress=args.progress,
+        textfile=args.textfile,
     )
 
     micro = doc["microbench"]["benchmarks"]
@@ -588,6 +615,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
         write_bench(doc, out)
         print(f"\nwrote benchmark document to {out}")
 
+    identical = bool(sweep_doc["digests_identical"]) if sweep_doc else True
+    summary = {}
+    if sweep_doc:
+        summary["normalized_cell_cost"] = sweep_doc["normalized_cell_cost"]
+    record_run(
+        "bench",
+        started=started_iso,
+        wall_seconds=_time.monotonic() - started_clock,
+        outcome="ok" if identical else "failed",
+        counts={"executed": sweep_doc["cells"] if sweep_doc else 0},
+        summary=summary,
+    )
+
     if args.check:
         with open(args.check) as fh:
             reference = json.load(fh)
@@ -598,8 +638,185 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 print(f"  {line}", file=sys.stderr)
             return 1
         print(f"\nregression gate vs {args.check}: pass")
-    if sweep_doc and not sweep_doc["digests_identical"]:
+    if not identical:
         return 1
+    return 0
+
+
+def _sniff_tail_kind(path) -> str:
+    """``"events"`` or ``"journal"``, by schema sniff of the first
+    parseable line (falling back to the filename convention)."""
+    import json
+
+    try:
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                schema = record.get("schema", "") if isinstance(record, dict) else ""
+                if str(schema).startswith("repro.obs.flight/"):
+                    return "events"
+                if str(schema).startswith("repro.exec.journal/"):
+                    return "journal"
+                break
+    except OSError:
+        pass
+    return "events" if str(path).endswith(".events.jsonl") else "journal"
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    """Render sweep progress from a journal or flight-recorder event log —
+    a snapshot by default, a live ``tail -f`` view with ``--follow``.
+    Given a directory, picks the most recently touched log under it."""
+    import time
+    from pathlib import Path
+
+    path = Path(args.path)
+    if path.is_dir():
+        candidates = sorted(
+            list(path.glob("*.jsonl")) + list(path.glob("journal/*.jsonl")),
+            key=lambda p: p.stat().st_mtime,
+        )
+        if not candidates:
+            raise SystemExit(f"no .jsonl logs under {path}")
+        events = [p for p in candidates if p.name.endswith(".events.jsonl")]
+        path = (events or candidates)[-1]
+    if not path.exists():
+        raise SystemExit(f"no such journal or event log: {path}")
+
+    if _sniff_tail_kind(path) == "events":
+        return _tail_events(path, args)
+    return _tail_journal(path, args)
+
+
+def _tail_events(path, args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.flight import CampaignState, follow, read_events
+
+    state = CampaignState()
+    for record in read_events(path):
+        state.feed(record)
+    print(f"event log {path}")
+    print(state.render_line())
+    if state.finished or state.interrupted or not args.follow:
+        for line in state.render_workers(now=time.time()):
+            print(line)
+        return 0
+    last_render = time.monotonic()
+    try:
+        for record in follow(
+            path, poll=args.interval, max_seconds=args.max_seconds
+        ):
+            state.feed(record)
+            now = time.monotonic()
+            final = state.finished or state.interrupted
+            if final or now - last_render >= args.interval:
+                last_render = now
+                print(state.render_line())
+            if final:
+                break
+    except KeyboardInterrupt:
+        pass
+    for line in state.render_workers(now=time.time()):
+        print(line)
+    return 0
+
+
+def _tail_journal(path, args: argparse.Namespace) -> int:
+    import time
+
+    from repro.exec.journal import SweepJournal
+
+    jrnl = SweepJournal(path)
+
+    def render(counts) -> str:
+        parts = [
+            f"{counts['ok']} ok ({counts['distinct_ok']} distinct scenarios)"
+        ]
+        if counts["failed"]:
+            parts.append(f"{counts['failed']} failed records")
+        if counts["corrupt"]:
+            parts.append(f"{counts['corrupt']} corrupt/partial lines")
+        return "journal: " + ", ".join(parts)
+
+    counts = jrnl.progress()
+    print(f"journal {path}")
+    print(render(counts))
+    if not args.follow:
+        return 0
+    deadline = (
+        time.monotonic() + args.max_seconds
+        if args.max_seconds is not None
+        else None
+    )
+    try:
+        while deadline is None or time.monotonic() < deadline:
+            time.sleep(args.interval)
+            latest = jrnl.progress()
+            if latest != counts:
+                counts = latest
+                print(render(counts))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    """List the run ledger: one line per recorded sweep/bench/validate
+    run, oldest first."""
+    import json
+
+    from repro.obs.ledger import RunLedger
+
+    ledger = RunLedger(args.ledger)
+    records = ledger.tail(args.last)
+    if args.json:
+        print(json.dumps([r.to_dict() for r in records], indent=2,
+                         sort_keys=True))
+        return 0
+    if not records:
+        print(f"no recorded runs in {ledger.path}")
+        return 0
+    for record in records:
+        print(record.describe())
+    if ledger.corrupt_lines:
+        print(f"({ledger.corrupt_lines} corrupt ledger lines skipped)")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Cross-run BENCH trend: every committed ``BENCH_*.json`` under
+    ``--results``, one row per headline series, latest-vs-previous soft
+    gate (``--strict`` turns a regression into exit 1)."""
+    from repro.obs.ledger import (
+        bench_trend,
+        load_bench_history,
+        render_trend,
+        trend_regressions,
+    )
+
+    docs = load_bench_history(args.results)
+    trend = bench_trend(docs)
+    print(render_trend(trend))
+    if not trend:
+        return 0
+    regressions = trend_regressions(trend, tolerance=args.tolerance)
+    if regressions:
+        print(
+            f"\ntrend gate: latest point regressed (tolerance "
+            f"{args.tolerance:.0%})",
+            file=sys.stderr,
+        )
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1 if args.strict else 0
+    print(f"\ntrend gate: pass (tolerance {args.tolerance:.0%})")
     return 0
 
 
@@ -718,6 +935,8 @@ def make_parser() -> argparse.ArgumentParser:
                         "check retried once)")
     p.add_argument("--out", metavar="FILE", default=None,
                    help="write the JSON conformance report here")
+    p.add_argument("--progress", action="store_true",
+                   help="render live relation-sweep progress on stderr")
     p.set_defaults(fn=cmd_validate)
 
     p = sub.add_parser("bench", help=COMMANDS["bench"])
@@ -747,7 +966,52 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--tolerance", type=float, default=0.10,
                    help="allowed normalized slowdown vs reference "
                         "(default 0.10)")
+    p.add_argument("--progress", action="store_true",
+                   help="render live sweep progress (completed/failed/ETA) "
+                        "on stderr")
+    p.add_argument("--textfile", metavar="FILE", default=None,
+                   help="refresh a Prometheus textfile-collector file from "
+                        "the executor metrics during the sweep legs")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("tail", help=COMMANDS["tail"])
+    p.add_argument("path", metavar="JOURNAL|EVENTLOG|DIR",
+                   help="a sweep journal (.jsonl), a flight-recorder event "
+                        "log (.events.jsonl), or a directory holding them "
+                        "(newest log wins)")
+    p.add_argument("-f", "--follow", action="store_true",
+                   help="keep polling for new records (tail -f)")
+    p.add_argument("--interval", type=float, default=0.5, metavar="SECONDS",
+                   help="poll/render interval with --follow (default 0.5)")
+    p.add_argument("--max-seconds", type=float, default=None,
+                   metavar="SECONDS",
+                   help="stop following after this much wall clock "
+                        "(default: until sweep end or Ctrl-C)")
+    p.set_defaults(fn=cmd_tail)
+
+    p = sub.add_parser("runs", help=COMMANDS["runs"])
+    p.add_argument("--ledger", metavar="FILE", default=None,
+                   help="ledger file (default <cache-dir>/ledger.jsonl)")
+    p.add_argument("-n", "--last", type=int, default=20, metavar="N",
+                   help="show the last N runs (default 20)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw ledger records as JSON")
+    p.set_defaults(fn=cmd_runs)
+
+    p = sub.add_parser("report", help=COMMANDS["report"])
+    p.add_argument("--trend", action="store_true",
+                   help="render the cross-run BENCH trend (the default and "
+                        "currently only view)")
+    p.add_argument("--results", metavar="DIR", default="results",
+                   help="directory of committed BENCH_*.json documents "
+                        "(default results)")
+    p.add_argument("--tolerance", type=float, default=0.10,
+                   help="allowed latest-vs-previous move in the regressing "
+                        "direction (default 0.10)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 on a trend regression (default: report "
+                        "only — the CI soft gate)")
+    p.set_defaults(fn=cmd_report)
     return parser
 
 

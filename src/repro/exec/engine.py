@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import os
 import random
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
@@ -123,6 +124,7 @@ def pmap(
     retries: int = 0,
     backoff: float = 0.05,
     on_error: str = "raise",
+    progress: bool = False,
 ) -> Union[List[object], SweepOutcome]:
     """Order-preserving process map on the same resilient executor as
     :func:`run_sweep` (per-item dispatch, wall-clock ``timeout`` with
@@ -133,7 +135,8 @@ def pmap(
     fan relation checks out across workers.  Returns a plain list under the
     default ``on_error="raise"``; with ``on_error="collect"`` returns a
     :class:`~repro.exec.resilience.SweepOutcome` whose ``results`` holds
-    ``None`` at quarantined indices.
+    ``None`` at quarantined indices.  ``progress=True`` renders a live
+    completed/failed/ETA line to stderr as items finish.
     """
     jobs = resolve_jobs(jobs)
     policy = SweepPolicy(
@@ -142,9 +145,25 @@ def pmap(
     tasks = [
         (index, item, "", f"item[{index}]") for index, item in enumerate(items)
     ]
-    by_index, failures, stats = resilient_map(
-        fn, tasks, jobs=jobs, policy=policy
-    )
+    flight = None
+    if progress:
+        from repro.obs.flight import FlightLog, SweepProgress
+
+        flight = FlightLog([SweepProgress()])
+        flight.emit("sweep-begin", total=len(items), jobs=jobs, pending=len(items))
+    try:
+        by_index, failures, stats = resilient_map(
+            fn, tasks, jobs=jobs, policy=policy, flight=flight
+        )
+        if flight is not None:
+            flight.emit("sweep-end", **stats)
+    except KeyboardInterrupt:
+        if flight is not None:
+            flight.emit("sweep-interrupted")
+        raise
+    finally:
+        if flight is not None:
+            flight.close()
     results = [by_index.get(index) for index in range(len(items))]
     if on_error == "collect":
         return SweepOutcome(results=results, failures=failures, stats=stats)
@@ -172,6 +191,10 @@ def run_sweep(
     on_error: str = "raise",
     resume: bool = False,
     journal: Union[str, "Path", None] = None,
+    events: Union[bool, str, "Path", None] = None,
+    progress: bool = False,
+    textfile: Union[str, "Path", None] = None,
+    ledger: Union[bool, str, "Path", None] = None,
 ) -> Union[List["RunResult"], SweepOutcome]:
     """Execute a scenario batch; results in input order.
 
@@ -192,6 +215,21 @@ def run_sweep(
     re-run after a crash or interrupt, replays journaled results instead of
     re-executing them.  Passing ``journal`` alone (without ``resume``)
     writes the journal but replays nothing.
+
+    Telemetry (:mod:`repro.obs.flight`) is strictly an observer — none of
+    it feeds result bytes:
+
+    - ``events`` controls the flight-recorder event log.  ``None``
+      (default) records iff a journal is active, alongside it
+      (``<digest>.events.jsonl``); ``True`` forces recording (under the
+      journal/cache root); ``False`` disables; a path records there.
+    - ``progress=True`` renders a live completed/failed/ETA line to
+      stderr.
+    - ``textfile`` names a Prometheus textfile refreshed mid-campaign
+      from the executor's :class:`~repro.obs.registry.MetricsRegistry`.
+    - ``ledger`` appends one :class:`~repro.obs.ledger.RunRecord` to the
+      cross-run ledger when done (``True`` for the default location, or a
+      path).
     """
     policy = SweepPolicy(
         timeout=timeout, retries=retries, backoff=backoff, on_error=on_error
@@ -219,6 +257,22 @@ def run_sweep(
         if resume:
             replayed = jrnl.replay()
 
+    flight = _build_flight(
+        events=events,
+        progress=progress,
+        textfile=textfile,
+        jrnl=jrnl,
+        store=store,
+        digests=digests,
+    )
+    started_iso = None
+    started_clock = 0.0
+    if ledger:
+        from repro.obs.ledger import now_iso
+
+        started_iso = now_iso()
+        started_clock = time.monotonic()
+
     results: List[Optional["RunResult"]] = [None] * len(scenarios)
     pending: List[Tuple[int, "Scenario", str, str]] = []
     for index, (scenario, digest) in enumerate(zip(scenarios, digests)):
@@ -226,6 +280,8 @@ def run_sweep(
         if hit is not None:
             results[index] = hit
             stats["cache_hits"] += 1
+            if flight is not None:
+                flight.emit("cache-hit", digest=digest, index=index)
             continue
         journaled = replayed.get(digest)
         if journaled is not None:
@@ -234,9 +290,25 @@ def run_sweep(
             _inc("exec_journal_replayed_total")
             if store is not None:
                 store.put(scenario, journaled)
+            if flight is not None:
+                flight.emit("journal-replay", digest=digest, index=index)
             continue
+        if flight is not None:
+            flight.emit("cache-miss", digest=digest, index=index)
         pending.append(
             (index, scenario, digest, scenario.label or scenario.describe())
+        )
+
+    if flight is not None:
+        from repro.exec.journal import sweep_digest
+
+        flight.emit(
+            "sweep-begin",
+            total=len(scenarios),
+            pending=len(pending),
+            jobs=jobs,
+            sweep_digest=sweep_digest(digests),
+            resumed=bool(resume),
         )
 
     interrupt_after = None
@@ -262,6 +334,7 @@ def run_sweep(
             jrnl.append_failure(failure)
 
     failures = []
+    outcome = "ok"
     try:
         if pending:
             _, failures, stats = resilient_map(
@@ -272,16 +345,96 @@ def run_sweep(
                 on_result=on_result,
                 on_failure=on_failure,
                 stats=stats,
+                flight=flight,
             )
+        if failures:
+            outcome = "partial"
+        if flight is not None:
+            flight.emit("sweep-end", **stats)
+    except KeyboardInterrupt:
+        outcome = "interrupted"
+        if flight is not None:
+            flight.emit("sweep-interrupted", **stats)
+        raise
+    except BaseException:
+        outcome = "failed"
+        raise
     finally:
+        if flight is not None:
+            flight.close()
         if jrnl is not None:
             jrnl.close()
         if store is not None and store.corrupt > corrupt_before:
             _inc("exec_cache_corrupt_total", store.corrupt - corrupt_before)
+        if ledger:
+            from repro.exec.journal import sweep_digest
+            from repro.obs.ledger import record_run
+
+            record_run(
+                "sweep",
+                started=started_iso or "",
+                wall_seconds=time.monotonic() - started_clock,
+                outcome=outcome,
+                sweep_digest=sweep_digest(digests),
+                counts={
+                    "total": len(scenarios),
+                    "executed": stats.get("executed", 0),
+                    "cache_hits": stats.get("cache_hits", 0),
+                    "journal_replayed": stats.get("journal_replayed", 0),
+                    "quarantined": len(failures),
+                    "retries": stats.get("retries", 0),
+                },
+                ledger=None if ledger is True else ledger,
+            )
 
     if on_error == "collect":
         return SweepOutcome(results=results, failures=failures, stats=stats)
     return results  # type: ignore[return-value]
+
+
+def _build_flight(
+    *, events, progress: bool, textfile, jrnl, store, digests: Sequence[str]
+):
+    """Assemble the sweep's :class:`~repro.obs.flight.FlightLog`, or
+    ``None`` when every telemetry surface is off (the executor's zero-cost
+    fast path)."""
+    if events is None:
+        record = jrnl is not None
+    elif isinstance(events, bool):
+        record = events
+    else:
+        record = True
+    if not (record or progress or textfile is not None):
+        return None
+
+    from repro.exec.resilience import exec_metrics
+    from repro.obs.flight import (
+        FlightLog,
+        FlightRecorder,
+        SweepProgress,
+        TextfileExporter,
+        events_path_for,
+    )
+
+    sinks: List[object] = []
+    if record:
+        if events is not None and not isinstance(events, bool):
+            events_path = Path(events)
+        elif jrnl is not None:
+            events_path = events_path_for(jrnl.path)
+        else:
+            from repro.exec.journal import sweep_digest
+
+            root = store.root if store is not None else _default_journal_root()
+            events_path = events_path_for(
+                Path(root) / "journal" / f"{sweep_digest(digests)}.jsonl"
+            )
+        sinks.append(FlightRecorder(events_path, registry=exec_metrics()))
+    if progress:
+        sinks.append(SweepProgress())
+    if textfile is not None:
+        sinks.append(TextfileExporter(textfile, exec_metrics()))
+    return FlightLog(sinks)
 
 
 def _default_journal_root() -> Path:

@@ -121,6 +121,52 @@ class SweepJournal:
             replayed[digest] = result
         return replayed
 
+    def progress(self) -> Dict[str, int]:
+        """Light-parse outcome tally — ``ok`` / ``failed`` / ``corrupt``
+        line counts plus distinct completed digests — without
+        materializing ``RunResult`` payloads.  Cheap enough for ``repro
+        tail`` to poll against a journal a live sweep is appending to; a
+        truncated final line counts as ``corrupt`` here and will parse
+        clean on the next poll.
+        """
+        counts = {"ok": 0, "failed": 0, "corrupt": 0, "distinct_ok": 0}
+        try:
+            raw = self.path.read_text()
+        except OSError:
+            return counts
+        seen = set()
+        complete, sep, tail = raw.rpartition("\n")
+        if tail.strip():
+            counts["corrupt"] += 1
+        if not sep:
+            return counts
+        for line in complete.split("\n"):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                counts["corrupt"] += 1
+                continue
+            if (
+                not isinstance(record, dict)
+                or record.get("schema") != SCHEMA
+                or not isinstance(record.get("digest"), str)
+            ):
+                counts["corrupt"] += 1
+                continue
+            status = record.get("status")
+            if status == "ok":
+                counts["ok"] += 1
+                seen.add(record["digest"])
+            elif status == "failed":
+                counts["failed"] += 1
+            else:
+                counts["corrupt"] += 1
+        counts["distinct_ok"] = len(seen)
+        return counts
+
     # ------------------------------------------------------------------ #
     # append
     # ------------------------------------------------------------------ #

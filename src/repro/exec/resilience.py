@@ -32,6 +32,14 @@ Counters for every recovery action (retries, timeouts, crashes, respawns,
 quarantines, journal replays) are published to a module-level
 :class:`~repro.obs.registry.MetricsRegistry` (:func:`exec_metrics`) so
 ``repro bench`` and ``repro validate`` can surface them.
+
+With a :class:`~repro.obs.flight.FlightLog` attached (``flight=``), every
+dispatch/finish/retry/timeout/quarantine and worker crash/respawn is also
+narrated to the sweep flight recorder; workers inherit the event-log path
+via :data:`~repro.obs.flight.ENV_EVENT_LOG` and add their own spawn,
+start, and heartbeat events.  Telemetry is strictly an observer: with
+``flight=None`` (the default) each site costs one ``is not None`` guard,
+and nothing the recorder does can reach a result.
 """
 
 from __future__ import annotations
@@ -242,7 +250,7 @@ class SweepOutcome:
 
 
 def _worker_main(conn) -> None:
-    """Pool worker loop: receive ``(index, fn, item)``, send back
+    """Pool worker loop: receive ``(index, fn, item, key)``, send back
     ``(index, "ok", value)`` or ``(index, "error", message)``."""
     os.environ[WORKER_ENV] = "1"
     # The supervisor owns interruption: a Ctrl-C goes to the whole process
@@ -252,6 +260,9 @@ def _worker_main(conn) -> None:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
+    from repro.obs.flight import install_worker_flight
+
+    recorder, flight_state = install_worker_flight()
     while True:
         try:
             message = conn.recv()
@@ -259,13 +270,18 @@ def _worker_main(conn) -> None:
             return
         if message is None:
             return
-        index, fn, item = message
+        index, fn, item, key = message
+        if recorder is not None:
+            flight_state.begin(key)
+            recorder.emit("scenario-started", digest=key, index=index)
         try:
             payload = (index, "ok", fn(item))
         except KeyboardInterrupt:  # pragma: no cover - race with shutdown
             return
         except BaseException as exc:
             payload = (index, "error", f"{type(exc).__name__}: {exc}")
+        if recorder is not None:
+            flight_state.finish()
         try:
             conn.send(payload)
         except (BrokenPipeError, OSError):  # supervisor went away
@@ -289,6 +305,7 @@ class _Task:
     key: str
     label: str
     attempts: int = 0
+    dispatched: float = 0.0  #: monotonic stamp of the latest dispatch
 
 
 class _Worker:
@@ -373,6 +390,7 @@ def resilient_map(
     on_result: Optional[Callable[[int, object], None]] = None,
     on_failure: Optional[Callable[[ScenarioFailure], None]] = None,
     stats: Optional[Dict[str, int]] = None,
+    flight=None,
 ) -> Tuple[Dict[int, object], List[ScenarioFailure], Dict[str, int]]:
     """Run ``fn`` over ``tasks`` (``(index, item, key, label)`` tuples) with
     the policy's timeout/retry/quarantine semantics.
@@ -380,7 +398,9 @@ def resilient_map(
     Returns ``(results_by_index, failures, stats)``.  ``on_result`` fires in
     completion order as each task finishes (journaling hook); ``on_failure``
     fires when a task exhausts its retries, *before* ``SweepError`` is
-    raised under ``on_error="raise"``.
+    raised under ``on_error="raise"``.  ``flight`` is an optional
+    :class:`~repro.obs.flight.FlightLog` narrating every dispatch, finish,
+    retry, and recovery action (pure observer — never touches results).
     """
     if stats is None:
         stats = new_stats()
@@ -392,6 +412,14 @@ def resilient_map(
         results[task.index] = value
         stats["executed"] += 1
         _inc("exec_scenarios_executed_total")
+        if flight is not None:
+            flight.emit(
+                "scenario-finished",
+                digest=task.key,
+                index=task.index,
+                attempt=task.attempts + 1,
+                seconds=round(time.monotonic() - task.dispatched, 6),
+            )
         if on_result is not None:
             on_result(task.index, value)
 
@@ -406,6 +434,15 @@ def resilient_map(
         )
         stats["quarantined"] += 1
         _inc("exec_quarantined_total")
+        if flight is not None:
+            flight.emit(
+                "scenario-quarantined",
+                digest=task.key,
+                index=task.index,
+                kind=kind,
+                error=message,
+                attempts=task.attempts,
+            )
         if on_failure is not None:
             on_failure(failure)
         if policy.on_error == "raise":
@@ -416,13 +453,16 @@ def resilient_map(
         return results, failures, stats
 
     if policy.timeout is None and (jobs == 1 or len(queue) == 1):
-        _inline_map(fn, queue, policy, stats, record_success, record_failure)
+        _inline_map(
+            fn, queue, policy, stats, record_success, record_failure, flight
+        )
         return results, failures, stats
 
-    with _SigtermAsInterrupt():
+    with _SigtermAsInterrupt(), _flight_env(flight):
         try:
             _pool_map(
-                fn, queue, jobs, policy, stats, record_success, record_failure
+                fn, queue, jobs, policy, stats, record_success,
+                record_failure, flight,
             )
         except KeyboardInterrupt:
             stats["interrupted"] = 1
@@ -430,11 +470,51 @@ def resilient_map(
     return results, failures, stats
 
 
-def _inline_map(fn, queue, policy, stats, record_success, record_failure):
+class _flight_env:
+    """Export the event-log path to forked workers for the duration of a
+    pool run (mirrors the chaos plan's env transport)."""
+
+    def __init__(self, flight) -> None:
+        self._path = (
+            str(flight.record_path)
+            if flight is not None and flight.record_path is not None
+            else None
+        )
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> "_flight_env":
+        from repro.obs.flight import ENV_EVENT_LOG
+
+        if self._path is not None:
+            self._previous = os.environ.get(ENV_EVENT_LOG)
+            os.environ[ENV_EVENT_LOG] = self._path
+        return self
+
+    def __exit__(self, *exc) -> None:
+        from repro.obs.flight import ENV_EVENT_LOG
+
+        if self._path is not None:
+            if self._previous is None:
+                os.environ.pop(ENV_EVENT_LOG, None)
+            else:
+                os.environ[ENV_EVENT_LOG] = self._previous
+
+
+def _inline_map(fn, queue, policy, stats, record_success, record_failure,
+                flight=None):
     """Serial fast path (no pool, no pickling): same retry/quarantine
     semantics; timeouts are a pool-only feature by construction."""
     for task in queue:
         while True:
+            task.dispatched = time.monotonic()
+            if flight is not None:
+                flight.emit(
+                    "scenario-dispatched",
+                    digest=task.key,
+                    index=task.index,
+                    attempt=task.attempts + 1,
+                    worker=0,  # inline: the caller's own process
+                )
             try:
                 value = fn(task.item)
             except KeyboardInterrupt:
@@ -446,6 +526,15 @@ def _inline_map(fn, queue, policy, stats, record_success, record_failure):
                 if task.attempts <= policy.retries:
                     stats["retries"] += 1
                     _inc("exec_retries_total")
+                    if flight is not None:
+                        flight.emit(
+                            "scenario-retried",
+                            digest=task.key,
+                            index=task.index,
+                            attempt=task.attempts,
+                            kind="error",
+                            error=message,
+                        )
                     time.sleep(policy.delay(task.attempts))
                     continue
                 record_failure(task, "error", message)
@@ -454,7 +543,8 @@ def _inline_map(fn, queue, policy, stats, record_success, record_failure):
             break
 
 
-def _pool_map(fn, queue, jobs, policy, stats, record_success, record_failure):
+def _pool_map(fn, queue, jobs, policy, stats, record_success, record_failure,
+              flight=None):
     ctx = mp.get_context()
     num_workers = max(1, min(jobs, len(queue)))
     workers = [_Worker(ctx) for _ in range(num_workers)]
@@ -466,6 +556,8 @@ def _pool_map(fn, queue, jobs, policy, stats, record_success, record_failure):
         _inc("exec_worker_respawns_total")
         replacement = _Worker(ctx)
         workers[workers.index(worker)] = replacement
+        if flight is not None:
+            flight.emit("worker-respawn", worker=replacement.proc.pid)
         return replacement
 
     def requeue_or_fail(task: _Task, kind: str, message: str) -> None:
@@ -474,6 +566,15 @@ def _pool_map(fn, queue, jobs, policy, stats, record_success, record_failure):
             nonlocal sequence
             stats["retries"] += 1
             _inc("exec_retries_total")
+            if flight is not None:
+                flight.emit(
+                    "scenario-retried",
+                    digest=task.key,
+                    index=task.index,
+                    attempt=task.attempts,
+                    kind=kind,
+                    error=message,
+                )
             sequence += 1
             heapq.heappush(
                 delayed,
@@ -493,15 +594,24 @@ def _pool_map(fn, queue, jobs, policy, stats, record_success, record_failure):
                     continue
                 task = queue.popleft()
                 try:
-                    worker.conn.send((task.index, fn, task.item))
+                    worker.conn.send((task.index, fn, task.item, task.key))
                 except (BrokenPipeError, OSError):
                     # worker died while idle: replace it and try once more
                     worker.kill()
                     stats["worker_crashes"] += 1
                     _inc("exec_worker_crashes_total")
                     worker = respawn(worker)
-                    worker.conn.send((task.index, fn, task.item))
+                    worker.conn.send((task.index, fn, task.item, task.key))
                 worker.task = task
+                task.dispatched = time.monotonic()
+                if flight is not None:
+                    flight.emit(
+                        "scenario-dispatched",
+                        digest=task.key,
+                        index=task.index,
+                        attempt=task.attempts + 1,
+                        worker=worker.proc.pid,
+                    )
                 worker.deadline = (
                     now + policy.timeout if policy.timeout is not None else math.inf
                 )
@@ -536,6 +646,13 @@ def _pool_map(fn, queue, jobs, policy, stats, record_success, record_failure):
                     worker.kill()
                     stats["worker_crashes"] += 1
                     _inc("exec_worker_crashes_total")
+                    if flight is not None:
+                        flight.emit(
+                            "worker-crash",
+                            worker=worker.proc.pid,
+                            digest=task.key,
+                            index=task.index,
+                        )
                     respawn(worker)
                     requeue_or_fail(
                         task,
@@ -558,6 +675,15 @@ def _pool_map(fn, queue, jobs, policy, stats, record_success, record_failure):
                 worker.kill()
                 stats["timeouts"] += 1
                 _inc("exec_timeouts_total")
+                if flight is not None:
+                    flight.emit(
+                        "scenario-timed-out",
+                        digest=task.key,
+                        index=task.index,
+                        attempt=task.attempts + 1,
+                        timeout=policy.timeout,
+                        worker=worker.proc.pid,
+                    )
                 respawn(worker)
                 requeue_or_fail(
                     task,

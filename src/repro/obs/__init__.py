@@ -15,6 +15,16 @@ you *why*.  Three pillars:
 
 :mod:`repro.obs.report` assembles all three into the self-contained profile
 report emitted by ``repro profile`` and ``benchmarks/emit_bench.py``.
+
+Two campaign-level pillars (PR 7) look *across* iterations and runs:
+
+- :mod:`repro.obs.flight` — the sweep flight recorder: an append-only
+  event log narrating a whole campaign (dispatch / retry / respawn /
+  quarantine / heartbeat), the live ``--progress`` renderer, and the
+  Prometheus textfile exporter refreshed mid-sweep;
+- :mod:`repro.obs.ledger` — the persistent run ledger behind ``repro
+  runs`` and the cross-run BENCH trend view behind ``repro report
+  --trend``.
 """
 
 from repro.obs.attribution import (
@@ -23,6 +33,26 @@ from repro.obs.attribution import (
     EdgeCost,
     attribute_iteration,
     attribute_result,
+)
+from repro.obs.flight import (
+    CampaignState,
+    FlightLog,
+    FlightRecorder,
+    SweepProgress,
+    TextfileExporter,
+    events_path_for,
+    read_events,
+    scenario_story,
+    summarize_events,
+)
+from repro.obs.ledger import (
+    RunLedger,
+    RunRecord,
+    bench_trend,
+    load_bench_history,
+    record_run,
+    render_trend,
+    trend_regressions,
 )
 from repro.obs.registry import Counter, Gauge, HistogramMetric, MetricsRegistry
 from repro.obs.report import build_report, render_report, validate_report
@@ -39,6 +69,22 @@ __all__ = [
     "EdgeCost",
     "attribute_iteration",
     "attribute_result",
+    "CampaignState",
+    "FlightLog",
+    "FlightRecorder",
+    "SweepProgress",
+    "TextfileExporter",
+    "events_path_for",
+    "read_events",
+    "scenario_story",
+    "summarize_events",
+    "RunLedger",
+    "RunRecord",
+    "bench_trend",
+    "load_bench_history",
+    "record_run",
+    "render_trend",
+    "trend_regressions",
     "Counter",
     "Gauge",
     "HistogramMetric",

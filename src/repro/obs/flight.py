@@ -1,0 +1,670 @@
+"""Sweep flight recorder: campaign-level telemetry for the batch executor.
+
+:mod:`repro.obs` (PR 2) explains a single simulated iteration; this module
+explains a *campaign* — the hours-long, multi-process sweep the resilient
+executor (:mod:`repro.exec.resilience`) drives.  Three cooperating pieces
+share one event stream:
+
+- :class:`FlightRecorder` — an append-only JSONL event log written
+  alongside the :class:`~repro.exec.journal.SweepJournal`
+  (``<root>/journal/<sweep-digest>.events.jsonl``).  The supervisor and
+  every forked worker append to the same file through ``O_APPEND``
+  single-``write`` lines, so records never interleave; a reader tolerates
+  a truncated final line exactly like the journal does.  The event log is
+  telemetry, not state: nothing in it feeds result digests, so the
+  serial == parallel == resumed == cached byte-identity contract is
+  untouched whether recording is on or off.
+- :class:`SweepProgress` — a live one-line progress renderer
+  (completed/failed/retries/ETA/workers) fed by the same events, behind
+  the ``--progress`` CLI flags.
+- :class:`TextfileExporter` — a Prometheus node-exporter-style textfile
+  refreshed during the campaign from a :class:`~repro.obs.registry.MetricsRegistry`
+  (atomic tmp-file + rename, so a scraper never reads a torn file).
+
+Event fan-out goes through a :class:`FlightLog`, and every executor call
+site guards on ``flight is not None`` — with recording disabled the hot
+path pays one pointer comparison per event site and nothing else.
+
+Workers additionally run a daemon heartbeat thread
+(:func:`install_worker_flight`): even a worker wedged inside a hung
+scenario keeps beating (the sleep releases the GIL), so ``repro tail``
+can show *which* scenario a silent worker has been stuck on and for how
+long.  The event-log path travels to workers via :data:`ENV_EVENT_LOG`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+#: Event record format tag; bump on layout changes.
+SCHEMA = "repro.obs.flight/v1"
+
+#: Environment variable carrying the event-log path to forked workers.
+ENV_EVENT_LOG = "REPRO_FLIGHT_LOG"
+
+#: Environment variable overriding the worker heartbeat interval (seconds).
+ENV_HEARTBEAT = "REPRO_FLIGHT_HEARTBEAT"
+
+#: Default worker heartbeat period (seconds).
+DEFAULT_HEARTBEAT = 1.0
+
+#: Every event kind the executor emits (the contract ``repro tail`` and
+#: the reconstruction helpers understand).
+EVENT_KINDS = frozenset(
+    {
+        "sweep-begin",
+        "sweep-end",
+        "sweep-interrupted",
+        "cache-hit",
+        "cache-miss",
+        "journal-replay",
+        "scenario-dispatched",
+        "scenario-started",
+        "scenario-finished",
+        "scenario-retried",
+        "scenario-timed-out",
+        "scenario-quarantined",
+        "worker-spawn",
+        "worker-respawn",
+        "worker-crash",
+        "worker-heartbeat",
+    }
+)
+
+
+def events_path_for(journal_path: Union[str, Path]) -> Path:
+    """The event-log path that rides alongside a journal file
+    (``<digest>.jsonl`` -> ``<digest>.events.jsonl``)."""
+    path = Path(journal_path)
+    return path.with_name(path.stem + ".events.jsonl")
+
+
+class FlightRecorder:
+    """Append-only JSONL event sink shared by supervisor and workers.
+
+    Each event is one self-contained ``\\n``-terminated JSON line written
+    with a single ``os.write`` on an ``O_APPEND`` descriptor, so
+    concurrent appenders (the supervisor plus every pool worker) never
+    interleave bytes.  Any I/O failure disables the recorder rather than
+    failing the sweep — telemetry must never cost a result.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        source: str = "supervisor",
+        registry=None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.path = Path(path)
+        self.source = source
+        self._registry = registry
+        self._clock = clock
+        self._fd: Optional[int] = None
+        self._dead = False
+
+    def _open(self) -> bool:
+        if self._dead:
+            return False
+        if self._fd is not None:
+            return True
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        except OSError:
+            self._dead = True
+            return False
+        return True
+
+    def emit(self, event: str, **fields: object) -> None:
+        self.on_event(event, fields)
+
+    def on_event(self, event: str, fields: Mapping[str, object]) -> None:
+        if not self._open():
+            return
+        record: Dict[str, object] = {
+            "schema": SCHEMA,
+            "ts": round(self._clock(), 6),
+            "pid": os.getpid(),
+            "src": self.source,
+            "event": event,
+        }
+        record.update(fields)
+        try:
+            line = json.dumps(record, sort_keys=True, default=str) + "\n"
+            os.write(self._fd, line.encode())  # type: ignore[arg-type]
+        except (OSError, TypeError, ValueError):
+            self.close()
+            self._dead = True
+            return
+        if self._registry is not None:
+            self._registry.counter(
+                "flight_events_total", "sweep flight-recorder events emitted"
+            ).inc(event=event)
+
+    def close(self) -> None:
+        if self._fd is not None:
+            try:
+                os.close(self._fd)
+            except OSError:  # pragma: no cover
+                pass
+            self._fd = None
+
+    def __enter__(self) -> "FlightRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class FlightLog:
+    """Fan-out of executor telemetry events to sinks (recorder, progress
+    renderer, textfile exporter).  The executor holds at most one of
+    these; ``flight is None`` is the disabled fast path."""
+
+    __slots__ = ("sinks", "record_path")
+
+    def __init__(self, sinks: Sequence[object]) -> None:
+        self.sinks = [s for s in sinks if s is not None]
+        #: the on-disk event log, if any sink is a recorder (workers are
+        #: pointed at it via :data:`ENV_EVENT_LOG`)
+        self.record_path = next(
+            (s.path for s in self.sinks if isinstance(s, FlightRecorder)), None
+        )
+
+    def emit(self, event: str, **fields: object) -> None:
+        for sink in self.sinks:
+            sink.on_event(event, fields)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+
+# --------------------------------------------------------------------- #
+# reading the event log back
+# --------------------------------------------------------------------- #
+
+
+def parse_event_line(line: str) -> Optional[Dict[str, object]]:
+    """One event dict, or ``None`` for a blank/garbled/foreign line."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(record, dict) or record.get("schema") != SCHEMA:
+        return None
+    if not isinstance(record.get("event"), str):
+        return None
+    return record
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Every complete, well-formed event in the log, in file order.
+
+    Safe against a concurrent appender: a truncated final line (no
+    trailing newline yet) is ignored, never raised on — it will be
+    complete on the next read.
+    """
+    try:
+        raw = Path(path).read_text()
+    except OSError:
+        return []
+    events: List[Dict[str, object]] = []
+    # a partial final line has no terminator; splitlines() would still
+    # yield it, so split on "\n" and drop the unterminated remainder
+    complete, sep, _tail = raw.rpartition("\n")
+    if not sep:
+        return []
+    for line in complete.split("\n"):
+        record = parse_event_line(line)
+        if record is not None:
+            events.append(record)
+    return events
+
+
+def follow(
+    path: Union[str, Path],
+    poll: float = 0.2,
+    stop: Optional[Callable[[], bool]] = None,
+    max_seconds: Optional[float] = None,
+) -> Iterator[Dict[str, object]]:
+    """``tail -f`` over an event log: yield each complete event as it
+    lands, tolerating a slow writer mid-line.  Stops when ``stop()``
+    returns true or ``max_seconds`` of wall clock elapse (checked between
+    polls); otherwise follows forever.
+    """
+    path = Path(path)
+    offset = 0
+    buffer = ""
+    deadline = (
+        time.monotonic() + max_seconds if max_seconds is not None else None
+    )
+    while True:
+        chunk = ""
+        try:
+            with open(path, "r") as fh:
+                fh.seek(offset)
+                chunk = fh.read()
+                offset = fh.tell()
+        except OSError:
+            pass
+        if chunk:
+            buffer += chunk
+            complete, sep, buffer = buffer.rpartition("\n")
+            if sep:
+                for line in complete.split("\n"):
+                    record = parse_event_line(line)
+                    if record is not None:
+                        yield record
+        if stop is not None and stop():
+            return
+        if deadline is not None and time.monotonic() >= deadline:
+            return
+        time.sleep(poll)
+
+
+def scenario_story(
+    events: Sequence[Mapping[str, object]], digest: str
+) -> List[Mapping[str, object]]:
+    """Every event about one scenario, in order — the per-scenario
+    retry/respawn/quarantine narrative the chaos suite asserts on."""
+    return [e for e in events if e.get("digest") == digest]
+
+
+def summarize_events(
+    events: Sequence[Mapping[str, object]],
+) -> Dict[str, int]:
+    """Event-kind histogram for a whole log."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        kind = str(event.get("event"))
+        counts[kind] = counts.get(kind, 0) + 1
+    return counts
+
+
+# --------------------------------------------------------------------- #
+# campaign state: the shared reduction behind progress and tail
+# --------------------------------------------------------------------- #
+
+
+class CampaignState:
+    """Running reduction of an event stream into live campaign facts:
+    totals, per-category completion counts, retry/respawn tallies, and a
+    per-worker liveness/utilization table."""
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.jobs = 1
+        self.sweep_digest = ""
+        self.executed = 0
+        self.cache_hits = 0
+        self.journal_replayed = 0
+        self.failed = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.worker_crashes = 0
+        self.worker_respawns = 0
+        self.finished = False
+        self.interrupted = False
+        self.began_ts: Optional[float] = None
+        self.last_ts: Optional[float] = None
+        self._finish_seconds = 0.0
+        self._finish_count = 0
+        #: pid -> {"busy", "completed", "uptime", "busy_seconds", "last_ts"}
+        self.workers: Dict[int, Dict[str, object]] = {}
+
+    # -- feeding ------------------------------------------------------- #
+
+    def on_event(self, event: str, fields: Mapping[str, object]) -> None:
+        ts = fields.get("ts")
+        if isinstance(ts, (int, float)):
+            self.last_ts = float(ts)
+        if event == "sweep-begin":
+            self.total = int(fields.get("total", 0))
+            self.jobs = int(fields.get("jobs", 1))
+            self.sweep_digest = str(fields.get("sweep_digest", ""))
+            if isinstance(ts, (int, float)):
+                self.began_ts = float(ts)
+        elif event == "cache-hit":
+            self.cache_hits += 1
+        elif event == "journal-replay":
+            self.journal_replayed += 1
+        elif event == "scenario-finished":
+            self.executed += 1
+            seconds = fields.get("seconds")
+            if isinstance(seconds, (int, float)):
+                self._finish_seconds += float(seconds)
+                self._finish_count += 1
+        elif event == "scenario-quarantined":
+            self.failed += 1
+        elif event == "scenario-retried":
+            self.retries += 1
+        elif event == "scenario-timed-out":
+            self.timeouts += 1
+        elif event == "worker-crash":
+            self.worker_crashes += 1
+        elif event == "worker-respawn":
+            self.worker_respawns += 1
+        elif event in ("worker-spawn", "worker-heartbeat"):
+            pid = fields.get("pid")
+            if isinstance(pid, int):
+                entry = self.workers.setdefault(pid, {})
+                entry["last_ts"] = ts
+                entry["busy"] = fields.get("busy", "")
+                entry["completed"] = fields.get("completed", 0)
+                entry["uptime"] = fields.get("uptime", 0.0)
+                entry["busy_seconds"] = fields.get("busy_seconds", 0.0)
+        elif event == "sweep-end":
+            self.finished = True
+        elif event == "sweep-interrupted":
+            self.interrupted = True
+
+    def feed(self, event_record: Mapping[str, object]) -> None:
+        """Feed one *parsed log record* (as from :func:`read_events`)."""
+        self.on_event(str(event_record.get("event")), event_record)
+
+    # -- derived ------------------------------------------------------- #
+
+    def completed(self) -> int:
+        return self.executed + self.cache_hits + self.journal_replayed
+
+    def done(self) -> int:
+        return self.completed() + self.failed
+
+    def remaining(self) -> int:
+        return max(0, self.total - self.done())
+
+    def mean_scenario_seconds(self) -> Optional[float]:
+        if self._finish_count == 0:
+            return None
+        return self._finish_seconds / self._finish_count
+
+    def eta_seconds(self) -> Optional[float]:
+        """Remaining wall clock, assuming every configured worker stays
+        busy at the mean per-scenario cost observed so far."""
+        mean = self.mean_scenario_seconds()
+        if mean is None or self.total == 0:
+            return None
+        return self.remaining() * mean / max(1, self.jobs)
+
+    def worker_utilization(self, pid: int) -> Optional[float]:
+        entry = self.workers.get(pid)
+        if not entry:
+            return None
+        uptime = float(entry.get("uptime", 0.0) or 0.0)
+        if uptime <= 0:
+            return None
+        return min(1.0, float(entry.get("busy_seconds", 0.0) or 0.0) / uptime)
+
+    # -- rendering ----------------------------------------------------- #
+
+    def render_line(self) -> str:
+        total = self.total if self.total else "?"
+        parts = [f"sweep {self.done()}/{total}"]
+        detail = [f"{self.executed} run"]
+        if self.cache_hits:
+            detail.append(f"{self.cache_hits} cached")
+        if self.journal_replayed:
+            detail.append(f"{self.journal_replayed} replayed")
+        if self.failed:
+            detail.append(f"{self.failed} FAILED")
+        parts.append("(" + ", ".join(detail) + ")")
+        if self.retries:
+            parts.append(f"retries={self.retries}")
+        if self.worker_respawns:
+            parts.append(f"respawns={self.worker_respawns}")
+        mean = self.mean_scenario_seconds()
+        if mean is not None:
+            parts.append(f"{mean:.2f}s/scenario")
+        eta = self.eta_seconds()
+        if self.finished:
+            parts.append("done")
+        elif self.interrupted:
+            parts.append("INTERRUPTED")
+        elif eta is not None:
+            parts.append(f"eta {_format_seconds(eta)}")
+        return " ".join(parts)
+
+    def render_workers(self, now: Optional[float] = None) -> List[str]:
+        lines = []
+        for pid in sorted(self.workers):
+            entry = self.workers[pid]
+            busy = str(entry.get("busy", "") or "")
+            state = f"busy {busy[:12]}" if busy else "idle"
+            util = self.worker_utilization(pid)
+            util_s = f" util {util:.0%}" if util is not None else ""
+            age = ""
+            last = entry.get("last_ts")
+            if now is not None and isinstance(last, (int, float)):
+                age = f" (heartbeat {now - float(last):.1f}s ago)"
+            lines.append(
+                f"  worker {pid}: {state}, "
+                f"{entry.get('completed', 0)} completed{util_s}{age}"
+            )
+        return lines
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+class SweepProgress:
+    """Live progress renderer: one status line, rewritten in place on a
+    TTY, appended as discrete lines otherwise (throttled)."""
+
+    def __init__(
+        self,
+        stream: Optional[io.TextIOBase] = None,
+        interval: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        import sys
+
+        self.state = CampaignState()
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self._clock = clock
+        self._last_render = -float("inf")
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._wrote = False
+
+    def on_event(self, event: str, fields: Mapping[str, object]) -> None:
+        self.state.on_event(event, fields)
+        if event == "worker-heartbeat":
+            return  # heartbeats alone never force a redraw
+        final = event in ("sweep-end", "sweep-interrupted")
+        now = self._clock()
+        if not final and now - self._last_render < self.interval:
+            return
+        self._last_render = now
+        self._render(final)
+
+    def _render(self, final: bool) -> None:
+        line = self.state.render_line()
+        try:
+            if self._tty:
+                self.stream.write("\r\x1b[2K" + line)
+                if final:
+                    self.stream.write("\n")
+            else:
+                self.stream.write(line + "\n")
+            self.stream.flush()
+        except (OSError, ValueError):  # closed stream: go quiet
+            return
+        self._wrote = True
+
+    def close(self) -> None:
+        if self._tty and self._wrote and not (
+            self.state.finished or self.state.interrupted
+        ):
+            try:
+                self.stream.write("\n")
+                self.stream.flush()
+            except (OSError, ValueError):
+                pass
+
+
+class TextfileExporter:
+    """Prometheus *textfile-collector* exporter, refreshed mid-campaign.
+
+    Writes ``registry.to_prometheus()`` plus live campaign gauges to
+    ``path`` via tmp-file + atomic rename on every throttled refresh, so
+    a node-exporter scrape never observes a torn file.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        registry,
+        interval: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.path = Path(path)
+        self.registry = registry
+        self.interval = interval
+        self.state = CampaignState()
+        self._clock = clock
+        self._last_refresh = -float("inf")
+
+    def on_event(self, event: str, fields: Mapping[str, object]) -> None:
+        self.state.on_event(event, fields)
+        now = self._clock()
+        final = event in ("sweep-end", "sweep-interrupted")
+        if not final and now - self._last_refresh < self.interval:
+            return
+        self._last_refresh = now
+        self.refresh()
+
+    def refresh(self) -> None:
+        gauge = self.registry.gauge(
+            "sweep_progress", "live sweep campaign progress by phase"
+        )
+        gauge.set(self.state.total, phase="total")
+        gauge.set(self.state.completed(), phase="completed")
+        gauge.set(self.state.failed, phase="failed")
+        gauge.set(len(self.state.workers), phase="workers_seen")
+        text = self.registry.to_prometheus()
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(text)
+            os.replace(tmp, self.path)
+        except OSError:  # telemetry never fails the sweep
+            pass
+
+    def close(self) -> None:
+        self.refresh()
+
+
+# --------------------------------------------------------------------- #
+# worker-side instrumentation
+# --------------------------------------------------------------------- #
+
+
+class _WorkerFlightState:
+    """Shared mutable state between a worker's task loop and its
+    heartbeat thread (single-writer fields; GIL-safe reads)."""
+
+    __slots__ = ("task_key", "task_started", "completed", "busy_seconds", "born")
+
+    def __init__(self) -> None:
+        self.task_key = ""
+        self.task_started = 0.0
+        self.completed = 0
+        self.busy_seconds = 0.0
+        self.born = time.monotonic()
+
+    def begin(self, key: str) -> None:
+        self.task_key = key
+        self.task_started = time.monotonic()
+
+    def finish(self) -> None:
+        if self.task_key:
+            self.busy_seconds += time.monotonic() - self.task_started
+        self.task_key = ""
+        self.completed += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        busy = self.busy_seconds
+        if self.task_key:
+            busy += time.monotonic() - self.task_started
+        return {
+            "busy": self.task_key,
+            "completed": self.completed,
+            "uptime": round(time.monotonic() - self.born, 3),
+            "busy_seconds": round(busy, 3),
+        }
+
+
+def _heartbeat_loop(
+    recorder: FlightRecorder, state: _WorkerFlightState, interval: float
+) -> None:  # pragma: no cover - daemon thread timing
+    while True:
+        time.sleep(interval)
+        recorder.emit("worker-heartbeat", **state.snapshot())
+
+
+def install_worker_flight() -> Tuple[Optional[FlightRecorder], Optional[_WorkerFlightState]]:
+    """Worker-process setup: if the supervisor exported
+    :data:`ENV_EVENT_LOG`, open a recorder on the shared event log, emit
+    ``worker-spawn``, and start the daemon heartbeat thread.
+
+    Returns ``(recorder, state)`` — both ``None`` when recording is off.
+    """
+    path = os.environ.get(ENV_EVENT_LOG)
+    if not path:
+        return None, None
+    recorder = FlightRecorder(path, source="worker")
+    state = _WorkerFlightState()
+    recorder.emit("worker-spawn", **state.snapshot())
+    try:
+        interval = float(os.environ.get(ENV_HEARTBEAT, DEFAULT_HEARTBEAT))
+    except ValueError:
+        interval = DEFAULT_HEARTBEAT
+    interval = max(0.05, interval)
+    threading.Thread(
+        target=_heartbeat_loop,
+        args=(recorder, state, interval),
+        name="flight-heartbeat",
+        daemon=True,
+    ).start()
+    return recorder, state
+
+
+__all__ = [
+    "CampaignState",
+    "DEFAULT_HEARTBEAT",
+    "ENV_EVENT_LOG",
+    "ENV_HEARTBEAT",
+    "EVENT_KINDS",
+    "FlightLog",
+    "FlightRecorder",
+    "SCHEMA",
+    "SweepProgress",
+    "TextfileExporter",
+    "events_path_for",
+    "follow",
+    "install_worker_flight",
+    "parse_event_line",
+    "read_events",
+    "scenario_story",
+    "summarize_events",
+]

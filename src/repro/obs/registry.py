@@ -96,6 +96,31 @@ def _format_labels(key: LabelKey) -> str:
     return "{" + inner + "}"
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus exposition-format label-value escaping: backslash,
+    double-quote, and newline must be escaped or the series line is
+    unparseable (a label value is free text — scenario labels and error
+    strings end up here)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """``# HELP`` lines escape only backslash and newline."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_labels_prom(key: LabelKey) -> str:
+    """Like :func:`_format_labels` but with exposition-format escaping —
+    used only by the Prometheus exporter so the JSON ``snapshot()`` keys
+    stay byte-stable."""
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in key)
+    return "{" + inner + "}"
+
+
 class _Metric:
     """Shared naming/help plumbing for all instrument types."""
 
@@ -326,12 +351,17 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition format (one block per metric)."""
+        """Prometheus text exposition format (one block per metric).
+
+        Every instrument gets ``# HELP`` and ``# TYPE`` lines (HELP even
+        when the help text is empty, so scrapers always see the pair),
+        and label values / help text are escaped per the format
+        (backslash, double-quote, newline).
+        """
         lines: List[str] = []
         for name in self.names():
             metric = self._metrics[name]
-            if metric.help_text:
-                lines.append(f"# HELP {name} {metric.help_text}")
+            lines.append(f"# HELP {name} {_escape_help(metric.help_text)}")
             lines.append(f"# TYPE {name} {metric.type_name}")
             if isinstance(metric, HistogramMetric):
                 for key in sorted(metric._counts):
@@ -343,15 +373,20 @@ class MetricsRegistry:
                         cumulative += count
                         le_key = key + (("le", bound),)
                         lines.append(
-                            f"{name}_bucket{_format_labels(le_key)} {cumulative}"
+                            f"{name}_bucket{_format_labels_prom(le_key)} "
+                            f"{cumulative}"
                         )
                     lines.append(
-                        f"{name}_sum{_format_labels(key)} {metric._sums[key]:.9g}"
+                        f"{name}_sum{_format_labels_prom(key)} "
+                        f"{metric._sums[key]:.9g}"
                     )
                     lines.append(
-                        f"{name}_count{_format_labels(key)} {metric._totals[key]}"
+                        f"{name}_count{_format_labels_prom(key)} "
+                        f"{metric._totals[key]}"
                     )
             else:
                 for key, value in metric.series():
-                    lines.append(f"{name}{_format_labels(key)} {value:.9g}")
+                    lines.append(
+                        f"{name}{_format_labels_prom(key)} {value:.9g}"
+                    )
         return "\n".join(lines) + ("\n" if lines else "")

@@ -274,6 +274,7 @@ def run_validation(
     relations: Optional[Sequence[str]] = None,
     jobs: int = 1,
     timeout: Optional[float] = None,
+    progress: bool = False,
 ) -> List[RelationResult]:
     """Check every selected relation against ``num_scenarios`` seeded random
     scenarios; returns one result per (relation, scenario) pair.
@@ -284,7 +285,9 @@ def run_validation(
     identical — order included — for any worker count, and a worker killed
     mid-check (OOM, nightly-CI eviction) is retried instead of aborting
     the whole sweep.  ``timeout`` additionally bounds each check's wall
-    clock so one wedged check cannot stall a nightly run.
+    clock so one wedged check cannot stall a nightly run.  ``progress``
+    renders a live completed/failed/ETA line on stderr (routing the sweep
+    through the executor even at ``jobs=1``; results are unchanged).
     """
     names = list(relations) if relations else sorted(RELATIONS)
     unknown = [n for n in names if n not in RELATIONS]
@@ -292,10 +295,11 @@ def run_validation(
         raise KeyError(f"unknown relations: {unknown}; have {sorted(RELATIONS)}")
     specs = sample_scenarios(num_scenarios, seed)
     pairs = [(name, spec) for spec in specs for name in names]
-    if jobs == 1 and timeout is None:
+    if jobs == 1 and timeout is None and not progress:
         return [check_relation(name, spec) for name, spec in pairs]
     from repro.exec import pmap
 
     return pmap(  # type: ignore[return-value]
-        _check_pair, pairs, jobs=jobs, timeout=timeout, retries=1
+        _check_pair, pairs, jobs=jobs, timeout=timeout, retries=1,
+        progress=progress,
     )

@@ -69,3 +69,79 @@ def test_bench_micro_only_writes_gateable_document(tmp_path):
                     "--check", str(out), "--tolerance", "25.0")
     assert check.returncode == 0, check.stderr
     assert "pass" in check.stdout
+
+
+def test_runs_empty_ledger(tmp_path):
+    proc = run_cli("runs", "--ledger", str(tmp_path / "none.jsonl"))
+    assert proc.returncode == 0, proc.stderr
+    assert "no recorded runs" in proc.stdout
+
+
+def test_runs_lists_ledger_records(tmp_path):
+    ledger = tmp_path / "ledger.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(REPO_SRC)
+    script = (
+        "from repro.obs.ledger import record_run\n"
+        f"record_run('sweep', started='2026-08-08T01:00:00',"
+        f" wall_seconds=1.25, outcome='ok',"
+        f" counts={{'executed': 4}}, ledger={str(ledger)!r})\n"
+        f"record_run('bench', started='2026-08-08T02:00:00',"
+        f" wall_seconds=2.5, outcome='partial',"
+        f" counts={{'executed': 8, 'quarantined': 1}},"
+        f" ledger={str(ledger)!r})\n"
+    )
+    subprocess.run([sys.executable, "-c", script], check=True, env=env)
+
+    proc = run_cli("runs", "--ledger", str(ledger))
+    assert proc.returncode == 0, proc.stderr
+    assert "sweep" in proc.stdout
+    assert "bench" in proc.stdout
+    assert "partial" in proc.stdout
+
+    as_json = run_cli("runs", "--ledger", str(ledger), "--json")
+    records = json.loads(as_json.stdout)
+    assert [r["kind"] for r in records] == ["sweep", "bench"]
+    assert records[0]["schema"] == "repro.obs.ledger/v1"
+
+    last = run_cli("runs", "--ledger", str(ledger), "--last", "1")
+    assert "bench" in last.stdout
+    assert "2026-08-08T01:00:00" not in last.stdout
+
+
+def test_report_trend_over_committed_results():
+    proc = run_cli("report", "--trend")
+    assert proc.returncode == 0, proc.stderr
+    assert "series" in proc.stdout
+    assert "sweep.normalized_cell_cost" in proc.stdout
+
+
+def test_report_strict_gates_on_synthetic_regression(tmp_path):
+    def doc(date, cost):
+        return {
+            "schema": "repro.bench/v1",
+            "date": date,
+            "sweep": {"normalized_cell_cost": cost},
+            "microbench": {"benchmarks": {}},
+        }
+
+    (tmp_path / "BENCH_2026-08-01.json").write_text(
+        json.dumps(doc("2026-08-01", 100.0)))
+    (tmp_path / "BENCH_2026-08-02.json").write_text(
+        json.dumps(doc("2026-08-02", 200.0)))
+
+    soft = run_cli("report", "--trend", "--results", str(tmp_path))
+    assert soft.returncode == 0, soft.stderr
+    assert "regress" in soft.stderr
+
+    strict = run_cli("report", "--trend", "--results", str(tmp_path),
+                     "--strict")
+    assert strict.returncode == 1
+
+    # within tolerance the strict gate passes
+    (tmp_path / "BENCH_2026-08-03.json").write_text(
+        json.dumps(doc("2026-08-03", 205.0)))
+    ok = run_cli("report", "--trend", "--results", str(tmp_path),
+                 "--strict")
+    assert ok.returncode == 0, ok.stderr
+    assert "trend gate: pass" in ok.stdout

@@ -7,12 +7,21 @@ and supervisor interrupts with journaled resume.  The whole file carries
 the ``chaos`` marker so CI can run it as its own hard-timeout job.
 """
 
+import os
+import shutil
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.api import Scenario, sweep
 from repro.errors import ConfigurationError
 from repro.exec import ResultCache, SweepJournal, SweepOutcome, sweep_digest
 from repro.exec.chaos import ChaosError, ChaosPlan, corrupt_cache_entry, maybe_inject
+from repro.obs.flight import read_events, scenario_story, summarize_events
 
 pytestmark = pytest.mark.chaos
 
@@ -196,6 +205,144 @@ def test_resume_after_completion_is_pure_replay(tmp_path):
     assert again.stats["journal_replayed"] == 6
     assert again.stats["executed"] == 0
     assert list(again) == first
+
+
+def _export_chaos_artifact(events_path):
+    """Copy the event log into ``REPRO_CHAOS_EVENTS_DIR`` when CI asks for
+    it (the chaos job uploads that directory as a build artifact)."""
+    art_dir = os.environ.get("REPRO_CHAOS_EVENTS_DIR")
+    if art_dir:
+        dest = Path(art_dir)
+        dest.mkdir(parents=True, exist_ok=True)
+        shutil.copy(events_path, dest / "chaos-acceptance.events.jsonl")
+
+
+def test_flight_recorder_reconstructs_the_chaos_story(
+    tmp_path, serial_baseline
+):
+    """ISSUE acceptance: with the flight recorder enabled, a chaotic jobs=4
+    sweep (one worker SIGKILL, one hang cleared by timeout) still returns
+    results byte-identical to the serial baseline, and the event log
+    reconstructs the full retry/respawn/quarantine story — every
+    ``ScenarioFailure`` in the outcome has matching events."""
+    crash_idx, hang_idx = 5, 11
+    events_path = tmp_path / "chaos.events.jsonl"
+    plan = ChaosPlan(
+        crash_once=(DIGESTS[crash_idx],),
+        hang=((DIGESTS[hang_idx], 30.0),),
+        state_dir=str(tmp_path / "chaos-state"),
+    )
+    with plan.installed():
+        outcome = sweep(
+            SCENARIOS, jobs=4, timeout=2.0, retries=1, on_error="collect",
+            events=events_path,
+        )
+
+    # recording on: same quarantine verdict, byte-identical survivors
+    assert outcome.failed_indices() == [hang_idx]
+    for index, result in enumerate(outcome.results):
+        if index != hang_idx:
+            assert result.trace_digest == serial_baseline[index].trace_digest
+
+    events = read_events(events_path)
+    counts = summarize_events(events)
+    assert counts["sweep-begin"] == 1
+    assert counts["sweep-end"] == 1
+    assert counts["worker-spawn"] >= 4
+    assert counts["worker-respawn"] == outcome.stats["worker_respawns"]
+    assert counts["worker-crash"] == outcome.stats["worker_crashes"] == 1
+    assert counts["scenario-timed-out"] == outcome.stats["timeouts"]
+    assert counts["scenario-quarantined"] == len(outcome.failures) == 1
+
+    # every quarantined failure has a matching event narrative
+    for failure in outcome.failures:
+        story = scenario_story(events, failure.digest)
+        kinds = [e["event"] for e in story]
+        assert kinds.count("scenario-dispatched") == failure.attempts
+        assert kinds.count("scenario-timed-out") == failure.attempts
+        assert kinds.count("scenario-retried") == failure.attempts - 1
+        quarantined = story[-1]
+        assert quarantined["event"] == "scenario-quarantined"
+        assert quarantined["kind"] == failure.kind
+        assert quarantined["attempts"] == failure.attempts
+        assert quarantined["index"] == failure.index
+
+    # the SIGKILLed worker's scenario: crash, retry, then clean finish
+    crash_story = [
+        e["event"] for e in scenario_story(events, DIGESTS[crash_idx])
+    ]
+    assert "worker-crash" in crash_story
+    assert "scenario-retried" in crash_story
+    assert crash_story.count("scenario-finished") == 1
+    _export_chaos_artifact(events_path)
+
+
+def test_repro_tail_follows_a_running_j4_sweep(tmp_path):
+    """ISSUE acceptance: ``repro tail -f`` attached to the event log of a
+    running ``jobs=4`` sweep renders live progress and exits on its own
+    when the sweep finishes."""
+    events_path = tmp_path / "live.events.jsonl"
+    hang_idx = 7
+    plan = ChaosPlan(
+        hang=((DIGESTS[hang_idx], 30.0),),
+        state_dir=str(tmp_path / "chaos-state"),
+    )
+    done: dict = {}
+
+    def run():
+        with plan.installed():
+            done["outcome"] = sweep(
+                SCENARIOS, jobs=4, timeout=1.5, retries=1,
+                on_error="collect", events=events_path,
+            )
+
+    sweeper = threading.Thread(target=run)
+    sweeper.start()
+    try:
+        deadline = time.monotonic() + 10.0
+        while not events_path.exists() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert events_path.exists(), "sweep never opened its event log"
+        root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(root / "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "tail", str(events_path),
+             "--follow", "--interval", "0.1", "--max-seconds", "30"],
+            capture_output=True, text=True, timeout=60, env=env,
+            cwd=str(root),
+        )
+    finally:
+        sweeper.join()
+    assert proc.returncode == 0, proc.stderr
+    assert "event log" in proc.stdout
+    # live progress lines, a terminal "done" render, and the worker table
+    assert "sweep " in proc.stdout
+    assert "done" in proc.stdout
+    assert "worker " in proc.stdout
+    outcome = done["outcome"]
+    assert outcome.failed_indices() == [hang_idx]
+    final_counts = summarize_events(read_events(events_path))
+    assert final_counts["sweep-end"] == 1
+
+
+def test_repro_tail_renders_a_finished_journal(tmp_path):
+    """``repro tail`` against a finished journal reports its outcome tally
+    without following."""
+    scenarios = SCENARIOS[:6]
+    sweep(scenarios, jobs=2, resume=True, journal=tmp_path)
+    journal = SweepJournal.for_sweep(
+        tmp_path, [s.digest() for s in scenarios]
+    )
+    root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(root / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "tail", str(journal.path)],
+        capture_output=True, text=True, timeout=60, env=env, cwd=str(root),
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "6 ok (6 distinct scenarios)" in proc.stdout
 
 
 def test_journal_is_order_insensitive(tmp_path):

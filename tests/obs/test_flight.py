@@ -1,0 +1,364 @@
+"""Flight-recorder unit tests: event log read/write, tail semantics,
+campaign-state reduction, progress rendering, textfile export."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.obs.flight import (
+    EVENT_KINDS,
+    SCHEMA,
+    CampaignState,
+    FlightLog,
+    FlightRecorder,
+    SweepProgress,
+    TextfileExporter,
+    events_path_for,
+    follow,
+    parse_event_line,
+    read_events,
+    scenario_story,
+    summarize_events,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+# --------------------------------------------------------------------- #
+# recorder / log round-trip
+# --------------------------------------------------------------------- #
+
+
+def test_recorder_writes_schema_tagged_jsonl(tmp_path):
+    path = tmp_path / "ev.jsonl"
+    with FlightRecorder(path, clock=lambda: 123.456) as rec:
+        rec.emit("sweep-begin", total=3, jobs=2)
+        rec.emit("scenario-finished", digest="d" * 64, seconds=0.5)
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first["schema"] == SCHEMA
+    assert first["event"] == "sweep-begin"
+    assert first["src"] == "supervisor"
+    assert first["pid"] == os.getpid()
+    assert first["ts"] == 123.456
+    assert first["total"] == 3
+
+
+def test_recorder_appends_across_instances(tmp_path):
+    """Two recorders on the same path (supervisor + worker in real life)
+    interleave whole lines, never bytes."""
+    path = tmp_path / "ev.jsonl"
+    a = FlightRecorder(path, source="supervisor")
+    b = FlightRecorder(path, source="worker")
+    a.emit("sweep-begin", total=1)
+    b.emit("worker-spawn")
+    a.emit("sweep-end")
+    a.close()
+    b.close()
+    events = read_events(path)
+    assert [e["event"] for e in events] == [
+        "sweep-begin", "worker-spawn", "sweep-end",
+    ]
+    assert {e["src"] for e in events} == {"supervisor", "worker"}
+
+
+def test_recorder_io_failure_disables_not_raises(tmp_path):
+    rec = FlightRecorder(tmp_path / "sub" / "ev.jsonl")
+    rec.emit("sweep-begin")
+    os.chmod(tmp_path / "sub" / "ev.jsonl", 0o444)
+    # closing the fd and forcing a reopen on a read-only file must not raise
+    rec.close()
+    rec._fd = None
+    rec._dead = False
+    try:
+        os.chmod(tmp_path / "sub", 0o555)
+        rec.emit("sweep-end")  # may or may not land; must not raise
+    finally:
+        os.chmod(tmp_path / "sub", 0o755)
+
+
+def test_recorder_increments_registry_counter(tmp_path):
+    registry = MetricsRegistry()
+    rec = FlightRecorder(tmp_path / "ev.jsonl", registry=registry)
+    rec.emit("cache-hit")
+    rec.emit("cache-hit")
+    rec.close()
+    assert registry.counter("flight_events_total").value(event="cache-hit") == 2
+
+
+def test_flight_log_fans_out_and_finds_record_path(tmp_path):
+    rec = FlightRecorder(tmp_path / "ev.jsonl")
+    progress = SweepProgress(stream=_NullStream())
+    log = FlightLog([rec, progress, None])
+    assert log.record_path == rec.path
+    log.emit("sweep-begin", total=2, jobs=1)
+    log.emit("sweep-end")
+    log.close()
+    assert [e["event"] for e in read_events(rec.path)] == [
+        "sweep-begin", "sweep-end",
+    ]
+    assert progress.state.finished
+
+
+def test_events_path_for_rides_alongside_journal(tmp_path):
+    journal = tmp_path / "journal" / ("a" * 64 + ".jsonl")
+    assert events_path_for(journal) == (
+        tmp_path / "journal" / ("a" * 64 + ".events.jsonl")
+    )
+
+
+# --------------------------------------------------------------------- #
+# reading: truncation tolerance, foreign lines, follow
+# --------------------------------------------------------------------- #
+
+
+def test_parse_event_line_rejects_garbage_and_foreign_schemas():
+    assert parse_event_line("") is None
+    assert parse_event_line("not json") is None
+    assert parse_event_line('{"schema": "other/v1", "event": "x"}') is None
+    assert parse_event_line(json.dumps({"schema": SCHEMA, "event": 3})) is None
+    good = json.dumps({"schema": SCHEMA, "event": "cache-hit"})
+    assert parse_event_line(good)["event"] == "cache-hit"
+
+
+def test_read_events_drops_unterminated_tail(tmp_path):
+    path = tmp_path / "ev.jsonl"
+    full = json.dumps({"schema": SCHEMA, "event": "sweep-begin"}) + "\n"
+    partial = json.dumps({"schema": SCHEMA, "event": "sweep-end"})[:-4]
+    path.write_text(full + partial)
+    events = read_events(path)
+    assert [e["event"] for e in events] == ["sweep-begin"]
+    # once the writer finishes the line, the reader sees it
+    with open(path, "a") as fh:
+        fh.write(json.dumps({"schema": SCHEMA, "event": "sweep-end"})[-4:] + "\n")
+    assert [e["event"] for e in read_events(path)] == [
+        "sweep-begin", "sweep-end",
+    ]
+
+
+def test_read_events_missing_file_is_empty(tmp_path):
+    assert read_events(tmp_path / "nope.jsonl") == []
+
+
+def test_follow_yields_events_as_they_land(tmp_path):
+    path = tmp_path / "ev.jsonl"
+    path.write_text("")
+    seen = []
+    done = threading.Event()
+
+    def writer():
+        rec = FlightRecorder(path)
+        for i in range(5):
+            rec.emit("scenario-finished", index=i)
+            time.sleep(0.02)
+        rec.emit("sweep-end")
+        rec.close()
+        done.set()
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    for record in follow(path, poll=0.02, max_seconds=10.0):
+        seen.append(record["event"])
+        if record["event"] == "sweep-end":
+            break
+    thread.join()
+    assert seen == ["scenario-finished"] * 5 + ["sweep-end"]
+
+
+def test_follow_respects_max_seconds(tmp_path):
+    path = tmp_path / "ev.jsonl"
+    path.write_text("")
+    t0 = time.monotonic()
+    assert list(follow(path, poll=0.05, max_seconds=0.2)) == []
+    assert time.monotonic() - t0 < 5.0
+
+
+# --------------------------------------------------------------------- #
+# concurrent append + read (satellite: tail semantics under load)
+# --------------------------------------------------------------------- #
+
+
+def test_concurrent_appenders_never_corrupt_lines(tmp_path):
+    """Many threads appending through separate recorders (the worst case
+    the multi-process log sees) produce only whole, parseable lines."""
+    path = tmp_path / "ev.jsonl"
+    n_threads, n_events = 8, 50
+
+    def appender(tid):
+        rec = FlightRecorder(path, source=f"worker{tid}")
+        for i in range(n_events):
+            rec.emit("scenario-finished", digest=f"{tid}:{i}", payload="x" * 200)
+        rec.close()
+
+    threads = [
+        threading.Thread(target=appender, args=(t,)) for t in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    # read continuously while writers run: never raises, only whole events
+    while any(t.is_alive() for t in threads):
+        for event in read_events(path):
+            assert event["event"] == "scenario-finished"
+    for t in threads:
+        t.join()
+    events = read_events(path)
+    assert len(events) == n_threads * n_events
+    assert len({e["digest"] for e in events}) == n_threads * n_events
+
+
+# --------------------------------------------------------------------- #
+# campaign-state reduction
+# --------------------------------------------------------------------- #
+
+
+def _feed(state, event, **fields):
+    state.on_event(event, fields)
+
+
+def test_campaign_state_counts_and_eta():
+    state = CampaignState()
+    _feed(state, "sweep-begin", total=10, jobs=2, ts=100.0)
+    for _ in range(2):
+        _feed(state, "cache-hit")
+    for i in range(4):
+        _feed(state, "scenario-finished", seconds=2.0)
+    _feed(state, "scenario-retried")
+    _feed(state, "scenario-quarantined")
+    assert state.completed() == 6
+    assert state.done() == 7
+    assert state.remaining() == 3
+    assert state.mean_scenario_seconds() == pytest.approx(2.0)
+    assert state.eta_seconds() == pytest.approx(3 * 2.0 / 2)
+    line = state.render_line()
+    assert "7/10" in line
+    assert "1 FAILED" in line
+    assert "retries=1" in line
+    assert "eta" in line
+
+
+def test_campaign_state_tracks_workers_from_heartbeats():
+    state = CampaignState()
+    _feed(state, "worker-spawn", pid=101, busy="", completed=0,
+          uptime=0.0, busy_seconds=0.0, ts=1.0)
+    _feed(state, "worker-heartbeat", pid=101, busy="d" * 64, completed=3,
+          uptime=10.0, busy_seconds=8.0, ts=11.0)
+    assert state.worker_utilization(101) == pytest.approx(0.8)
+    lines = state.render_workers(now=12.0)
+    assert len(lines) == 1
+    assert "worker 101" in lines[0]
+    assert "busy" in lines[0]
+    assert "3 completed" in lines[0]
+    assert "heartbeat 1.0s ago" in lines[0]
+
+
+def test_campaign_state_terminal_events():
+    state = CampaignState()
+    _feed(state, "sweep-begin", total=1, jobs=1)
+    _feed(state, "sweep-interrupted")
+    assert state.interrupted and not state.finished
+    assert "INTERRUPTED" in state.render_line()
+    state2 = CampaignState()
+    _feed(state2, "sweep-end")
+    assert state2.finished
+    assert "done" in state2.render_line()
+
+
+def test_event_kinds_cover_reducer():
+    """Every kind the executor emits is a known kind (guards against a
+    typo'd emit site silently never reducing)."""
+    state = CampaignState()
+    for kind in EVENT_KINDS:
+        state.on_event(kind, {})  # must not raise
+
+
+# --------------------------------------------------------------------- #
+# progress renderer / textfile exporter
+# --------------------------------------------------------------------- #
+
+
+class _NullStream:
+    def __init__(self):
+        self.writes = []
+
+    def write(self, text):
+        self.writes.append(text)
+
+    def flush(self):
+        pass
+
+    def isatty(self):
+        return False
+
+
+def test_progress_throttles_and_always_renders_final():
+    stream = _NullStream()
+    clock = [0.0]
+    progress = SweepProgress(stream=stream, interval=1.0, clock=lambda: clock[0])
+    progress.on_event("sweep-begin", {"total": 100, "jobs": 2})
+    for _ in range(50):  # same instant: all throttled after the first
+        progress.on_event("scenario-finished", {"seconds": 0.1})
+    assert len(stream.writes) == 1
+    progress.on_event("sweep-end", {})
+    progress.close()
+    assert len(stream.writes) == 2
+    assert "done" in stream.writes[-1]
+
+
+def test_progress_heartbeats_never_force_redraw():
+    stream = _NullStream()
+    progress = SweepProgress(stream=stream, interval=0.0)
+    for _ in range(10):
+        progress.on_event("worker-heartbeat", {"pid": 1})
+    assert stream.writes == []
+
+
+def test_textfile_exporter_atomic_refresh(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("exec_scenarios_total", "scenarios run").inc(7)
+    path = tmp_path / "repro.prom"
+    clock = [0.0]
+    exporter = TextfileExporter(path, registry, interval=10.0,
+                                clock=lambda: clock[0])
+    exporter.on_event("sweep-begin", {"total": 4, "jobs": 2})
+    text = path.read_text()
+    assert 'sweep_progress{phase="total"} 4' in text
+    assert "exec_scenarios_total 7" in text
+    assert "# TYPE sweep_progress gauge" in text
+    # throttled: same instant refreshes are skipped...
+    exporter.on_event("scenario-finished", {})
+    assert 'phase="completed"} 0' in path.read_text()
+    # ...but the terminal event always refreshes
+    exporter.on_event("sweep-end", {})
+    assert 'phase="completed"} 1' in path.read_text()
+    assert not path.with_name(path.name + ".tmp").exists()
+    exporter.close()
+
+
+# --------------------------------------------------------------------- #
+# story reconstruction helpers
+# --------------------------------------------------------------------- #
+
+
+def test_scenario_story_and_summary(tmp_path):
+    rec = FlightRecorder(tmp_path / "ev.jsonl")
+    d1, d2 = "a" * 64, "b" * 64
+    rec.emit("scenario-dispatched", digest=d1)
+    rec.emit("scenario-dispatched", digest=d2)
+    rec.emit("scenario-retried", digest=d1, kind="error")
+    rec.emit("scenario-quarantined", digest=d1, kind="error", attempts=2)
+    rec.emit("scenario-finished", digest=d2)
+    rec.close()
+    events = read_events(rec.path)
+    story = scenario_story(events, d1)
+    assert [e["event"] for e in story] == [
+        "scenario-dispatched", "scenario-retried", "scenario-quarantined",
+    ]
+    assert summarize_events(events) == {
+        "scenario-dispatched": 2,
+        "scenario-retried": 1,
+        "scenario-quarantined": 1,
+        "scenario-finished": 1,
+    }

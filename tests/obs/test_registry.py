@@ -158,6 +158,52 @@ class TestPrometheusExport:
     def test_empty_registry_exports_empty(self):
         assert MetricsRegistry().to_prometheus() == ""
 
+    def test_every_instrument_gets_help_and_type(self):
+        """# HELP / # TYPE pairs appear even when the help text is empty
+        (the exposition-format hardening satellite)."""
+        reg = MetricsRegistry()
+        reg.counter("no_help_total")
+        reg.gauge("g", "a gauge")
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        text = reg.to_prometheus()
+        for name in ("no_help_total", "g", "h"):
+            assert f"# HELP {name}" in text
+            assert f"# TYPE {name}" in text
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc(
+            1, label='quote " backslash \\ newline \n end'
+        )
+        text = reg.to_prometheus()
+        assert (
+            'c_total{label="quote \\" backslash \\\\ newline \\n end"} 1'
+            in text
+        )
+        assert "\n\n" not in text  # the raw newline never splits a line
+
+    def test_histogram_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0,)).observe(0.5, op='a"b')
+        text = reg.to_prometheus()
+        assert 'h_bucket{op="a\\"b",le="1.0"} 1' in text
+        assert 'h_sum{op="a\\"b"} 0.5' in text
+        assert 'h_count{op="a\\"b"} 1' in text
+
+    def test_help_text_is_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "line one\nline two \\ slash")
+        text = reg.to_prometheus()
+        assert "# HELP c_total line one\\nline two \\\\ slash" in text
+
+    def test_snapshot_keys_unchanged_by_escaping(self):
+        """Escaping is exposition-only: the JSON snapshot keys keep the
+        raw label values byte-for-byte."""
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc(1, label='a"b')
+        snap = reg.snapshot()
+        assert snap["c_total"]["series"] == {'{label="a"b"}': 1.0}
+
 
 class TestSimulationPublishesMetrics:
     def test_engine_populates_registry(self, healthy_result):
