@@ -45,6 +45,55 @@ SCENARIOS = {
 }
 
 
+def run_fidelity_bench(group_id: int = 1) -> Dict[str, object]:
+    """Wall-time a contention-free Table-3-style grid (t=1, p=1, so no
+    pipeline p2p shares a NIC with the data-parallel rings) at the
+    ``executed`` and ``auto`` fidelity tiers.
+
+    The recorded ``speedup`` is the committed tiered-throughput point the
+    drift gate holds at ``fidelity.min_speedup`` (>= 10x): on this grid
+    the ``auto`` tier prices every collective as one aggregate closed-form
+    event, so a speedup collapse means the analytic fast path stopped
+    engaging.  ``worst_rel_deviation`` double-checks the tiers still agree.
+    """
+    import time
+
+    from repro.api import Scenario, simulate
+
+    group = PARAM_GROUPS[group_id]
+
+    def grid(fidelity: str):
+        return [
+            Scenario.from_group(
+                env, nodes, group, tensor=1, pipeline=1, data=0,
+                global_batch_size=0, num_microbatches=2,
+                trace_enabled=False, fidelity=fidelity,
+            )
+            for env in ("ib", "roce", "ethernet")
+            for nodes in (4, 8)
+        ]
+
+    t0 = time.perf_counter()
+    executed = [simulate(s) for s in grid("executed")]
+    executed_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    auto = [simulate(s) for s in grid("auto")]
+    auto_s = time.perf_counter() - t0
+    worst_rel = max(
+        abs(a.iteration_time - e.iteration_time) / e.iteration_time
+        for a, e in zip(auto, executed)
+    )
+    return {
+        "grid": "contention-free table3-style (t=1 p=1; "
+                "ib/roce/ethernet x 4,8 nodes)",
+        "cells": len(executed),
+        "executed_seconds": executed_s,
+        "auto_seconds": auto_s,
+        "speedup": executed_s / auto_s if auto_s > 0 else 0.0,
+        "worst_rel_deviation": worst_rel,
+    }
+
+
 def run_bench(nodes: int, group_id: int) -> Dict[str, object]:
     """Run every scenario and assemble the BENCH document."""
     group = PARAM_GROUPS[group_id]
@@ -75,6 +124,7 @@ def run_bench(nodes: int, group_id: int) -> Dict[str, object]:
         "nodes": nodes,
         "group": group_id,
         "cases": cases,
+        "fidelity": run_fidelity_bench(group_id),
     }
 
 
@@ -99,6 +149,23 @@ def check_drift(bench: Dict, reference: Dict, tolerance: float) -> int:
             failures.append(
                 f"{name}: {actual:.2f} vs reference {expected:.2f} "
                 f"({drift * 100:.2f}% > {tolerance * 100:.1f}%)"
+            )
+    ref_fidelity = reference.get("fidelity")
+    if isinstance(ref_fidelity, dict):
+        fidelity = bench.get("fidelity", {})
+        speedup = float(fidelity.get("speedup", 0.0))
+        floor = float(ref_fidelity.get("min_speedup", 10.0))
+        status = "FAIL" if speedup < floor else "ok"
+        print(
+            f"  {'fidelity':10s} {speedup:8.1f}x auto-tier speedup "
+            f"(floor {floor:.1f}x, worst deviation "
+            f"{float(fidelity.get('worst_rel_deviation', 0.0)) * 100:.3f}%) "
+            f"{status}"
+        )
+        if speedup < floor:
+            failures.append(
+                f"fidelity: auto-tier speedup {speedup:.1f}x fell below the "
+                f"{floor:.1f}x floor — the analytic fast path stopped engaging"
             )
     if failures:
         print("\nbenchmark drift detected:", file=sys.stderr)
@@ -140,6 +207,13 @@ def main(argv=None) -> int:
         print(f"  {name:10s} {case['tflops_per_gpu']:8.2f} TFLOPS  "
               f"{case['iteration_seconds']:7.3f}s/iter")
 
+    fidelity = bench.get("fidelity", {})
+    if fidelity:
+        print(
+            f"  {'fidelity':10s} {fidelity['speedup']:8.1f}x auto-tier "
+            f"speedup on {fidelity['cells']} contention-free cells"
+        )
+
     if args.write_reference:
         reference = {
             "schema": BENCH_SCHEMA,
@@ -149,6 +223,10 @@ def main(argv=None) -> int:
                 name: {"tflops_per_gpu": case["tflops_per_gpu"]}
                 for name, case in bench["cases"].items()
             },
+            # speedup floor, not a drift band: wall-clock ratios are noisy
+            # across runners, but a healthy analytic fast path clears 10x
+            # with 2-3x of margin (typically 20-35x)
+            "fidelity": {"min_speedup": 10.0},
         }
         with open(REFERENCE_PATH, "w") as fh:
             json.dump(reference, fh, indent=2)

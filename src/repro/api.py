@@ -45,6 +45,7 @@ from repro.frameworks.megatron_deepspeed import MEGATRON_DEEPSPEED
 from repro.frameworks.megatron_llama import MEGATRON_LLAMA
 from repro.frameworks.megatron_lm import MEGATRON_LM
 from repro.model.config import GPTConfig
+from repro.network.contention import FIDELITY_MODES
 from repro.parallel.degrees import ParallelConfig
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -163,6 +164,13 @@ class Scenario:
     trace_enabled: bool = True
     validate: bool = False
     tie_embeddings: bool = False
+    #: simulation fidelity tier: ``"executed"`` (per-step DES),
+    #: ``"analytic"`` (closed-form everywhere; refuses contended
+    #: scenarios), or ``"auto"`` (closed form where provably exact, DES
+    #: elsewhere — see :class:`repro.network.contention.FidelityPolicy`).
+    #: Part of the canonical identity: ``auto`` results never alias
+    #: ``executed`` ones in the result cache.
+    fidelity: str = "executed"
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -180,6 +188,10 @@ class Scenario:
         if self.schedule not in _SCHEDULES:
             raise ConfigurationError(
                 f"unknown schedule {self.schedule!r}; one of {_SCHEDULES}"
+            )
+        if self.fidelity not in FIDELITY_MODES:
+            raise ConfigurationError(
+                f"unknown fidelity {self.fidelity!r}; one of {FIDELITY_MODES}"
             )
         if self.nodes < 1 or self.gpus_per_node < 1:
             raise ConfigurationError(
@@ -349,6 +361,7 @@ class Scenario:
             "trace_enabled": self.trace_enabled,
             "validate": self.validate,
             "tie_embeddings": self.tie_embeddings,
+            "fidelity": self.fidelity,
             "label": self.label,
         }
 
@@ -396,6 +409,7 @@ class Scenario:
             trace_enabled=bool(data["trace_enabled"]),
             validate=bool(data["validate"]),
             tie_embeddings=bool(data["tie_embeddings"]),
+            fidelity=str(data.get("fidelity", "executed")),
             label=str(data["label"]),
         )
 
@@ -450,9 +464,10 @@ class Scenario:
         elif self.fault_events:
             faults = f", faults({len(self.fault_events)} events)"
         name = self.label or "scenario"
+        tier = "" if self.fidelity == "executed" else f" <{self.fidelity}>"
         return (
             f"{name}: {self.env} {self.nodes}x{self.gpus_per_node} "
-            f"[{self.framework}], t{self.tensor} p{self.pipeline} "
+            f"[{self.framework}]{tier}, t{self.tensor} p{self.pipeline} "
             f"d{self.data} mb{self.micro_batch_size} m{self.num_microbatches} "
             f"{self.schedule}x{self.num_chunks}, "
             f"gpt({self.num_layers}L,{self.hidden_size}h,"
@@ -554,6 +569,7 @@ def build(scenario: Scenario):
         tie_embeddings=scenario.tie_embeddings,
         fault_plan=scenario.fault_plan(topo),
         validation=validation,
+        fidelity=scenario.fidelity,
     )
 
 
@@ -616,6 +632,7 @@ def sweep(
     progress: bool = False,
     textfile: Optional[object] = None,
     ledger: Optional[object] = None,
+    fidelity: Optional[str] = None,
 ) -> List[RunResult]:
     """Run a batch of scenarios; results come back in input order.
 
@@ -640,9 +657,21 @@ def sweep(
     ``progress=True`` renders a live status line on stderr, ``textfile``
     refreshes a Prometheus textfile mid-campaign, and ``ledger`` appends
     the run to the cross-run ledger (``True`` or a path).
+
+    ``fidelity`` (optional) overrides the fidelity tier of *every*
+    scenario in the batch — the campaign-level spelling of
+    ``Scenario.fidelity``.  The override participates in each scenario's
+    digest, so ``auto`` sweeps never alias ``executed`` cache entries.
     """
+    import dataclasses as _dc
+
     from repro.exec import run_sweep
 
+    if fidelity is not None:
+        scenarios = [
+            _dc.replace(scenario, fidelity=str(fidelity))
+            for scenario in scenarios
+        ]
     return run_sweep(
         scenarios,
         jobs=jobs,
@@ -661,6 +690,7 @@ def sweep(
 
 
 __all__ = [
+    "FIDELITY_MODES",
     "FRAMEWORK_PRESETS",
     "RunResult",
     "Scenario",

@@ -80,6 +80,7 @@ def collect_bench(
     resume: bool = False,
     progress: bool = False,
     textfile: Optional[str] = None,
+    fidelity: Optional[str] = None,
 ) -> Dict[str, object]:
     """Measure and assemble one benchmark document.
 
@@ -92,7 +93,10 @@ def collect_bench(
     clean finish must not leave journals that would hollow out the *next*
     run's timings).  ``progress`` / ``textfile`` enable the flight
     recorder's live surfaces (:mod:`repro.obs.flight`) on the sweep legs;
-    neither can change a result or a digest verdict.
+    neither can change a result or a digest verdict.  ``fidelity`` runs
+    every sweep cell at that tier (``executed`` | ``analytic`` | ``auto``;
+    recorded in ``doc["sweep"]["fidelity"]`` — the gate refuses to compare
+    documents measured at different tiers).
     """
     doc: Dict[str, object] = {
         "schema": SCHEMA,
@@ -105,6 +109,12 @@ def collect_bench(
 
     journal_root = _bench_journal_root() if resume else None
     scenarios = table3_scenarios(fast=fast)
+    if fidelity is not None:
+        import dataclasses
+
+        scenarios = [
+            dataclasses.replace(s, fidelity=fidelity) for s in scenarios
+        ]
     serial_s, serial = _timed_sweep(
         scenarios, jobs=1, timeout=timeout, resume=resume,
         journal=journal_root / "serial" if journal_root else None,
@@ -136,6 +146,7 @@ def collect_bench(
     cells = len(scenarios)
     doc["sweep"] = {
         "name": "table3" + ("-fast" if fast else ""),
+        "fidelity": fidelity or "executed",
         "cells": cells,
         "serial_seconds": serial_s,
         "serial_seconds_per_cell": serial_s / cells,
@@ -188,6 +199,14 @@ def check_bench(
         if not sweep_doc.get("digests_identical", False):
             failures.append(
                 "sweep: serial/parallel/cached results are NOT identical"
+            )
+        doc_tier = str(sweep_doc.get("fidelity", "executed"))
+        ref_tier = str(sweep_ref.get("fidelity", "executed"))
+        if doc_tier != ref_tier:
+            failures.append(
+                f"sweep: fidelity tier mismatch — document measured at "
+                f"{doc_tier!r} but reference at {ref_tier!r}; timings are "
+                "not comparable across tiers"
             )
         ref_cost = float(sweep_ref.get("normalized_cell_cost", 0.0))
         got_cost = float(sweep_doc.get("normalized_cell_cost", 0.0))

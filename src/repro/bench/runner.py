@@ -72,12 +72,14 @@ def run_framework_case(
     scenario: str = "",
     cost_config: Optional[CostModelConfig] = None,
     trace_enabled: bool = False,
+    fidelity: str = "executed",
 ) -> CaseResult:
     """Simulate one cell and summarise it."""
     parallel = group.parallel_for(topology.world_size)
     result = simulate_framework(
         spec, topology, parallel, group.model,
         cost_config=cost_config, trace_enabled=trace_enabled,
+        fidelity=fidelity,
     )
     return summarize(result, scenario, spec.name, group.group_id)
 
@@ -89,12 +91,14 @@ def run_holmes_case(
     full: bool = False,
     cost_config: Optional[CostModelConfig] = None,
     trace_enabled: bool = False,
+    fidelity: str = "executed",
 ) -> CaseResult:
     """Simulate Holmes (base or full configuration) on one cell."""
     spec = HOLMES_FULL if full else HOLMES_BASE
     return run_framework_case(
         spec, topology, group, scenario=scenario,
         cost_config=cost_config, trace_enabled=trace_enabled,
+        fidelity=fidelity,
     )
 
 

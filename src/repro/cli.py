@@ -23,7 +23,7 @@ from repro.bench.scenarios import (
     split_env,
 )
 from repro.bench.tables import format_table
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FidelityError
 from repro.hardware.nic import NICType
 
 ENV_CHOICES = ("ib", "roce", "ethernet", "hybrid", "split-ib", "split-roce")
@@ -45,6 +45,7 @@ COMMANDS: Dict[str, str] = {
     "tail": "progress of a running or finished sweep (journal/event log)",
     "runs": "list recorded sweep/bench/validate runs from the run ledger",
     "report": "cross-run BENCH trend table with a regression soft gate",
+    "cache": "result-cache stats and pruning (entries, journal debris)",
 }
 
 
@@ -63,6 +64,38 @@ def build_environment(name: str, nodes: int):
     if name == "split-roce":
         return split_env(nodes, NICType.ROCE)
     raise SystemExit(f"unknown environment {name!r}")
+
+
+def _parse_fidelity(value: str) -> str:
+    """Validate a ``--fidelity`` value, exiting 2 with a close-match hint
+    on anything that is not a known tier."""
+    from repro.network.contention import FIDELITY_MODES
+
+    if value in FIDELITY_MODES:
+        return value
+    import difflib
+
+    close = difflib.get_close_matches(value, FIDELITY_MODES, n=1)
+    hint = f" — did you mean {close[0]!r}?" if close else ""
+    print(
+        f"repro: unknown fidelity {value!r}{hint} "
+        f"(one of: {', '.join(FIDELITY_MODES)})",
+        file=sys.stderr,
+    )
+    raise SystemExit(2)
+
+
+def _add_fidelity_arg(parser: argparse.ArgumentParser, what: str) -> None:
+    parser.add_argument(
+        "--fidelity", default="executed", metavar="TIER",
+        help=f"simulation fidelity tier for {what}: 'executed' prices "
+             "every collective step and p2p transfer through the DES "
+             "(default); 'auto' prices uncontended, fault-free spans "
+             "analytically in one aggregate event (~10-35x faster, within "
+             "the documented 2%% tolerance) and drops contended spans "
+             "down to executed; 'analytic' refuses scenarios it cannot "
+             "price in closed form",
+    )
 
 
 def _add_machine_args(parser: argparse.ArgumentParser) -> None:
@@ -85,17 +118,21 @@ def resolve_machine(args: argparse.Namespace):
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     group = PARAM_GROUPS[args.group]
+    fidelity = _parse_fidelity(args.fidelity)
     if args.machine:
         topology = resolve_machine(args)
         result = run_holmes_case(
-            topology, group, scenario=args.env, full=not args.base
+            topology, group, scenario=args.env, full=not args.base,
+            fidelity=fidelity,
         )
         print(topology.describe())
     else:
         from repro.api import run
         from repro.bench.runner import case_scenario
 
-        scenario = case_scenario(args.env, args.nodes, group, full=not args.base)
+        scenario = case_scenario(
+            args.env, args.nodes, group, full=not args.base, fidelity=fidelity
+        )
         print(scenario.topology().describe())
         result = run(scenario)
     print(f"model: {group.model.describe()}")
@@ -514,11 +551,13 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
     from repro.obs.ledger import now_iso, record_run
 
+    fidelity = _parse_fidelity(args.fidelity)
     started_iso = now_iso()
     started_clock = _time.monotonic()
     results = run_validation(
         args.scenarios, seed=args.seed, relations=relations, jobs=args.jobs,
         timeout=args.timeout, progress=args.progress,
+        fidelity=None if fidelity == "executed" else fidelity,
     )
 
     # One sanitizer-armed pass over the raw scenarios so the report carries
@@ -526,7 +565,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
     # own private hooks).
     sanitizer = ValidationHooks()
     for spec in sample_scenarios(args.scenarios, args.seed):
-        spec.run(validation=sanitizer)
+        spec.run(validation=sanitizer, fidelity=fidelity)
 
     report = build_validation_report(
         results,
@@ -556,7 +595,11 @@ def cmd_validate(args: argparse.Namespace) -> int:
             "executed": report["summary"]["checks"],
             "quarantined": failed,
         },
-        summary={"scenarios": args.scenarios, "seed": args.seed},
+        summary={
+            "scenarios": args.scenarios,
+            "seed": args.seed,
+            "fidelity": fidelity,
+        },
     )
     return 0 if not failed else 1
 
@@ -571,6 +614,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.benchfile import check_bench, collect_bench, write_bench
     from repro.obs.ledger import now_iso, record_run
 
+    fidelity = _parse_fidelity(args.fidelity)
     started_iso = now_iso()
     started_clock = _time.monotonic()
     doc = collect_bench(
@@ -582,6 +626,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         resume=args.resume,
         progress=args.progress,
         textfile=args.textfile,
+        fidelity=None if fidelity == "executed" else fidelity,
     )
 
     micro = doc["microbench"]["benchmarks"]
@@ -592,8 +637,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(format_table(["microbench", "ns/op", "normalized"], rows))
     sweep_doc = doc.get("sweep")
     if sweep_doc:
+        tier = sweep_doc.get("fidelity", "executed")
+        tier_note = f" <{tier}>" if tier != "executed" else ""
         print(
-            f"\nsweep {sweep_doc['name']} ({sweep_doc['cells']} cells): "
+            f"\nsweep {sweep_doc['name']}{tier_note} "
+            f"({sweep_doc['cells']} cells): "
             f"serial {sweep_doc['serial_seconds']:.2f}s, "
             f"-j{sweep_doc['parallel_jobs']} {sweep_doc['parallel_seconds']:.2f}s "
             f"({sweep_doc['parallel_speedup']:.2f}x), "
@@ -616,7 +664,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"\nwrote benchmark document to {out}")
 
     identical = bool(sweep_doc["digests_identical"]) if sweep_doc else True
-    summary = {}
+    summary = {"fidelity": fidelity}
     if sweep_doc:
         summary["normalized_cell_cost"] = sweep_doc["normalized_cell_cost"]
     record_run(
@@ -820,6 +868,41 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Result-cache maintenance: entry/journal statistics (the default)
+    and explicit pruning.  ``--prune`` removes stale writer temp files;
+    adding ``--journals`` also reclaims aged sweep journals and event logs
+    — never done implicitly, since journals are what make an interrupted
+    sweep resumable."""
+    import json
+
+    from repro.exec.cache import ResultCache
+
+    cache = ResultCache(args.dir)
+    removed = None
+    if args.prune:
+        removed = cache.prune(ttl=args.ttl, journals=args.journals)
+    elif args.journals:
+        raise SystemExit("--journals only makes sense with --prune")
+    stats = cache.stats()
+    if args.json:
+        if removed is not None:
+            stats = dict(stats, pruned=removed)
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"cache {cache.root}")
+    print(f"  entries:       {stats['entries']}")
+    print(f"  hits/misses:   {stats['hits']}/{stats['misses']} "
+          f"(this process)")
+    print(f"  corrupt:       {stats['corrupt']}")
+    print(f"  journal files: {stats['journal_files']} "
+          f"({stats['journal_bytes']} bytes)")
+    if removed is not None:
+        scope = "temp files + journals" if args.journals else "temp files"
+        print(f"  pruned:        {removed} stale file(s) ({scope})")
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -834,6 +917,7 @@ def make_parser() -> argparse.ArgumentParser:
                    help="Table 2 parameter group (default 1)")
     p.add_argument("--base", action="store_true",
                    help="disable Eq. 2 partition and overlapped optimizer")
+    _add_fidelity_arg(p, "the iteration")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("compare", help=COMMANDS["compare"])
@@ -937,6 +1021,7 @@ def make_parser() -> argparse.ArgumentParser:
                    help="write the JSON conformance report here")
     p.add_argument("--progress", action="store_true",
                    help="render live relation-sweep progress on stderr")
+    _add_fidelity_arg(p, "every sampled scenario")
     p.set_defaults(fn=cmd_validate)
 
     p = sub.add_parser("bench", help=COMMANDS["bench"])
@@ -972,6 +1057,7 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--textfile", metavar="FILE", default=None,
                    help="refresh a Prometheus textfile-collector file from "
                         "the executor metrics during the sweep legs")
+    _add_fidelity_arg(p, "every sweep cell")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("tail", help=COMMANDS["tail"])
@@ -1012,6 +1098,26 @@ def make_parser() -> argparse.ArgumentParser:
                    help="exit 1 on a trend regression (default: report "
                         "only — the CI soft gate)")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("cache", help=COMMANDS["cache"])
+    p.add_argument("--dir", metavar="DIR", default=None,
+                   help="cache root (default .repro-cache or "
+                        "$REPRO_CACHE_DIR)")
+    p.add_argument("--stats", action="store_true",
+                   help="print entry and journal-debris statistics "
+                        "(the default action)")
+    p.add_argument("--prune", action="store_true",
+                   help="remove stale writer temp files older than --ttl")
+    p.add_argument("--journals", action="store_true",
+                   help="with --prune, also remove sweep journals and "
+                        "event logs older than --ttl (they hold resumable "
+                        "sweep state, so this is never implicit)")
+    p.add_argument("--ttl", type=float, default=None, metavar="SECONDS",
+                   help="age floor for pruning (default 3600; 0 removes "
+                        "all)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the statistics as JSON")
+    p.set_defaults(fn=cmd_cache)
     return parser
 
 
@@ -1029,7 +1135,13 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 2
     args = make_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except FidelityError as exc:
+        # a scenario the analytic tier cannot price is a usage error,
+        # not a crash: surface the full reason list on one line
+        print(f"repro: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

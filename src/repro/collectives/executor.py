@@ -36,7 +36,10 @@ from typing import Dict, Generator, List, Optional, Sequence
 
 from repro.collectives.p2p import ChannelRegistry, recv, send
 from repro.errors import CommunicatorError
+from repro.network.contention import FidelityPolicy
 from repro.network.fabric import Fabric
+from repro.simcore.process import Wait
+from repro.simcore.resource import Barrier
 from repro.simcore.trace import TraceRecorder
 
 #: Ops the executor knows how to run.
@@ -97,6 +100,7 @@ class CollectiveExecutor:
         fabric: Fabric,
         channels: ChannelRegistry,
         trace: Optional[TraceRecorder] = None,
+        fidelity: Optional[FidelityPolicy] = None,
     ) -> None:
         self.fabric = fabric
         self.channels = channels
@@ -104,6 +108,14 @@ class CollectiveExecutor:
         self.windows: Dict[str, OpWindow] = {}
         #: sanitizer shared with the fabric (byte-conservation auditing)
         self.hooks = getattr(fabric, "hooks", None)
+        #: tiered-fidelity span classifier; ``None`` means pure executed
+        self.fidelity = fidelity
+        #: per-tag rendezvous of in-flight aggregate (analytic) collectives
+        self._aggregates: Dict[str, Barrier] = {}
+        #: virtual time each ring's NICs next come free — serializes
+        #: concurrent aggregate ops over one ring the way the NIC FIFO
+        #: serializes their executed steps
+        self._ring_free: Dict[tuple, float] = {}
 
     # ------------------------------------------------------------------ #
     # ring construction
@@ -157,6 +169,17 @@ class CollectiveExecutor:
                 [topo.device(r).node_global for r in ring],
             )
         d = len(ring)
+        if self.fidelity is not None and self.fidelity.collective_analytic(ring):
+            yield from self._aggregate(op, ring, rank, nbytes, tag)
+            window.ends[rank] = engine.now
+            if self.hooks is not None:
+                self.hooks.end_collective_member(tag, rank, start, engine.now)
+            if self.trace is not None and self.trace.enabled:
+                self.trace.record(
+                    rank, "collective", label or f"coll:{tag}", start,
+                    engine.now, nbytes, op=op, group=d, analytic=1,
+                )
+            return
         messages = self.fabric.cost_model.num_buckets(nbytes)
         if op == "reduce_scatter":
             yield from self._ring_phase(ring, rank, nbytes / d, messages, tag, "rs")
@@ -177,6 +200,66 @@ class CollectiveExecutor:
                 rank, "collective", label or f"coll:{tag}", start, engine.now,
                 nbytes, op=op, group=d,
             )
+
+    def _aggregate(
+        self, op: str, ring: List[int], rank: int, nbytes: float, tag: str
+    ) -> Generator:
+        """Analytic fast path: the whole collective as one aggregate event.
+
+        Every member rendezvouses on a per-tag :class:`Barrier`; when the
+        last member arrives, the closed-form oracle prices the op once and
+        all members are released ``duration`` later — exactly the window an
+        uncontended executed ring produces (the oracle-agreement tests pin
+        executed-vs-closed-form to <1%, and the telescoping property test
+        pins aggregate-vs-closed-form to float identity).  Concurrent ops
+        over the *same* ring (overlapped gradient buckets) serialize through
+        :attr:`_ring_free`, mirroring the NIC FIFO they would otherwise
+        queue through.  Byte conservation is settled against the same
+        closed forms the sanitizer telescopes executed steps to, so the
+        :class:`~repro.validate.ValidationHooks` ledger stays coherent
+        across tiers.
+        """
+        engine = self.fabric.engine
+        if self.hooks is not None:
+            from repro.validate.invariants import expected_member_step_bytes
+
+            topo = self.fabric.topology
+            node_ids = tuple(topo.device(r).node_global for r in ring)
+            self.hooks.on_collective_step(
+                tag, rank,
+                expected_member_step_bytes(op, tuple(ring), rank, nbytes, node_ids),
+            )
+        barrier = self._aggregates.get(tag)
+        if barrier is None:
+            key = tuple(ring)
+
+            def price(
+                arrivals: List[float],
+                _op: str = op,
+                _ring: tuple = tuple(ring),
+                _nbytes: float = nbytes,
+                _key: tuple = key,
+            ) -> float:
+                start = max(arrivals)
+                queue = max(0.0, self._ring_free.get(_key, 0.0) - start)
+                if _op == "hierarchical_allreduce":
+                    from repro.collectives.hierarchical import (
+                        hierarchical_allreduce_time,
+                    )
+
+                    duration = hierarchical_allreduce_time(
+                        self.fabric, list(_ring), _nbytes
+                    )
+                else:
+                    duration = self.fabric.collective_time(_op, list(_ring), _nbytes)
+                self._ring_free[_key] = start + queue + duration
+                return queue + duration
+
+            barrier = Barrier(
+                engine, parties=len(ring), duration_fn=price, name=f"agg:{tag}"
+            )
+            self._aggregates[tag] = barrier
+        yield Wait(barrier.arrive())
 
     def _ring_phase(
         self,

@@ -114,6 +114,7 @@ def send(
     payload: Any = None,
     collective: bool = False,
     messages: int = 1,
+    analytic: bool = False,
 ) -> Generator:
     """Process body: transmit ``nbytes`` from ``src`` to ``dst``.
 
@@ -130,6 +131,14 @@ def send(
     :mod:`repro.collectives.executor` reproduce the closed-form alpha-beta
     costs on an uncontended fabric.  Everything else — NIC FIFO, fault
     re-resolution, rebuild charges, uplinks, tracing — is shared with p2p.
+
+    ``analytic=True`` (set only when a
+    :class:`~repro.network.contention.FidelityPolicy` proved the sender NIC
+    exclusively held for this edge) skips the NIC resource acquire/release
+    and its trace span: with no competitor the queue wait is zero by
+    construction, so the transfer's timing is identical while the event
+    count shrinks.  A pending rebuild charge (fault aftermath) always drops
+    back to the executed path.
     """
     engine = fabric.engine
     if engine is None:
@@ -161,23 +170,34 @@ def send(
                     src, "fault", "comm-rebuild", rebuild_start, engine.now,
                     dst=dst,
                 )
-        family = nic_family_for(transport.kind)
-        nic = fabric.nic_tx_resource(src, family)
-        yield Wait(nic.acquire())
-        occupied = engine.now
-        if collective:
-            occupancy = fabric.collective_step_occupancy(src, dst, nbytes, messages)
+        if analytic and rebuild == 0.0:
+            if collective:
+                occupancy = fabric.collective_step_occupancy(
+                    src, dst, nbytes, messages
+                )
+            else:
+                occupancy = fabric.p2p_occupancy(src, dst, nbytes)
+            yield Timeout(occupancy)
         else:
-            occupancy = fabric.p2p_occupancy(src, dst, nbytes)
-        yield Timeout(occupancy)
-        nic.release()
-        if tracing:
-            trace.record(
-                src, "nic", f"nic-tx:{tag}", occupied, engine.now, nbytes,
-                dst=dst, family=family.value,
-                src_node=fabric.topology.device(src).node_global,
-                dst_node=fabric.topology.device(dst).node_global,
-            )
+            family = nic_family_for(transport.kind)
+            nic = fabric.nic_tx_resource(src, family)
+            yield Wait(nic.acquire())
+            occupied = engine.now
+            if collective:
+                occupancy = fabric.collective_step_occupancy(
+                    src, dst, nbytes, messages
+                )
+            else:
+                occupancy = fabric.p2p_occupancy(src, dst, nbytes)
+            yield Timeout(occupancy)
+            nic.release()
+            if tracing:
+                trace.record(
+                    src, "nic", f"nic-tx:{tag}", occupied, engine.now, nbytes,
+                    dst=dst, family=family.value,
+                    src_node=fabric.topology.device(src).node_global,
+                    dst_node=fabric.topology.device(dst).node_global,
+                )
         engine.process(
             _deliver(
                 fabric, channels, src, dst, tag, nbytes,

@@ -35,10 +35,11 @@ from repro.core.nic_selection import NICSelectionAudit, audit_parallel_groups
 from repro.core.optimizer import STRATEGIES, OptimizerStrategy
 from repro.core.scheduler import TrainingPlan
 from repro._compat import positional_shim
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError, FidelityError, SimulationError
 from repro.model.config import GPTConfig
 from repro.model.layers import LayerKind, LayerSpec, build_layer_stack
 from repro.model.memory import activation_message_bytes, tp_allreduce_bytes
+from repro.network.contention import FIDELITY_MODES, FidelityPolicy
 from repro.network.costmodel import CostModelConfig
 from repro.network.fabric import Fabric
 from repro.obs.attribution import AttributionReport, Category, attribute_iteration
@@ -205,6 +206,7 @@ class TrainingSimulation:
         fault_plan: Optional[FaultPlan] = None,
         metrics_registry: Optional[MetricsRegistry] = None,
         validation: Optional[object] = None,
+        fidelity: str = "executed",
     ) -> None:
         """``blocking_p2p`` mirrors Megatron's synchronous
         ``batch_isend_irecv`` semantics: a rank waits for its inter-stage
@@ -250,6 +252,15 @@ class TrainingSimulation:
         #: well-formedness as events execute.  ``None`` (the default) keeps
         #: the hot path free of any per-event hook dispatch.
         self.validation = validation
+        #: fidelity tier of this simulation ("executed" | "analytic" |
+        #: "auto"); see :class:`repro.network.contention.FidelityPolicy`
+        #: for the decision rules "auto" applies per span.
+        if fidelity not in FIDELITY_MODES:
+            raise FidelityError(
+                f"unknown fidelity mode {fidelity!r}; choose from "
+                f"{FIDELITY_MODES}"
+            )
+        self.fidelity = fidelity
         self.stragglers: Dict[int, float] = dict(stragglers or {})
         for rank, factor in self.stragglers.items():
             if factor < 1.0:
@@ -489,6 +500,49 @@ class TrainingSimulation:
                 bucket_params=bucket_params,
             ))
 
+        # Tiered fidelity: with every ring and pipeline edge known, the
+        # policy classifies — statically, before any event is issued —
+        # which spans the closed-form oracle may price as one aggregate
+        # event and which must run step-by-step.  "analytic" raises a
+        # FidelityError here when any span is contended.
+        policy: Optional[FidelityPolicy] = None
+        if self.fidelity != "executed":
+            rings: List[Tuple[int, ...]] = [
+                meta.ring for meta in group_meta if len(meta.ring) > 1
+            ]
+            p2p_edges: set = set()
+            seen_pp: set = set()
+            for phys in range(topo.world_size):
+                logical = plan.placement.logical(phys)
+                stage = plan.layout.stage_of(logical)
+                pp_logical = plan.layout.pp_group_of(logical)
+                pp_phys = [plan.placement.physical(r) for r in pp_logical]
+                for chunk in range(self.num_chunks):
+                    nxt = self._next_virtual(stage, chunk)
+                    if nxt is not None:
+                        p2p_edges.add((phys, pp_phys[nxt[0]]))
+                    prev = self._prev_virtual(stage, chunk)
+                    if prev is not None:
+                        p2p_edges.add((phys, pp_phys[prev[0]]))
+                if (
+                    self.tie_embeddings
+                    and parallel.pipeline > 1
+                    and stage == 0
+                    and tuple(pp_phys) not in seen_pp
+                ):
+                    seen_pp.add(tuple(pp_phys))
+                    rings.append(
+                        tuple(executor.ring_order([pp_phys[0], pp_phys[-1]]))
+                    )
+            policy = FidelityPolicy(
+                self.fidelity, fabric, rings, sorted(p2p_edges),
+                has_faults=injector is not None,
+                has_stragglers=bool(self.stragglers),
+                blocking_p2p=self.blocking_p2p,
+                has_overlap=bucket_plan.has_overlap,
+            )
+            executor.fidelity = policy
+
         backward_ops_per_stage = [
             sum(1 for op in schedule[s] if op.kind == OpKind.BACKWARD)
             for s in range(parallel.pipeline)
@@ -565,6 +619,8 @@ class TrainingSimulation:
                             fabric, channels, phys, dst,
                             f"act:{nxt[1]}:{tag_mb}", act_bytes,
                             trace if tracing else None,
+                            analytic=policy is not None
+                            and policy.p2p_analytic(phys, dst),
                         )
                         if self.blocking_p2p:
                             yield from sender
@@ -612,6 +668,8 @@ class TrainingSimulation:
                             fabric, channels, phys, dst,
                             f"grad:{prev[1]}:{tag_mb}", act_bytes,
                             trace if tracing else None,
+                            analytic=policy is not None
+                            and policy.p2p_analytic(phys, dst),
                         )
                         if self.blocking_p2p:
                             yield from sender

@@ -28,6 +28,22 @@ class PartitionError(ConfigurationError):
     """A pipeline layer partition is infeasible (e.g. a stage got 0 layers)."""
 
 
+class FidelityError(ConfigurationError):
+    """A fidelity tier cannot honour the requested scenario.
+
+    Raised when ``fidelity="analytic"`` is forced on a scenario whose spans
+    contend for NICs/links (or overlap fault windows): pricing such spans
+    with the closed form would silently misreport contention, so the
+    library refuses instead.  Carries the per-span reasons."""
+
+    def __init__(self, message: str, *, reasons: object = None) -> None:
+        self.reasons = list(reasons or [])
+        if self.reasons:
+            detail = "; ".join(str(r) for r in self.reasons)
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
 class TransportError(ReproError):
     """No usable transport exists between two endpoints."""
 

@@ -18,7 +18,11 @@ Correctness contract (enforced by ``tests/exec/test_cache.py``):
   and are *quarantined* on first detection (renamed to ``*.corrupt``) so
   the damaged file is never re-parsed on every lookup;
 - crash debris is reclaimable: :meth:`ResultCache.prune` removes stale
-  ``.tmp`` files orphaned by a killed writer (sweep startup calls it).
+  ``.tmp`` files orphaned by a killed writer (sweep startup calls it),
+  and with ``journals=True`` also aged sweep journals and event logs
+  under ``<root>/journal/`` — opt-in only, because a journal is what
+  makes an interrupted sweep resumable (``repro cache --prune
+  --journals`` is the explicit reclaim path).
 """
 
 from __future__ import annotations
@@ -179,7 +183,7 @@ class ResultCache:
                     pass
         return removed
 
-    def prune(self, ttl: Optional[float] = None) -> int:
+    def prune(self, ttl: Optional[float] = None, journals: bool = False) -> int:
         """Remove stale ``.tmp`` debris orphaned by killed writers.
 
         Writers stage entries as ``.<digest8>.<random>.tmp`` next to their
@@ -189,6 +193,13 @@ class ResultCache:
         deleted; younger ones may belong to a live concurrent writer and
         are kept.  Returns the number removed.  ``run_sweep`` calls this at
         startup for any cache it is handed.
+
+        ``journals=True`` additionally removes sweep journals and their
+        event logs (``<root>/journal/*.jsonl``) older than ``ttl``.  This
+        is never done implicitly: a journal is exactly what lets an
+        interrupted sweep ``resume=True`` without recomputing, so only the
+        explicit maintenance path (``repro cache --prune --journals``)
+        discards them.
         """
         if ttl is None:
             ttl = self.PRUNE_TTL
@@ -196,19 +207,42 @@ class ResultCache:
         if not self.root.is_dir():
             return 0
         cutoff = time.time() - ttl
-        for path in self.root.glob("*/*.tmp"):
-            try:
-                if path.stat().st_mtime <= cutoff:
-                    path.unlink()
-                    removed += 1
-            except OSError:
-                pass
+        patterns = ["*/*.tmp"]
+        if journals:
+            patterns.append("journal/*.jsonl")
+        for pattern in patterns:
+            for path in self.root.glob(pattern):
+                try:
+                    if path.stat().st_mtime <= cutoff:
+                        path.unlink()
+                        removed += 1
+                except OSError:
+                    pass
         return removed
 
+    def journal_debris(self) -> Dict[str, int]:
+        """Sweep journal/event-log files accumulated under
+        ``<root>/journal/`` — resumable state, not cache entries, so
+        :meth:`stats` reports them separately and :meth:`prune` only
+        touches them when asked (``journals=True``)."""
+        files = 0
+        size = 0
+        journal_dir = self.root / "journal"
+        if journal_dir.is_dir():
+            for path in journal_dir.glob("*.jsonl"):
+                try:
+                    size += path.stat().st_size
+                    files += 1
+                except OSError:
+                    pass
+        return {"journal_files": files, "journal_bytes": size}
+
     def stats(self) -> Dict[str, int]:
-        return {
+        out = {
             "hits": self.hits,
             "misses": self.misses,
             "corrupt": self.corrupt,
             "entries": len(self),
         }
+        out.update(self.journal_debris())
+        return out

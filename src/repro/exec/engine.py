@@ -299,6 +299,7 @@ def run_sweep(
             (index, scenario, digest, scenario.label or scenario.describe())
         )
 
+    fidelity = _sweep_fidelity(scenarios)
     if flight is not None:
         from repro.exec.journal import sweep_digest
 
@@ -309,6 +310,7 @@ def run_sweep(
             jobs=jobs,
             sweep_digest=sweep_digest(digests),
             resumed=bool(resume),
+            fidelity=fidelity,
         )
 
     interrupt_after = None
@@ -384,12 +386,23 @@ def run_sweep(
                     "quarantined": len(failures),
                     "retries": stats.get("retries", 0),
                 },
+                summary={"fidelity": fidelity},
                 ledger=None if ledger is True else ledger,
             )
 
     if on_error == "collect":
         return SweepOutcome(results=results, failures=failures, stats=stats)
     return results  # type: ignore[return-value]
+
+
+def _sweep_fidelity(scenarios: Sequence["Scenario"]) -> str:
+    """The batch's common fidelity tier, or ``"mixed"`` when scenarios
+    disagree (recorded in the sweep-begin event and the run ledger so
+    ``repro runs`` / ``repro tail`` show which tier produced a campaign)."""
+    tiers = {getattr(s, "fidelity", "executed") for s in scenarios}
+    if not tiers:
+        return "executed"
+    return tiers.pop() if len(tiers) == 1 else "mixed"
 
 
 def _build_flight(

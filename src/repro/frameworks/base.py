@@ -49,6 +49,7 @@ def simulate_framework(
     num_chunks: int = 1,
     cost_config: Optional[CostModelConfig] = None,
     trace_enabled: bool = True,
+    fidelity: str = "executed",
 ) -> IterationResult:
     """Plan and simulate one training iteration under a framework preset."""
     scheduler = HolmesScheduler(alpha=spec.alpha)
@@ -69,5 +70,6 @@ def simulate_framework(
         cost_config=cost_config,
         force_ethernet=force_ethernet,
         trace_enabled=trace_enabled,
+        fidelity=fidelity,
     )
     return sim.run()

@@ -310,6 +310,7 @@ class CampaignState:
         self.total = 0
         self.jobs = 1
         self.sweep_digest = ""
+        self.fidelity = ""
         self.executed = 0
         self.cache_hits = 0
         self.journal_replayed = 0
@@ -337,6 +338,7 @@ class CampaignState:
             self.total = int(fields.get("total", 0))
             self.jobs = int(fields.get("jobs", 1))
             self.sweep_digest = str(fields.get("sweep_digest", ""))
+            self.fidelity = str(fields.get("fidelity", "") or "")
             if isinstance(ts, (int, float)):
                 self.began_ts = float(ts)
         elif event == "cache-hit":
@@ -415,6 +417,8 @@ class CampaignState:
     def render_line(self) -> str:
         total = self.total if self.total else "?"
         parts = [f"sweep {self.done()}/{total}"]
+        if self.fidelity and self.fidelity != "executed":
+            parts.append(f"<{self.fidelity}>")
         detail = [f"{self.executed} run"]
         if self.cache_hits:
             detail.append(f"{self.cache_hits} cached")

@@ -84,9 +84,11 @@ class RunRecord:
             if self.counts.get(key):
                 extras.append(f"{self.counts[key]} {label}")
         extra = f" ({', '.join(extras)})" if extras else ""
+        fidelity = str(self.summary.get("fidelity", "") or "")
+        tier = f" <{fidelity}>" if fidelity and fidelity != "executed" else ""
         return (
             f"{self.started}  {self.kind:<8s} {self.outcome:<11s} "
-            f"{self.wall_seconds:8.2f}s  {done} run{extra}{digest}"
+            f"{self.wall_seconds:8.2f}s  {done} run{tier}{extra}{digest}"
         )
 
 

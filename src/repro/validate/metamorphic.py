@@ -24,6 +24,12 @@ encodes a paper-level physical property the simulator must respect:
 ``seed_replay``
     Rerunning a scenario (fault plan included) under the same seed is
     byte-identical; the first divergent span is reported otherwise.
+``fidelity_conformance``
+    Running the scenario at ``fidelity="auto"`` matches the executed tier's
+    iteration time within :data:`FIDELITY_RTOL` on contention-free
+    scenarios (:data:`FIDELITY_FAULTED_RTOL` on faulted ones, where every
+    span falls back to executed anyway), and the ``auto`` tier replays
+    byte-identically under its own seed.
 
 Each relation is a pure function ``ScenarioSpec -> RelationResult`` so the
 registry can be driven both by pytest parametrization
@@ -59,6 +65,15 @@ MONO_RTOL = 1e-9
 CONTENTION_RTOL = 0.01
 #: Exact-equality slack for the relabeling invariance (pure float identity).
 EXACT_RTOL = 1e-12
+#: Declared tolerance of the tiered-fidelity engine on contention-free
+#: scenarios: the ``auto`` tier's aggregate events are priced by the same
+#: closed forms the executed oracle tests pin to <1%, so 2% bounds the
+#: composition (measured worst case across the sampler: ~0.2%).
+FIDELITY_RTOL = 0.02
+#: Looser documented bound for faulted scenarios.  ``auto`` classifies
+#: every span of a faulted run as executed, so in practice the two tiers
+#: agree exactly; the slack only covers future partial-window fallbacks.
+FIDELITY_FAULTED_RTOL = 0.05
 
 
 @dataclass(frozen=True)
@@ -145,6 +160,32 @@ def _check_seed_replay(spec: ScenarioSpec) -> RelationResult:
     if not report.identical:
         details["divergence"] = report.describe()
     return _result("seed_replay", spec, report.identical, **details)
+
+
+def _check_fidelity(spec: ScenarioSpec) -> RelationResult:
+    executed = spec.run(validation=ValidationHooks())
+    auto = spec.run(validation=ValidationHooks(), fidelity="auto")
+    t0 = executed.metrics.iteration_time
+    t1 = auto.metrics.iteration_time
+    faulted = spec.fault_seed is not None
+    tol = FIDELITY_FAULTED_RTOL if faulted else FIDELITY_RTOL
+    rel = abs(t1 - t0) / t0 if t0 > 0.0 else 0.0
+    replay = diff_runs(
+        lambda: spec.run(validation=ValidationHooks(), fidelity="auto")
+    )
+    details: Dict[str, object] = {
+        "executed_time": t0,
+        "auto_time": t1,
+        "rel_error": rel,
+        "tolerance": tol,
+        "faulted": faulted,
+        "replay_identical": replay.identical,
+    }
+    if not replay.identical:
+        details["divergence"] = replay.describe()
+    return _result(
+        "fidelity_conformance", spec, rel <= tol and replay.identical, **details
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -238,6 +279,12 @@ RELATIONS: Dict[str, Relation] = {
             "byte-identical",
             _check_seed_replay,
         ),
+        Relation(
+            "fidelity_conformance",
+            "fidelity='auto' matches the executed tier's iteration time "
+            "within the declared tolerance and replays byte-identically",
+            _check_fidelity,
+        ),
     )
 }
 
@@ -275,6 +322,7 @@ def run_validation(
     jobs: int = 1,
     timeout: Optional[float] = None,
     progress: bool = False,
+    fidelity: Optional[str] = None,
 ) -> List[RelationResult]:
     """Check every selected relation against ``num_scenarios`` seeded random
     scenarios; returns one result per (relation, scenario) pair.
@@ -288,12 +336,18 @@ def run_validation(
     clock so one wedged check cannot stall a nightly run.  ``progress``
     renders a live completed/failed/ETA line on stderr (routing the sweep
     through the executor even at ``jobs=1``; results are unchanged).
+    ``fidelity`` forces every sampled scenario to that tier before the
+    relations run (``repro validate --fidelity``).
     """
     names = list(relations) if relations else sorted(RELATIONS)
     unknown = [n for n in names if n not in RELATIONS]
     if unknown:
         raise KeyError(f"unknown relations: {unknown}; have {sorted(RELATIONS)}")
     specs = sample_scenarios(num_scenarios, seed)
+    if fidelity is not None:
+        import dataclasses
+
+        specs = [dataclasses.replace(spec, fidelity=fidelity) for spec in specs]
     pairs = [(name, spec) for spec in specs for name in names]
     if jobs == 1 and timeout is None and not progress:
         return [check_relation(name, spec) for name, spec in pairs]

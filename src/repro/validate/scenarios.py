@@ -100,6 +100,9 @@ class ScenarioSpec:
     #: ``None`` for a fault-free scenario, else the ``FaultPlan.random`` seed
     fault_seed: Optional[int] = None
     fault_events: int = 3
+    #: fidelity tier ("executed" | "analytic" | "auto"); see
+    #: :class:`repro.network.contention.FidelityPolicy`
+    fidelity: str = "executed"
 
     @property
     def world_size(self) -> int:
@@ -140,6 +143,7 @@ class ScenarioSpec:
         with_faults: bool = True,
         num_microbatches: Optional[int] = None,
         trace_enabled: bool = True,
+        fidelity: Optional[str] = None,
     ) -> TrainingSimulation:
         """Construct the simulation this spec describes.
 
@@ -175,6 +179,7 @@ class ScenarioSpec:
             fault_plan=self.fault_plan(topo) if with_faults else None,
             trace_enabled=trace_enabled,
             validation=validation,
+            fidelity=fidelity if fidelity is not None else self.fidelity,
         )
 
     def run(self, **kwargs: object) -> IterationResult:
@@ -211,6 +216,7 @@ class ScenarioSpec:
             fault_seed=self.fault_seed,
             fault_count=self.fault_events,
             fault_horizon=FAULT_HORIZON,
+            fidelity=self.fidelity,
             label=self.name,
         )
 

@@ -71,6 +71,48 @@ def test_bench_micro_only_writes_gateable_document(tmp_path):
     assert "pass" in check.stdout
 
 
+def test_unknown_fidelity_exits_2_with_close_match_hint():
+    proc = run_cli("simulate", "--env", "ib", "--fidelity", "anaytic")
+    assert proc.returncode == 2
+    assert "Traceback" not in proc.stderr
+    assert "unknown fidelity 'anaytic'" in proc.stderr
+    assert "'analytic'" in proc.stderr  # the close-match hint
+    assert "executed, analytic, auto" in proc.stderr
+
+
+def test_analytic_on_contended_scenario_exits_1_with_reasons():
+    # multi-GPU nodes share NICs, so the pure-analytic tier must refuse
+    # with the fallback reasons on one line, not a traceback
+    proc = run_cli("simulate", "--env", "ib", "--nodes", "2",
+                   "--fidelity", "analytic")
+    assert proc.returncode == 1
+    assert "Traceback" not in proc.stderr
+    assert "cannot price this scenario" in proc.stderr
+    assert "use fidelity='auto'" in proc.stderr
+
+
+def test_cache_stats_and_prune(tmp_path):
+    journal_dir = tmp_path / "journal"
+    journal_dir.mkdir(parents=True)
+    (journal_dir / "abcd.jsonl").write_text('{"x": 1}\n')
+    proc = run_cli("cache", "--dir", str(tmp_path), "--json")
+    assert proc.returncode == 0, proc.stderr
+    stats = json.loads(proc.stdout)
+    assert stats["entries"] == 0
+    assert stats["journal_files"] == 1
+
+    # --journals without --prune is a user error, not a silent no-op
+    bad = run_cli("cache", "--dir", str(tmp_path), "--journals")
+    assert bad.returncode != 0
+
+    proc = run_cli("cache", "--dir", str(tmp_path), "--prune", "--ttl", "0",
+                   "--journals", "--json")
+    assert proc.returncode == 0, proc.stderr
+    stats = json.loads(proc.stdout)
+    assert stats["pruned"] == 1
+    assert stats["journal_files"] == 0
+
+
 def test_runs_empty_ledger(tmp_path):
     proc = run_cli("runs", "--ledger", str(tmp_path / "none.jsonl"))
     assert proc.returncode == 0, proc.stderr

@@ -137,6 +137,32 @@ def test_prune_removes_stale_tmp_debris_only(tmp_path):
     assert cache.get(scenario) is not None
 
 
+def test_stats_report_journal_debris(tmp_path):
+    cache = ResultCache(tmp_path)
+    journal_dir = tmp_path / "journal"
+    journal_dir.mkdir()
+    (journal_dir / "abcd.jsonl").write_text('{"x": 1}\n')
+    (journal_dir / "abcd.events.jsonl").write_text('{"y": 2}\n')
+    stats = cache.stats()
+    assert stats["journal_files"] == 2
+    assert stats["journal_bytes"] == 18
+
+
+def test_prune_spares_journals_unless_asked(tmp_path):
+    cache = ResultCache(tmp_path)
+    journal_dir = tmp_path / "journal"
+    journal_dir.mkdir()
+    journal = journal_dir / "abcd.jsonl"
+    journal.write_text('{"x": 1}\n')
+    # the default (sweep-startup) prune never touches resumable journals
+    assert cache.prune(ttl=0) == 0
+    assert journal.exists()
+    # the explicit maintenance path does
+    assert cache.prune(ttl=0, journals=True) == 1
+    assert not journal.exists()
+    assert cache.stats()["journal_files"] == 0
+
+
 def test_cache_stats_and_clear(tmp_path):
     cache = ResultCache(tmp_path)
     scenario = tiny()

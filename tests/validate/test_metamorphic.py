@@ -37,6 +37,7 @@ def test_registry_is_complete():
         "seed_replay",
         "allreduce_slowest_link_bound",
         "rank_relabel_invariant",
+        "fidelity_conformance",
     }
     assert set(RELATIONS) == expected
     for name, relation in RELATIONS.items():
