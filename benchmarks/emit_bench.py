@@ -94,6 +94,45 @@ def run_fidelity_bench(group_id: int = 1) -> Dict[str, object]:
     }
 
 
+def run_plan_bench() -> Dict[str, object]:
+    """Wall-time one small heterogeneous auto-planner run and record the
+    committed planner point: ``discovered_vs_preset`` — discovered-layout
+    TFLOPS over the best framework-preset TFLOPS.
+
+    The drift gate holds this at ``plan.min_discovered_vs_preset`` (1.0):
+    by construction the planner confirms every preset baseline alongside
+    the searched layouts, so a ratio below 1.0 means the ranking itself
+    broke, not that the machine got slower.
+    """
+    import time
+
+    from repro.api import Scenario, plan
+
+    base = Scenario(
+        env="hybrid", nodes=2, gpus_per_node=4, num_layers=8,
+        hidden_size=512, num_attention_heads=8, seq_length=1024,
+        micro_batch_size=2, global_batch_size=64,
+        framework="holmes-base", trace_enabled=False, label="bench-plan",
+    )
+    t0 = time.perf_counter()
+    result = plan(base, budget=8, top_k=2)
+    wall = time.perf_counter() - t0
+    best_preset = max(r.tflops for r in result.baselines)
+    return {
+        "base": "hybrid 2x4, gpt(8L,512h), batch 64",
+        "enumerated": result.enumerated,
+        "searched": result.searched,
+        "confirmed": result.confirmed,
+        "seconds": wall,
+        "discovered_tflops": result.best.tflops,
+        "best_preset_tflops": best_preset,
+        "discovered_vs_preset": (
+            result.best.tflops / best_preset if best_preset > 0 else 0.0
+        ),
+        "max_deviation": result.max_deviation,
+    }
+
+
 def run_bench(nodes: int, group_id: int) -> Dict[str, object]:
     """Run every scenario and assemble the BENCH document."""
     group = PARAM_GROUPS[group_id]
@@ -125,6 +164,7 @@ def run_bench(nodes: int, group_id: int) -> Dict[str, object]:
         "group": group_id,
         "cases": cases,
         "fidelity": run_fidelity_bench(group_id),
+        "plan": run_plan_bench(),
     }
 
 
@@ -166,6 +206,24 @@ def check_drift(bench: Dict, reference: Dict, tolerance: float) -> int:
             failures.append(
                 f"fidelity: auto-tier speedup {speedup:.1f}x fell below the "
                 f"{floor:.1f}x floor — the analytic fast path stopped engaging"
+            )
+    ref_plan = reference.get("plan")
+    if isinstance(ref_plan, dict):
+        plan_doc = bench.get("plan", {})
+        ratio = float(plan_doc.get("discovered_vs_preset", 0.0))
+        floor = float(ref_plan.get("min_discovered_vs_preset", 1.0))
+        status = "FAIL" if ratio < floor else "ok"
+        print(
+            f"  {'plan':10s} {ratio:8.3f}x discovered-vs-preset "
+            f"(floor {floor:.3f}x, "
+            f"{plan_doc.get('searched', 0)} searched in "
+            f"{float(plan_doc.get('seconds', 0.0)):.1f}s) {status}"
+        )
+        if ratio < floor:
+            failures.append(
+                f"plan: discovered layout at {ratio:.3f}x of the best "
+                f"framework preset fell below the {floor:.3f}x floor — "
+                f"the planner stopped finding (or confirming) the best layout"
             )
     if failures:
         print("\nbenchmark drift detected:", file=sys.stderr)
@@ -213,6 +271,13 @@ def main(argv=None) -> int:
             f"  {'fidelity':10s} {fidelity['speedup']:8.1f}x auto-tier "
             f"speedup on {fidelity['cells']} contention-free cells"
         )
+    plan_doc = bench.get("plan", {})
+    if plan_doc:
+        print(
+            f"  {'plan':10s} {plan_doc['discovered_vs_preset']:8.3f}x "
+            f"discovered-vs-preset ({plan_doc['searched']} searched, "
+            f"{plan_doc['seconds']:.1f}s)"
+        )
 
     if args.write_reference:
         reference = {
@@ -227,6 +292,9 @@ def main(argv=None) -> int:
             # across runners, but a healthy analytic fast path clears 10x
             # with 2-3x of margin (typically 20-35x)
             "fidelity": {"min_speedup": 10.0},
+            # the planner confirms every preset baseline alongside the
+            # searched layouts, so >= 1.0 is structural, not a perf band
+            "plan": {"min_discovered_vs_preset": 1.0},
         }
         with open(REFERENCE_PATH, "w") as fh:
             json.dump(reference, fh, indent=2)

@@ -506,13 +506,28 @@ class RunResult:
     optimizer_name: str
     num_faults: int = 0
     aborted: bool = False
+    #: critical-rank pipeline-bubble / exposed-communication shares of the
+    #: iteration; zero when the scenario ran untraced (attribution needs
+    #: the trace)
+    bubble_fraction: float = 0.0
+    comm_fraction: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "RunResult":
-        return cls(**{f.name: data[f.name] for f in fields(cls)})  # type: ignore[arg-type]
+        import dataclasses as _dc
+
+        # Fields with defaults may be absent in documents written before
+        # they existed (the cache itself is salt-versioned, but journals
+        # and ledgers are not).
+        kwargs = {
+            f.name: data[f.name]
+            for f in fields(cls)
+            if f.name in data or f.default is _dc.MISSING
+        }
+        return cls(**kwargs)  # type: ignore[arg-type]
 
     def row(self) -> Dict[str, object]:
         """Compact display row (mirrors ``CaseResult.row``)."""
@@ -604,6 +619,8 @@ def summarize(scenario: Scenario, result) -> RunResult:
         optimizer_name=result.optimizer_name,
         num_faults=0 if result.faults is None else len(result.faults.records),
         aborted=result.aborted,
+        bubble_fraction=result.metrics.bubble_fraction,
+        comm_fraction=result.metrics.comm_fraction,
     )
 
 
@@ -689,12 +706,51 @@ def sweep(
     )
 
 
+def plan(
+    scenario: Scenario,
+    *,
+    budget: int = 32,
+    top_k: int = 4,
+    fidelity: str = "auto",
+    jobs: int = 1,
+    cache: Optional[object] = None,
+    **kwargs: object,
+):
+    """Discover the best parallel layout and policy preset for a scenario's
+    machine, model, and workload — the NIC-aware auto-planner.
+
+    ``scenario`` supplies everything but the answer: its own layout is what
+    the framework-preset baselines run, and the search explores every
+    feasible ``(t, p, d)`` x schedule x policy combination around it.
+    ``fidelity`` selects the *search*-phase tier (``auto`` by default —
+    the analytic fast path is what makes the space affordable); the top-k
+    survivors and the preset baselines are always confirmed at the
+    ``executed`` tier.  Returns a :class:`repro.plan.PlanResult`; remaining
+    keyword arguments pass through to
+    :func:`repro.plan.plan_scenario` (``resume``, ``journal``,
+    ``progress``, ``schedules``, ``frameworks``, ``max_tensor``,
+    ``tolerance``).
+    """
+    from repro.plan import plan_scenario
+
+    return plan_scenario(
+        scenario,
+        budget=budget,
+        top_k=top_k,
+        search_fidelity=fidelity,
+        jobs=jobs,
+        cache=cache,
+        **kwargs,  # type: ignore[arg-type]
+    )
+
+
 __all__ = [
     "FIDELITY_MODES",
     "FRAMEWORK_PRESETS",
     "RunResult",
     "Scenario",
     "build",
+    "plan",
     "run",
     "simulate",
     "summarize",

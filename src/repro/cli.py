@@ -33,7 +33,7 @@ ENV_CHOICES = ("ib", "roce", "ethernet", "hybrid", "split-ib", "split-roce")
 COMMANDS: Dict[str, str] = {
     "simulate": "simulate one training iteration of a Table 2 group",
     "compare": "compare frameworks on one machine",
-    "plan": "auto-parallelism search for a custom model",
+    "plan": "NIC-aware layout search: discover (t,p,d), schedule, policy",
     "topology": "describe a machine (or save it as JSON)",
     "reproduce": "regenerate the paper's tables and figures",
     "check": "preflight a configuration (memory, NIC audit)",
@@ -171,23 +171,96 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_plan(args: argparse.Namespace) -> int:
-    from repro.core.planner import plan_best
-    from repro.model.config import GPTConfig
+    """NIC-aware auto-planner: two-phase search over (t, p, d) x schedule
+    x policy preset, pruned by the closed-form oracle, searched at the
+    chosen fidelity tier, confirmed (with every framework preset baseline)
+    at the executed tier.  Emits a ``repro.plan.report/v1`` document."""
+    import json
+    import time as _time
 
-    topology = resolve_machine(args)
-    model = GPTConfig(
-        num_layers=args.layers,
-        hidden_size=args.hidden,
-        num_attention_heads=args.heads,
+    from repro import api
+    from repro.obs.ledger import now_iso, record_run
+    from repro.plan import (
+        build_plan_report,
+        render_plan_report,
+        validate_plan_report,
     )
-    print(f"planning {model.describe()} on:\n{topology.describe()}\n")
-    candidates = plan_best(
-        topology, model, args.batch, micro_batch_size=args.micro_batch,
-        top_k=args.top,
+
+    fidelity = _parse_fidelity(args.fidelity)
+    try:
+        if args.group is not None:
+            base = api.Scenario.from_group(
+                args.env, args.nodes, PARAM_GROUPS[args.group],
+                gpus_per_node=args.gpus_per_node, framework="holmes-base",
+                trace_enabled=False,
+            )
+        else:
+            base = api.Scenario(
+                env=args.env,
+                nodes=args.nodes,
+                gpus_per_node=args.gpus_per_node,
+                num_layers=args.layers,
+                hidden_size=args.hidden,
+                num_attention_heads=args.heads,
+                seq_length=args.seq_length,
+                micro_batch_size=args.micro_batch,
+                global_batch_size=args.batch,
+                framework="holmes-base",
+                trace_enabled=False,
+                label=f"plan-base:{args.env}:{args.nodes}x{args.gpus_per_node}",
+            )
+    except ConfigurationError as exc:
+        raise SystemExit(f"repro: invalid base configuration: {exc}")
+
+    print(f"planning {base.describe()}")
+    started_iso = now_iso()
+    started_clock = _time.monotonic()
+    try:
+        result = api.plan(
+            base,
+            budget=args.budget,
+            top_k=args.top_k,
+            fidelity=fidelity,
+            jobs=args.jobs,
+            cache=args.cache,
+            resume=args.resume,
+            progress=args.progress,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(f"repro: {exc}")
+    wall = _time.monotonic() - started_clock
+
+    report = build_plan_report(result)
+    validate_plan_report(report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+    print()
+    print(render_plan_report(report))
+    timings = result.timings
+    print(
+        f"\nphases: oracle {timings.get('oracle_seconds', 0.0):.2f}s, "
+        f"search {timings.get('search_seconds', 0.0):.2f}s, "
+        f"confirm {timings.get('confirm_seconds', 0.0):.2f}s "
+        f"(total {wall:.2f}s)"
     )
-    for rank, candidate in enumerate(candidates, 1):
-        print(f"{rank}. {candidate.describe()}")
-    return 0
+    if args.out:
+        print(f"wrote report to {args.out}")
+
+    record_run(
+        "plan",
+        started=started_iso,
+        wall_seconds=wall,
+        outcome="ok" if result.within_tolerance else "partial",
+        counts={"executed": result.searched + result.confirmed},
+        summary={
+            "env": base.env,
+            "best": result.best.label,
+            "tflops": round(result.best.tflops, 2),
+            "fidelity": fidelity,
+        },
+    )
+    return 0 if result.within_tolerance else 1
 
 
 def cmd_topology(args: argparse.Namespace) -> int:
@@ -928,14 +1001,51 @@ def make_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_compare)
 
     p = sub.add_parser("plan", help=COMMANDS["plan"])
-    _add_machine_args(p)
-    p.add_argument("--layers", type=int, default=36)
-    p.add_argument("--hidden", type=int, default=4096)
-    p.add_argument("--heads", type=int, default=32)
-    p.add_argument("--batch", type=int, default=1536)
-    p.add_argument("--micro-batch", type=int, default=4)
-    p.add_argument("--top", type=int, default=5)
-    p.set_defaults(fn=cmd_plan)
+    p.add_argument("--env", choices=ENV_CHOICES, default="hybrid",
+                   help="NIC environment (default hybrid)")
+    p.add_argument("--nodes", type=int, default=4,
+                   help="total node count (default 4)")
+    p.add_argument("--gpus-per-node", type=int, default=8,
+                   help="GPUs per node (default 8)")
+    p.add_argument("--group", type=int, choices=sorted(PARAM_GROUPS),
+                   default=None,
+                   help="plan a Table 2 parameter group (model + workload; "
+                        "overrides the custom-model flags)")
+    p.add_argument("--layers", type=int, default=36,
+                   help="custom model: transformer layers (default 36)")
+    p.add_argument("--hidden", type=int, default=4096,
+                   help="custom model: hidden size (default 4096)")
+    p.add_argument("--heads", type=int, default=32,
+                   help="custom model: attention heads (default 32)")
+    p.add_argument("--seq-length", type=int, default=2048,
+                   help="custom model: sequence length (default 2048)")
+    p.add_argument("--batch", type=int, default=1536,
+                   help="global batch size (default 1536)")
+    p.add_argument("--micro-batch", type=int, default=4,
+                   help="microbatch size (default 4)")
+    p.add_argument("--budget", type=int, default=32,
+                   help="candidates simulated in the search phase after "
+                        "the closed-form oracle prune (default 32)")
+    p.add_argument("--top-k", type=int, default=4,
+                   help="search survivors confirmed at the executed tier "
+                        "(default 4)")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="parallel worker processes for both sweep phases "
+                        "(0 = one per CPU)")
+    p.add_argument("--cache", metavar="DIR", default=None,
+                   help="result-cache directory; a warm re-plan over the "
+                        "same space is near-free")
+    p.add_argument("--resume", action="store_true",
+                   help="journal sweep progress durably; an interrupted "
+                        "plan re-executes only unfinished candidates")
+    p.add_argument("--progress", action="store_true",
+                   help="render live sweep progress on stderr")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the JSON repro.plan.report/v1 here")
+    _add_fidelity_arg(p, "the search phase (the confirm phase always "
+                         "re-runs the top-k at 'executed'; plan defaults "
+                         "to 'auto')")
+    p.set_defaults(fn=cmd_plan, fidelity="auto")
 
     p = sub.add_parser("topology", help=COMMANDS["topology"])
     _add_machine_args(p)

@@ -409,6 +409,18 @@ class TrainingSimulation:
             work.append(row)
         return work
 
+    def closed_form_views(self) -> Tuple[Fabric, List[List[ChunkWork]]]:
+        """An engine-less :class:`Fabric` over the plan's topology (same
+        cost model and Ethernet forcing an executed run would use) plus the
+        per-(stage, chunk) work table — the two inputs closed-form planning
+        oracles price from without issuing a single DES event."""
+        fabric = Fabric(
+            self.plan.topology,
+            cost_config=self.cost_config,
+            force_ethernet=self.force_ethernet,
+        )
+        return fabric, self._chunk_work(fabric)
+
     # ------------------------------------------------------------------ #
     # virtual-stage neighbourhood
     # ------------------------------------------------------------------ #

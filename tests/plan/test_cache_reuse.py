@@ -1,0 +1,66 @@
+"""Re-planning over an unchanged space rides the result cache.
+
+Both planner phases go through :func:`repro.api.sweep`, so every
+simulated candidate lands in the content-addressed :class:`ResultCache`.
+A second ``repro plan`` over the same space must replay from cache
+(>= 90% hit rate — in practice 100%) and emit a byte-identical report:
+the report deliberately excludes wall-clock timings and cache counters
+so warm re-plans are reproducible artifacts.
+"""
+
+import json
+
+from repro.api import Scenario
+from repro.exec import ResultCache
+from repro.plan import build_plan_report, plan_scenario, validate_plan_report
+
+
+def base_scenario() -> Scenario:
+    return Scenario(
+        env="hybrid", nodes=2, gpus_per_node=4, num_layers=8,
+        hidden_size=256, num_attention_heads=4, seq_length=512,
+        micro_batch_size=2, global_batch_size=64, framework="holmes-base",
+        trace_enabled=False, label="cache-reuse-base",
+    )
+
+
+def test_second_plan_is_cache_served_and_byte_identical(tmp_path):
+    cache = ResultCache(tmp_path / "plan-cache")
+    base = base_scenario()
+
+    first = plan_scenario(base, budget=8, top_k=3, cache=cache)
+    cold_hits, cold_misses = cache.hits, cache.misses
+    assert cold_misses > 0  # the cold run actually simulated something
+
+    second = plan_scenario(base, budget=8, top_k=3, cache=cache)
+    warm_hits = cache.hits - cold_hits
+    warm_misses = cache.misses - cold_misses
+    warm_total = warm_hits + warm_misses
+    assert warm_total > 0
+    hit_rate = warm_hits / warm_total
+    assert hit_rate >= 0.9, (
+        f"warm re-plan hit rate {hit_rate:.2f} "
+        f"({warm_hits} hits / {warm_misses} misses)"
+    )
+
+    report_a = build_plan_report(first)
+    report_b = build_plan_report(second)
+    validate_plan_report(report_a)
+    validate_plan_report(report_b)
+    assert (
+        json.dumps(report_a, sort_keys=True)
+        == json.dumps(report_b, sort_keys=True)
+    )
+
+
+def test_cross_process_reuse_via_cache_directory(tmp_path):
+    # A fresh ResultCache over the same directory (new process, same disk)
+    # also replays the plan without re-simulating.
+    root = tmp_path / "plan-cache"
+    base = base_scenario()
+    plan_scenario(base, budget=6, top_k=2, cache=ResultCache(root))
+
+    fresh = ResultCache(root)
+    plan_scenario(base, budget=6, top_k=2, cache=fresh)
+    assert fresh.misses == 0
+    assert fresh.hits > 0

@@ -1,0 +1,56 @@
+"""Paper guardrail: ``repro plan`` never loses to a framework preset.
+
+On every Table-3 environment (parameter group 1, 4 nodes: homogeneous
+InfiniBand / RoCE / Ethernet plus the heterogeneous hybrid machine) and
+the Table-5 scale point (hybrid, 8 nodes, parameter group 3), the layout
+the planner discovers must match or beat every ``repro.frameworks``
+preset run on the table's own layout — the paper's "Holmes finds the
+best partition" claim, held as a regression gate.
+
+Paper-scale models make these runs seconds each, so the module is
+``slow``-marked; nightly CI picks it up via ``-m "slow or property"``.
+"""
+
+import pytest
+
+from repro.api import Scenario
+from repro.bench.paramgroups import PARAM_GROUPS
+from repro.plan import plan_scenario
+
+pytestmark = pytest.mark.slow
+
+#: (env, nodes, parameter group) — Table 3 rows plus the Table 5 point.
+TABLE_ENVS = [
+    ("ib", 4, 1),
+    ("roce", 4, 1),
+    ("ethernet", 4, 1),
+    ("hybrid", 4, 1),
+    ("hybrid", 8, 3),
+]
+
+
+@pytest.mark.parametrize(
+    "env,nodes,group", TABLE_ENVS,
+    ids=[f"{e}-{n}x8-g{g}" for e, n, g in TABLE_ENVS],
+)
+def test_discovered_layout_never_loses_to_presets(env, nodes, group):
+    base = Scenario.from_group(
+        env, nodes, PARAM_GROUPS[group],
+        framework="holmes-base", trace_enabled=False,
+        label=f"guardrail:{env}:{nodes}x8:g{group}",
+    )
+    result = plan_scenario(base, budget=12, top_k=3)
+
+    assert result.baselines, "no preset baselines were confirmed"
+    best_preset = max(result.baselines, key=lambda r: r.tflops)
+    assert result.beats_presets, (
+        f"{env} {nodes}x8 group {group}: discovered "
+        f"{result.best.describe()} loses to {best_preset.describe()}"
+    )
+    # The deviation gate holds at paper scale too.
+    assert result.within_tolerance, (
+        f"max deviation {result.max_deviation:.4f} > {result.tolerance:.4f}"
+    )
+    # And the discovery is real search output, not a degenerate space.
+    assert result.enumerated > len(result.baselines)
+    assert result.searched >= 1
