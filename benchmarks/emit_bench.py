@@ -133,6 +133,61 @@ def run_plan_bench() -> Dict[str, object]:
     }
 
 
+def run_serve_bench() -> Dict[str, object]:
+    """Wall-time the serving overhead: a warm-cache ``/v1/run`` request
+    against an in-process daemon vs the same warm lookup through the
+    cache directly.
+
+    The committed point is ``overhead_ms`` — median served latency minus
+    median in-process latency, i.e. what the HTTP framing, the queue, and
+    the runner dispatch cost per request.  The drift gate holds it under
+    ``serve.max_overhead_ms``: the ceiling is generous (wire latency is
+    runner-noisy) and exists to catch a serving path that starts
+    re-executing instead of hitting the shared cache, or an event-loop
+    regression that turns milliseconds into seconds.
+    """
+    import statistics
+    import tempfile
+    import time
+
+    from repro.api import Scenario
+    from repro.client import ServeClient
+    from repro.serve import ServeConfig, start_in_process
+
+    scenario = Scenario.from_group(
+        "ib", 2, 1, tensor=1, pipeline=1, data=0,
+        global_batch_size=0, num_microbatches=2, trace_enabled=False,
+        fidelity="auto",
+    )
+    cache_dir = tempfile.mkdtemp(prefix="repro-serve-bench-")
+    repeats = 15
+    with start_in_process(
+        ServeConfig(port=0, cache_dir=cache_dir, workers=1)
+    ) as daemon:
+        client = ServeClient(daemon.url, tenant="bench")
+        client.run(scenario)  # cold: execute once, warm the shared cache
+        served = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            client.run_document(scenario)
+            served.append(time.perf_counter() - t0)
+        cache = daemon.service.cache
+        inproc = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            cache.get(scenario)
+            inproc.append(time.perf_counter() - t0)
+    served_ms = statistics.median(served) * 1000.0
+    inproc_ms = statistics.median(inproc) * 1000.0
+    return {
+        "scenario": "warm-cache /v1/run, in-process daemon, 1 runner",
+        "repeats": repeats,
+        "served_ms": served_ms,
+        "inproc_ms": inproc_ms,
+        "overhead_ms": served_ms - inproc_ms,
+    }
+
+
 def run_bench(nodes: int, group_id: int) -> Dict[str, object]:
     """Run every scenario and assemble the BENCH document."""
     group = PARAM_GROUPS[group_id]
@@ -165,6 +220,7 @@ def run_bench(nodes: int, group_id: int) -> Dict[str, object]:
         "cases": cases,
         "fidelity": run_fidelity_bench(group_id),
         "plan": run_plan_bench(),
+        "serve": run_serve_bench(),
     }
 
 
@@ -225,6 +281,24 @@ def check_drift(bench: Dict, reference: Dict, tolerance: float) -> int:
                 f"framework preset fell below the {floor:.3f}x floor — "
                 f"the planner stopped finding (or confirming) the best layout"
             )
+    ref_serve = reference.get("serve")
+    if isinstance(ref_serve, dict):
+        serve_doc = bench.get("serve", {})
+        overhead = float(serve_doc.get("overhead_ms", float("inf")))
+        ceiling = float(ref_serve.get("max_overhead_ms", 250.0))
+        status = "FAIL" if overhead > ceiling else "ok"
+        print(
+            f"  {'serve':10s} {overhead:8.1f}ms served-vs-inproc overhead "
+            f"(ceiling {ceiling:.0f}ms, served "
+            f"{float(serve_doc.get('served_ms', 0.0)):.1f}ms) {status}"
+        )
+        if overhead > ceiling:
+            failures.append(
+                f"serve: warm-cache request overhead {overhead:.1f}ms "
+                f"exceeded the {ceiling:.0f}ms ceiling — the serving path "
+                f"stopped answering from the shared cache (or the event "
+                f"loop regressed)"
+            )
     if failures:
         print("\nbenchmark drift detected:", file=sys.stderr)
         for failure in failures:
@@ -278,6 +352,13 @@ def main(argv=None) -> int:
             f"discovered-vs-preset ({plan_doc['searched']} searched, "
             f"{plan_doc['seconds']:.1f}s)"
         )
+    serve_doc = bench.get("serve", {})
+    if serve_doc:
+        print(
+            f"  {'serve':10s} {serve_doc['overhead_ms']:8.1f}ms "
+            f"served-vs-inproc overhead (warm cache, "
+            f"{serve_doc['repeats']} repeats)"
+        )
 
     if args.write_reference:
         reference = {
@@ -295,6 +376,11 @@ def main(argv=None) -> int:
             # the planner confirms every preset baseline alongside the
             # searched layouts, so >= 1.0 is structural, not a perf band
             "plan": {"min_discovered_vs_preset": 1.0},
+            # a ceiling, not a band: warm-cache serving overhead is wire
+            # + queue + dispatch, typically single-digit milliseconds —
+            # the generous ceiling catches a cache bypass or an event-loop
+            # regression, not runner jitter
+            "serve": {"max_overhead_ms": 250.0},
         }
         with open(REFERENCE_PATH, "w") as fh:
             json.dump(reference, fh, indent=2)

@@ -1,79 +1,26 @@
-"""Deprecation plumbing for the keyword-only constructor migration.
+"""Tombstone for the removed PR-5 deprecation shims.
 
-PR 5 froze the public constructor surface: beyond their primary positional
-arguments (``TrainingSimulation(plan, model)``, ``Fabric(topology)``,
-``FaultInjector(plan, fabric)``), every knob is keyword-only, and three
-inconsistently spelled knobs were renamed to one canonical name each:
-
-====================  ==================  =====================
-object                legacy spelling     canonical spelling
-====================  ==================  =====================
-``Fabric``            ``config``          ``cost_config``
-``Fabric``            ``metrics``         ``metrics_registry``
-``ParallelTrainer``   ``micro_batches``   ``num_microbatches``
-====================  ==================  =====================
-
-Both migrations keep one release of backwards compatibility: positional use
-and legacy spellings still work but emit :class:`DeprecationWarning`.  The
-helpers here implement that shim uniformly so each constructor carries only
-a two-line preamble.
+The one-release compatibility layer (positional-argument shims for
+``TrainingSimulation`` / ``Fabric`` / ``FaultInjector`` and the renamed
+knobs ``config``→``cost_config``, ``metrics``→``metrics_registry``,
+``micro_batches``→``num_microbatches``) served its release and is gone.
+Importing this module warns and then fails, so stale callers get a clear
+migration message instead of an ``AttributeError`` deep inside a sweep.
 """
 
-from __future__ import annotations
-
 import warnings
-from typing import Any, Dict, Sequence, Tuple
 
+warnings.warn(
+    "repro._compat has been removed: the one-release deprecation shims for "
+    "positional TrainingSimulation/Fabric/FaultInjector arguments and the "
+    "renamed knobs (config->cost_config, metrics->metrics_registry, "
+    "micro_batches->num_microbatches) are gone. Call the constructors with "
+    "their canonical keyword arguments.",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-def positional_shim(
-    owner: str,
-    legacy_order: Sequence[str],
-    args: Tuple[Any, ...],
-    kwargs: Dict[str, Any],
-) -> None:
-    """Map deprecated extra positional ``args`` onto ``kwargs`` in place.
-
-    ``legacy_order`` is the historical positional parameter order beyond the
-    constructor's primary arguments.  Raises ``TypeError`` on overflow or on
-    a positional/keyword collision, mirroring normal call semantics.
-    """
-    if not args:
-        return
-    if len(args) > len(legacy_order):
-        raise TypeError(
-            f"{owner}() takes at most {len(legacy_order)} optional positional "
-            f"arguments ({len(args)} given); pass them by keyword"
-        )
-    named = legacy_order[: len(args)]
-    warnings.warn(
-        f"passing {', '.join(named)} to {owner}() positionally is deprecated "
-        "and will be removed in the next release; pass them by keyword",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    for name, value in zip(named, args):
-        if name in kwargs:
-            raise TypeError(f"{owner}() got multiple values for argument {name!r}")
-        kwargs[name] = value
-
-
-def renamed_kwarg(
-    owner: str,
-    kwargs: Dict[str, Any],
-    legacy: str,
-    canonical: str,
-) -> None:
-    """Fold the deprecated spelling ``legacy`` into ``canonical`` in place."""
-    if legacy not in kwargs:
-        return
-    if canonical in kwargs:
-        raise TypeError(
-            f"{owner}() got both {legacy!r} (deprecated) and {canonical!r}"
-        )
-    warnings.warn(
-        f"{owner}({legacy}=...) is deprecated and will be removed in the "
-        f"next release; use {canonical}=...",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    kwargs[canonical] = kwargs.pop(legacy)
+raise ImportError(
+    "repro._compat has been removed; use keyword arguments with the "
+    "canonical spellings (cost_config, metrics_registry, num_microbatches)"
+)

@@ -521,13 +521,42 @@ class RunResult:
 
         # Fields with defaults may be absent in documents written before
         # they existed (the cache itself is salt-versioned, but journals
-        # and ledgers are not).
+        # and ledgers are not).  Unknown *extra* keys are a hard error:
+        # a newer document must never half-parse as this version.
+        known = {f.name for f in fields(cls)}
+        extra = sorted(set(data) - known)
+        if extra:
+            raise ValueError(
+                f"RunResult.from_dict: unknown keys {extra} — a newer "
+                f"result document cannot be parsed as this version"
+            )
         kwargs = {
             f.name: data[f.name]
             for f in fields(cls)
             if f.name in data or f.default is _dc.MISSING
         }
         return cls(**kwargs)  # type: ignore[arg-type]
+
+    def to_document(self) -> Dict[str, object]:
+        """The ``repro.api.result/v1`` wire document for this result —
+        what the CLI's ``--json`` prints and the serve daemon returns."""
+        from repro.api.schema import build_result
+
+        return build_result("run", self.to_dict())
+
+    @classmethod
+    def from_document(cls, doc: Mapping[str, object]) -> "RunResult":
+        """Exact inverse of :meth:`to_document` (strict: unknown keys in
+        the envelope or the payload raise)."""
+        from repro.api.schema import SchemaError, validate_result
+
+        payload = validate_result(doc, kind="run")
+        if not isinstance(payload, Mapping):
+            raise SchemaError("run result payload is not a mapping")
+        try:
+            return cls.from_dict(payload)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(f"run result payload: {exc}") from exc
 
     def row(self) -> Dict[str, object]:
         """Compact display row (mirrors ``CaseResult.row``)."""
@@ -752,7 +781,10 @@ __all__ = [
     "build",
     "plan",
     "run",
+    "schema",
     "simulate",
     "summarize",
     "sweep",
 ]
+
+from repro.api import schema  # noqa: E402  (re-export; depends on the names above)

@@ -46,6 +46,9 @@ COMMANDS: Dict[str, str] = {
     "runs": "list recorded sweep/bench/validate runs from the run ledger",
     "report": "cross-run BENCH trend table with a regression soft gate",
     "cache": "result-cache stats and pruning (entries, journal debris)",
+    "serve": "run the simulation service daemon (versioned HTTP wire API)",
+    "submit": "send one scenario to a serve daemon, print the served result",
+    "status": "daemon health, a job's status document, or its event stream",
 }
 
 
@@ -120,6 +123,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     group = PARAM_GROUPS[args.group]
     fidelity = _parse_fidelity(args.fidelity)
     if args.machine:
+        if getattr(args, "json", False):
+            raise SystemExit(
+                "repro: --json emits the repro.api.result/v1 wire document, "
+                "which is defined for named scenarios only — drop --machine"
+            )
         topology = resolve_machine(args)
         result = run_holmes_case(
             topology, group, scenario=args.env, full=not args.base,
@@ -135,6 +143,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         )
         print(scenario.topology().describe())
         result = run(scenario)
+    if getattr(args, "json", False):
+        import json
+
+        print(json.dumps(result.to_document(), indent=2, sort_keys=True))
+        return 0
     print(f"model: {group.model.describe()}")
     print(f"TFLOPS/GPU:  {result.tflops:.1f}")
     print(f"throughput:  {result.throughput:.2f} samples/s")
@@ -976,6 +989,133 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation service daemon: the versioned HTTP wire API
+    (``repro.api.request/v1`` in, ``repro.api.result/v1`` out) over the
+    multi-tenant job queue and one shared warm result cache.  SIGTERM or
+    Ctrl-C drains in-flight jobs, records a ``serve`` ledger line, and
+    exits cleanly.  See ``docs/serving.md``."""
+    from repro.serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        sweep_jobs=args.jobs,
+        cache_dir=args.cache,
+        max_backlog=args.max_backlog,
+        tenant_quota=args.tenant_quota,
+        port_file=args.port_file,
+        drain_timeout=args.drain_timeout,
+    )
+    return run_server(config)
+
+
+def _submit_scenario(args: argparse.Namespace):
+    """The scenario a ``submit`` invocation describes: ``--file`` holds a
+    canonical ``Scenario`` mapping (exactly what ``Scenario.canonical()``
+    emits); otherwise the standard ``--env/--nodes/--group`` flags name a
+    Table 2 cell, same as ``repro simulate``."""
+    from repro.api import Scenario
+
+    if args.file:
+        import json
+
+        with open(args.file, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        try:
+            return Scenario.from_canonical(payload)
+        except (ConfigurationError, KeyError, TypeError, ValueError) as exc:
+            raise SystemExit(f"repro: invalid scenario file {args.file}: {exc}")
+    from repro.bench.runner import case_scenario
+
+    return case_scenario(
+        args.env, args.nodes, PARAM_GROUPS[args.group], full=not args.base,
+        fidelity=_parse_fidelity(args.fidelity),
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Send one scenario to a serve daemon over the wire API and print
+    the served result — byte-identical to a local ``repro simulate``
+    of the same scenario (that identity is the service's contract)."""
+    import json
+
+    from repro.client import ServeClient, ServeClientError
+
+    scenario = _submit_scenario(args)
+    client = ServeClient(args.url, tenant=args.tenant, timeout=args.timeout)
+    try:
+        document = client.run_document(scenario, priority=args.priority)
+    except ServeClientError as exc:
+        print(f"repro: submit failed: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"repro: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    from repro.api.schema import result_from_document
+
+    result = result_from_document(document)
+    print(f"served by {args.url} (tenant {args.tenant!r})")
+    print(f"scenario:    {scenario.describe()}")
+    print(f"TFLOPS/GPU:  {result.tflops:.1f}")
+    print(f"throughput:  {result.throughput:.2f} samples/s")
+    print(f"iteration:   {result.iteration_time:.3f} s")
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Daemon health (no job id), one job's status document (job id), or
+    its live flight-recorder event stream (``--follow``)."""
+    import json
+
+    from repro.client import ServeClient, ServeClientError
+
+    client = ServeClient(args.url, tenant=args.tenant)
+    try:
+        if args.job is None:
+            health = client.healthz()
+            if args.json:
+                print(json.dumps(health, indent=2, sort_keys=True))
+                return 0
+            state = "draining" if health.get("draining") else "serving"
+            print(f"{args.url}: {state}")
+            print(f"  queued jobs:  {health.get('queue_depth', 0)}")
+            print(f"  active jobs:  {health.get('active_jobs', 0)}")
+            print(f"  total jobs:   {health.get('jobs', 0)}")
+            print(f"  started:      {health.get('started', '')}")
+            return 0
+        if args.follow:
+            for event in client.events(args.job):
+                print(json.dumps(event, sort_keys=True))
+            return 0
+        doc = client.job(args.job)
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+            return 0
+        print(f"job {doc.get('id')} ({doc.get('kind')}, "
+              f"tenant {doc.get('tenant')!r}): {doc.get('state')}")
+        for key in ("submitted", "started", "finished"):
+            if doc.get(key):
+                print(f"  {key + ':':<11}{doc[key]}")
+        stats = doc.get("stats") or {}
+        if stats:
+            print("  stats:     " + ", ".join(
+                f"{k}={v}" for k, v in sorted(stats.items())))
+        if doc.get("error"):
+            print(f"  error:     {doc['error']}")
+        return 0
+    except ServeClientError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"repro: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -990,6 +1130,10 @@ def make_parser() -> argparse.ArgumentParser:
                    help="Table 2 parameter group (default 1)")
     p.add_argument("--base", action="store_true",
                    help="disable Eq. 2 partition and overlapped optimizer")
+    p.add_argument("--json", action="store_true",
+                   help="emit the repro.api.result/v1 wire document instead "
+                        "of the human summary (identical to what the serve "
+                        "daemon returns for this scenario)")
     _add_fidelity_arg(p, "the iteration")
     p.set_defaults(fn=cmd_simulate)
 
@@ -1228,6 +1372,78 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the statistics as JSON")
     p.set_defaults(fn=cmd_cache)
+
+    p = sub.add_parser("serve", help=COMMANDS["serve"])
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8321,
+                   help="bind port (default 8321; 0 picks an ephemeral "
+                        "port — use --port-file to discover it)")
+    p.add_argument("--port-file", metavar="FILE", default=None,
+                   help="write the bound port here once listening (the "
+                        "handshake for scripts that start the daemon "
+                        "with --port 0)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="runner threads draining the job queue (default 2)")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="worker processes per sweep job (default 1; "
+                        "0 = one per CPU)")
+    p.add_argument("--cache", metavar="DIR", default=None,
+                   help="shared result-cache directory (default "
+                        ".repro-cache or $REPRO_CACHE_DIR) — every tenant "
+                        "hits this one warm cache")
+    p.add_argument("--max-backlog", type=int, default=64,
+                   help="service-wide queued-job ceiling; beyond it "
+                        "submissions are shed with 429 (default 64)")
+    p.add_argument("--tenant-quota", type=int, default=16,
+                   help="per-tenant queued-job ceiling, enforced before "
+                        "the backlog check (default 16)")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   help="seconds to wait for in-flight jobs on SIGTERM "
+                        "before exiting anyway (default 30)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("submit", help=COMMANDS["submit"])
+    p.add_argument("--url", default="http://127.0.0.1:8321",
+                   help="serve daemon base URL "
+                        "(default http://127.0.0.1:8321)")
+    p.add_argument("--tenant", default="cli",
+                   help="tenant name for quotas and accounting "
+                        "(default 'cli')")
+    p.add_argument("--file", metavar="FILE", default=None,
+                   help="canonical Scenario JSON (as Scenario.canonical() "
+                        "emits); overrides --env/--nodes/--group")
+    p.add_argument("--nodes", type=int, default=4,
+                   help="total node count (default 4)")
+    p.add_argument("--env", choices=ENV_CHOICES, default="hybrid",
+                   help="NIC environment (default hybrid)")
+    p.add_argument("--group", type=int, choices=sorted(PARAM_GROUPS),
+                   default=1, help="Table 2 parameter group (default 1)")
+    p.add_argument("--base", action="store_true",
+                   help="disable Eq. 2 partition and overlapped optimizer")
+    p.add_argument("--priority", type=int, default=0,
+                   help="queue priority, lower runs first (default 0)")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="wall-clock budget for the served run (default 600)")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw repro.api.result/v1 document")
+    _add_fidelity_arg(p, "the served iteration")
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser("status", help=COMMANDS["status"])
+    p.add_argument("job", nargs="?", default=None, metavar="JOB_ID",
+                   help="job to inspect (omit for daemon health)")
+    p.add_argument("--url", default="http://127.0.0.1:8321",
+                   help="serve daemon base URL "
+                        "(default http://127.0.0.1:8321)")
+    p.add_argument("--tenant", default="cli",
+                   help="tenant name sent with the request (default 'cli')")
+    p.add_argument("-f", "--follow", action="store_true",
+                   help="stream the job's flight-recorder events as NDJSON "
+                        "until it finishes")
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw wire document")
+    p.set_defaults(fn=cmd_status)
     return parser
 
 

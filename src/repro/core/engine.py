@@ -34,7 +34,6 @@ from repro.faults.plan import FaultPlan
 from repro.core.nic_selection import NICSelectionAudit, audit_parallel_groups
 from repro.core.optimizer import STRATEGIES, OptimizerStrategy
 from repro.core.scheduler import TrainingPlan
-from repro._compat import positional_shim
 from repro.errors import ConfigurationError, FidelityError, SimulationError
 from repro.model.config import GPTConfig
 from repro.model.layers import LayerKind, LayerSpec, build_layer_stack
@@ -167,30 +166,14 @@ class IterationResult:
 class TrainingSimulation:
     """Simulates training iterations for one :class:`TrainingPlan`.
 
-    Everything beyond ``(plan, model)`` is keyword-only; positional use is
-    deprecated (one release of :class:`DeprecationWarning`, see
-    :mod:`repro._compat`).
+    Everything beyond ``(plan, model)`` is keyword-only.
     """
 
-    #: historical positional parameter order (deprecation shim)
-    _LEGACY_POSITIONAL = (
-        "optimizer", "schedule", "num_chunks", "cost_config",
-        "force_ethernet", "scatter_gather", "trace_enabled",
-        "iteration_overhead", "blocking_p2p", "recompute_activations",
-        "stragglers", "tie_embeddings", "fault_plan", "metrics_registry",
-        "validation",
-    )
-
     def __init__(
-        self, plan: TrainingPlan, model: GPTConfig, *args: object, **kwargs: object
-    ) -> None:
-        positional_shim("TrainingSimulation", self._LEGACY_POSITIONAL, args, kwargs)
-        self._init(plan, model, **kwargs)  # type: ignore[arg-type]
-
-    def _init(
         self,
         plan: TrainingPlan,
         model: GPTConfig,
+        *,
         optimizer: OptimizerStrategy = STRATEGIES["distributed"],
         schedule: str = "1f1b",
         num_chunks: int = 1,

@@ -107,7 +107,7 @@ class ResultCache:
             return None
         try:
             result = RunResult.from_dict(entry["result"])
-        except (KeyError, TypeError):
+        except (KeyError, TypeError, ValueError):
             self._quarantine(path)
             self.misses += 1
             return None

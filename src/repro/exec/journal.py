@@ -112,7 +112,7 @@ class SweepJournal:
                 continue
             try:
                 result = RunResult.from_dict(record["result"])
-            except (KeyError, TypeError):
+            except (KeyError, TypeError, ValueError):
                 self.corrupt_lines += 1
                 continue
             if result.scenario_digest != digest:

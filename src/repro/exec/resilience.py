@@ -191,6 +191,12 @@ class ScenarioFailure:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "ScenarioFailure":
+        extra = sorted(set(data) - {f.name for f in fields(cls)})
+        if extra:
+            raise ValueError(
+                f"ScenarioFailure.from_dict: unknown keys {extra} — a newer "
+                f"failure document cannot be parsed as this version"
+            )
         return cls(**{f.name: data[f.name] for f in fields(cls)})  # type: ignore[arg-type]
 
     def describe(self) -> str:
@@ -242,6 +248,51 @@ class SweepOutcome:
             "failures": [f.to_dict() for f in self.failures],
             "stats": dict(self.stats),
         }
+
+    def to_document(self) -> Dict[str, object]:
+        """The ``repro.api.result/v1`` wire document for a collected sweep:
+        positionally aligned results (``null`` at quarantined indices), the
+        failure manifest, and the recovery stats."""
+        from repro.api.schema import build_result
+
+        return build_result("sweep", {
+            "results": [
+                None if result is None else result.to_dict()
+                for result in self.results
+            ],
+            "failures": [failure.to_dict() for failure in self.failures],
+            "stats": dict(self.stats),
+        })
+
+    @classmethod
+    def from_document(cls, doc: Mapping[str, object]) -> "SweepOutcome":
+        """Exact inverse of :meth:`to_document` (strict: unknown keys in
+        the envelope, the payload, or any embedded result raise)."""
+        from repro.api import RunResult
+        from repro.api.schema import SchemaError, check_keys, validate_result
+
+        payload = validate_result(doc, kind="sweep")
+        check_keys(payload, required=("results", "failures", "stats"),
+                   where="sweep result payload")
+        try:
+            results: List[Optional[object]] = [
+                None if entry is None else RunResult.from_dict(entry)
+                for entry in payload["results"]  # type: ignore[union-attr]
+            ]
+            failures = [
+                ScenarioFailure.from_dict(entry)
+                for entry in payload["failures"]  # type: ignore[union-attr]
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SchemaError(f"sweep result payload: {exc}") from exc
+        stats = payload["stats"]
+        if not isinstance(stats, Mapping):
+            raise SchemaError("sweep result stats is not a mapping")
+        return cls(
+            results=results,
+            failures=failures,
+            stats={str(k): int(v) for k, v in stats.items()},  # type: ignore[call-overload]
+        )
 
 
 # --------------------------------------------------------------------- #

@@ -20,7 +20,6 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Set, Tuple
 
-from repro._compat import positional_shim
 from repro.errors import ConfigurationError
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 from repro.hardware.nic import NICType
@@ -87,20 +86,13 @@ class FaultReport:
 class FaultInjector:
     """Drives one fault plan against one fabric inside one simulation.
 
-    Everything beyond ``(plan, fabric)`` is keyword-only; positional use is
-    deprecated (one release of :class:`DeprecationWarning`)."""
+    Everything beyond ``(plan, fabric)`` is keyword-only."""
 
-    #: historical positional parameter order (deprecation shim)
-    _LEGACY_POSITIONAL = ("trace",)
-
-    def __init__(self, plan: FaultPlan, fabric: Fabric, *args: object, **kwargs: object) -> None:
-        positional_shim("FaultInjector", self._LEGACY_POSITIONAL, args, kwargs)
-        self._init(plan, fabric, **kwargs)  # type: ignore[arg-type]
-
-    def _init(
+    def __init__(
         self,
         plan: FaultPlan,
         fabric: Fabric,
+        *,
         trace: Optional[TraceRecorder] = None,
     ) -> None:
         if fabric.engine is None:

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro._compat import positional_shim, renamed_kwarg
 from repro.errors import CommunicatorError, TransportError
 from repro.hardware.nic import NICType
 from repro.hardware.topology import ClusterTopology
@@ -52,27 +51,13 @@ _KIND_STR = {kind: str(kind) for kind in TransportKind}
 class Fabric:
     """Communication oracle over one cluster topology.
 
-    Everything beyond ``topology`` is keyword-only; positional use and the
-    legacy ``config``/``metrics`` spellings are deprecated (one release of
-    :class:`DeprecationWarning`, see :mod:`repro._compat`).
+    Everything beyond ``topology`` is keyword-only.
     """
 
-    #: historical positional parameter order (deprecation shim)
-    _LEGACY_POSITIONAL = (
-        "cost_config", "engine", "force_ethernet", "metrics_registry", "hooks"
-    )
-
     def __init__(
-        self, topology: ClusterTopology, *args: object, **kwargs: object
-    ) -> None:
-        positional_shim("Fabric", self._LEGACY_POSITIONAL, args, kwargs)
-        renamed_kwarg("Fabric", kwargs, "config", "cost_config")
-        renamed_kwarg("Fabric", kwargs, "metrics", "metrics_registry")
-        self._init(topology, **kwargs)  # type: ignore[arg-type]
-
-    def _init(
         self,
         topology: ClusterTopology,
+        *,
         cost_config: Optional[CostModelConfig] = None,
         engine: Optional[SimEngine] = None,
         force_ethernet: bool = False,

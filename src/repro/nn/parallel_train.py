@@ -24,12 +24,10 @@ whose numerics are proven here.
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro._compat import renamed_kwarg
 from repro.collectives.ring import ring_allreduce
 from repro.errors import ConfigurationError
 from repro.nn.model import TinyGPT, TinyGPTConfig
@@ -50,41 +48,18 @@ class SingleTrainer:
     microbatches average exactly), which is the invariant that lets the
     pipeline schedules split batches at all.
 
-    The knob's canonical spelling is ``num_microbatches`` (matching
-    :class:`repro.validate.scenarios.ScenarioSpec` and :class:`repro.api.Scenario`);
-    the legacy ``micro_batches`` spelling is deprecated.
+    The knob's spelling is ``num_microbatches`` (matching
+    :class:`repro.validate.scenarios.ScenarioSpec` and
+    :class:`repro.api.Scenario`).
     """
 
     def __init__(self, config: TinyGPTConfig, seed: int = 0,
-                 lr: float = 1e-3, num_microbatches: int = 1,
-                 **kwargs: object) -> None:
-        if "micro_batches" in kwargs and num_microbatches != 1:
-            raise TypeError(
-                "SingleTrainer() got both 'micro_batches' (deprecated) and "
-                "'num_microbatches'"
-            )
-        renamed_kwarg("SingleTrainer", kwargs, "micro_batches", "num_microbatches")
-        if "num_microbatches" in kwargs:
-            num_microbatches = kwargs.pop("num_microbatches")  # type: ignore[assignment]
-        if kwargs:
-            raise TypeError(
-                f"SingleTrainer() got unexpected keyword arguments {sorted(kwargs)}"
-            )
+                 lr: float = 1e-3, num_microbatches: int = 1) -> None:
         if num_microbatches < 1:
             raise ConfigurationError("num_microbatches must be >= 1")
         self.model = TinyGPT(config, seed=seed)
         self.optimizer = Adam(lr=lr)
         self.num_microbatches = num_microbatches
-
-    @property
-    def micro_batches(self) -> int:
-        """Deprecated alias of :attr:`num_microbatches`."""
-        warnings.warn(
-            "SingleTrainer.micro_batches is deprecated; use num_microbatches",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.num_microbatches
 
     def step(self, tokens: np.ndarray, targets: np.ndarray) -> float:
         m = self.num_microbatches

@@ -88,6 +88,23 @@ class RankedLayout:
             f"{self.tflops:6.1f} TFLOPS  {self.iteration_time:6.3f}s/iter"
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RankedLayout":
+        names = {f.name for f in dataclasses.fields(cls)}
+        extra = sorted(set(data) - names)
+        if extra:
+            raise ValueError(
+                f"RankedLayout.from_dict: unknown keys {extra} — a newer "
+                f"plan document cannot be parsed as this version"
+            )
+        missing = sorted(names - set(data))
+        if missing:
+            raise ValueError(f"RankedLayout.from_dict: missing keys {missing}")
+        return cls(**{name: data[name] for name in names})  # type: ignore[arg-type]
+
 
 @dataclass(frozen=True)
 class PlanResult:
@@ -164,6 +181,68 @@ class PlanResult:
                 }
             )
         return rows
+
+    def to_document(self) -> Dict[str, object]:
+        """The ``repro.api.result/v1`` wire document for a plan.
+
+        Unlike the display-oriented ``repro.plan.report/v1`` document,
+        this round-trips *exactly* — ``timings`` included — so a served
+        plan equals the in-process :class:`PlanResult` field for field.
+        """
+        from repro.api.schema import build_result
+
+        counts = (
+            "enumerated", "feasible", "pruned_memory", "pruned_infeasible",
+            "searched", "confirmed", "budget", "top_k",
+        )
+        payload: Dict[str, object] = {
+            "base": self.base.canonical(),
+            "ranking": [layout.to_dict() for layout in self.ranking],
+            "search_fidelity": self.search_fidelity,
+            "confirm_fidelity": self.confirm_fidelity,
+            "tolerance": self.tolerance,
+            "timings": dict(self.timings),
+        }
+        payload.update({name: getattr(self, name) for name in counts})
+        return build_result("plan", payload)
+
+    @classmethod
+    def from_document(cls, doc: Dict[str, object]) -> "PlanResult":
+        """Exact inverse of :meth:`to_document` (strict: unknown keys in
+        the envelope, the payload, or any ranked layout raise)."""
+        from repro.api.schema import SchemaError, check_keys, validate_result
+
+        payload = validate_result(doc, kind="plan")
+        counts = (
+            "enumerated", "feasible", "pruned_memory", "pruned_infeasible",
+            "searched", "confirmed", "budget", "top_k",
+        )
+        check_keys(
+            payload,  # type: ignore[arg-type]
+            required=("base", "ranking", "search_fidelity", "confirm_fidelity",
+                      "tolerance", "timings") + counts,
+            where="plan result payload",
+        )
+        try:
+            base = Scenario.from_canonical(payload["base"])  # type: ignore[index, arg-type]
+            ranking = tuple(
+                RankedLayout.from_dict(entry)
+                for entry in payload["ranking"]  # type: ignore[index, union-attr]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SchemaError(f"plan result payload: {exc}") from exc
+        return cls(
+            base=base,
+            ranking=ranking,
+            search_fidelity=str(payload["search_fidelity"]),  # type: ignore[index]
+            confirm_fidelity=str(payload["confirm_fidelity"]),  # type: ignore[index]
+            tolerance=float(payload["tolerance"]),  # type: ignore[index, arg-type]
+            timings={
+                str(k): float(v)  # type: ignore[arg-type]
+                for k, v in payload["timings"].items()  # type: ignore[index, union-attr]
+            },
+            **{name: int(payload[name]) for name in counts},  # type: ignore[index, arg-type]
+        )
 
 
 def _ranked_from(

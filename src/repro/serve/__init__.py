@@ -1,0 +1,41 @@
+"""Serve simulations as production traffic.
+
+The long-running daemon behind ``repro serve``: a stdlib-asyncio HTTP
+server speaking the versioned ``repro.api.request/v1`` /
+``repro.api.result/v1`` wire documents, a multi-tenant priority job
+queue with quotas and fair dequeue, one shared warm
+:class:`repro.exec.ResultCache`, and the existing supervised
+:mod:`repro.exec` sweep stack for execution — journaling, the flight
+recorder, chaos tolerance, and determinism all carry over.  See
+``docs/serving.md``.
+"""
+
+from repro.serve.queue import (
+    BacklogFull,
+    Job,
+    JobQueue,
+    QueueRejection,
+    QuotaExceeded,
+)
+from repro.serve.server import (
+    ServeConfig,
+    ServiceHandle,
+    SimulationService,
+    run_server,
+    serve_async,
+    start_in_process,
+)
+
+__all__ = [
+    "BacklogFull",
+    "Job",
+    "JobQueue",
+    "QueueRejection",
+    "QuotaExceeded",
+    "ServeConfig",
+    "ServiceHandle",
+    "SimulationService",
+    "run_server",
+    "serve_async",
+    "start_in_process",
+]

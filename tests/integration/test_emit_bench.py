@@ -28,6 +28,14 @@ class TestBenchDocument:
             assert case["iteration_seconds"] > 0, name
             validate_report(case["report"])
 
+    def test_serve_overhead_point(self, bench):
+        serve = bench["serve"]
+        assert serve["repeats"] >= 3
+        assert serve["served_ms"] > 0
+        assert serve["inproc_ms"] >= 0
+        assert serve["overhead_ms"] == pytest.approx(
+            serve["served_ms"] - serve["inproc_ms"])
+
 class TestDriftGate:
     def test_self_comparison_passes(self, bench, capsys):
         assert check_drift(bench, bench, tolerance=0.02) == 0
@@ -41,6 +49,12 @@ class TestDriftGate:
     def test_missing_scenario_in_reference_fails(self, bench, capsys):
         reference = {"cases": {}}
         assert check_drift(bench, reference, tolerance=0.02) == 1
+
+    def test_serve_overhead_above_ceiling_fails(self, bench, capsys):
+        reference = json.loads(json.dumps(bench))
+        reference["serve"] = {"max_overhead_ms": -1.0}
+        assert check_drift(bench, reference, tolerance=0.02) == 1
+        assert "serve" in capsys.readouterr().err
 
     def test_committed_reference_matches_current_model(self):
         """The committed 4-node reference must match a fresh run — the

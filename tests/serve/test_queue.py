@@ -1,0 +1,154 @@
+"""The multi-tenant job queue: priority within a tenant, FIFO on ties,
+round-robin fairness across tenants, quota/backlog shedding, and clean
+close semantics — all independent of HTTP and the runner threads."""
+
+import threading
+
+import pytest
+
+from repro.serve.queue import (
+    BacklogFull,
+    Job,
+    JobQueue,
+    QueueRejection,
+    QuotaExceeded,
+)
+
+
+def job(tenant="a", priority=0, kind="run"):
+    return Job(id=f"j-{tenant}-{priority}", tenant=tenant, kind=kind,
+               scenarios=[object()], options={}, priority=priority)
+
+
+class TestOrdering:
+    def test_priority_within_a_tenant(self):
+        q = JobQueue()
+        low = q.submit(job("a", priority=5))
+        urgent = q.submit(job("a", priority=-1))
+        normal = q.submit(job("a", priority=0))
+        assert [q.take(0) for _ in range(3)] == [urgent, normal, low]
+
+    def test_fifo_on_priority_ties(self):
+        q = JobQueue()
+        first, second, third = (q.submit(job("a")) for _ in range(3))
+        assert [q.take(0) for _ in range(3)] == [first, second, third]
+
+    def test_round_robin_across_tenants(self):
+        q = JobQueue()
+        a1, a2 = q.submit(job("a")), q.submit(job("a"))
+        b1, b2 = q.submit(job("b")), q.submit(job("b"))
+        c1 = q.submit(job("c"))
+        # a chatty tenant cannot take two consecutive slots while other
+        # tenants have queued work
+        order = [q.take(0) for _ in range(5)]
+        assert order == [a1, b1, c1, a2, b2]
+
+    def test_rotation_alternates_under_sustained_load(self):
+        # two tenants keeping the queue non-empty strictly alternate —
+        # no consecutive grants to the same tenant
+        q = JobQueue()
+        for _ in range(3):
+            q.submit(job("a"))
+            q.submit(job("b"))
+        served = [q.take(0).tenant for _ in range(6)]
+        assert sorted(served) == ["a"] * 3 + ["b"] * 3
+        assert all(x != y for x, y in zip(served, served[1:]))
+
+    def test_priority_is_per_tenant_not_global(self):
+        q = JobQueue()
+        q.submit(job("a", priority=9))
+        q.submit(job("b", priority=-9))
+        # fairness outranks global priority: a was first in rotation
+        assert q.take(0).tenant == "a"
+        assert q.take(0).tenant == "b"
+
+
+class TestShedding:
+    def test_backlog_full(self):
+        q = JobQueue(max_backlog=2, tenant_quota=16)
+        q.submit(job("a"))
+        q.submit(job("b"))
+        with pytest.raises(BacklogFull):
+            q.submit(job("c"))
+        # draining one job frees one admission slot
+        q.take(0)
+        q.submit(job("c"))
+
+    def test_tenant_quota(self):
+        q = JobQueue(max_backlog=64, tenant_quota=2)
+        q.submit(job("a"))
+        q.submit(job("a"))
+        with pytest.raises(QuotaExceeded):
+            q.submit(job("a"))
+        # other tenants are unaffected
+        q.submit(job("b"))
+
+    def test_rejections_are_queue_rejections(self):
+        assert issubclass(BacklogFull, QueueRejection)
+        assert issubclass(QuotaExceeded, QueueRejection)
+
+    def test_limits_validated(self):
+        with pytest.raises(ValueError):
+            JobQueue(max_backlog=0)
+        with pytest.raises(ValueError):
+            JobQueue(tenant_quota=0)
+
+
+class TestTakeAndClose:
+    def test_take_times_out_empty(self):
+        assert JobQueue().take(0.01) is None
+
+    def test_take_blocks_until_submit(self):
+        q = JobQueue()
+        got = []
+        thread = threading.Thread(target=lambda: got.append(q.take(5.0)))
+        thread.start()
+        submitted = q.submit(job("a"))
+        thread.join(timeout=5.0)
+        assert got == [submitted]
+
+    def test_closed_queue_rejects_submissions(self):
+        q = JobQueue()
+        q.close()
+        with pytest.raises(QueueRejection, match="closed"):
+            q.submit(job("a"))
+
+    def test_closed_queue_still_drains(self):
+        q = JobQueue()
+        queued = q.submit(job("a"))
+        q.close()
+        assert q.take(0) is queued
+        assert q.take(0) is None
+
+    def test_close_wakes_blocked_takers(self):
+        q = JobQueue()
+        got = []
+        thread = threading.Thread(target=lambda: got.append(q.take(30.0)))
+        thread.start()
+        q.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert got == [None]
+
+
+class TestIntrospection:
+    def test_depths(self):
+        q = JobQueue()
+        q.submit(job("a"))
+        q.submit(job("a"))
+        q.submit(job("b"))
+        assert q.depth() == 3
+        assert q.tenant_depths() == {"a": 2, "b": 1}
+        q.take(0)
+        assert q.depth() == 2
+
+    def test_status_document_shape(self):
+        j = job("a")
+        doc = j.status_document()
+        assert doc["state"] == "queued"
+        assert doc["scenarios"] == 1
+        assert "error" not in doc and "result" not in doc
+        j.error = "boom"
+        j.document = {"x": 1}
+        doc = j.status_document()
+        assert doc["error"] == "boom" and doc["result"] == {"x": 1}

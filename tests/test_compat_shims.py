@@ -1,5 +1,9 @@
-"""The keyword-only constructor migration: shims warn, canonical forms don't."""
+"""The PR-5 deprecation shims are gone: canonical keyword forms work
+silently, legacy positional/renamed forms raise ``TypeError``, and
+``import repro._compat`` warns-then-fails cleanly."""
 
+import importlib
+import sys
 import warnings
 
 import pytest
@@ -32,74 +36,73 @@ def small_plan():
     return HolmesScheduler().plan(TOPO, parallel, MODEL)
 
 
-class TestFabricShims:
+class TestCompatModuleRemoved:
+    def _import_fresh(self):
+        sys.modules.pop("repro._compat", None)
+        return importlib.import_module("repro._compat")
+
+    def test_import_warns_then_fails(self):
+        with pytest.warns(DeprecationWarning, match="repro._compat has been removed"):
+            with pytest.raises(ImportError, match="canonical spellings"):
+                self._import_fresh()
+
+    def test_failed_import_is_not_cached(self):
+        # A failed import must not leave a half-initialised module behind:
+        # the next import attempt warns and fails identically.
+        for _ in range(2):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                with pytest.raises(ImportError):
+                    self._import_fresh()
+        assert "repro._compat" not in sys.modules
+
+    def test_no_internal_caller_imports_the_tombstone(self):
+        # Everything below repro imports cleanly without tripping the
+        # tombstone (the import above already proved most of the tree).
+        for name in ("repro.core.engine", "repro.network.fabric",
+                     "repro.faults.injector", "repro.nn.parallel_train"):
+            module = importlib.import_module(name)
+            assert "_compat" not in (getattr(module, "__file__", "") or "")
+
+
+class TestFabricKeywordOnly:
     def test_canonical_keywords_are_silent(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            Fabric(TOPO, cost_config=CostModelConfig(), engine=SimEngine())
-
-    def test_positional_use_warns_and_still_works(self):
-        cfg = CostModelConfig(comm_rebuild_time=1.25)
-        with pytest.warns(DeprecationWarning, match="cost_config"):
-            fabric = Fabric(TOPO, cfg)
+            fabric = Fabric(TOPO, cost_config=CostModelConfig(comm_rebuild_time=1.25),
+                            engine=SimEngine())
         assert fabric.cost_model.config.comm_rebuild_time == 1.25
 
-    def test_legacy_config_spelling_warns(self):
-        cfg = CostModelConfig(comm_rebuild_time=2.5)
-        with pytest.warns(DeprecationWarning, match="cost_config"):
-            fabric = Fabric(TOPO, config=cfg)
-        assert fabric.cost_model.config.comm_rebuild_time == 2.5
+    def test_positional_use_raises(self):
+        with pytest.raises(TypeError):
+            Fabric(TOPO, CostModelConfig())
 
-    def test_legacy_metrics_spelling_warns(self):
+    def test_legacy_config_spelling_raises(self):
+        with pytest.raises(TypeError):
+            Fabric(TOPO, config=CostModelConfig())
+
+    def test_legacy_metrics_spelling_raises(self):
         from repro.obs.registry import MetricsRegistry
 
-        registry = MetricsRegistry()
-        with pytest.warns(DeprecationWarning, match="metrics_registry"):
-            fabric = Fabric(TOPO, metrics=registry)
-        assert fabric.metrics is registry
-
-    def test_both_spellings_rejected(self):
-        with pytest.raises(TypeError, match="both"):
-            Fabric(TOPO, config=CostModelConfig(), cost_config=CostModelConfig())
-
-    def test_positional_overflow_rejected(self):
-        with pytest.raises(TypeError, match="positional"):
-            Fabric(TOPO, None, None, False, None, None, "extra")
-
-    def test_positional_keyword_collision_rejected(self):
-        with pytest.raises(TypeError, match="multiple values"), warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            Fabric(TOPO, CostModelConfig(), cost_config=CostModelConfig())
+        with pytest.raises(TypeError):
+            Fabric(TOPO, metrics=MetricsRegistry())
 
 
-class TestTrainingSimulationShims:
+class TestTrainingSimulationKeywordOnly:
     def test_canonical_keywords_are_silent(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            TrainingSimulation(small_plan(), MODEL, schedule="gpipe")
-
-    def test_positional_use_warns_and_maps(self):
-        with pytest.warns(DeprecationWarning, match="optimizer, schedule"):
-            sim = TrainingSimulation(
-                small_plan(), MODEL, STRATEGIES["allreduce"], "gpipe"
-            )
+            sim = TrainingSimulation(small_plan(), MODEL, schedule="gpipe",
+                                     optimizer=STRATEGIES["allreduce"])
         assert sim.schedule_kind == "gpipe"
         assert sim.optimizer is STRATEGIES["allreduce"]
 
-    def test_positional_matches_keyword_result(self):
-        plan = small_plan()
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            positional = TrainingSimulation(
-                plan, MODEL, STRATEGIES["distributed"], "gpipe"
-            ).run()
-        keyword = TrainingSimulation(
-            plan, MODEL, optimizer=STRATEGIES["distributed"], schedule="gpipe"
-        ).run()
-        assert positional.iteration_time == keyword.iteration_time
+    def test_positional_use_raises(self):
+        with pytest.raises(TypeError):
+            TrainingSimulation(small_plan(), MODEL, STRATEGIES["allreduce"], "gpipe")
 
 
-class TestFaultInjectorShims:
+class TestFaultInjectorKeywordOnly:
     def _fabric(self):
         return Fabric(TOPO, engine=SimEngine())
 
@@ -113,36 +116,25 @@ class TestFaultInjectorShims:
             warnings.simplefilter("error")
             FaultInjector(self._plan(), self._fabric(), trace=None)
 
-    def test_positional_trace_warns(self):
+    def test_positional_trace_raises(self):
         from repro.simcore.trace import TraceRecorder
 
-        trace = TraceRecorder(enabled=True)
-        with pytest.warns(DeprecationWarning, match="trace"):
-            injector = FaultInjector(self._plan(), self._fabric(), trace)
-        assert injector.trace is trace
+        with pytest.raises(TypeError):
+            FaultInjector(self._plan(), self._fabric(), TraceRecorder(enabled=True))
 
 
-class TestKnobRenames:
+class TestKnobRenamesRemoved:
     def test_num_microbatches_is_canonical(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             trainer = SingleTrainer(NN_CONFIG, num_microbatches=2)
         assert trainer.num_microbatches == 2
 
-    def test_legacy_micro_batches_warns_and_maps(self):
-        with pytest.warns(DeprecationWarning, match="num_microbatches"):
-            trainer = SingleTrainer(NN_CONFIG, micro_batches=2)
-        assert trainer.num_microbatches == 2
+    def test_legacy_micro_batches_raises(self):
+        with pytest.raises(TypeError):
+            SingleTrainer(NN_CONFIG, micro_batches=2)
 
-    def test_micro_batches_attribute_alias_warns(self):
+    def test_micro_batches_attribute_alias_removed(self):
         trainer = SingleTrainer(NN_CONFIG, num_microbatches=3)
-        with pytest.warns(DeprecationWarning, match="num_microbatches"):
-            assert trainer.micro_batches == 3
-
-    def test_both_spellings_rejected(self):
-        with pytest.raises(TypeError, match="both"):
-            SingleTrainer(NN_CONFIG, num_microbatches=2, micro_batches=2)
-
-    def test_unknown_kwarg_rejected(self):
-        with pytest.raises(TypeError, match="unexpected"):
-            SingleTrainer(NN_CONFIG, microbatches=2)
+        with pytest.raises(AttributeError):
+            trainer.micro_batches
